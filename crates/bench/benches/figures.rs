@@ -1,0 +1,114 @@
+//! Criterion wrappers that tie `cargo bench` to the paper's evaluation:
+//! one benchmark per figure/table, each running a representative slice of
+//! the corresponding experiment (the full sweeps live in the `fig*_*`
+//! binaries; see `cargo run -p damaris-bench --bin all_figures`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use damaris_sim::experiment::{run_io_phase, run_simulation};
+use damaris_sim::{platform, Strategy, WorkloadSpec};
+use std::hint::black_box;
+
+fn fig2_write_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_write_phase_kraken_2304");
+    group.sample_size(10);
+    let p = platform::kraken();
+    let w = WorkloadSpec::cm1_kraken();
+    for strategy in [
+        Strategy::FilePerProcess,
+        Strategy::CollectiveIo,
+        Strategy::damaris(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, s| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_io_phase(&p, &w, s.clone(), 2304, seed));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fig3_blueprint_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_write_phase_blueprint_1024");
+    group.sample_size(10);
+    let p = platform::blueprint();
+    let w = WorkloadSpec::cm1_blueprint(64.0);
+    for strategy in [Strategy::FilePerProcess, Strategy::damaris()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, s| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_io_phase(&p, &w, s.clone(), 1024, seed));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fig4_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_run_50iters_kraken_1152");
+    group.sample_size(10);
+    let p = platform::kraken();
+    let w = WorkloadSpec::cm1_kraken();
+    for strategy in [
+        Strategy::FilePerProcess,
+        Strategy::CollectiveIo,
+        Strategy::damaris(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, s| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_simulation(&p, &w, s.clone(), 1152, 50, seed));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn table1_grid5000_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_write_phase_grid5000_672");
+    group.sample_size(10);
+    let p = platform::grid5000_parapluie();
+    let w = WorkloadSpec::cm1_grid5000();
+    for strategy in [
+        Strategy::FilePerProcess,
+        Strategy::CollectiveIo,
+        Strategy::damaris(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, s| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_io_phase(&p, &w, s.clone(), 672, seed));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig2_write_phase,
+    fig3_blueprint_phase,
+    fig4_full_run,
+    table1_grid5000_phase
+);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Criterion micro-benchmarks over the *real* components (no simulation):
+//!
+//! * the Damaris hot path — segment reservation + memcpy + event push for
+//!   both allocators (the paper's claim that a client write costs a
+//!   memcpy lives or dies here);
+//! * the shared event queue;
+//! * the codecs (§IV-D);
+//! * SDF dataset writes;
+//! * mini-MPI collectives;
+//! * one mini-CM1 physics step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use damaris_shm::{MpscQueue, MutexAllocator, PartitionAllocator};
+use std::hint::black_box;
+
+/// CM1-like payload: smooth field with noisy low bits.
+fn field_bytes(n_values: usize) -> Vec<u8> {
+    let mut h = 0x1234_5678u32;
+    let mut out = Vec::with_capacity(n_values * 4);
+    for i in 0..n_values {
+        h = h.wrapping_mul(0x0100_0193) ^ h.rotate_left(13);
+        let v = 300.0f32 + (i as f32 * 0.003).sin() * 4.0 + 1e-4 * (h >> 16) as f32;
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn bench_shm_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shm_write_path");
+    let payload = field_bytes(64 * 1024); // 256 KiB
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+
+    group.bench_function("mutex_allocator", |b| {
+        let alloc = MutexAllocator::with_capacity(4 << 20);
+        b.iter(|| {
+            let mut seg = alloc.allocate(payload.len()).expect("fits");
+            seg.copy_from_slice(black_box(&payload));
+            alloc.release(seg);
+        });
+    });
+
+    group.bench_function("partition_allocator", |b| {
+        let alloc = PartitionAllocator::with_capacity(4 << 20, 1);
+        b.iter(|| {
+            let mut seg = alloc.allocate(0, payload.len()).expect("fits");
+            seg.copy_from_slice(black_box(&payload));
+            alloc.release(0, seg);
+        });
+    });
+
+    group.bench_function("plain_memcpy_baseline", |b| {
+        let mut dst = vec![0u8; payload.len()];
+        b.iter(|| {
+            dst.copy_from_slice(black_box(&payload));
+            black_box(&dst);
+        });
+    });
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("push_pop_cycle", |b| {
+        let q: MpscQueue<u64> = MpscQueue::new(1024);
+        b.iter(|| {
+            q.push(black_box(7)).ok().expect("space");
+            black_box(q.pop().expect("item"));
+        });
+    });
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codecs");
+    let data = field_bytes(256 * 1024); // 1 MiB
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+
+    for name in ["rle", "lzss", "huff"] {
+        let codec = damaris_compress::codec_by_name(name).expect("known codec");
+        group.bench_with_input(BenchmarkId::new("encode", name), &data, |b, data| {
+            b.iter(|| black_box(codec.encode_vec(black_box(data))));
+        });
+        let encoded = codec.encode_vec(&data);
+        group.bench_with_input(BenchmarkId::new("decode", name), &encoded, |b, enc| {
+            b.iter(|| black_box(codec.decode_vec(black_box(enc)).expect("valid")));
+        });
+    }
+
+    let pipeline = damaris_compress::Pipeline::from_spec("precision16|lzss|huff").unwrap();
+    group.bench_function("encode/precision16|lzss|huff", |b| {
+        b.iter(|| black_box(pipeline.encode(black_box(&data)).expect("encode")));
+    });
+    group.finish();
+}
+
+fn bench_sdf(c: &mut Criterion) {
+    use damaris_format::{DataType, Layout, SdfWriter};
+    let mut group = c.benchmark_group("sdf_format");
+    group.sample_size(20);
+    let data: Vec<f32> = (0..128 * 1024).map(|i| i as f32).collect();
+    let layout = Layout::new(DataType::F32, &[128 * 1024]);
+    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    let dir = std::env::temp_dir().join(format!("damaris-bench-sdf-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    group.bench_function("write_dataset_512KiB", |b| {
+        let mut n = 0u64;
+        b.iter(|| {
+            let path = dir.join(format!("bench-{n}.sdf"));
+            n += 1;
+            let mut w = SdfWriter::create(&path).expect("create");
+            w.write_dataset_f32("/v", &layout, black_box(&data)).expect("write");
+            black_box(w.finish().expect("finish"));
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_mpi(c: &mut Criterion) {
+    use damaris_mpi::World;
+    let mut group = c.benchmark_group("mini_mpi");
+    group.sample_size(10);
+
+    group.bench_function("allreduce_8ranks_x100", |b| {
+        b.iter(|| {
+            World::run(8, |comm| {
+                let mut acc = 0.0;
+                for i in 0..100 {
+                    acc += comm.allreduce_sum_f64(&[f64::from(i)])[0];
+                }
+                black_box(acc);
+            });
+        });
+    });
+
+    group.bench_function("alltoallv_8ranks_64KiB_x10", |b| {
+        b.iter(|| {
+            World::run(8, |comm| {
+                let chunk = bytes::Bytes::from(vec![0u8; 64 << 10]);
+                for _ in 0..10 {
+                    let chunks = vec![chunk.clone(); comm.size()];
+                    black_box(comm.alltoallv(chunks));
+                }
+            });
+        });
+    });
+    group.finish();
+}
+
+fn bench_cm1_step(c: &mut Criterion) {
+    use damaris_cm1::{grid::Field3, physics};
+    let mut group = c.benchmark_group("cm1_physics");
+    let p = physics::PhysicsParams::default();
+    let mut theta = Field3::new(44, 44, 50, 1);
+    physics::init_warm_bubble(&mut theta, (0, 0), (44, 44, 50), 300.0, 5.0);
+    group.throughput(Throughput::Elements((44 * 44 * 50) as u64));
+    group.bench_function("advect_diffuse_44x44x50", |b| {
+        b.iter(|| black_box(physics::advect_diffuse(black_box(&theta), &p)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shm_write,
+    bench_event_queue,
+    bench_codecs,
+    bench_sdf,
+    bench_mpi,
+    bench_cm1_step
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation (paper §IV-C2): "without impacting the application, we could
+//! further increase the frequency of outputs".
+//!
+//! Sweeps the output cadence on Kraken at 2304 cores. With the standard
+//! approaches, writing more often multiplies the visible I/O cost; with
+//! Damaris the client-side cost stays a memcpy per phase while only the
+//! dedicated cores' spare time shrinks — until the cadence outruns the
+//! window and the spare fraction collapses.
+
+use damaris_bench::*;
+use damaris_sim::experiment::run_simulation;
+use damaris_sim::Strategy;
+use serde_json::json;
+
+fn main() {
+    let (platform, base_workload) = kraken_setup();
+    let ncores = 2304;
+    let iterations = 100;
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+
+    for every in [50u32, 25, 10, 5, 2] {
+        let mut workload = base_workload.clone();
+        workload.iterations_per_write = every;
+        for strategy in [Strategy::FilePerProcess, Strategy::damaris()] {
+            let run = run_simulation(&platform, &workload, strategy, ncores, iterations, SEED);
+            let io_share = 100.0 * run.io_time / run.total_time;
+            rows.push(vec![
+                format!("every {every}"),
+                run.strategy.clone(),
+                fmt_s(run.total_time),
+                format!("{io_share:.1}%"),
+                if run.spare_fraction > 0.0 {
+                    format!("{:.1}%", 100.0 * run.spare_fraction)
+                } else {
+                    "-".into()
+                },
+            ]);
+            records.push(json!({
+                "iterations_per_write": every,
+                "strategy": run.strategy,
+                "total_time_s": run.total_time,
+                "io_share_percent": io_share,
+                "spare_fraction": run.spare_fraction,
+            }));
+        }
+    }
+    print_table(
+        &format!(
+            "Output-frequency sweep — Kraken, {ncores} cores, {iterations} iterations"
+        ),
+        &["cadence", "strategy", "run time", "app io share", "ded. spare"],
+        &rows,
+    );
+    println!(
+        "\nReading: at 25× the paper's output frequency, the application's I/O share under \
+         Damaris stays near zero (memcpy only) while file-per-process drowns; the cost \
+         surfaces only as shrinking dedicated-core spare time — the paper's claim that \
+         higher output frequency (e.g. for inline visualization) is affordable."
+    );
+    save_json("ablation_output_frequency", &json!({ "rows": records }));
+}

@@ -1,0 +1,44 @@
+//! Runs every figure/table binary in sequence (in-process) and leaves the
+//! JSON records under `target/figures/`. This is the one-command
+//! regeneration entry point cited by `EXPERIMENTS.md`:
+//!
+//! ```text
+//! cargo run --release -p damaris-bench --bin all_figures
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig2_jitter",
+        "fig3_datasize",
+        "fig4_scalability",
+        "fig5_sparetime",
+        "fig6_throughput",
+        "table1_grid5000",
+        "fig7_sparetime_usage",
+        "compression_ratios",
+        "analysis_breakeven",
+        "ablation_dedicated_ratio",
+        "ablation_jitter_sources",
+        "ablation_output_frequency",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for bin in bins {
+        println!("\n################ {bin} ################");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failed.push(bin);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nAll figures regenerated. JSON records: target/figures/");
+    } else {
+        eprintln!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,114 @@
+//! §IV-D compression numbers, measured on the REAL codecs (not the
+//! simulator): mini-CM1 warm-bubble output compressed with the
+//! from-scratch LZSS ("gzip-like") codec, and with 16-bit precision
+//! reduction stacked on top.
+//!
+//! Paper reference points: lossless gzip reaches a 187 % ratio on the 3D
+//! arrays; reducing floats to 16 bits for visualization pushes the
+//! combined ratio to ~600 %.
+
+use damaris_bench::{fmt_rate, print_table, save_json};
+use damaris_cm1::{grid::Field3, physics};
+use damaris_compress::{paper_ratio_percent, Pipeline};
+use serde_json::json;
+use std::time::Instant;
+
+/// Builds one rank's worth of CM1-like output (several variables over a
+/// warm-bubble subdomain).
+fn cm1_bytes() -> Vec<u8> {
+    let (nx, ny, nz) = (44, 44, 50);
+    let mut theta = Field3::new(nx, ny, nz, 1);
+    physics::init_warm_bubble(&mut theta, (0, 0), (nx, ny, nz), 300.0, 5.0);
+    let mut qv = Field3::new(nx, ny, nz, 1);
+    physics::init_warm_bubble(&mut qv, (0, 0), (nx, ny, nz), 0.012, 0.004);
+    let p = physics::PhysicsParams {
+        dt: 1.0,
+        dx: 500.0,
+        ..Default::default()
+    };
+    // A few steps so the fields aren't pristine.
+    let mut w = Field3::new(nx, ny, nz, 1);
+    let mut prs = Field3::new(nx, ny, nz, 1);
+    let mut dbz = Field3::new(nx, ny, nz, 1);
+    let mut tke = Field3::new(nx, ny, nz, 1);
+    // Evolve long enough that the storm's influence spreads over a
+    // realistic fraction of the domain (advection wake + diffusion).
+    for _ in 0..40 {
+        theta = physics::advect_diffuse(&theta, &p);
+        qv = physics::advect_diffuse(&qv, &p);
+        physics::update_diagnostics(&theta, &mut w, &mut prs, &mut dbz, &mut tke, &p);
+    }
+    // Real model output has two entropy regimes: active regions carry
+    // turbulence-scale noise in the low mantissa bits, while "clear air"
+    // is exactly 0.0 (hydrometeor/perturbation fields) — that mixture is
+    // what gzip's ~1.9× on CM1 data comes from. Perturb active points by
+    // ~2.5e-4 of the field range, leave true zeros alone.
+    let mut bytes = Vec::new();
+    let mut h: u32 = 0x9E3779B9;
+    for field in [&theta, &qv, &w, &prs, &dbz, &tke] {
+        let interior = field.interior();
+        let max_abs = interior.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let amp = max_abs * 2.5e-4;
+        for v in interior {
+            h = h.wrapping_mul(0x01000193) ^ h.rotate_left(13);
+            let noise = if v == 0.0 {
+                0.0
+            } else {
+                amp * ((h >> 8) as f32 / (1u32 << 24) as f32 - 0.5)
+            };
+            bytes.extend_from_slice(&(v + noise).to_le_bytes());
+        }
+    }
+    bytes
+}
+
+fn main() {
+    let data = cm1_bytes();
+    let mb = data.len() as f64 / 1e6;
+    println!("mini-CM1 sample: {mb:.1} MB of f32 field data (6 variables)");
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for spec in [
+        "rle",
+        "lzss",
+        "huff",
+        "lzss|huff", // the gzip analogue: LZ77 + Huffman
+        "precision16",
+        "precision16|lzss|huff",
+    ] {
+        let pipeline = Pipeline::from_spec(spec).expect("valid spec");
+        let t0 = Instant::now();
+        let (encoded, stats) = pipeline.encode(&data).expect("encode");
+        let dt = t0.elapsed().as_secs_f64();
+        let ratio = paper_ratio_percent(data.len(), encoded.len());
+        // Round-trip check: the bench must not report numbers for broken
+        // codecs.
+        let decoded = pipeline.decode(&encoded).expect("decode");
+        assert_eq!(decoded.len(), data.len());
+        if !pipeline.is_lossy() {
+            assert_eq!(decoded, data, "lossless codec must round-trip");
+        }
+        rows.push(vec![
+            spec.to_string(),
+            format!("{ratio:.0}%"),
+            fmt_rate(data.len() as f64 / dt),
+        ]);
+        records.push(json!({
+            "pipeline": spec,
+            "ratio_percent": ratio,
+            "throughput_bytes_per_s": data.len() as f64 / dt,
+            "output_bytes": stats.output_bytes,
+        }));
+    }
+    print_table(
+        "§IV-D — compression of mini-CM1 output with the real codecs",
+        &["pipeline", "ratio", "encode rate"],
+        &rows,
+    );
+    println!(
+        "\nPaper: gzip ≈ 187%; 16-bit precision + gzip ≈ 600% \
+         (apparent dedicated-core throughput 4.1 GB/s)."
+    );
+    save_json("compression_ratios", &json!({ "rows": records }));
+}

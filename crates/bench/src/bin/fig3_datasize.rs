@@ -1,0 +1,48 @@
+//! Figure 3 — duration of a write phase (average, maximum, minimum) using
+//! file-per-process and Damaris on BluePrint (1024 cores), varying the
+//! amount of data per write phase by enabling/disabling variables.
+//!
+//! Paper reference points: FPP write time and its variability grow with
+//! the output size (tens of seconds at the largest outputs, with HDF5
+//! compression enabled client-side); Damaris stays at ~0.2 s with ~0.1 s
+//! variability regardless of size.
+
+use damaris_bench::*;
+use damaris_sim::{platform, Strategy, WorkloadSpec};
+use serde_json::json;
+
+fn main() {
+    let platform = platform::blueprint();
+    let ncores = 1024;
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+
+    // 4, 8, 12, 16 enabled f32 variables per point.
+    for bytes_per_point in [16.0, 32.0, 48.0, 64.0] {
+        let workload = WorkloadSpec::cm1_blueprint(bytes_per_point);
+        let total_gb = workload.total_bytes(ncores) as f64 / 1e9;
+        for strategy in [Strategy::FilePerProcess, Strategy::damaris()] {
+            let s = summarize_phases(&platform, &workload, &strategy, ncores, SEED);
+            rows.push(vec![
+                s.strategy.clone(),
+                format!("{total_gb:.1} GB"),
+                fmt_s(s.avg_s),
+                fmt_s(s.max_s),
+                fmt_s(s.min_s),
+            ]);
+            records.push(json!({
+                "total_gb": total_gb,
+                "summary": s.to_json(),
+            }));
+        }
+    }
+    print_table(
+        "Fig. 3 — write-phase duration vs output size on BluePrint (1024 cores, FPP compresses client-side)",
+        &["strategy", "data/phase", "avg", "max", "min"],
+        &rows,
+    );
+    println!(
+        "\nPaper: FPP variability grows with the amount of data; Damaris stays ~0.2 s / ~0.1 s spread."
+    );
+    save_json("fig3_datasize", &json!({ "rows": records }));
+}

@@ -1,0 +1,75 @@
+//! Figure 4 — (a) scalability factor `S = N·C576/T_N` and (b) overall run
+//! time of CM1 for 50 iterations plus one write phase, on Kraken.
+//!
+//! Paper reference points at 9216 cores: Damaris scales almost perfectly
+//! (S ≈ N); file-per-process loses ~35 % of run time to I/O; collective
+//! I/O runs ~3.5× longer than Damaris.
+
+use damaris_bench::*;
+use damaris_sim::experiment::{baseline_compute_time, run_simulation, scalability_of_run};
+use serde_json::json;
+
+fn main() {
+    let (platform, workload) = kraken_setup();
+    let iterations = 50;
+    let baseline = baseline_compute_time(&platform, &workload, 576, iterations, SEED);
+    println!("Baseline C576 (50 iterations, no I/O): {}", fmt_s(baseline));
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for strategy in standard_strategies() {
+        for &ncores in &KRAKEN_SCALES {
+            let run = run_simulation(
+                &platform,
+                &workload,
+                strategy.clone(),
+                ncores,
+                iterations,
+                SEED,
+            );
+            let s = scalability_of_run(&run, baseline);
+            rows.push(vec![
+                run.strategy.clone(),
+                ncores.to_string(),
+                fmt_s(run.total_time),
+                fmt_s(run.io_time),
+                format!("{:.0}", s),
+                format!("{:.0}%", 100.0 * s / ncores as f64),
+            ]);
+            records.push(json!({
+                "strategy": run.strategy,
+                "ncores": ncores,
+                "total_time_s": run.total_time,
+                "io_time_s": run.io_time,
+                "scalability_factor": s,
+            }));
+        }
+    }
+    print_table(
+        "Fig. 4 — run time (50 iterations + 1 write phase) and scalability factor on Kraken",
+        &["strategy", "cores", "run time", "io time", "S", "S/N"],
+        &rows,
+    );
+
+    // Headline ratios at 9216 cores.
+    let r = |label: &str| {
+        records
+            .iter()
+            .find(|r| r["strategy"] == label && r["ncores"] == 9216)
+            .map(|r| r["total_time_s"].as_f64().expect("f64"))
+            .expect("present")
+    };
+    let (fpp, cio, dam) = (r("file-per-process"), r("collective-io"), r("damaris"));
+    println!(
+        "\nAt 9216 cores: Damaris cuts run time by {:.0}% vs file-per-process (paper: 35%),",
+        100.0 * (1.0 - dam / fpp)
+    );
+    println!(
+        "and runs {:.1}× faster than collective-I/O (paper: 3.5×).",
+        cio / dam
+    );
+    save_json(
+        "fig4_scalability",
+        &json!({ "baseline_c576_s": baseline, "rows": records }),
+    );
+}

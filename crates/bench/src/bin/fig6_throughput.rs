@@ -1,0 +1,53 @@
+//! Figure 6 — average aggregate throughput on Kraken for the three
+//! approaches.
+//!
+//! Paper reference points at 9216 cores: Damaris achieves ~6× the
+//! file-per-process throughput and ~15× the collective-I/O throughput
+//! (for Damaris the throughput is the one seen by the dedicated cores).
+
+use damaris_bench::*;
+use serde_json::json;
+
+fn main() {
+    let (platform, workload) = kraken_setup();
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut at_9216 = std::collections::HashMap::new();
+
+    for strategy in standard_strategies() {
+        for &ncores in &KRAKEN_SCALES {
+            let s = summarize_phases(&platform, &workload, &strategy, ncores, SEED);
+            rows.push(vec![
+                s.strategy.clone(),
+                ncores.to_string(),
+                fmt_rate(s.throughput),
+            ]);
+            if ncores == 9216 {
+                at_9216.insert(s.strategy.clone(), s.throughput);
+            }
+            records.push(s.to_json());
+        }
+    }
+    print_table(
+        "Fig. 6 — average aggregate throughput on Kraken",
+        &["strategy", "cores", "throughput"],
+        &rows,
+    );
+
+    let dam = at_9216["damaris"];
+    let fpp = at_9216["file-per-process"];
+    let cio = at_9216["collective-io"];
+    println!(
+        "\nAt 9216 cores: Damaris = {:.1}× file-per-process (paper: ~6×), {:.1}× collective-I/O (paper: ~15×).",
+        dam / fpp,
+        dam / cio
+    );
+    save_json(
+        "fig6_throughput",
+        &json!({
+            "rows": records,
+            "ratio_vs_fpp_9216": dam / fpp,
+            "ratio_vs_cio_9216": dam / cio,
+        }),
+    );
+}

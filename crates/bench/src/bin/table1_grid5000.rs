@@ -1,0 +1,62 @@
+//! Table I — average aggregate throughput on Grid'5000 with CM1 on 672
+//! cores — plus the §IV-C1 jitter observations on the same runs.
+//!
+//! Paper reference points: file-per-process 695 MB/s, collective-I/O
+//! 636 MB/s, Damaris 4.32 GB/s (>6× both); with FPP, CM1 spends 4.22 % of
+//! its time in I/O, the fastest processes finish in <1 s and the slowest
+//! take >25 s.
+
+use damaris_bench::*;
+use damaris_sim::experiment::run_simulation;
+use damaris_sim::{platform, WorkloadSpec};
+use serde_json::json;
+
+fn main() {
+    let platform = platform::grid5000_parapluie();
+    let workload = WorkloadSpec::cm1_grid5000();
+    let ncores = 672;
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut by_label = std::collections::HashMap::new();
+    for strategy in standard_strategies() {
+        let s = summarize_phases(&platform, &workload, &strategy, ncores, SEED);
+        rows.push(vec![s.strategy.clone(), fmt_rate(s.throughput)]);
+        by_label.insert(s.strategy.clone(), s.clone());
+        records.push(s.to_json());
+    }
+    print_table(
+        "Table I — average aggregate throughput on Grid'5000 (CM1, 672 cores)",
+        &["strategy", "throughput"],
+        &rows,
+    );
+    println!("Paper: FPP 695 MB/s, collective-I/O 636 MB/s, Damaris 4.32 GB/s.");
+
+    // §IV-C1 jitter text: I/O share of run time and per-process spread.
+    let fpp = &by_label["file-per-process"];
+    let run = run_simulation(
+        &platform,
+        &workload,
+        damaris_sim::Strategy::FilePerProcess,
+        ncores,
+        workload.iterations_per_write * 3,
+        SEED,
+    );
+    let io_pct = 100.0 * run.io_time / run.total_time;
+    println!(
+        "\nFPP at 672 cores: {:.2}% of run time in I/O (paper: 4.22%), fastest process {} \
+         (paper: <1 s), slowest phase {} (paper: >25 s).",
+        io_pct,
+        fmt_s(fpp.fastest_proc_s),
+        fmt_s(fpp.max_s),
+    );
+    save_json(
+        "table1_grid5000",
+        &json!({
+            "rows": records,
+            "fpp_io_percent": io_pct,
+            "fpp_fastest_proc_s": fpp.fastest_proc_s,
+            "fpp_slowest_phase_s": fpp.max_s,
+        }),
+    );
+}

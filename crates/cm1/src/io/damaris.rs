@@ -1,0 +1,283 @@
+//! Damaris backend: the simulation's "write" is a copy into node-local
+//! shared memory; the dedicated core does the real I/O asynchronously
+//! (paper §III).
+//!
+//! Deployment helper: [`DamarisDeployment`] groups the World's ranks into
+//! SMP nodes of `clients_per_node` and starts one [`NodeRuntime`] per node
+//! (each runtime's server thread is that node's dedicated core). Each rank
+//! then drives its own [`DamarisBackend`] exactly like any other backend.
+
+use super::{IoBackend, IoError, WritePhase, WriteStats};
+use damaris_core::{Config, DamarisClient, NodeReport, NodeRuntime};
+use damaris_mpi::Communicator;
+use std::path::Path;
+use std::time::Instant;
+
+/// Per-rank Damaris I/O: writes go to the node's dedicated core.
+pub struct DamarisBackend {
+    client: DamarisClient,
+}
+
+impl DamarisBackend {
+    /// Wraps a client handle obtained from a [`DamarisDeployment`] (or a
+    /// manually-started [`NodeRuntime`]).
+    pub fn new(client: DamarisClient) -> Self {
+        DamarisBackend { client }
+    }
+}
+
+impl IoBackend for DamarisBackend {
+    fn write_phase(
+        &mut self,
+        _comm: &Communicator,
+        phase: &WritePhase,
+    ) -> Result<WriteStats, IoError> {
+        let t0 = Instant::now();
+        for (var, data) in &phase.variables {
+            // df_write: one memcpy into shared memory per variable.
+            self.client.write_f32(var, phase.iteration, data)?;
+        }
+        self.client.end_iteration(phase.iteration)?;
+        Ok(WriteStats {
+            elapsed: t0.elapsed(),
+            bytes: phase.bytes(),
+        })
+    }
+}
+
+/// Multi-node Damaris deployment for an in-process World: ranks
+/// `[k·c, (k+1)·c)` form node `k` with `c = clients_per_node` compute
+/// cores plus one dedicated core (the runtime's server thread — which is
+/// exactly how the paper accounts cores: a 12-core node runs 11 clients).
+pub struct DamarisDeployment {
+    runtimes: Vec<NodeRuntime>,
+    clients: Vec<DamarisClient>,
+    clients_per_node: usize,
+}
+
+impl DamarisDeployment {
+    /// Starts `nprocs / clients_per_node` node runtimes writing under
+    /// `dir/node-K`. `nprocs` must divide evenly.
+    pub fn start(
+        nprocs: usize,
+        clients_per_node: usize,
+        subdomain: (usize, usize, usize),
+        n_variables: usize,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, IoError> {
+        Self::start_with_events(nprocs, clients_per_node, subdomain, n_variables, dir, "")
+    }
+
+    /// [`DamarisDeployment::start`] with extra `<event …/>` bindings in
+    /// every node's configuration (for [`Self::broadcast_signal`]).
+    pub fn start_with_events(
+        nprocs: usize,
+        clients_per_node: usize,
+        subdomain: (usize, usize, usize),
+        n_variables: usize,
+        dir: impl AsRef<Path>,
+        events_xml: &str,
+    ) -> Result<Self, IoError> {
+        if nprocs % clients_per_node != 0 {
+            return Err(IoError(format!(
+                "{nprocs} ranks do not form whole nodes of {clients_per_node} clients"
+            )));
+        }
+        let nodes = nprocs / clients_per_node;
+        let (nx, ny, nz) = subdomain;
+        // Buffer sized for two in-flight iterations of all clients.
+        let bytes_per_iter = nx * ny * nz * 4 * n_variables * clients_per_node;
+        let buffer = (bytes_per_iter * 2 + (1 << 20)).next_power_of_two();
+        let xml = crate::variables::damaris_config_xml_with_events(
+            nx, ny, nz, n_variables, buffer, "partition", events_xml,
+        );
+        let config = Config::from_xml(&xml)?;
+
+        let mut runtimes = Vec::with_capacity(nodes);
+        let mut clients = Vec::with_capacity(nprocs);
+        for node in 0..nodes {
+            let mut runtime = NodeRuntime::start_with(
+                config.clone(),
+                clients_per_node,
+                dir.as_ref(),
+                node as u32,
+                Vec::new(),
+            )?;
+            clients.extend(runtime.take_clients());
+            runtimes.push(runtime);
+        }
+        Ok(DamarisDeployment {
+            runtimes,
+            clients,
+            clients_per_node,
+        })
+    }
+
+    /// The backend for a given rank (call once per rank).
+    pub fn backend_for(&self, rank: usize) -> DamarisBackend {
+        DamarisBackend::new(self.clients[rank].clone())
+    }
+
+    /// Number of nodes in the deployment.
+    pub fn nodes(&self) -> usize {
+        self.runtimes.len()
+    }
+
+    /// Clients per node.
+    pub fn clients_per_node(&self) -> usize {
+        self.clients_per_node
+    }
+
+    /// Broadcasts a user event to every node's dedicated core — the
+    /// paper's `scope="global"` events (one `df_signal` per node suffices;
+    /// the configuration binds the reaction).
+    pub fn broadcast_signal(&self, event: &str, iteration: u32) -> Result<(), IoError> {
+        for node in 0..self.nodes() {
+            self.clients[node * self.clients_per_node].signal(event, iteration)?;
+        }
+        Ok(())
+    }
+
+    /// Shuts down all dedicated cores and collects their reports.
+    pub fn finish(self) -> Result<Vec<NodeReport>, IoError> {
+        drop(self.clients);
+        self.runtimes
+            .into_iter()
+            .map(|r| r.finish().map_err(IoError::from))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{run_rank, Cm1Config};
+    use damaris_format::SdfReader;
+    use damaris_mpi::World;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("cm1-dam-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn damaris_run_produces_node_files() {
+        let dir = scratch("nodes");
+        let config = Cm1Config::small_test(4);
+        let decomp =
+            crate::decomp::Decomp2d::auto(4, config.global.0, config.global.1, config.global.2)
+                .unwrap();
+        let deployment = DamarisDeployment::start(
+            4,
+            2, // 2 nodes of 2 clients each
+            decomp.local_extent(),
+            config.n_variables,
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(deployment.nodes(), 2);
+
+        World::run(4, |comm| {
+            let mut io = deployment.backend_for(comm.rank());
+            run_rank(comm, &config, &mut io).unwrap();
+        });
+        let reports = deployment.finish().unwrap();
+        assert_eq!(reports.len(), 2);
+        for (node, report) in reports.iter().enumerate() {
+            assert_eq!(report.iterations_persisted, 2, "node {node}");
+            assert_eq!(
+                report.variables_received,
+                2 * 2 * config.n_variables as u64
+            );
+        }
+
+        // One file per node per write phase, holding both clients' data.
+        for node in 0..2 {
+            for iter in [2u32, 4] {
+                let path = dir.join(format!("node-{node}/iter-{iter:06}.sdf"));
+                let reader = SdfReader::open(&path).expect("node file");
+                assert_eq!(reader.len(), 2 * config.n_variables);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaris_preserves_physics_and_data() {
+        // The same run through FPP and Damaris: identical checksums and
+        // identical persisted datasets (modulo file organization).
+        let dir_fpp = scratch("cmp-fpp");
+        let dir_dam = scratch("cmp-dam");
+        let config = Cm1Config::small_test(2);
+        let decomp =
+            crate::decomp::Decomp2d::auto(2, config.global.0, config.global.1, config.global.2)
+                .unwrap();
+
+        let fpp_sums = World::run(2, |comm| {
+            let mut io = super::super::FppBackend::new(&dir_fpp).unwrap();
+            run_rank(comm, &config, &mut io).unwrap().theta_checksum
+        });
+
+        let deployment = DamarisDeployment::start(
+            2,
+            2,
+            decomp.local_extent(),
+            config.n_variables,
+            &dir_dam,
+        )
+        .unwrap();
+        let dam_sums = World::run(2, |comm| {
+            let mut io = deployment.backend_for(comm.rank());
+            run_rank(comm, &config, &mut io).unwrap().theta_checksum
+        });
+        deployment.finish().unwrap();
+
+        assert_eq!(fpp_sums[0], dam_sums[0]);
+
+        // Compare one dataset bit-for-bit.
+        let fpp = SdfReader::open(dir_fpp.join("rank-1/iter-000004.sdf")).unwrap();
+        let dam = SdfReader::open(dir_dam.join("node-0/iter-000004.sdf")).unwrap();
+        assert_eq!(
+            fpp.read_f32("/iter-4/rank-1/theta").unwrap(),
+            dam.read_f32("/iter-4/rank-1/theta").unwrap()
+        );
+        std::fs::remove_dir_all(&dir_fpp).ok();
+        std::fs::remove_dir_all(&dir_dam).ok();
+    }
+
+    #[test]
+    fn broadcast_signal_reaches_every_node() {
+        let dir = scratch("bcast");
+        let deployment = DamarisDeployment::start_with_events(
+            4,
+            2,
+            (4, 4, 2),
+            1,
+            &dir,
+            r#"<event name="snapshot" action="stats" scope="global"/>"#,
+        )
+        .unwrap();
+        // Each client writes, then one global signal triggers the stats
+        // action on both dedicated cores.
+        for rank in 0..4 {
+            deployment.clients[rank]
+                .write_f32("theta", 0, &vec![rank as f32; 32])
+                .unwrap();
+        }
+        deployment.broadcast_signal("snapshot", 0).unwrap();
+        for rank in 0..4 {
+            deployment.clients[rank].end_iteration(0).unwrap();
+        }
+        let reports = deployment.finish().unwrap();
+        assert!(reports.iter().all(|r| r.user_events == 1));
+        for node in 0..2 {
+            let stats =
+                SdfReader::open(dir.join(format!("node-{node}/stats-iter-000000.sdf")))
+                    .expect("stats file per node");
+            assert_eq!(stats.len(), 2); // two clients' theta stats
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

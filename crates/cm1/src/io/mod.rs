@@ -1,0 +1,132 @@
+//! Pluggable I/O backends: the three strategies the paper compares, plus a
+//! null backend for physics-only runs.
+
+mod collective;
+mod damaris;
+mod fpp;
+
+pub use collective::CollectiveBackend;
+pub use damaris::{DamarisBackend, DamarisDeployment};
+pub use fpp::FppBackend;
+
+use damaris_mpi::Communicator;
+use std::fmt;
+use std::time::Duration;
+
+/// One write phase's data, as handed to a backend.
+pub struct WritePhase {
+    pub iteration: u32,
+    pub rank: usize,
+    pub nprocs: usize,
+    /// Local subdomain extent (x, y, z).
+    pub extent: (usize, usize, usize),
+    /// `(variable name, interior data)` pairs in output order.
+    pub variables: Vec<(&'static str, Vec<f32>)>,
+}
+
+impl WritePhase {
+    /// Total payload bytes of this rank's phase.
+    pub fn bytes(&self) -> u64 {
+        self.variables.iter().map(|(_, d)| d.len() as u64 * 4).sum()
+    }
+
+    /// Dataset path for one variable of one rank, shared by all backends
+    /// so outputs are comparable.
+    pub fn dataset_path(iteration: u32, rank: usize, variable: &str) -> String {
+        format!("/iter-{iteration}/rank-{rank}/{variable}")
+    }
+}
+
+/// What the simulation observed for one write phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteStats {
+    /// Time the simulation spent inside the write call.
+    pub elapsed: Duration,
+    /// Payload bytes handed over.
+    pub bytes: u64,
+}
+
+/// Backend failure.
+#[derive(Debug)]
+pub struct IoError(pub String);
+
+impl IoError {
+    /// Builds from any displayable error.
+    pub fn msg(e: impl fmt::Display) -> Self {
+        IoError(e.to_string())
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cm1 io error: {}", self.0)
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<damaris_format::SdfError> for IoError {
+    fn from(e: damaris_format::SdfError) -> Self {
+        IoError::msg(e)
+    }
+}
+
+impl From<damaris_core::DamarisError> for IoError {
+    fn from(e: damaris_core::DamarisError) -> Self {
+        IoError::msg(e)
+    }
+}
+
+/// One rank's I/O strategy. Implementations may communicate (the
+/// collective backend does).
+pub trait IoBackend {
+    /// Performs one write phase.
+    fn write_phase(
+        &mut self,
+        comm: &Communicator,
+        phase: &WritePhase,
+    ) -> Result<WriteStats, IoError>;
+
+    /// Called once after the last iteration.
+    fn finalize(&mut self, _comm: &Communicator) -> Result<(), IoError> {
+        Ok(())
+    }
+}
+
+/// Discards everything (physics-only runs and tests).
+#[derive(Debug, Default)]
+pub struct NullBackend;
+
+impl IoBackend for NullBackend {
+    fn write_phase(
+        &mut self,
+        _comm: &Communicator,
+        phase: &WritePhase,
+    ) -> Result<WriteStats, IoError> {
+        Ok(WriteStats {
+            elapsed: Duration::ZERO,
+            bytes: phase.bytes(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_bytes() {
+        let phase = WritePhase {
+            iteration: 1,
+            rank: 0,
+            nprocs: 1,
+            extent: (2, 2, 2),
+            variables: vec![("theta", vec![0.0; 8]), ("qv", vec![0.0; 8])],
+        };
+        assert_eq!(phase.bytes(), 64);
+        assert_eq!(
+            WritePhase::dataset_path(3, 7, "theta"),
+            "/iter-3/rank-7/theta"
+        );
+    }
+}

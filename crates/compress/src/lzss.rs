@@ -1,0 +1,381 @@
+//! LZ77/LZSS with a hash-chain match finder — the "gzip-like" codec.
+//!
+//! ## Stream format
+//!
+//! A sequence of tokens, each introduced by a varint header `h`:
+//!
+//! * `h = (len << 1) | 0` — *literal block*: `len` verbatim bytes follow.
+//! * `h = (len << 1) | 1` — *match*: copy `len` bytes starting `dist` bytes
+//!   back in the already-decoded output, where `dist` is the varint that
+//!   follows the header. `dist` may be smaller than `len` (overlapping copy,
+//!   the classic RLE-via-LZ trick).
+//!
+//! ## Match finder
+//!
+//! Greedy parse with one-step lazy matching, like gzip's levels 4–6: a hash
+//! of the next `HASH_LEN` bytes indexes chains of previous positions;
+//! chains are capped at `max_chain` probes. The window is capped at
+//! [`Lzss::window`] (32 KiB by default, same as deflate).
+
+use crate::varint;
+use crate::{Codec, CodecError};
+
+/// Bytes hashed to index the chain table.
+const HASH_LEN: usize = 4;
+/// Number of hash buckets (power of two).
+const HASH_SIZE: usize = 1 << 15;
+/// Minimum match length worth a token.
+const MIN_MATCH: usize = 4;
+/// Maximum match length (keeps headers to ≤3 varint bytes).
+const MAX_MATCH: usize = 1 << 16;
+
+/// LZSS codec with tunable search effort.
+#[derive(Debug, Clone)]
+pub struct Lzss {
+    /// Sliding-window size in bytes; matches never reach further back.
+    pub window: usize,
+    /// Maximum hash-chain probes per position (search effort / speed knob).
+    pub max_chain: usize,
+}
+
+impl Default for Lzss {
+    fn default() -> Self {
+        Lzss {
+            window: 32 * 1024,
+            max_chain: 64,
+        }
+    }
+}
+
+impl Lzss {
+    /// A faster, weaker configuration (shorter chains).
+    pub fn fast() -> Self {
+        Lzss {
+            window: 32 * 1024,
+            max_chain: 8,
+        }
+    }
+
+    /// A slower, stronger configuration.
+    pub fn best() -> Self {
+        Lzss {
+            window: 64 * 1024,
+            max_chain: 512,
+        }
+    }
+
+    fn hash(window: &[u8]) -> usize {
+        debug_assert!(window.len() >= HASH_LEN);
+        let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
+        (v.wrapping_mul(0x9E37_79B1) >> (32 - 15)) as usize & (HASH_SIZE - 1)
+    }
+
+    /// Longest common prefix of `input[a..]` and `input[b..]`, capped.
+    fn match_len(input: &[u8], a: usize, b: usize, cap: usize) -> usize {
+        let max = cap.min(input.len() - b);
+        let mut n = 0;
+        while n < max && input[a + n] == input[b + n] {
+            n += 1;
+        }
+        n
+    }
+
+    /// Finds the best match for position `pos`, returning `(distance, len)`.
+    fn find_match(
+        &self,
+        input: &[u8],
+        pos: usize,
+        head: &[i64],
+        prev: &[i64],
+    ) -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > input.len() {
+            return None;
+        }
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut cand = head[Self::hash(&input[pos..])];
+        let mut probes = self.max_chain;
+        let window_floor = pos.saturating_sub(self.window);
+        while cand >= 0 && probes > 0 {
+            let c = cand as usize;
+            if c < window_floor {
+                break;
+            }
+            let len = Self::match_len(input, c, pos, MAX_MATCH);
+            if len > best_len {
+                best_len = len;
+                best_dist = pos - c;
+                if len >= MAX_MATCH {
+                    break;
+                }
+            }
+            cand = prev[c & (self.window - 1)];
+            probes -= 1;
+        }
+        (best_len >= MIN_MATCH).then_some((best_dist, best_len))
+    }
+}
+
+fn flush_literals(out: &mut Vec<u8>, lits: &[u8]) {
+    if lits.is_empty() {
+        return;
+    }
+    varint::write_u64((lits.len() as u64) << 1, out);
+    out.extend_from_slice(lits);
+}
+
+impl Codec for Lzss {
+    fn name(&self) -> &'static str {
+        "lzss"
+    }
+
+    fn encode(&self, input: &[u8], out: &mut Vec<u8>) -> usize {
+        assert!(self.window.is_power_of_two(), "window must be a power of two");
+        let start_len = out.len();
+        // head[h] = most recent position with hash h; prev[pos & mask] = the
+        // position before it in the chain. Both store -1 for "none".
+        let mut head = vec![-1i64; HASH_SIZE];
+        let mut prev = vec![-1i64; self.window];
+
+        let insert = |head: &mut Vec<i64>, prev: &mut Vec<i64>, input: &[u8], p: usize| {
+            if p + HASH_LEN <= input.len() {
+                let h = Self::hash(&input[p..]);
+                prev[p & (self.window - 1)] = head[h];
+                head[h] = p as i64;
+            }
+        };
+
+        let mut lit_start = 0usize;
+        let mut pos = 0usize;
+        while pos < input.len() {
+            match self.find_match(input, pos, &head, &prev) {
+                Some((dist, mut len)) => {
+                    // One-step lazy matching: if the next position has a
+                    // strictly longer match, emit this byte as a literal.
+                    if pos + 1 < input.len() {
+                        insert(&mut head, &mut prev, input, pos);
+                        if let Some((d2, l2)) = self.find_match(input, pos + 1, &head, &prev) {
+                            if l2 > len + 1 {
+                                pos += 1;
+                                // Re-enter loop at pos with the better match.
+                                let (dist, len) = (d2, l2);
+                                flush_literals(out, &input[lit_start..pos]);
+                                varint::write_u64(((len as u64) << 1) | 1, out);
+                                varint::write_u64(dist as u64, out);
+                                for p in pos + 1..(pos + len).min(input.len()) {
+                                    insert(&mut head, &mut prev, input, p);
+                                }
+                                pos += len;
+                                lit_start = pos;
+                                continue;
+                            }
+                        }
+                        // The position was already inserted above; account for it.
+                        len = len.min(input.len() - pos);
+                        flush_literals(out, &input[lit_start..pos]);
+                        varint::write_u64(((len as u64) << 1) | 1, out);
+                        varint::write_u64(dist as u64, out);
+                        for p in pos + 1..(pos + len).min(input.len()) {
+                            insert(&mut head, &mut prev, input, p);
+                        }
+                        pos += len;
+                        lit_start = pos;
+                    } else {
+                        flush_literals(out, &input[lit_start..pos]);
+                        varint::write_u64(((len as u64) << 1) | 1, out);
+                        varint::write_u64(dist as u64, out);
+                        pos += len;
+                        lit_start = pos;
+                    }
+                }
+                None => {
+                    insert(&mut head, &mut prev, input, pos);
+                    pos += 1;
+                }
+            }
+        }
+        flush_literals(out, &input[lit_start..]);
+        out.len() - start_len
+    }
+
+    fn decode(&self, input: &[u8], out: &mut Vec<u8>) -> Result<usize, CodecError> {
+        let start_len = out.len();
+        let mut off = 0usize;
+        while off < input.len() {
+            let header = varint::read_u64(input, &mut off)
+                .ok_or_else(|| CodecError::new("lzss", "truncated token header"))?;
+            let len = (header >> 1) as usize;
+            if header & 1 == 0 {
+                let end = off
+                    .checked_add(len)
+                    .ok_or_else(|| CodecError::new("lzss", "length overflow"))?;
+                if end > input.len() {
+                    return Err(CodecError::new("lzss", "truncated literal block"));
+                }
+                out.extend_from_slice(&input[off..end]);
+                off = end;
+            } else {
+                let dist = varint::read_u64(input, &mut off)
+                    .ok_or_else(|| CodecError::new("lzss", "truncated match distance"))?
+                    as usize;
+                let produced = out.len() - start_len;
+                if dist == 0 || dist > produced {
+                    return Err(CodecError::new(
+                        "lzss",
+                        format!("match distance {dist} out of range (produced {produced})"),
+                    ));
+                }
+                if len > MAX_MATCH {
+                    return Err(CodecError::new("lzss", format!("match too long: {len}")));
+                }
+                // Overlapping copy must be byte-by-byte.
+                let mut src = out.len() - dist;
+                out.reserve(len);
+                for _ in 0..len {
+                    let b = out[src];
+                    out.push(b);
+                    src += 1;
+                }
+            }
+        }
+        Ok(out.len() - start_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn roundtrip_with(c: &Lzss, data: &[u8]) -> Vec<u8> {
+        let enc = c.encode_vec(data);
+        c.decode_vec(&enc).expect("decode ok")
+    }
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        roundtrip_with(&Lzss::default(), data)
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert_eq!(roundtrip(&[]), Vec::<u8>::new());
+        assert_eq!(roundtrip(b"a"), b"a");
+        assert_eq!(roundtrip(b"abc"), b"abc");
+    }
+
+    #[test]
+    fn repeated_text_compresses() {
+        let data = b"damaris damaris damaris damaris damaris ".repeat(50);
+        let enc = Lzss::default().encode_vec(&data);
+        assert!(enc.len() < data.len() / 10, "{} vs {}", enc.len(), data.len());
+        assert_eq!(Lzss::default().decode_vec(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_rle_trick() {
+        // A long constant run must decode through the overlapping-copy path.
+        let data = vec![42u8; 10_000];
+        let enc = Lzss::default().encode_vec(&data);
+        assert!(enc.len() < 32);
+        assert_eq!(Lzss::default().decode_vec(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn smooth_field_data_compresses_well() {
+        // Simulated "atmospheric" field: a uniform base state with a warm
+        // bubble perturbation — the structure the paper compresses at 187%.
+        // Large constant regions dominate, as in real CM1 output.
+        let mut bytes = Vec::new();
+        for i in 0..65_536i64 {
+            let d = (i - 32_768).abs() as f32;
+            let v = if d < 4000.0 {
+                300.0 + 4.0 * (1.0 - d / 4000.0)
+            } else {
+                300.0
+            };
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let enc = Lzss::default().encode_vec(&bytes);
+        let ratio = crate::paper_ratio_percent(bytes.len(), enc.len());
+        assert!(ratio > 187.0, "expected gzip-like compression, got {ratio:.0}%");
+        assert_eq!(Lzss::default().decode_vec(&enc).unwrap(), bytes);
+    }
+
+    #[test]
+    fn random_data_overhead_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<u8> = (0..100_000).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let enc = Lzss::default().encode_vec(&data);
+        assert!(enc.len() <= data.len() + data.len() / 64 + 16);
+        assert_eq!(Lzss::default().decode_vec(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn fast_and_best_agree_on_content() {
+        let data = b"the quick brown fox jumps over the lazy dog ".repeat(100);
+        for c in [Lzss::fast(), Lzss::default(), Lzss::best()] {
+            assert_eq!(roundtrip_with(&c, &data), data, "config {c:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic() {
+        let c = Lzss::default();
+        // Match referring before start of output.
+        let mut bogus = Vec::new();
+        varint::write_u64((5 << 1) | 1, &mut bogus);
+        varint::write_u64(3, &mut bogus); // dist 3 but nothing produced
+        assert!(c.decode_vec(&bogus).is_err());
+        // Zero distance.
+        let mut bogus = Vec::new();
+        varint::write_u64(1 << 1, &mut bogus);
+        bogus.push(b'x');
+        varint::write_u64((4 << 1) | 1, &mut bogus);
+        varint::write_u64(0, &mut bogus);
+        assert!(c.decode_vec(&bogus).is_err());
+        // Truncated literal.
+        let mut bogus = Vec::new();
+        varint::write_u64(9 << 1, &mut bogus);
+        bogus.push(b'x');
+        assert!(c.decode_vec(&bogus).is_err());
+    }
+
+    #[test]
+    fn long_range_matches_within_window() {
+        // Two identical 8 KiB blocks 16 KiB apart: within the 32 KiB window.
+        let mut rng = StdRng::seed_from_u64(11);
+        let block: Vec<u8> = (0..8192).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let filler: Vec<u8> = (0..16_384).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let mut data = block.clone();
+        data.extend_from_slice(&filler);
+        data.extend_from_slice(&block);
+        let enc = Lzss::default().encode_vec(&data);
+        // The second block should mostly collapse into matches.
+        assert!(enc.len() < block.len() + filler.len() + block.len() / 4);
+        assert_eq!(Lzss::default().decode_vec(&enc).unwrap(), data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn roundtrip_random(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            prop_assert_eq!(roundtrip(&data), data);
+        }
+
+        #[test]
+        fn roundtrip_structured(
+            words in proptest::collection::vec(proptest::sample::select(
+                vec![&b"wind"[..], b"temp", b"pressure", b"0000", b"damaris"]), 0..256),
+        ) {
+            let data: Vec<u8> = words.concat();
+            prop_assert_eq!(roundtrip(&data), data);
+        }
+
+        #[test]
+        fn roundtrip_fast_config(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            prop_assert_eq!(roundtrip_with(&Lzss::fast(), &data), data);
+        }
+    }
+}

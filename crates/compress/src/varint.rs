@@ -1,0 +1,131 @@
+//! LEB128-style unsigned varint encoding shared by the codecs and the SDF
+//! format.
+//!
+//! Seven payload bits per byte, little-endian groups, high bit = continuation.
+//! A `u64` therefore occupies at most 10 bytes.
+
+/// Appends `value` to `out` as a varint; returns the encoded length.
+pub fn write_u64(mut value: u64, out: &mut Vec<u8>) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        n += 1;
+        if value == 0 {
+            out.push(byte);
+            return n;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint from `input` starting at `*offset`, advancing the offset.
+///
+/// Returns `None` on truncated input or on an encoding longer than 10 bytes
+/// (which cannot come from [`write_u64`] and would overflow).
+pub fn read_u64(input: &[u8], offset: &mut usize) -> Option<u64> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input.get(*offset)?;
+        *offset += 1;
+        if shift == 63 && byte > 1 {
+            return None; // would overflow u64
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Encoded length of a value without writing it.
+pub fn len_u64(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_encodings() {
+        let mut out = Vec::new();
+        assert_eq!(write_u64(0, &mut out), 1);
+        assert_eq!(out, [0]);
+        out.clear();
+        assert_eq!(write_u64(127, &mut out), 1);
+        assert_eq!(out, [127]);
+        out.clear();
+        assert_eq!(write_u64(128, &mut out), 2);
+        assert_eq!(out, [0x80, 0x01]);
+        out.clear();
+        assert_eq!(write_u64(u64::MAX, &mut out), 10);
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let mut out = Vec::new();
+        write_u64(1 << 40, &mut out);
+        out.pop();
+        let mut off = 0;
+        assert_eq!(read_u64(&out, &mut off), None);
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        // 11 continuation bytes can never be produced by write_u64.
+        let bogus = [0xff; 11];
+        let mut off = 0;
+        assert_eq!(read_u64(&bogus, &mut off), None);
+    }
+
+    #[test]
+    fn offset_advances_across_values() {
+        let mut out = Vec::new();
+        write_u64(5, &mut out);
+        write_u64(300, &mut out);
+        write_u64(7, &mut out);
+        let mut off = 0;
+        assert_eq!(read_u64(&out, &mut off), Some(5));
+        assert_eq!(read_u64(&out, &mut off), Some(300));
+        assert_eq!(read_u64(&out, &mut off), Some(7));
+        assert_eq!(off, out.len());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(v in any::<u64>()) {
+            let mut out = Vec::new();
+            let n = write_u64(v, &mut out);
+            prop_assert_eq!(n, out.len());
+            prop_assert_eq!(n, len_u64(v));
+            let mut off = 0;
+            prop_assert_eq!(read_u64(&out, &mut off), Some(v));
+            prop_assert_eq!(off, n);
+        }
+
+        #[test]
+        fn sequences_roundtrip(vs in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let mut out = Vec::new();
+            for &v in &vs {
+                write_u64(v, &mut out);
+            }
+            let mut off = 0;
+            let mut back = Vec::new();
+            while off < out.len() {
+                back.push(read_u64(&out, &mut off).unwrap());
+            }
+            prop_assert_eq!(back, vs);
+        }
+    }
+}

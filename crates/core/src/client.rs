@@ -1,0 +1,265 @@
+//! The client-side API (paper §III-D).
+//!
+//! Mirrors the paper's C interface:
+//!
+//! | paper                          | here                                |
+//! |--------------------------------|-------------------------------------|
+//! | `df_initialize`/`df_finalize`  | [`crate::NodeRuntime`] lifecycle    |
+//! | `df_write(var, step, data)`    | [`DamarisClient::write`]            |
+//! | `df_signal(event, step)`       | [`DamarisClient::signal`]           |
+//! | `dc_alloc`/`dc_commit`         | [`DamarisClient::alloc`]/[`AllocatedRegion::commit`] |
+//!
+//! A `write` is one shared-memory reservation, one `memcpy`, one queue
+//! push — nothing else; the client returns to computation immediately.
+
+use crate::error::DamarisError;
+use crate::event::Event;
+use crate::node::NodeShared;
+use damaris_shm::{AllocError, Segment};
+use std::sync::Arc;
+
+/// Handle held by one compute core.
+#[derive(Clone)]
+pub struct DamarisClient {
+    id: u32,
+    shared: Arc<NodeShared>,
+}
+
+impl DamarisClient {
+    pub(crate) fn new(id: u32, shared: Arc<NodeShared>) -> Self {
+        DamarisClient { id, shared }
+    }
+
+    /// This client's id within its node (the `source` of its tuples).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    fn lookup(&self, variable: &str) -> Result<(u32, u64), DamarisError> {
+        let (id, layout) = self.lookup_def(variable)?;
+        if layout.dynamic {
+            return Err(DamarisError::Config(format!(
+                "variable '{variable}' has a dynamic layout; use write_dynamic"
+            )));
+        }
+        Ok((id, layout.byte_size()))
+    }
+
+    fn lookup_def(&self, variable: &str) -> Result<(u32, &crate::LayoutDef), DamarisError> {
+        let id = self
+            .shared
+            .config
+            .variable_id(variable)
+            .ok_or_else(|| DamarisError::UnknownVariable(variable.to_string()))?;
+        let def = self.shared.config.variable(id).expect("id just resolved");
+        Ok((id, self.shared.config.layout_of(def)))
+    }
+
+    /// Reserves a segment, spinning while the buffer is full (the consumer
+    /// is draining it continuously).
+    ///
+    /// Deadlock note: the server reclaims an iteration's segments once
+    /// *every* client of the node has ended that iteration. Clients must
+    /// therefore stay loosely synchronized (as halo-exchanging simulations
+    /// naturally are) or the buffer must be sized for the maximum
+    /// iteration skew — the same constraint the original Damaris has.
+    fn reserve(&self, len: usize) -> Result<Segment, DamarisError> {
+        loop {
+            match self.shared.buffer.allocate(self.id, len) {
+                Ok(seg) => return Ok(seg),
+                Err(AllocError::Full) => std::thread::yield_now(),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// `df_write`: copies `data` into shared memory and notifies the
+    /// dedicated core. The byte length must match the variable's layout.
+    pub fn write(&self, variable: &str, iteration: u32, data: &[u8]) -> Result<(), DamarisError> {
+        let (variable_id, expected) = self.lookup(variable)?;
+        if data.len() as u64 != expected {
+            return Err(DamarisError::LayoutMismatch {
+                variable: variable.to_string(),
+                expected,
+                actual: data.len() as u64,
+            });
+        }
+        let mut segment = self.reserve(data.len())?;
+        segment.copy_from_slice(data);
+        self.shared.queue.push_wait(Event::Write {
+            variable_id,
+            iteration,
+            source: self.id,
+            segment,
+            dynamic_layout: None,
+        });
+        Ok(())
+    }
+
+    /// Writes a *dynamic-shape* variable (declared with `dimensions="?"`):
+    /// the shape travels with the write — the paper's API for arrays
+    /// without a static shape, e.g. per-rank particle sets (§III-D).
+    pub fn write_dynamic(
+        &self,
+        variable: &str,
+        iteration: u32,
+        dims: &[u64],
+        data: &[u8],
+    ) -> Result<(), DamarisError> {
+        let (variable_id, layout_def) = self.lookup_def(variable)?;
+        if !layout_def.dynamic {
+            return Err(DamarisError::Config(format!(
+                "variable '{variable}' has a static layout; use write"
+            )));
+        }
+        let layout = damaris_format::Layout::new(layout_def.dtype, dims);
+        if data.len() as u64 != layout.byte_size() {
+            return Err(DamarisError::LayoutMismatch {
+                variable: variable.to_string(),
+                expected: layout.byte_size(),
+                actual: data.len() as u64,
+            });
+        }
+        let mut segment = self.reserve(data.len())?;
+        segment.copy_from_slice(data);
+        self.shared.queue.push_wait(Event::Write {
+            variable_id,
+            iteration,
+            source: self.id,
+            segment,
+            dynamic_layout: Some(layout),
+        });
+        Ok(())
+    }
+
+    /// Typed wrapper over [`DamarisClient::write_dynamic`] for f32 data.
+    pub fn write_dynamic_f32(
+        &self,
+        variable: &str,
+        iteration: u32,
+        dims: &[u64],
+        data: &[f32],
+    ) -> Result<(), DamarisError> {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.write_dynamic(variable, iteration, dims, &bytes)
+    }
+
+    /// Typed convenience wrapper over [`DamarisClient::write`] for `f32`
+    /// variables.
+    pub fn write_f32(
+        &self,
+        variable: &str,
+        iteration: u32,
+        data: &[f32],
+    ) -> Result<(), DamarisError> {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.write(variable, iteration, &bytes)
+    }
+
+    /// Typed convenience wrapper for `f64` variables.
+    pub fn write_f64(
+        &self,
+        variable: &str,
+        iteration: u32,
+        data: &[f64],
+    ) -> Result<(), DamarisError> {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.write(variable, iteration, &bytes)
+    }
+
+    /// `dc_alloc`: reserves the variable's segment for in-place production
+    /// — the zero-copy path (§III-C). Write into
+    /// [`AllocatedRegion::as_mut_slice`], then [`AllocatedRegion::commit`].
+    pub fn alloc(&self, variable: &str, iteration: u32) -> Result<AllocatedRegion, DamarisError> {
+        let (variable_id, bytes) = self.lookup(variable)?;
+        let segment = self.reserve(bytes as usize)?;
+        Ok(AllocatedRegion {
+            client: self.clone(),
+            variable_id,
+            iteration,
+            segment: Some(segment),
+        })
+    }
+
+    /// `df_signal`: sends a user-defined event; the dedicated core runs the
+    /// actions bound to it in the configuration.
+    pub fn signal(&self, event: &str, iteration: u32) -> Result<(), DamarisError> {
+        if self.shared.config.bindings_for(event).is_empty() {
+            return Err(DamarisError::UnknownEvent(event.to_string()));
+        }
+        self.shared.queue.push_wait(Event::User {
+            name: event.to_string(),
+            iteration,
+            source: self.id,
+        });
+        Ok(())
+    }
+
+    /// Declares this client done with `iteration`. When every client of
+    /// the node has done so, iteration-scoped actions (persistence by
+    /// default) fire on the dedicated core.
+    pub fn end_iteration(&self, iteration: u32) -> Result<(), DamarisError> {
+        self.shared.queue.push_wait(Event::EndIteration {
+            iteration,
+            source: self.id,
+        });
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for DamarisClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DamarisClient(id={})", self.id)
+    }
+}
+
+/// A zero-copy reservation: the simulation computes directly in shared
+/// memory, then commits. Dropping without committing returns the segment.
+pub struct AllocatedRegion {
+    client: DamarisClient,
+    variable_id: u32,
+    iteration: u32,
+    segment: Option<Segment>,
+}
+
+impl AllocatedRegion {
+    /// The writable shared-memory window.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        self.segment
+            .as_mut()
+            .expect("region still owned")
+            .as_mut_slice()
+    }
+
+    /// Typed f32 view (the common case for CM1-style variables).
+    pub fn as_mut_f32(&mut self) -> &mut [f32] {
+        let bytes = self.as_mut_slice();
+        assert_eq!(bytes.len() % 4, 0, "layout is not f32-sized");
+        // SAFETY: alignment is guaranteed by the allocators' 8-byte
+        // alignment; length checked above; f32 has no invalid bit patterns.
+        unsafe {
+            std::slice::from_raw_parts_mut(bytes.as_mut_ptr() as *mut f32, bytes.len() / 4)
+        }
+    }
+
+    /// `dc_commit`: informs the dedicated core that the data is ready.
+    pub fn commit(mut self) {
+        let segment = self.segment.take().expect("commit called once");
+        self.client.shared.queue.push_wait(Event::Write {
+            variable_id: self.variable_id,
+            iteration: self.iteration,
+            source: self.client.id,
+            segment,
+            dynamic_layout: None,
+        });
+    }
+}
+
+impl Drop for AllocatedRegion {
+    fn drop(&mut self) {
+        if let Some(segment) = self.segment.take() {
+            // Not committed: hand the reservation back.
+            self.client.shared.buffer.release(self.client.id, segment);
+        }
+    }
+}

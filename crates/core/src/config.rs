@@ -1,0 +1,508 @@
+//! The Damaris XML configuration (paper §III-B "Configuration file").
+//!
+//! Static information about the data — names, layouts, units — lives in an
+//! external XML file rather than flowing through shared memory, "to keep a
+//! high-level description of the datasets within the server" and let
+//! clients send only minimal descriptors. The same file binds event names
+//! to actions, defining the dedicated core's behaviour.
+//!
+//! Supported schema (elements may appear at the root or inside `<data>` /
+//! `<actions>` groups):
+//!
+//! ```xml
+//! <damaris>
+//!   <buffer size="67108864" allocator="partition" queue="1024"/>
+//!   <layout name="my_layout" type="real" dimensions="64,16,2" language="fortran"/>
+//!   <variable name="my_variable" layout="my_layout" unit="K"/>
+//!   <event name="my_event" action="do_something" using="my_plugin.so" scope="local"/>
+//! </damaris>
+//! ```
+
+use crate::error::DamarisError;
+use crate::layout::LayoutDef;
+use damaris_xml::Element;
+use std::collections::HashMap;
+
+/// Which reservation algorithm the node's shared buffer uses (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocatorKind {
+    /// First-fit free list under a mutex (the "Boost default").
+    #[default]
+    Mutex,
+    /// The lock-free per-client partitioned rings.
+    Partition,
+}
+
+/// A variable declaration: which layout it uses plus free-form attributes
+/// (unit, description, …) that the persistency layer stores alongside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariableDef {
+    pub name: String,
+    pub layout: String,
+    /// Extra attributes copied verbatim into the output format.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// An event→action binding (§III-C "Behavior management").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionBinding {
+    /// Event name clients pass to `df_signal`.
+    pub event: String,
+    /// Action identifier resolved against the plugin registry.
+    pub action: String,
+    /// Plugin parameter (the paper's `using="my_plugin.so"`); free-form,
+    /// e.g. a codec spec for the compression action.
+    pub using: Option<String>,
+    /// `local` = fires on this node's events only (the only scope a single
+    /// node runtime has; kept for config compatibility).
+    pub scope: String,
+}
+
+/// Parsed configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Shared-memory buffer size in bytes.
+    pub buffer_size: usize,
+    /// Reservation algorithm.
+    pub allocator: AllocatorKind,
+    /// Event-queue capacity.
+    pub queue_capacity: usize,
+    /// Layout definitions by name.
+    pub layouts: HashMap<String, LayoutDef>,
+    /// Variable definitions in declaration order.
+    pub variables: Vec<VariableDef>,
+    /// Event bindings in declaration order.
+    pub actions: Vec<ActionBinding>,
+}
+
+impl Config {
+    /// Parses a configuration document.
+    pub fn from_xml(xml: &str) -> Result<Self, DamarisError> {
+        let root = damaris_xml::parse(xml)
+            .map_err(|e| DamarisError::Config(format!("XML error: {e}")))?;
+        Self::from_element(&root)
+    }
+
+    /// Parses from an already-built element tree.
+    pub fn from_element(root: &Element) -> Result<Self, DamarisError> {
+        if root.name != "damaris" && root.name != "simulation" {
+            return Err(DamarisError::Config(format!(
+                "root element must be <damaris>, found <{}>",
+                root.name
+            )));
+        }
+
+        let mut config = Config {
+            buffer_size: 64 << 20,
+            allocator: AllocatorKind::default(),
+            queue_capacity: 1024,
+            layouts: HashMap::new(),
+            variables: Vec::new(),
+            actions: Vec::new(),
+        };
+
+        // Elements may sit at the root or inside grouping elements.
+        // Document order is preserved: action bindings fire in the order
+        // they are declared.
+        let mut queue: std::collections::VecDeque<&Element> = root.child_elements().collect();
+        while let Some(e) = queue.pop_front() {
+            match e.name.as_str() {
+                "buffer" => {
+                    if let Some(size) = e
+                        .attr_parse::<usize>("size")
+                        .map_err(DamarisError::Config)?
+                    {
+                        config.buffer_size = size;
+                    }
+                    if let Some(q) = e
+                        .attr_parse::<usize>("queue")
+                        .map_err(DamarisError::Config)?
+                    {
+                        config.queue_capacity = q;
+                    }
+                    match e.attr("allocator") {
+                        None | Some("mutex") => config.allocator = AllocatorKind::Mutex,
+                        Some("partition") | Some("lockfree") => {
+                            config.allocator = AllocatorKind::Partition
+                        }
+                        Some(other) => {
+                            return Err(DamarisError::Config(format!(
+                                "unknown allocator '{other}'"
+                            )))
+                        }
+                    }
+                }
+                "layout" => {
+                    let def = LayoutDef::from_xml(e)?;
+                    if config.layouts.insert(def.name.clone(), def.clone()).is_some() {
+                        return Err(DamarisError::Config(format!(
+                            "duplicate layout '{}'",
+                            def.name
+                        )));
+                    }
+                }
+                "variable" => {
+                    let name = e
+                        .attr("name")
+                        .ok_or_else(|| DamarisError::Config("<variable> missing 'name'".into()))?
+                        .to_string();
+                    let layout = e
+                        .attr("layout")
+                        .ok_or_else(|| {
+                            DamarisError::Config(format!("variable '{name}' missing 'layout'"))
+                        })?
+                        .to_string();
+                    let attrs = e
+                        .attributes
+                        .iter()
+                        .filter(|(k, _)| k != "name" && k != "layout")
+                        .cloned()
+                        .collect();
+                    if config.variables.iter().any(|v| v.name == name) {
+                        return Err(DamarisError::Config(format!("duplicate variable '{name}'")));
+                    }
+                    config.variables.push(VariableDef { name, layout, attrs });
+                }
+                "event" => {
+                    let event = e
+                        .attr("name")
+                        .ok_or_else(|| DamarisError::Config("<event> missing 'name'".into()))?
+                        .to_string();
+                    let action = e
+                        .attr("action")
+                        .ok_or_else(|| {
+                            DamarisError::Config(format!("event '{event}' missing 'action'"))
+                        })?
+                        .to_string();
+                    config.actions.push(ActionBinding {
+                        event,
+                        action,
+                        using: e.attr("using").map(str::to_string),
+                        scope: e.attr("scope").unwrap_or("local").to_string(),
+                    });
+                }
+                // Grouping elements: descend (children keep their order
+                // relative to each other).
+                "data" | "actions" | "architecture" => {
+                    for (i, child) in e.child_elements().enumerate() {
+                        queue.insert(i, child);
+                    }
+                }
+                other => {
+                    return Err(DamarisError::Config(format!("unknown element <{other}>")));
+                }
+            }
+        }
+
+        // Cross-check variable → layout references.
+        for v in &config.variables {
+            if !config.layouts.contains_key(&v.layout) {
+                return Err(DamarisError::Config(format!(
+                    "variable '{}' references unknown layout '{}'",
+                    v.name, v.layout
+                )));
+            }
+        }
+        Ok(config)
+    }
+
+    /// Variable id by name (ids are declaration order).
+    pub fn variable_id(&self, name: &str) -> Option<u32> {
+        self.variables
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Variable definition by id.
+    pub fn variable(&self, id: u32) -> Option<&VariableDef> {
+        self.variables.get(id as usize)
+    }
+
+    /// The layout definition backing a variable.
+    pub fn layout_of(&self, var: &VariableDef) -> &LayoutDef {
+        self.layouts
+            .get(&var.layout)
+            .expect("validated at parse time")
+    }
+
+    /// Bindings for a given event name.
+    pub fn bindings_for(&self, event: &str) -> Vec<&ActionBinding> {
+        self.actions.iter().filter(|a| a.event == event).collect()
+    }
+
+    /// Sizing diagnostics for a deployment with `n_clients` compute cores
+    /// per node. Returns human-readable warnings (empty = no concerns):
+    /// the buffer must hold at least ~2 in-flight iterations (the server
+    /// reclaims an iteration only once every client ends it), and the
+    /// event queue should absorb a full iteration of notifications.
+    pub fn diagnostics(&self, n_clients: usize) -> Vec<String> {
+        let mut warnings = Vec::new();
+        let static_bytes: u64 = self
+            .variables
+            .iter()
+            .map(|v| {
+                let l = self.layout_of(v);
+                if l.dynamic { 0 } else { l.byte_size() }
+            })
+            .sum();
+        let per_iteration = static_bytes * n_clients as u64;
+        if per_iteration > 0 && (self.buffer_size as u64) < 2 * per_iteration {
+            warnings.push(format!(
+                "buffer ({} bytes) holds fewer than two in-flight iterations                  ({} bytes each for {n_clients} clients); clients may stall                  waiting for the dedicated core",
+                self.buffer_size, per_iteration
+            ));
+        }
+        let events_per_iteration = (self.variables.len() + 1) * n_clients;
+        if self.queue_capacity < 2 * events_per_iteration {
+            warnings.push(format!(
+                "event queue ({}) holds fewer than two iterations of                  notifications ({events_per_iteration} per iteration)",
+                self.queue_capacity
+            ));
+        }
+        if self.allocator == AllocatorKind::Partition
+            && self.variables.iter().any(|v| self.layout_of(v).dynamic)
+        {
+            warnings.push(
+                "dynamic-shape variables with the partitioned allocator: size                  each client's region for the worst-case shape"
+                    .to_string(),
+            );
+        }
+        warnings
+    }
+
+    /// Serializes back to the XML schema (compact form).
+    pub fn to_xml(&self) -> String {
+        let mut root = Element::new("damaris").with_child(
+            Element::new("buffer")
+                .with_attr("size", self.buffer_size.to_string())
+                .with_attr(
+                    "allocator",
+                    match self.allocator {
+                        AllocatorKind::Mutex => "mutex",
+                        AllocatorKind::Partition => "partition",
+                    },
+                )
+                .with_attr("queue", self.queue_capacity.to_string()),
+        );
+        let mut names: Vec<&String> = self.layouts.keys().collect();
+        names.sort();
+        for name in names {
+            let l = &self.layouts[name];
+            let dims = l
+                .declared_dims
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let mut e = Element::new("layout")
+                .with_attr("name", name.clone())
+                .with_attr(
+                    "type",
+                    match l.dtype {
+                        damaris_format::DataType::F32 => "real",
+                        damaris_format::DataType::F64 => "double",
+                        damaris_format::DataType::I32 => "integer",
+                        damaris_format::DataType::I64 => "long",
+                        damaris_format::DataType::U8 => "byte",
+                    },
+                )
+                .with_attr("dimensions", dims);
+            if l.language == crate::layout::Language::Fortran {
+                e.set_attr("language", "fortran");
+            }
+            root.children.push(damaris_xml::Node::Element(e));
+        }
+        for v in &self.variables {
+            let mut e = Element::new("variable")
+                .with_attr("name", v.name.clone())
+                .with_attr("layout", v.layout.clone());
+            for (k, val) in &v.attrs {
+                e.set_attr(k.clone(), val.clone());
+            }
+            root.children.push(damaris_xml::Node::Element(e));
+        }
+        for a in &self.actions {
+            let mut e = Element::new("event")
+                .with_attr("name", a.event.clone())
+                .with_attr("action", a.action.clone());
+            if let Some(u) = &a.using {
+                e.set_attr("using", u.clone());
+            }
+            e.set_attr("scope", a.scope.clone());
+            root.children.push(damaris_xml::Node::Element(e));
+        }
+        root.to_xml_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_CONFIG: &str = r#"
+        <damaris>
+          <buffer size="8388608" allocator="partition" queue="128"/>
+          <layout name="my_layout" type="real" dimensions="64,16,2" language="fortran"/>
+          <variable name="my_variable" layout="my_layout" unit="K"/>
+          <event name="my_event" action="do_something" using="my_plugin.so" scope="local"/>
+        </damaris>"#;
+
+    #[test]
+    fn parses_paper_schema() {
+        let c = Config::from_xml(PAPER_CONFIG).unwrap();
+        assert_eq!(c.buffer_size, 8 << 20);
+        assert_eq!(c.allocator, AllocatorKind::Partition);
+        assert_eq!(c.queue_capacity, 128);
+        assert_eq!(c.variables.len(), 1);
+        assert_eq!(c.variable_id("my_variable"), Some(0));
+        assert_eq!(c.variable_id("nope"), None);
+        let v = c.variable(0).unwrap();
+        assert_eq!(c.layout_of(v).byte_size(), 64 * 16 * 2 * 4);
+        assert_eq!(v.attrs, vec![("unit".to_string(), "K".to_string())]);
+        let b = c.bindings_for("my_event");
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].action, "do_something");
+        assert_eq!(b[0].using.as_deref(), Some("my_plugin.so"));
+    }
+
+    #[test]
+    fn grouped_elements_supported() {
+        let c = Config::from_xml(
+            r#"<damaris>
+                 <data>
+                   <layout name="l" type="integer" dimensions="8"/>
+                   <variable name="v" layout="l"/>
+                 </data>
+                 <actions>
+                   <event name="e" action="persist"/>
+                 </actions>
+               </damaris>"#,
+        )
+        .unwrap();
+        assert_eq!(c.variables.len(), 1);
+        assert_eq!(c.actions.len(), 1);
+    }
+
+    #[test]
+    fn defaults_without_buffer_element() {
+        let c = Config::from_xml(r#"<damaris><layout name="l" type="real" dimensions="1"/></damaris>"#)
+            .unwrap();
+        assert_eq!(c.buffer_size, 64 << 20);
+        assert_eq!(c.allocator, AllocatorKind::Mutex);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        for bad in [
+            "<nope/>",
+            r#"<damaris><variable name="v" layout="missing"/></damaris>"#,
+            r#"<damaris><mystery/></damaris>"#,
+            r#"<damaris><buffer allocator="slab"/></damaris>"#,
+            r#"<damaris><layout name="l" type="real" dimensions="1"/>
+                       <layout name="l" type="real" dimensions="2"/></damaris>"#,
+            r#"<damaris><layout name="l" type="real" dimensions="1"/>
+                       <variable name="v" layout="l"/>
+                       <variable name="v" layout="l"/></damaris>"#,
+            r#"<damaris><event name="e"/></damaris>"#,
+            r#"<damaris><buffer size="abc"/></damaris>"#,
+        ] {
+            assert!(Config::from_xml(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let c = Config::from_xml(PAPER_CONFIG).unwrap();
+        let xml = c.to_xml();
+        let c2 = Config::from_xml(&xml).unwrap();
+        assert_eq!(c2.buffer_size, c.buffer_size);
+        assert_eq!(c2.allocator, c.allocator);
+        assert_eq!(c2.variables, c.variables);
+        assert_eq!(c2.actions, c.actions);
+        assert_eq!(c2.layouts.len(), c.layouts.len());
+        assert_eq!(c2.layouts["my_layout"], c.layouts["my_layout"]);
+    }
+
+    #[test]
+    fn action_order_preserved() {
+        // Order matters: e.g. `visualize` must run before `persist` drains
+        // the store. Both flat and grouped declarations keep document order.
+        let c = Config::from_xml(
+            r#"<damaris>
+                 <event name="end_of_iteration" action="visualize"/>
+                 <event name="end_of_iteration" action="persist"/>
+                 <event name="other" action="stats"/>
+               </damaris>"#,
+        )
+        .unwrap();
+        let order: Vec<&str> = c.actions.iter().map(|a| a.action.as_str()).collect();
+        assert_eq!(order, vec!["visualize", "persist", "stats"]);
+
+        let grouped = Config::from_xml(
+            r#"<damaris>
+                 <actions>
+                   <event name="e" action="visualize"/>
+                   <event name="e" action="persist"/>
+                 </actions>
+               </damaris>"#,
+        )
+        .unwrap();
+        let order: Vec<&str> = grouped.actions.iter().map(|a| a.action.as_str()).collect();
+        assert_eq!(order, vec!["visualize", "persist"]);
+    }
+
+    #[test]
+    fn diagnostics_flag_undersized_resources() {
+        let c = Config::from_xml(
+            r#"<damaris>
+                 <buffer size="1000" queue="4"/>
+                 <layout name="l" type="real" dimensions="256"/>
+                 <variable name="v" layout="l"/>
+               </damaris>"#,
+        )
+        .unwrap();
+        let warnings = c.diagnostics(4);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings[0].contains("buffer"));
+        assert!(warnings[1].contains("queue"));
+        // Generous sizing: no warnings.
+        let c = Config::from_xml(
+            r#"<damaris>
+                 <buffer size="1048576" queue="1024"/>
+                 <layout name="l" type="real" dimensions="256"/>
+                 <variable name="v" layout="l"/>
+               </damaris>"#,
+        )
+        .unwrap();
+        assert!(c.diagnostics(4).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_flag_dynamic_with_partition() {
+        let c = Config::from_xml(
+            r#"<damaris>
+                 <buffer size="1048576" allocator="partition" queue="1024"/>
+                 <layout name="p" type="real" dimensions="?"/>
+                 <variable name="pos" layout="p"/>
+               </damaris>"#,
+        )
+        .unwrap();
+        let warnings = c.diagnostics(2);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("dynamic"));
+    }
+
+    #[test]
+    fn multiple_bindings_per_event() {
+        let c = Config::from_xml(
+            r#"<damaris>
+                 <event name="checkpoint" action="stats"/>
+                 <event name="checkpoint" action="persist"/>
+               </damaris>"#,
+        )
+        .unwrap();
+        assert_eq!(c.bindings_for("checkpoint").len(), 2);
+        assert!(c.bindings_for("other").is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! The Event Processing Engine (paper §III-B).
+//!
+//! Pulls events from the shared queue (that part lives in
+//! [`crate::server`]) and dispatches them to plugins according to the
+//! event→action bindings of the configuration file. Multiple actions may
+//! bind to one event; they run in declaration order.
+
+use crate::config::Config;
+use crate::error::DamarisError;
+use crate::plugin::{ActionContext, EventInfo, Plugin, PluginFactory};
+use crate::plugins;
+use std::collections::HashMap;
+
+/// The implicit event fired when every client of the node has ended an
+/// iteration. Binding an action to it in the configuration overrides the
+/// default persistence behaviour.
+pub const END_OF_ITERATION: &str = "end_of_iteration";
+
+/// Event name → ordered plugin instances.
+pub struct EventProcessingEngine {
+    bindings: Vec<(String, Box<dyn Plugin>)>,
+}
+
+impl EventProcessingEngine {
+    /// Instantiates plugins for every configured binding. `extra` factories
+    /// (action name → factory) take precedence over built-ins — the paper's
+    /// "plugin provided by the user".
+    pub fn build(
+        config: &Config,
+        extra: Vec<(String, PluginFactory)>,
+    ) -> Result<Self, DamarisError> {
+        let extra: HashMap<String, PluginFactory> = extra.into_iter().collect();
+        let mut bindings = Vec::new();
+        for action in &config.actions {
+            let plugin: Box<dyn Plugin> = if let Some(factory) = extra.get(&action.action) {
+                factory(action)?
+            } else {
+                plugins::builtin(action)?
+            };
+            bindings.push((action.event.clone(), plugin));
+        }
+        // Default behaviour: persist every completed iteration unless the
+        // configuration bound something else to end_of_iteration.
+        if !bindings.iter().any(|(e, _)| e == END_OF_ITERATION) {
+            bindings.push((
+                END_OF_ITERATION.to_string(),
+                Box::new(plugins::persist::PersistPlugin::new(None)),
+            ));
+        }
+        Ok(EventProcessingEngine { bindings })
+    }
+
+    /// Dispatches one event to every bound plugin, in order.
+    pub fn fire(
+        &mut self,
+        ctx: &mut ActionContext<'_>,
+        event: &EventInfo,
+    ) -> Result<(), DamarisError> {
+        for (name, plugin) in &mut self.bindings {
+            if *name == event.name {
+                plugin.handle(ctx, event)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Shutdown pass: lets every plugin flush its state (in binding order).
+    pub fn finalize_all(&mut self, ctx: &mut ActionContext<'_>) -> Result<(), DamarisError> {
+        for (_, plugin) in &mut self.bindings {
+            plugin.finalize(ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Number of instantiated bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Always has at least the default persistence binding.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ActionBinding;
+
+    #[test]
+    fn default_persist_added() {
+        let c = Config::from_xml("<damaris/>").unwrap();
+        let epe = EventProcessingEngine::build(&c, Vec::new()).unwrap();
+        assert_eq!(epe.len(), 1);
+    }
+
+    #[test]
+    fn explicit_end_of_iteration_overrides_default() {
+        let c = Config::from_xml(
+            r#"<damaris><event name="end_of_iteration" action="persist" using="lzss"/></damaris>"#,
+        )
+        .unwrap();
+        let epe = EventProcessingEngine::build(&c, Vec::new()).unwrap();
+        assert_eq!(epe.len(), 1);
+    }
+
+    #[test]
+    fn unknown_action_rejected() {
+        let c = Config::from_xml(
+            r#"<damaris><event name="e" action="launch_missiles"/></damaris>"#,
+        )
+        .unwrap();
+        assert!(EventProcessingEngine::build(&c, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn extra_factory_takes_precedence() {
+        struct Nop;
+        impl Plugin for Nop {
+            fn name(&self) -> &str {
+                "nop"
+            }
+            fn handle(
+                &mut self,
+                _ctx: &mut ActionContext<'_>,
+                _event: &EventInfo,
+            ) -> Result<(), DamarisError> {
+                Ok(())
+            }
+        }
+        let c = Config::from_xml(
+            r#"<damaris><event name="e" action="persist"/></damaris>"#,
+        )
+        .unwrap();
+        let factory: PluginFactory =
+            Box::new(|_b: &ActionBinding| Ok(Box::new(Nop) as Box<dyn Plugin>));
+        let epe =
+            EventProcessingEngine::build(&c, vec![("persist".to_string(), factory)]).unwrap();
+        // One explicit binding + the default end_of_iteration persist.
+        assert_eq!(epe.len(), 2);
+    }
+}

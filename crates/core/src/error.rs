@@ -1,0 +1,105 @@
+//! Error taxonomy for the Damaris middleware.
+
+use std::fmt;
+
+/// Everything that can go wrong between a client call and the persistency
+/// layer.
+#[derive(Debug)]
+pub enum DamarisError {
+    /// Malformed or inconsistent configuration.
+    Config(String),
+    /// A variable name not declared in the configuration.
+    UnknownVariable(String),
+    /// An event name with no configured action.
+    UnknownEvent(String),
+    /// Data size does not match the variable's layout.
+    LayoutMismatch {
+        variable: String,
+        expected: u64,
+        actual: u64,
+    },
+    /// The shared buffer cannot satisfy the reservation.
+    Buffer(damaris_shm::AllocError),
+    /// Persistency-layer failure.
+    Storage(damaris_format::SdfError),
+    /// A plugin reported a failure.
+    Plugin { plugin: String, message: String },
+    /// The runtime is shutting down or already finished.
+    Terminated,
+}
+
+impl fmt::Display for DamarisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DamarisError::Config(m) => write!(f, "damaris config error: {m}"),
+            DamarisError::UnknownVariable(v) => {
+                write!(f, "variable '{v}' is not declared in the configuration")
+            }
+            DamarisError::UnknownEvent(e) => {
+                write!(f, "event '{e}' has no configured action")
+            }
+            DamarisError::LayoutMismatch {
+                variable,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "variable '{variable}': layout expects {expected} bytes, got {actual}"
+            ),
+            DamarisError::Buffer(e) => write!(f, "shared buffer: {e}"),
+            DamarisError::Storage(e) => write!(f, "persistency layer: {e}"),
+            DamarisError::Plugin { plugin, message } => {
+                write!(f, "plugin '{plugin}': {message}")
+            }
+            DamarisError::Terminated => write!(f, "damaris runtime already terminated"),
+        }
+    }
+}
+
+impl std::error::Error for DamarisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DamarisError::Buffer(e) => Some(e),
+            DamarisError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<damaris_shm::AllocError> for DamarisError {
+    fn from(e: damaris_shm::AllocError) -> Self {
+        DamarisError::Buffer(e)
+    }
+}
+
+impl From<damaris_format::SdfError> for DamarisError {
+    fn from(e: damaris_format::SdfError) -> Self {
+        DamarisError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_subject() {
+        let e = DamarisError::UnknownVariable("wind".into());
+        assert!(e.to_string().contains("'wind'"));
+        let e = DamarisError::LayoutMismatch {
+            variable: "theta".into(),
+            expected: 64,
+            actual: 32,
+        };
+        let s = e.to_string();
+        assert!(s.contains("theta") && s.contains("64") && s.contains("32"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: DamarisError = damaris_shm::AllocError::Full.into();
+        assert!(matches!(e, DamarisError::Buffer(_)));
+        let e: DamarisError = damaris_format::SdfError::Format("x".into()).into();
+        assert!(matches!(e, DamarisError::Storage(_)));
+    }
+}

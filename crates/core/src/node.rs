@@ -1,0 +1,209 @@
+//! Node runtime: wires one dedicated-core server thread to K client
+//! handles over a shared buffer and event queue — one SMP node of the
+//! Damaris deployment (paper Fig. 1).
+
+use crate::client::DamarisClient;
+use crate::config::{AllocatorKind, Config};
+use crate::epe::EventProcessingEngine;
+use crate::error::DamarisError;
+use crate::event::Event;
+use crate::plugin::PluginFactory;
+use crate::server;
+use damaris_fs::LocalDirBackend;
+use damaris_shm::{AllocError, MpscQueue, MutexAllocator, PartitionAllocator, Segment};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Either of the paper's two reservation schemes, behind one interface.
+pub(crate) enum BufferManager {
+    Mutex(MutexAllocator),
+    Partition(PartitionAllocator),
+}
+
+impl BufferManager {
+    pub(crate) fn allocate(&self, client: u32, len: usize) -> Result<Segment, AllocError> {
+        match self {
+            BufferManager::Mutex(a) => a.allocate(len),
+            BufferManager::Partition(a) => a.allocate(client as usize, len),
+        }
+    }
+
+    pub(crate) fn release(&self, client: u32, segment: Segment) {
+        match self {
+            BufferManager::Mutex(a) => a.release(segment),
+            BufferManager::Partition(a) => a.release(client as usize, segment),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        match self {
+            BufferManager::Mutex(a) => a.capacity(),
+            BufferManager::Partition(a) => a.buffer().capacity(),
+        }
+    }
+}
+
+/// State shared between the clients and the server of one node.
+pub(crate) struct NodeShared {
+    pub config: Config,
+    pub buffer: BufferManager,
+    pub queue: MpscQueue<Event>,
+    pub clients: usize,
+}
+
+/// Final accounting returned by [`NodeRuntime::finish`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeReport {
+    /// Iterations whose data was persisted.
+    pub iterations_persisted: u64,
+    /// Write notifications received.
+    pub variables_received: u64,
+    /// Payload bytes moved through shared memory.
+    pub bytes_received: u64,
+    /// User events dispatched.
+    pub user_events: u64,
+    /// SDF files created by this node's backend.
+    pub files_created: u64,
+    /// Bytes written to storage (post-filter).
+    pub bytes_stored: u64,
+    /// Peak shared-memory bytes resident in the metadata store — how much
+    /// of the buffer the node actually needed (buffer-sizing guidance).
+    pub peak_resident_bytes: u64,
+}
+
+/// One running Damaris node: a dedicated-core server thread plus client
+/// handles for the compute cores.
+pub struct NodeRuntime {
+    shared: Arc<NodeShared>,
+    clients: Option<Vec<DamarisClient>>,
+    server: Option<std::thread::JoinHandle<Result<NodeReport, DamarisError>>>,
+    backend: Arc<LocalDirBackend>,
+}
+
+impl NodeRuntime {
+    /// Starts a node with `n_clients` compute cores, persisting into
+    /// `output_dir`. Uses the built-in plugin registry.
+    pub fn start(
+        config: Config,
+        n_clients: usize,
+        output_dir: impl AsRef<Path>,
+    ) -> Result<NodeRuntime, DamarisError> {
+        Self::start_with(config, n_clients, output_dir, 0, Vec::new())
+    }
+
+    /// Starts a node with a node id (for multi-node deployments) and extra
+    /// plugin factories (action name → factory), which take precedence
+    /// over the built-ins.
+    pub fn start_with(
+        config: Config,
+        n_clients: usize,
+        output_dir: impl AsRef<Path>,
+        node_id: u32,
+        extra_plugins: Vec<(String, PluginFactory)>,
+    ) -> Result<NodeRuntime, DamarisError> {
+        if n_clients == 0 {
+            return Err(DamarisError::Config("need at least one client".into()));
+        }
+        let buffer = match config.allocator {
+            AllocatorKind::Mutex => {
+                BufferManager::Mutex(MutexAllocator::with_capacity(config.buffer_size))
+            }
+            AllocatorKind::Partition => BufferManager::Partition(
+                PartitionAllocator::with_capacity(config.buffer_size, n_clients),
+            ),
+        };
+        let queue = MpscQueue::new(config.queue_capacity);
+        let backend = Arc::new(
+            LocalDirBackend::new(output_dir)
+                .map_err(|e| DamarisError::Storage(damaris_format::SdfError::Io(e)))?,
+        );
+
+        let epe = EventProcessingEngine::build(&config, extra_plugins)?;
+        let shared = Arc::new(NodeShared {
+            config,
+            buffer,
+            queue,
+            clients: n_clients,
+        });
+
+        let clients = (0..n_clients as u32)
+            .map(|id| DamarisClient::new(id, Arc::clone(&shared)))
+            .collect();
+
+        let server_shared = Arc::clone(&shared);
+        let server_backend = Arc::clone(&backend);
+        let server = std::thread::Builder::new()
+            .name(format!("damaris-ded-{node_id}"))
+            .spawn(move || server::run(server_shared, server_backend, epe, node_id))
+            .expect("spawn dedicated-core thread");
+
+        Ok(NodeRuntime {
+            shared,
+            clients: Some(clients),
+            server: Some(server),
+            backend,
+        })
+    }
+
+    /// Hands out the client handles (once). Clients are `Send`: move each
+    /// to its compute thread.
+    pub fn clients(&self) -> Vec<DamarisClient> {
+        self.clients
+            .as_ref()
+            .expect("clients already taken")
+            .clone()
+    }
+
+    /// Takes ownership of the client handles.
+    pub fn take_clients(&mut self) -> Vec<DamarisClient> {
+        self.clients.take().expect("clients already taken")
+    }
+
+    /// The storage backend (for inspecting produced files).
+    pub fn backend(&self) -> &Arc<LocalDirBackend> {
+        &self.backend
+    }
+
+    /// Capacity of the node's shared buffer in bytes.
+    pub fn buffer_capacity(&self) -> usize {
+        self.shared.buffer.capacity()
+    }
+
+    /// Injects a user event from *outside* the simulation — the paper's
+    /// "events sent either by the simulation **or by external tools**"
+    /// (§III-A): a steering console or monitoring agent can trigger
+    /// configured actions without holding a client.
+    ///
+    /// Returns [`DamarisError::UnknownEvent`] when no action is bound.
+    pub fn inject_event(&self, event: &str, iteration: u32) -> Result<(), DamarisError> {
+        if self.shared.config.bindings_for(event).is_empty() {
+            return Err(DamarisError::UnknownEvent(event.to_string()));
+        }
+        self.shared.queue.push_wait(Event::User {
+            name: event.to_string(),
+            iteration,
+            source: crate::server::SERVER_SOURCE,
+        });
+        Ok(())
+    }
+
+    /// Sends the termination event and joins the dedicated core. Call
+    /// after all client activity is done.
+    pub fn finish(mut self) -> Result<NodeReport, DamarisError> {
+        self.shared.queue.push_wait(Event::Terminate);
+        let handle = self.server.take().expect("finish called once");
+        match handle.join() {
+            Ok(report) => report,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+impl Drop for NodeRuntime {
+    fn drop(&mut self) {
+        if let Some(handle) = self.server.take() {
+            self.shared.queue.push_wait(Event::Terminate);
+            let _ = handle.join();
+        }
+    }
+}

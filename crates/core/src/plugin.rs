@@ -1,0 +1,105 @@
+//! The plugin system (paper §III-C "Behavior management and user-defined
+//! actions").
+//!
+//! "A plugin is a function … that the EPE will load and call in response to
+//! events sent by the application. The matching between events and expected
+//! reactions is provided by the external configuration file."
+//!
+//! The original loads shared objects or Python; this reproduction uses
+//! trait objects registered by name — the EPE→configuration→action
+//! matching logic is identical.
+
+use crate::config::{ActionBinding, Config};
+use crate::error::DamarisError;
+use crate::metadata::MetadataStore;
+use crate::node::BufferManager;
+use damaris_fs::LocalDirBackend;
+use damaris_shm::Segment;
+
+/// The event being dispatched, as plugins see it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventInfo {
+    /// Event name (`"end_of_iteration"` for the implicit iteration event).
+    pub name: String,
+    pub iteration: u32,
+    /// Client that sent it; `u32::MAX` for server-originated events.
+    pub source: u32,
+}
+
+/// What a plugin may touch while handling an event: the node's metadata
+/// store (resident shared-memory data), the storage backend, and segment
+/// release.
+pub struct ActionContext<'a> {
+    /// Which node this dedicated core serves.
+    pub node_id: u32,
+    /// The static configuration.
+    pub config: &'a Config,
+    /// Resident variables; actions typically drain an iteration.
+    pub store: &'a mut MetadataStore,
+    /// Real storage (SDF files in a directory).
+    pub backend: &'a LocalDirBackend,
+    pub(crate) buffer: &'a BufferManager,
+    /// Monotonically increasing per-source sequence of pending releases;
+    /// flushed by the server after the action completes, in FIFO order per
+    /// source (required by the partitioned allocator).
+    pub(crate) pending_release: &'a mut Vec<(u32, u64, Segment)>,
+}
+
+impl ActionContext<'_> {
+    /// Schedules a consumed segment for release. `seq` is the arrival
+    /// sequence recorded on the stored variable (preserves per-client FIFO).
+    pub fn release_segment(&mut self, source: u32, seq: u64, segment: Segment) {
+        self.pending_release.push((source, seq, segment));
+    }
+
+    /// Releases everything a drained iteration produced.
+    pub fn release_all(&mut self, drained: Vec<crate::metadata::StoredVariable>) {
+        for v in drained {
+            self.pending_release.push((v.key.source, v.seq, v.segment));
+        }
+    }
+
+    pub(crate) fn flush_releases(&mut self) {
+        // FIFO per source: sort by (source, seq) then release in order.
+        self.pending_release.sort_by_key(|(src, seq, _)| (*src, *seq));
+        for (source, _, segment) in self.pending_release.drain(..) {
+            self.buffer.release(source, segment);
+        }
+    }
+}
+
+/// A user-defined action run by the EPE on the dedicated core.
+pub trait Plugin: Send {
+    /// Name for error messages.
+    fn name(&self) -> &str;
+
+    /// Handles one event occurrence.
+    fn handle(&mut self, ctx: &mut ActionContext<'_>, event: &EventInfo)
+        -> Result<(), DamarisError>;
+
+    /// Called once at runtime shutdown, after all pending iterations have
+    /// fired their events: stateful plugins (e.g. multi-iteration
+    /// archiving) flush whatever they still hold.
+    fn finalize(&mut self, _ctx: &mut ActionContext<'_>) -> Result<(), DamarisError> {
+        Ok(())
+    }
+}
+
+/// Builds a plugin instance from its configuration binding.
+pub type PluginFactory =
+    Box<dyn Fn(&ActionBinding) -> Result<Box<dyn Plugin>, DamarisError> + Send>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_info_equality() {
+        let a = EventInfo {
+            name: "snapshot".into(),
+            iteration: 2,
+            source: 1,
+        };
+        assert_eq!(a.clone(), a);
+    }
+}

@@ -1,0 +1,78 @@
+//! The persistency layer (paper §III-C): writes an iteration's resident
+//! variables into one SDF file per node — "gathering data into large
+//! files" is where Damaris' throughput advantage comes from.
+//!
+//! With a codec spec in the binding's `using` attribute (e.g. `"lzss"` or
+//! `"precision16|lzss"`), data is compressed inside the dedicated core —
+//! invisible to the simulation, unlike client-side compression (§IV-D).
+
+use crate::error::DamarisError;
+use crate::plugin::{ActionContext, EventInfo, Plugin};
+use damaris_format::DatasetOptions;
+
+/// Writes `/iter-N/rank-S/<variable>` datasets into `node-<id>/iter-N.sdf`.
+pub struct PersistPlugin {
+    filter: Option<String>,
+    /// Compression accounting across the plugin's lifetime.
+    logical_bytes: u64,
+    stored_bytes: u64,
+}
+
+impl PersistPlugin {
+    /// `filter`: optional codec pipeline spec for `damaris-compress`.
+    pub fn new(filter: Option<String>) -> Self {
+        PersistPlugin {
+            filter: filter.filter(|f| !f.is_empty()),
+            logical_bytes: 0,
+            stored_bytes: 0,
+        }
+    }
+
+    /// Paper-style compression ratio achieved so far (100% = none).
+    pub fn ratio_percent(&self) -> f64 {
+        damaris_compress::paper_ratio_percent(self.logical_bytes as usize, self.stored_bytes as usize)
+    }
+}
+
+impl Plugin for PersistPlugin {
+    fn name(&self) -> &str {
+        "persist"
+    }
+
+    fn handle(
+        &mut self,
+        ctx: &mut ActionContext<'_>,
+        event: &EventInfo,
+    ) -> Result<(), DamarisError> {
+        let iteration = event.iteration;
+        let drained = ctx.store.drain_iteration(iteration);
+        if drained.is_empty() {
+            return Ok(());
+        }
+        let file_name = format!("node-{}/iter-{:06}.sdf", ctx.node_id, iteration);
+        let mut writer = ctx.backend.create_sdf(&file_name)?;
+        for var in &drained {
+            let path = format!("/iter-{}/rank-{}/{}", iteration, var.key.source, var.name);
+            let mut opts = DatasetOptions::plain()
+                .with_attr("iteration", i64::from(iteration))
+                .with_attr("source", i64::from(var.key.source));
+            // Static variable attributes from the configuration (unit, …).
+            if let Some(def) = ctx.config.variable(var.key.variable_id) {
+                for (k, v) in &def.attrs {
+                    opts = opts.with_attr(k.clone(), v.as_str());
+                }
+            }
+            if let Some(filter) = &self.filter {
+                opts = opts.with_filter(filter.clone());
+            }
+            writer.write_dataset_bytes(&path, &var.layout, var.data(), &opts)?;
+            self.logical_bytes += var.segment.len() as u64;
+        }
+        let total = writer.finish()?;
+        self.stored_bytes += total;
+        ctx.backend.account_bytes(total);
+        // Data persisted: shared memory can be reclaimed.
+        ctx.release_all(drained);
+        Ok(())
+    }
+}

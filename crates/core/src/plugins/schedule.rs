@@ -1,0 +1,140 @@
+//! Data-transfer scheduling (paper §IV-D).
+//!
+//! "Each dedicated core computes an estimation of the computation time of
+//! an iteration from a first run … This time is then divided into as many
+//! slots as dedicated cores. Each dedicated core then waits for its slot
+//! before writing. This avoids access contention at the level of the file
+//! system." — no communication between dedicated cores is required.
+//!
+//! Bind this action *before* `persist` on the same event:
+//!
+//! ```xml
+//! <event name="end_of_iteration" action="schedule" using="3:48:2000"/>
+//! <event name="end_of_iteration" action="persist"/>
+//! ```
+//!
+//! The `using` spec is `slot:count:window_ms` — this node's slot index, the
+//! number of dedicated cores, and the estimated compute window.
+
+use crate::error::DamarisError;
+use crate::plugin::{ActionContext, EventInfo, Plugin};
+use std::time::{Duration, Instant};
+
+/// Delays the current event's processing until this node's slot.
+pub struct SchedulePlugin {
+    /// This node's slot index.
+    pub slot: u32,
+    /// Total slots (number of dedicated cores).
+    pub count: u32,
+    /// Estimated compute window between write phases.
+    pub window: Duration,
+    /// Iteration currently being timed (slot offsets are relative to the
+    /// first event of each iteration).
+    phase_start: Option<(u32, Instant)>,
+    /// Total time spent waiting (for tests/reports).
+    pub waited: Duration,
+}
+
+impl SchedulePlugin {
+    /// Parses `slot:count:window_ms`.
+    pub fn from_spec(spec: &str) -> Result<Self, DamarisError> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 3 {
+            return Err(DamarisError::Config(format!(
+                "schedule spec must be 'slot:count:window_ms', got '{spec}'"
+            )));
+        }
+        let parse = |s: &str, what: &str| {
+            s.trim()
+                .parse::<u64>()
+                .map_err(|_| DamarisError::Config(format!("schedule: bad {what} '{s}'")))
+        };
+        let slot = parse(parts[0], "slot")? as u32;
+        let count = parse(parts[1], "count")?.max(1) as u32;
+        let window_ms = parse(parts[2], "window_ms")?;
+        if slot >= count {
+            return Err(DamarisError::Config(format!(
+                "schedule: slot {slot} out of range for {count} slots"
+            )));
+        }
+        Ok(SchedulePlugin {
+            slot,
+            count,
+            window: Duration::from_millis(window_ms),
+            phase_start: None,
+            waited: Duration::ZERO,
+        })
+    }
+
+    /// The offset into the window at which this node may start writing.
+    pub fn slot_offset(&self) -> Duration {
+        self.window * self.slot / self.count
+    }
+}
+
+impl Plugin for SchedulePlugin {
+    fn name(&self) -> &str {
+        "schedule"
+    }
+
+    fn handle(
+        &mut self,
+        _ctx: &mut ActionContext<'_>,
+        event: &EventInfo,
+    ) -> Result<(), DamarisError> {
+        let now = Instant::now();
+        let start = match self.phase_start {
+            Some((it, t)) if it == event.iteration => t,
+            _ => {
+                self.phase_start = Some((event.iteration, now));
+                now
+            }
+        };
+        let target = start + self.slot_offset();
+        if now < target {
+            let wait = target - now;
+            self.waited += wait;
+            std::thread::sleep(wait);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing() {
+        let p = SchedulePlugin::from_spec("2:8:4000").unwrap();
+        assert_eq!(p.slot, 2);
+        assert_eq!(p.count, 8);
+        assert_eq!(p.window, Duration::from_millis(4000));
+        assert_eq!(p.slot_offset(), Duration::from_millis(1000));
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        for bad in ["", "1:2", "a:2:3", "1:b:3", "1:2:c", "5:4:100", "1:2:3:4"] {
+            assert!(SchedulePlugin::from_spec(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn slot_zero_never_waits() {
+        let p = SchedulePlugin::from_spec("0:16:10000").unwrap();
+        assert_eq!(p.slot_offset(), Duration::ZERO);
+    }
+
+    #[test]
+    fn offsets_partition_the_window() {
+        let count = 5;
+        let mut prev = Duration::ZERO;
+        for slot in 0..count {
+            let p = SchedulePlugin::from_spec(&format!("{slot}:{count}:1000")).unwrap();
+            assert!(p.slot_offset() >= prev);
+            prev = p.slot_offset();
+        }
+        assert_eq!(prev, Duration::from_millis(800));
+    }
+}

@@ -1,0 +1,171 @@
+//! Inline visualization (paper §VI, future work): "a tight coupling
+//! between running simulations and visualization engines, enabling direct
+//! access to data by visualization engines (through the I/O cores) while
+//! the simulation is running … efficient inline visualization without
+//! blocking the simulation."
+//!
+//! This plugin renders each 3D variable of an iteration into a 2D
+//! maximum-intensity projection along the slowest axis, normalized to
+//! 8-bit grayscale, and writes it both as a portable graymap (`.pgm`,
+//! viewable anywhere) and as a U8 dataset in a preview SDF file. All work
+//! happens on the dedicated core — the simulation never waits.
+
+use crate::error::DamarisError;
+use crate::plugin::{ActionContext, EventInfo, Plugin};
+use damaris_format::{DataType, DatasetOptions, Layout};
+
+/// Renders max-intensity projections of every f32 variable it sees.
+#[derive(Default)]
+pub struct VisualizePlugin {
+    frames_rendered: u64,
+}
+
+impl VisualizePlugin {
+    /// New renderer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Projects a row-major array of shape `dims` (rank ≥ 2, f32) along axis 0
+/// and maps it to 8-bit grayscale. Returns `(width, height, pixels)`.
+pub fn project_max(dims: &[u64], values: &[f32]) -> Option<(usize, usize, Vec<u8>)> {
+    if dims.len() < 2 {
+        return None;
+    }
+    let depth = dims[0] as usize;
+    let height = dims[1] as usize;
+    let width: usize = dims[2..].iter().product::<u64>().max(1) as usize;
+    let plane = height * width;
+    if depth == 0 || plane == 0 || values.len() != depth * plane {
+        return None;
+    }
+    let mut maxes = vec![f32::NEG_INFINITY; plane];
+    for d in 0..depth {
+        let slab = &values[d * plane..(d + 1) * plane];
+        for (m, &v) in maxes.iter_mut().zip(slab) {
+            if v > *m {
+                *m = v;
+            }
+        }
+    }
+    let lo = maxes.iter().cloned().fold(f32::INFINITY, f32::min);
+    let hi = maxes.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let scale = if hi > lo { 255.0 / (hi - lo) } else { 0.0 };
+    let pixels = maxes
+        .iter()
+        .map(|&v| ((v - lo) * scale).round().clamp(0.0, 255.0) as u8)
+        .collect();
+    Some((width, height, pixels))
+}
+
+/// Encodes 8-bit grayscale pixels as a binary PGM (P5) image.
+pub fn encode_pgm(width: usize, height: usize, pixels: &[u8]) -> Vec<u8> {
+    assert_eq!(pixels.len(), width * height);
+    let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
+    out.extend_from_slice(pixels);
+    out
+}
+
+impl Plugin for VisualizePlugin {
+    fn name(&self) -> &str {
+        "visualize"
+    }
+
+    fn handle(
+        &mut self,
+        ctx: &mut ActionContext<'_>,
+        event: &EventInfo,
+    ) -> Result<(), DamarisError> {
+        let iteration = event.iteration;
+        let mut previews: Vec<(String, usize, usize, Vec<u8>)> = Vec::new();
+        for var in ctx.store.iteration_entries(iteration) {
+            if var.layout.dtype != DataType::F32 || var.layout.rank() < 2 {
+                continue;
+            }
+            let values: Vec<f32> = var
+                .data()
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            if let Some((w, h, pixels)) = project_max(&var.layout.dims, &values) {
+                previews.push((
+                    format!("rank-{}-{}", var.key.source, var.name),
+                    w,
+                    h,
+                    pixels,
+                ));
+            }
+        }
+        if previews.is_empty() {
+            return Ok(());
+        }
+        self.frames_rendered += previews.len() as u64;
+
+        // PGM images (one per preview) + one preview SDF file.
+        let sdf_name = format!("node-{}/preview-iter-{:06}.sdf", ctx.node_id, iteration);
+        let mut writer = ctx.backend.create_sdf(&sdf_name)?;
+        for (tag, w, h, pixels) in &previews {
+            let pgm = encode_pgm(*w, *h, pixels);
+            let path = ctx.backend.path_of(&format!(
+                "node-{}/preview-iter-{:06}-{}.pgm",
+                ctx.node_id, iteration, tag
+            ));
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).map_err(damaris_format::SdfError::Io)?;
+            }
+            std::fs::write(&path, &pgm).map_err(damaris_format::SdfError::Io)?;
+            ctx.backend.account_bytes(pgm.len() as u64);
+
+            let layout = Layout::new(DataType::U8, &[*h as u64, *w as u64]);
+            writer.write_dataset_bytes(
+                &format!("/iter-{iteration}/{tag}"),
+                &layout,
+                pixels,
+                &DatasetOptions::plain().with_attr("projection", "max-z"),
+            )?;
+        }
+        let total = writer.finish()?;
+        ctx.backend.account_bytes(total);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_takes_max_along_axis0() {
+        // 2×2×3: depth 2; max of the two slabs element-wise.
+        let values = vec![
+            1.0, 2.0, 3.0, 4.0, 5.0, 6.0, // slab 0
+            6.0, 5.0, 4.0, 3.0, 2.0, 1.0, // slab 1
+        ];
+        let (w, h, pixels) = project_max(&[2, 2, 3], &values).unwrap();
+        assert_eq!((w, h), (3, 2));
+        // Max field = [6,5,4,4,5,6] → normalized: 4→0, 6→255, 5→128.
+        assert_eq!(pixels, vec![255, 128, 0, 0, 128, 255]);
+    }
+
+    #[test]
+    fn constant_field_renders_black() {
+        let values = vec![7.0; 8];
+        let (_, _, pixels) = project_max(&[2, 2, 2], &values).unwrap();
+        assert!(pixels.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        assert!(project_max(&[4], &[0.0; 4]).is_none());
+        assert!(project_max(&[2, 2], &[0.0; 3]).is_none());
+        assert!(project_max(&[0, 2], &[]).is_none());
+    }
+
+    #[test]
+    fn pgm_header() {
+        let img = encode_pgm(3, 2, &[0, 1, 2, 3, 4, 5]);
+        assert!(img.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(img.len(), 11 + 6);
+    }
+}

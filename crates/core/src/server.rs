@@ -1,0 +1,148 @@
+//! The dedicated-core server loop.
+//!
+//! Runs on the node's dedicated core (a thread here): pulls events from
+//! the shared queue, maintains the metadata store, tracks per-iteration
+//! completion across the node's clients, and hands events to the EPE.
+//! Actual I/O happens inside plugins — asynchronously with respect to the
+//! compute cores, which is the whole point (§III).
+
+use crate::epe::{EventProcessingEngine, END_OF_ITERATION};
+use crate::error::DamarisError;
+use crate::event::Event;
+use crate::metadata::{MetadataStore, StoredVariable, VariableKey};
+use crate::node::{NodeReport, NodeShared};
+use crate::plugin::{ActionContext, EventInfo};
+use damaris_fs::LocalDirBackend;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Marker source id for server-originated events.
+pub const SERVER_SOURCE: u32 = u32::MAX;
+
+/// The dedicated-core event loop; returns the node's accounting when a
+/// `Terminate` event arrives.
+pub(crate) fn run(
+    shared: Arc<NodeShared>,
+    backend: Arc<LocalDirBackend>,
+    mut epe: EventProcessingEngine,
+    node_id: u32,
+) -> Result<NodeReport, DamarisError> {
+    let mut store = MetadataStore::new();
+    let mut report = NodeReport::default();
+    let mut pending_release = Vec::new();
+    let mut end_counts: HashMap<u32, usize> = HashMap::new();
+    let mut seq: u64 = 0;
+
+    macro_rules! ctx {
+        () => {
+            ActionContext {
+                node_id,
+                config: &shared.config,
+                store: &mut store,
+                backend: &backend,
+                buffer: &shared.buffer,
+                pending_release: &mut pending_release,
+            }
+        };
+    }
+
+    loop {
+        match shared.queue.pop_wait() {
+            Event::Write {
+                variable_id,
+                iteration,
+                source,
+                segment,
+                dynamic_layout,
+            } => {
+                let def = shared
+                    .config
+                    .variable(variable_id)
+                    .ok_or_else(|| DamarisError::UnknownVariable(format!("id {variable_id}")))?;
+                report.variables_received += 1;
+                report.bytes_received += segment.len() as u64;
+                let layout = match dynamic_layout {
+                    Some(layout) => layout,
+                    None => shared.config.layout_of(def).storage_layout(),
+                };
+                let var = StoredVariable {
+                    key: VariableKey {
+                        iteration,
+                        variable_id,
+                        source,
+                    },
+                    name: def.name.clone(),
+                    layout,
+                    segment,
+                    seq,
+                };
+                seq += 1;
+                report.peak_resident_bytes = report
+                    .peak_resident_bytes
+                    .max(store.bytes_resident() as u64 + var.segment.len() as u64);
+                if let Some(replaced) = store.insert(var) {
+                    // Duplicate tuple: the older segment is the oldest live
+                    // one for this client, safe to release immediately.
+                    shared.buffer.release(source, replaced);
+                }
+            }
+            Event::User {
+                name,
+                iteration,
+                source,
+            } => {
+                report.user_events += 1;
+                let info = EventInfo {
+                    name,
+                    iteration,
+                    source,
+                };
+                let mut ctx = ctx!();
+                epe.fire(&mut ctx, &info)?;
+                ctx.flush_releases();
+            }
+            Event::EndIteration { iteration, source } => {
+                let _ = source;
+                let count = end_counts.entry(iteration).or_insert(0);
+                *count += 1;
+                if *count == shared.clients {
+                    end_counts.remove(&iteration);
+                    let info = EventInfo {
+                        name: END_OF_ITERATION.to_string(),
+                        iteration,
+                        source: SERVER_SOURCE,
+                    };
+                    let mut ctx = ctx!();
+                    epe.fire(&mut ctx, &info)?;
+                    ctx.flush_releases();
+                    report.iterations_persisted += 1;
+                }
+            }
+            Event::Terminate => {
+                // Flush any iterations that never completed (e.g. a client
+                // crashed between write and end_iteration): persist what we
+                // have rather than lose it.
+                for iteration in store.pending_iterations() {
+                    let info = EventInfo {
+                        name: END_OF_ITERATION.to_string(),
+                        iteration,
+                        source: SERVER_SOURCE,
+                    };
+                    let mut ctx = ctx!();
+                    epe.fire(&mut ctx, &info)?;
+                    ctx.flush_releases();
+                    report.iterations_persisted += 1;
+                }
+                // Shutdown pass: stateful plugins flush their residuals.
+                let mut ctx = ctx!();
+                epe.finalize_all(&mut ctx)?;
+                ctx.flush_releases();
+                break;
+            }
+        }
+    }
+
+    report.files_created = backend.files_created();
+    report.bytes_stored = backend.bytes_written();
+    Ok(report)
+}

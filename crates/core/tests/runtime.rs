@@ -1,0 +1,602 @@
+//! End-to-end tests of the node runtime: clients on real threads, the
+//! dedicated-core server, both allocators, plugins, and SDF output.
+
+use damaris_core::{Config, DamarisError, NodeRuntime};
+use damaris_format::SdfReader;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("damaris-core-test-{tag}-{}-{n}", std::process::id()))
+}
+
+fn config(allocator: &str) -> Config {
+    Config::from_xml(&format!(
+        r#"<damaris>
+             <buffer size="4194304" allocator="{allocator}" queue="64"/>
+             <layout name="grid3d" type="real" dimensions="8,4,2"/>
+             <layout name="scalars" type="double" dimensions="4"/>
+             <variable name="theta" layout="grid3d" unit="K"/>
+             <variable name="wind" layout="grid3d" unit="m/s"/>
+             <variable name="diag" layout="scalars"/>
+           </damaris>"#
+    ))
+    .expect("valid config")
+}
+
+#[test]
+fn single_client_roundtrip() {
+    let dir = scratch("single");
+    let runtime = NodeRuntime::start(config("mutex"), 1, &dir).unwrap();
+    let client = &runtime.clients()[0];
+
+    let theta: Vec<f32> = (0..64).map(|i| 250.0 + i as f32).collect();
+    let diag = [1.0f64, 2.0, 3.0, 4.0];
+    client.write_f32("theta", 0, &theta).unwrap();
+    client.write_f64("diag", 0, &diag).unwrap();
+    client.end_iteration(0).unwrap();
+
+    let report = runtime.finish().unwrap();
+    assert_eq!(report.iterations_persisted, 1);
+    assert_eq!(report.variables_received, 2);
+    assert_eq!(report.bytes_received, 64 * 4 + 32);
+    assert_eq!(report.files_created, 1);
+
+    let reader = SdfReader::open(dir.join("node-0/iter-000000.sdf")).unwrap();
+    assert_eq!(reader.read_f32("/iter-0/rank-0/theta").unwrap(), theta);
+    assert_eq!(reader.read_f64("/iter-0/rank-0/diag").unwrap(), diag);
+    let info = reader.info("/iter-0/rank-0/theta").unwrap();
+    assert_eq!(info.attr("unit").unwrap().as_str(), Some("K"));
+    assert_eq!(info.attr("iteration").unwrap().as_i64(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn multi_client_multi_iteration_both_allocators() {
+    for allocator in ["mutex", "partition"] {
+        let dir = scratch(&format!("multi-{allocator}"));
+        let clients_n = 4;
+        let iterations = 5u32;
+        let runtime = NodeRuntime::start(config(allocator), clients_n, &dir).unwrap();
+        let clients = runtime.clients();
+
+        std::thread::scope(|s| {
+            for client in clients {
+                s.spawn(move || {
+                    for it in 0..iterations {
+                        let value = (client.id() * 1000 + it) as f32;
+                        client.write_f32("theta", it, &vec![value; 64]).unwrap();
+                        client.write_f32("wind", it, &vec![-value; 64]).unwrap();
+                        client.end_iteration(it).unwrap();
+                    }
+                });
+            }
+        });
+
+        let report = runtime.finish().unwrap();
+        assert_eq!(report.iterations_persisted, u64::from(iterations), "{allocator}");
+        assert_eq!(
+            report.variables_received,
+            u64::from(iterations) * clients_n as u64 * 2
+        );
+        assert_eq!(report.files_created, u64::from(iterations));
+
+        // Every (iteration, rank, variable) persisted with correct content.
+        for it in 0..iterations {
+            let path = dir.join(format!("node-0/iter-{it:06}.sdf"));
+            let reader = SdfReader::open(&path).unwrap();
+            assert_eq!(reader.len(), clients_n * 2);
+            for rank in 0..clients_n {
+                let value = (rank as u32 * 1000 + it) as f32;
+                let theta = reader
+                    .read_f32(&format!("/iter-{it}/rank-{rank}/theta"))
+                    .unwrap();
+                assert!(theta.iter().all(|&v| v == value));
+                let wind = reader
+                    .read_f32(&format!("/iter-{it}/rank-{rank}/wind"))
+                    .unwrap();
+                assert!(wind.iter().all(|&v| v == -value));
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn zero_copy_alloc_commit() {
+    let dir = scratch("alloc");
+    let runtime = NodeRuntime::start(config("mutex"), 1, &dir).unwrap();
+    let client = &runtime.clients()[0];
+
+    let mut region = client.alloc("theta", 3).unwrap();
+    for (i, v) in region.as_mut_f32().iter_mut().enumerate() {
+        *v = i as f32 * 0.5;
+    }
+    region.commit();
+    client.end_iteration(3).unwrap();
+
+    let report = runtime.finish().unwrap();
+    assert_eq!(report.iterations_persisted, 1);
+    let reader = SdfReader::open(dir.join("node-0/iter-000003.sdf")).unwrap();
+    let data = reader.read_f32("/iter-3/rank-0/theta").unwrap();
+    assert_eq!(data[10], 5.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dropped_region_releases_without_writing() {
+    let dir = scratch("drop");
+    let runtime = NodeRuntime::start(config("mutex"), 1, &dir).unwrap();
+    let client = &runtime.clients()[0];
+    drop(client.alloc("theta", 0).unwrap());
+    client.end_iteration(0).unwrap();
+    let report = runtime.finish().unwrap();
+    // No variable received: nothing persisted for the iteration… but the
+    // end-of-iteration still fired with an empty store (no file created).
+    assert_eq!(report.variables_received, 0);
+    assert_eq!(report.files_created, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn api_errors() {
+    let dir = scratch("errors");
+    let runtime = NodeRuntime::start(config("mutex"), 1, &dir).unwrap();
+    let client = &runtime.clients()[0];
+
+    assert!(matches!(
+        client.write_f32("nope", 0, &[0.0]).unwrap_err(),
+        DamarisError::UnknownVariable(_)
+    ));
+    assert!(matches!(
+        client.write_f32("theta", 0, &[0.0; 10]).unwrap_err(),
+        DamarisError::LayoutMismatch { .. }
+    ));
+    assert!(matches!(
+        client.signal("unbound_event", 0).unwrap_err(),
+        DamarisError::UnknownEvent(_)
+    ));
+    runtime.finish().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_variable_rejected_not_deadlocked() {
+    // A variable bigger than the whole buffer must error (TooLarge), not
+    // spin forever waiting for space.
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="1024" allocator="mutex"/>
+             <layout name="big" type="real" dimensions="1024"/>
+             <variable name="v" layout="big"/>
+           </damaris>"#,
+    )
+    .unwrap();
+    let dir = scratch("oversize");
+    let runtime = NodeRuntime::start(cfg, 1, &dir).unwrap();
+    let client = &runtime.clients()[0];
+    let err = client.write_f32("v", 0, &[0.0; 1024]).unwrap_err();
+    assert!(matches!(err, DamarisError::Buffer(_)));
+    runtime.finish().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn buffer_pressure_resolves_by_draining() {
+    // Buffer fits ~4 variables; write 40 per client: clients must block on
+    // Full and make progress as the server persists and releases.
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="8192" allocator="mutex" queue="8"/>
+             <layout name="chunk" type="real" dimensions="256"/>
+             <variable name="v" layout="chunk"/>
+           </damaris>"#,
+    )
+    .unwrap();
+    let dir = scratch("pressure");
+    let runtime = NodeRuntime::start(cfg, 2, &dir).unwrap();
+    let clients = runtime.clients();
+    // Clients synchronize per iteration, as a halo-exchanging simulation
+    // does; unbounded skew between clients would need a buffer sized for
+    // it (see DamarisClient docs).
+    let gate = std::sync::Barrier::new(2);
+    std::thread::scope(|s| {
+        for client in clients {
+            let gate = &gate;
+            s.spawn(move || {
+                for it in 0..40u32 {
+                    client
+                        .write_f32("v", it, &vec![it as f32; 256])
+                        .unwrap();
+                    client.end_iteration(it).unwrap();
+                    gate.wait();
+                }
+            });
+        }
+    });
+    let report = runtime.finish().unwrap();
+    assert_eq!(report.iterations_persisted, 40);
+    assert_eq!(report.variables_received, 80);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compression_via_persist_filter() {
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="4194304"/>
+             <layout name="grid" type="real" dimensions="4096"/>
+             <variable name="field" layout="grid"/>
+             <event name="end_of_iteration" action="persist" using="lzss"/>
+           </damaris>"#,
+    )
+    .unwrap();
+    let dir = scratch("compress");
+    let runtime = NodeRuntime::start(cfg, 1, &dir).unwrap();
+    let client = &runtime.clients()[0];
+    // Highly compressible field.
+    client.write_f32("field", 0, &vec![288.15; 4096]).unwrap();
+    client.end_iteration(0).unwrap();
+    let report = runtime.finish().unwrap();
+    assert!(
+        report.bytes_stored < report.bytes_received / 2,
+        "stored {} of {}",
+        report.bytes_stored,
+        report.bytes_received
+    );
+    // And it reads back exactly.
+    let reader = SdfReader::open(dir.join("node-0/iter-000000.sdf")).unwrap();
+    let back = reader.read_f32("/iter-0/rank-0/field").unwrap();
+    assert!(back.iter().all(|&v| v == 288.15));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_plugin_via_signal() {
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="1048576"/>
+             <layout name="grid" type="real" dimensions="128"/>
+             <variable name="field" layout="grid"/>
+             <event name="analyze" action="stats"/>
+           </damaris>"#,
+    )
+    .unwrap();
+    let dir = scratch("stats");
+    let runtime = NodeRuntime::start(cfg, 1, &dir).unwrap();
+    let client = &runtime.clients()[0];
+    let data: Vec<f32> = (0..128).map(|i| i as f32).collect();
+    client.write_f32("field", 7, &data).unwrap();
+    client.signal("analyze", 7).unwrap();
+    client.end_iteration(7).unwrap();
+    let report = runtime.finish().unwrap();
+    assert_eq!(report.user_events, 1);
+
+    let stats = SdfReader::open(dir.join("node-0/stats-iter-000007.sdf")).unwrap();
+    let row = stats.read_f64("/iter-7/rank-0/field.stats").unwrap();
+    assert_eq!(row, vec![0.0, 127.0, 63.5]);
+    // Data still persisted afterwards (stats is non-consuming).
+    let data_file = SdfReader::open(dir.join("node-0/iter-000007.sdf")).unwrap();
+    assert_eq!(data_file.read_f32("/iter-7/rank-0/field").unwrap(), data);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unfinished_iteration_flushed_on_terminate() {
+    let dir = scratch("flush");
+    let runtime = NodeRuntime::start(config("mutex"), 2, &dir).unwrap();
+    let clients = runtime.clients();
+    clients[0].write_f32("theta", 0, &[1.0; 64]).unwrap();
+    clients[0].end_iteration(0).unwrap();
+    // Client 1 never ends the iteration; finish() must still persist.
+    let report = runtime.finish().unwrap();
+    assert_eq!(report.iterations_persisted, 1);
+    let reader = SdfReader::open(dir.join("node-0/iter-000000.sdf")).unwrap();
+    assert_eq!(reader.len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn custom_plugin_receives_events() {
+    use damaris_core::{ActionContext, EventInfo, Plugin, PluginFactory};
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    static FIRED: AtomicU32 = AtomicU32::new(0);
+
+    struct Counter;
+    impl Plugin for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn handle(
+            &mut self,
+            _ctx: &mut ActionContext<'_>,
+            event: &EventInfo,
+        ) -> Result<(), DamarisError> {
+            assert_eq!(event.name, "tick");
+            FIRED.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="65536"/>
+             <event name="tick" action="count_ticks"/>
+           </damaris>"#,
+    )
+    .unwrap();
+    let dir = scratch("plugin");
+    let factory: PluginFactory = Box::new(|_b| Ok(Box::new(Counter) as Box<dyn Plugin>));
+    let runtime = NodeRuntime::start_with(
+        cfg,
+        1,
+        &dir,
+        3,
+        vec![("count_ticks".to_string(), factory)],
+    )
+    .unwrap();
+    let client = &runtime.clients()[0];
+    let _ = Arc::new(());
+    for it in 0..5 {
+        client.signal("tick", it).unwrap();
+    }
+    let report = runtime.finish().unwrap();
+    assert_eq!(report.user_events, 5);
+    assert_eq!(FIRED.load(Ordering::SeqCst), 5);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn write_is_fast_relative_to_persist() {
+    // The paper's core claim at library scale: the client-visible cost is a
+    // memcpy, not the storage I/O. Compare time spent in write() vs the
+    // wall time the server needs to drain everything.
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="67108864" allocator="partition"/>
+             <layout name="big" type="real" dimensions="262144"/>
+             <variable name="field" layout="big"/>
+           </damaris>"#,
+    )
+    .unwrap();
+    let dir = scratch("fast");
+    let runtime = NodeRuntime::start(cfg, 2, &dir).unwrap();
+    let clients = runtime.clients();
+    let data = vec![1.0f32; 262_144]; // 1 MiB per write
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for client in clients {
+            let data = &data;
+            s.spawn(move || {
+                for it in 0..8u32 {
+                    client.write_f32("field", it, data).unwrap();
+                    client.end_iteration(it).unwrap();
+                }
+            });
+        }
+    });
+    let client_time = t0.elapsed();
+    let report = runtime.finish().unwrap();
+    let total_time = t0.elapsed();
+    assert_eq!(report.iterations_persisted, 8);
+    // Clients must not be slower than the full pipeline end-to-end.
+    assert!(client_time <= total_time);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dynamic_shape_particle_writes() {
+    // The paper's particle-simulation API: per-rank, per-iteration particle
+    // counts vary; the shape travels with each write (§III-D).
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="1048576" allocator="mutex"/>
+             <layout name="particles" type="real" dimensions="?"/>
+             <variable name="pos" layout="particles"/>
+           </damaris>"#,
+    )
+    .unwrap();
+    let dir = scratch("dynamic");
+    let runtime = NodeRuntime::start(cfg, 2, &dir).unwrap();
+    let clients = runtime.clients();
+    std::thread::scope(|s| {
+        for client in clients {
+            s.spawn(move || {
+                for it in 0..3u32 {
+                    // Particle count varies by rank and iteration.
+                    let n = 10 + client.id() as usize * 5 + it as usize * 2;
+                    let data: Vec<f32> = (0..n * 3).map(|i| i as f32).collect();
+                    client
+                        .write_dynamic_f32("pos", it, &[n as u64, 3], &data)
+                        .unwrap();
+                    client.end_iteration(it).unwrap();
+                }
+            });
+        }
+    });
+    let report = runtime.finish().unwrap();
+    assert_eq!(report.iterations_persisted, 3);
+
+    // Shapes round-trip per (rank, iteration).
+    for it in 0..3u32 {
+        let reader = SdfReader::open(dir.join(format!("node-0/iter-{it:06}.sdf"))).unwrap();
+        for rank in 0..2u32 {
+            let n = 10 + rank as u64 * 5 + u64::from(it) * 2;
+            let info = reader
+                .info(&format!("/iter-{it}/rank-{rank}/pos"))
+                .expect("dataset exists");
+            assert_eq!(info.layout.dims, vec![n, 3], "it {it} rank {rank}");
+            let data = reader
+                .read_f32(&format!("/iter-{it}/rank-{rank}/pos"))
+                .unwrap();
+            assert_eq!(data.len() as u64, n * 3);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dynamic_and_static_apis_are_not_interchangeable() {
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="65536"/>
+             <layout name="particles" type="real" dimensions="?"/>
+             <layout name="grid" type="real" dimensions="8"/>
+             <variable name="pos" layout="particles"/>
+             <variable name="field" layout="grid"/>
+           </damaris>"#,
+    )
+    .unwrap();
+    let dir = scratch("dynmix");
+    let runtime = NodeRuntime::start(cfg, 1, &dir).unwrap();
+    let client = &runtime.clients()[0];
+    // Static write on a dynamic variable → guided error.
+    let err = client.write_f32("pos", 0, &[0.0; 8]).unwrap_err();
+    assert!(err.to_string().contains("write_dynamic"), "{err}");
+    // Dynamic write on a static variable → guided error.
+    let err = client
+        .write_dynamic_f32("field", 0, &[8], &[0.0; 8])
+        .unwrap_err();
+    assert!(err.to_string().contains("static layout"), "{err}");
+    // Shape/size mismatch → layout error.
+    let err = client
+        .write_dynamic_f32("pos", 0, &[4, 3], &[0.0; 5])
+        .unwrap_err();
+    assert!(matches!(err, DamarisError::LayoutMismatch { .. }));
+    runtime.finish().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plugin_failure_surfaces_in_finish() {
+    use damaris_core::{ActionContext, EventInfo, Plugin, PluginFactory};
+
+    struct Exploder;
+    impl Plugin for Exploder {
+        fn name(&self) -> &str {
+            "exploder"
+        }
+        fn handle(
+            &mut self,
+            _ctx: &mut ActionContext<'_>,
+            _event: &EventInfo,
+        ) -> Result<(), DamarisError> {
+            Err(DamarisError::Plugin {
+                plugin: "exploder".into(),
+                message: "synthetic failure".into(),
+            })
+        }
+    }
+
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="65536"/>
+             <event name="boom" action="explode"/>
+           </damaris>"#,
+    )
+    .unwrap();
+    let dir = scratch("explode");
+    let factory: PluginFactory = Box::new(|_| Ok(Box::new(Exploder) as Box<dyn Plugin>));
+    let runtime =
+        NodeRuntime::start_with(cfg, 1, &dir, 0, vec![("explode".into(), factory)]).unwrap();
+    runtime.clients()[0].signal("boom", 0).unwrap();
+    let err = runtime.finish().unwrap_err();
+    assert!(err.to_string().contains("synthetic failure"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn visualize_action_renders_previews() {
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="1048576"/>
+             <layout name="grid" type="real" dimensions="4,8,8"/>
+             <variable name="theta" layout="grid"/>
+             <event name="end_of_iteration" action="visualize"/>
+             <event name="end_of_iteration" action="persist"/>
+           </damaris>"#,
+    )
+    .unwrap();
+    let dir = scratch("viz");
+    let runtime = NodeRuntime::start(cfg, 1, &dir).unwrap();
+    let client = &runtime.clients()[0];
+    let data: Vec<f32> = (0..4 * 8 * 8).map(|i| (i % 13) as f32).collect();
+    client.write_f32("theta", 0, &data).unwrap();
+    client.end_iteration(0).unwrap();
+    let report = runtime.finish().unwrap();
+    assert_eq!(report.iterations_persisted, 1);
+
+    // A PGM preview and a preview SDF exist alongside the data file.
+    let pgm = dir.join("node-0/preview-iter-000000-rank-0-theta.pgm");
+    let bytes = std::fs::read(&pgm).expect("pgm rendered");
+    assert!(bytes.starts_with(b"P5\n8 8\n255\n"));
+    let preview = SdfReader::open(dir.join("node-0/preview-iter-000000.sdf")).unwrap();
+    let pixels = preview.read_bytes("/iter-0/rank-0-theta").unwrap();
+    assert_eq!(pixels.len(), 64);
+    // Data still persisted (visualize is non-consuming, fires first).
+    let data_file = SdfReader::open(dir.join("node-0/iter-000000.sdf")).unwrap();
+    assert_eq!(data_file.read_f32("/iter-0/rank-0/theta").unwrap(), data);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn peak_residency_reported() {
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="1048576"/>
+             <layout name="grid" type="real" dimensions="1024"/>
+             <variable name="a" layout="grid"/>
+             <variable name="b" layout="grid"/>
+           </damaris>"#,
+    )
+    .unwrap();
+    let dir = scratch("peak");
+    let runtime = NodeRuntime::start(cfg, 1, &dir).unwrap();
+    let client = &runtime.clients()[0];
+    client.write_f32("a", 0, &[1.0; 1024]).unwrap();
+    client.write_f32("b", 0, &[2.0; 1024]).unwrap();
+    client.end_iteration(0).unwrap();
+    let report = runtime.finish().unwrap();
+    // Both variables were resident simultaneously before the persist.
+    assert_eq!(report.peak_resident_bytes, 2 * 1024 * 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn external_tools_can_inject_events() {
+    // §III-A: events come from the simulation OR from external tools — a
+    // thread that holds no client triggers configured actions directly on
+    // the runtime.
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="65536"/>
+             <layout name="grid" type="real" dimensions="16"/>
+             <variable name="field" layout="grid"/>
+             <event name="steer" action="stats"/>
+           </damaris>"#,
+    )
+    .unwrap();
+    let dir = scratch("inject");
+    let runtime = NodeRuntime::start(cfg, 1, &dir).unwrap();
+    let client = &runtime.clients()[0];
+    client.write_f32("field", 0, &[4.0; 16]).unwrap();
+
+    // The "external tool": no DamarisClient, just the runtime handle.
+    runtime.inject_event("steer", 0).unwrap();
+    assert!(matches!(
+        runtime.inject_event("unbound", 0).unwrap_err(),
+        DamarisError::UnknownEvent(_)
+    ));
+
+    client.end_iteration(0).unwrap();
+    let report = runtime.finish().unwrap();
+    assert_eq!(report.user_events, 1);
+    let stats = SdfReader::open(dir.join("node-0/stats-iter-000000.sdf")).unwrap();
+    let row = stats.read_f64("/iter-0/rank-0/field.stats").unwrap();
+    assert_eq!(row, vec![4.0, 4.0, 4.0]);
+    std::fs::remove_dir_all(&dir).ok();
+}

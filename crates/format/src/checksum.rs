@@ -1,0 +1,81 @@
+//! CRC32 (IEEE 802.3 polynomial, reflected), implemented from scratch with a
+//! lazily-built slice-by-one table. Matches the standard `crc32` used by
+//! gzip/PNG so values are externally checkable.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// Computes the CRC32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming update: feed `state = 0xFFFF_FFFF`, fold in chunks, then XOR
+/// with `0xFFFF_FFFF` at the end.
+pub fn crc32_update(state: u32, data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = state;
+    for &b in data {
+        c = t[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vectors for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"damaris dedicated cores";
+        let oneshot = crc32(data);
+        let mut state = 0xFFFF_FFFFu32;
+        for chunk in data.chunks(5) {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, oneshot);
+    }
+
+    proptest! {
+        #[test]
+        fn detects_single_bit_flips(data in proptest::collection::vec(any::<u8>(), 1..256), bit in 0usize..8, idx_seed in any::<usize>()) {
+            let idx = idx_seed % data.len();
+            let mut corrupted = data.clone();
+            corrupted[idx] ^= 1 << bit;
+            prop_assert_ne!(crc32(&data), crc32(&corrupted));
+        }
+
+        #[test]
+        fn split_invariance(data in proptest::collection::vec(any::<u8>(), 0..512), split_seed in any::<usize>()) {
+            let split = if data.is_empty() { 0 } else { split_seed % (data.len() + 1) };
+            let whole = crc32(&data);
+            let mut state = 0xFFFF_FFFFu32;
+            state = crc32_update(state, &data[..split]);
+            state = crc32_update(state, &data[split..]);
+            prop_assert_eq!(state ^ 0xFFFF_FFFF, whole);
+        }
+    }
+}

@@ -1,0 +1,585 @@
+//! SDF reader: validates the superblock, loads the index eagerly, reads
+//! dataset payloads lazily, verifies checksums and reverses filter
+//! pipelines.
+
+use crate::checksum::crc32;
+use crate::header::{self, IndexEntry, FOOTER_LEN, SUPERBLOCK_LEN};
+use crate::types::{AttrValue, DataType, Layout};
+use crate::{Result, SdfError};
+use damaris_compress::{varint, Pipeline};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Public, read-only view of a dataset's index entry.
+#[derive(Debug, Clone)]
+pub struct DatasetInfo {
+    pub path: String,
+    pub layout: Layout,
+    pub stored_len: u64,
+    pub filter: String,
+    pub chunk_dim0: u64,
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl DatasetInfo {
+    /// Logical (uncompressed) size in bytes.
+    pub fn logical_len(&self) -> u64 {
+        self.layout.byte_size()
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+/// Reader over a finished SDF file.
+#[derive(Debug)]
+pub struct SdfReader {
+    file: std::cell::RefCell<File>,
+    path: PathBuf,
+    entries: Vec<IndexEntry>,
+}
+
+impl SdfReader {
+    /// Opens and validates `path`, loading the full index.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < SUPERBLOCK_LEN + FOOTER_LEN {
+            return Err(SdfError::Format(format!(
+                "file is {file_len} bytes; too short to be an SDF file"
+            )));
+        }
+
+        let mut sb = vec![0u8; SUPERBLOCK_LEN as usize];
+        file.read_exact(&mut sb)?;
+        header::check_superblock(&sb)?;
+
+        file.seek(SeekFrom::Start(file_len - FOOTER_LEN))?;
+        let mut footer = vec![0u8; FOOTER_LEN as usize];
+        file.read_exact(&mut footer)?;
+        let (index_offset, index_len, index_crc) = header::read_footer(&footer)?;
+        if index_offset
+            .checked_add(index_len)
+            .map(|end| end > file_len - FOOTER_LEN)
+            .unwrap_or(true)
+        {
+            return Err(SdfError::Format("index range out of bounds".into()));
+        }
+
+        file.seek(SeekFrom::Start(index_offset))?;
+        let mut index_bytes = vec![0u8; index_len as usize];
+        file.read_exact(&mut index_bytes)?;
+        if crc32(&index_bytes) != index_crc {
+            return Err(SdfError::Corrupt("index checksum mismatch".into()));
+        }
+
+        let mut off = 0usize;
+        let count = varint::read_u64(&index_bytes, &mut off)
+            .ok_or_else(|| SdfError::Format("truncated index count".into()))?
+            as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            entries.push(IndexEntry::decode(&index_bytes, &mut off)?);
+        }
+        if off != index_bytes.len() {
+            return Err(SdfError::Format("trailing garbage in index".into()));
+        }
+
+        Ok(SdfReader {
+            file: std::cell::RefCell::new(file),
+            path,
+            entries,
+        })
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of datasets in the file.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the file holds no datasets.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All dataset paths, in write order.
+    pub fn dataset_names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.path.clone()).collect()
+    }
+
+    /// Metadata for one dataset.
+    pub fn info(&self, path: &str) -> Option<DatasetInfo> {
+        self.entries.iter().find(|e| e.path == path).map(|e| DatasetInfo {
+            path: e.path.clone(),
+            layout: e.layout.clone(),
+            stored_len: e.stored_len,
+            filter: e.filter.clone(),
+            chunk_dim0: e.chunk_dim0,
+            attrs: e.attrs.clone(),
+        })
+    }
+
+    /// Metadata for every dataset whose path starts with `prefix`.
+    pub fn infos_under(&self, prefix: &str) -> Vec<DatasetInfo> {
+        self.entries
+            .iter()
+            .filter(|e| e.path.starts_with(prefix))
+            .map(|e| DatasetInfo {
+                path: e.path.clone(),
+                layout: e.layout.clone(),
+                stored_len: e.stored_len,
+                filter: e.filter.clone(),
+                chunk_dim0: e.chunk_dim0,
+                attrs: e.attrs.clone(),
+            })
+            .collect()
+    }
+
+    fn entry(&self, path: &str) -> Result<&IndexEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.path == path)
+            .ok_or_else(|| SdfError::Usage(format!("no dataset at '{path}'")))
+    }
+
+    fn read_stored(&self, entry: &IndexEntry) -> Result<Vec<u8>> {
+        let mut file = self.file.borrow_mut();
+        file.seek(SeekFrom::Start(entry.offset))?;
+        let mut stored = vec![0u8; entry.stored_len as usize];
+        file.read_exact(&mut stored)?;
+        if crc32(&stored) != entry.crc {
+            return Err(SdfError::Corrupt(format!(
+                "payload checksum mismatch for '{}'",
+                entry.path
+            )));
+        }
+        Ok(stored)
+    }
+
+    fn decode_payload(entry: &IndexEntry, stored: &[u8]) -> Result<Vec<u8>> {
+        let pipeline = if entry.filter.is_empty() {
+            None
+        } else {
+            Some(
+                Pipeline::from_spec(&entry.filter)
+                    .map_err(|e| SdfError::Filter(e.to_string()))?,
+            )
+        };
+        let logical = if entry.chunk_dim0 > 0 {
+            let mut off = 0usize;
+            let n_chunks = varint::read_u64(stored, &mut off)
+                .ok_or_else(|| SdfError::Format("truncated chunk count".into()))?
+                as usize;
+            let mut lens = Vec::with_capacity(n_chunks);
+            for _ in 0..n_chunks {
+                lens.push(
+                    varint::read_u64(stored, &mut off)
+                        .ok_or_else(|| SdfError::Format("truncated chunk table".into()))?
+                        as usize,
+                );
+            }
+            let mut logical = Vec::new();
+            for len in lens {
+                let end = off
+                    .checked_add(len)
+                    .filter(|&e| e <= stored.len())
+                    .ok_or_else(|| SdfError::Format("chunk out of bounds".into()))?;
+                let chunk = &stored[off..end];
+                match &pipeline {
+                    Some(p) => logical.extend_from_slice(
+                        &p.decode(chunk).map_err(|e| SdfError::Filter(e.to_string()))?,
+                    ),
+                    None => logical.extend_from_slice(chunk),
+                }
+                off = end;
+            }
+            if off != stored.len() {
+                return Err(SdfError::Format("trailing bytes after chunks".into()));
+            }
+            logical
+        } else {
+            match &pipeline {
+                Some(p) => p
+                    .decode(stored)
+                    .map_err(|e| SdfError::Filter(e.to_string()))?,
+                None => stored.to_vec(),
+            }
+        };
+        if logical.len() as u64 != entry.layout.byte_size() {
+            return Err(SdfError::Corrupt(format!(
+                "decoded '{}' to {} bytes, layout expects {}",
+                entry.path,
+                logical.len(),
+                entry.layout.byte_size()
+            )));
+        }
+        Ok(logical)
+    }
+
+    /// Reads and decodes the full payload of a dataset as raw bytes.
+    pub fn read_bytes(&self, path: &str) -> Result<Vec<u8>> {
+        let entry = self.entry(path)?;
+        let stored = self.read_stored(entry)?;
+        Self::decode_payload(entry, &stored)
+    }
+
+    /// Reads rows `[first, first + count)` along dimension 0 of a *chunked*
+    /// dataset, decompressing only the chunks that overlap the range — the
+    /// partial-read path a visualization consumer uses on large outputs.
+    ///
+    /// Contiguous datasets (`chunk_dim0 == 0`) are rejected with a usage
+    /// error: read them whole (no I/O is saved by slicing them).
+    pub fn read_rows_bytes(&self, path: &str, first: u64, count: u64) -> Result<Vec<u8>> {
+        let entry = self.entry(path)?;
+        if entry.chunk_dim0 == 0 {
+            return Err(SdfError::Usage(format!(
+                "dataset '{path}' is contiguous; use read_bytes"
+            )));
+        }
+        let dim0 = *entry.layout.dims.first().ok_or_else(|| {
+            SdfError::Usage(format!("dataset '{path}' is scalar; has no rows"))
+        })?;
+        if first + count > dim0 {
+            return Err(SdfError::Usage(format!(
+                "rows [{first}, {}) out of range for dimension 0 = {dim0}",
+                first + count
+            )));
+        }
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let row_bytes = (entry.layout.byte_size() / dim0) as usize;
+        let chunk_rows = entry.chunk_dim0;
+
+        // Parse the chunk table without decoding anything.
+        let stored = self.read_stored(entry)?;
+        let mut off = 0usize;
+        let n_chunks = varint::read_u64(&stored, &mut off)
+            .ok_or_else(|| SdfError::Format("truncated chunk count".into()))?
+            as usize;
+        let mut lens = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            lens.push(
+                varint::read_u64(&stored, &mut off)
+                    .ok_or_else(|| SdfError::Format("truncated chunk table".into()))?
+                    as usize,
+            );
+        }
+        let pipeline = if entry.filter.is_empty() {
+            None
+        } else {
+            Some(
+                Pipeline::from_spec(&entry.filter)
+                    .map_err(|e| SdfError::Filter(e.to_string()))?,
+            )
+        };
+
+        let first_chunk = (first / chunk_rows) as usize;
+        let last_chunk = ((first + count - 1) / chunk_rows) as usize;
+        if last_chunk >= n_chunks {
+            return Err(SdfError::Corrupt(format!(
+                "dataset '{path}': chunk table has {n_chunks} chunks, need {}",
+                last_chunk + 1
+            )));
+        }
+        let mut out = Vec::with_capacity(count as usize * row_bytes);
+        let mut data_off = off + lens[..first_chunk].iter().sum::<usize>();
+        for (ci, &len) in lens.iter().enumerate().take(last_chunk + 1).skip(first_chunk) {
+            let end = data_off
+                .checked_add(len)
+                .filter(|&e| e <= stored.len())
+                .ok_or_else(|| SdfError::Format("chunk out of bounds".into()))?;
+            let chunk_bytes = &stored[data_off..end];
+            let logical = match &pipeline {
+                Some(p) => p
+                    .decode(chunk_bytes)
+                    .map_err(|e| SdfError::Filter(e.to_string()))?,
+                None => chunk_bytes.to_vec(),
+            };
+            // Slice the requested rows out of this chunk.
+            let chunk_first_row = ci as u64 * chunk_rows;
+            let lo = first.max(chunk_first_row) - chunk_first_row;
+            let hi = (first + count).min(chunk_first_row + chunk_rows) - chunk_first_row;
+            let lo_b = lo as usize * row_bytes;
+            let hi_b = (hi as usize * row_bytes).min(logical.len());
+            if lo_b > hi_b {
+                return Err(SdfError::Corrupt(format!(
+                    "dataset '{path}': chunk {ci} shorter than expected"
+                )));
+            }
+            out.extend_from_slice(&logical[lo_b..hi_b]);
+            data_off = end;
+        }
+        Ok(out)
+    }
+
+    /// Typed wrapper over [`SdfReader::read_rows_bytes`] for f32 datasets.
+    pub fn read_rows_f32(&self, path: &str, first: u64, count: u64) -> Result<Vec<f32>> {
+        let entry = self.entry(path)?;
+        if entry.layout.dtype != DataType::F32 {
+            return Err(SdfError::Usage(format!(
+                "dataset '{path}' has dtype {:?}, not F32",
+                entry.layout.dtype
+            )));
+        }
+        let bytes = self.read_rows_bytes(path, first, count)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Reads an `f32` dataset.
+    pub fn read_f32(&self, path: &str) -> Result<Vec<f32>> {
+        let entry = self.entry(path)?;
+        if entry.layout.dtype != DataType::F32 {
+            return Err(SdfError::Usage(format!(
+                "dataset '{path}' has dtype {:?}, not F32",
+                entry.layout.dtype
+            )));
+        }
+        let bytes = self.read_bytes(path)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Reads an `f64` dataset.
+    pub fn read_f64(&self, path: &str) -> Result<Vec<f64>> {
+        let entry = self.entry(path)?;
+        if entry.layout.dtype != DataType::F64 {
+            return Err(SdfError::Usage(format!(
+                "dataset '{path}' has dtype {:?}, not F64",
+                entry.layout.dtype
+            )));
+        }
+        let bytes = self.read_bytes(path)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{DatasetOptions, SdfWriter};
+    use std::io::Write;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join("damaris-format-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(format!("rd-{tag}-{}-{n}.sdf", std::process::id()))
+    }
+
+    fn write_sample(path: &Path, filter: Option<&str>, chunk: u64) -> Vec<f32> {
+        let mut w = SdfWriter::create(path).unwrap();
+        let layout = Layout::new(DataType::F32, &[16, 8]);
+        let data: Vec<f32> = (0..128).map(|i| (i % 7) as f32).collect();
+        let mut opts = DatasetOptions::plain()
+            .with_attr("iteration", 3i64)
+            .with_attr("unit", "K")
+            .with_chunk_dim0(chunk);
+        if let Some(f) = filter {
+            opts = opts.with_filter(f);
+        }
+        w.write_dataset_f32_opts("/iter-3/theta", &layout, &data, &opts)
+            .unwrap();
+        w.write_dataset_f64("/iter-3/time", &Layout::scalar(DataType::F64), &[12.5])
+            .unwrap();
+        w.finish().unwrap();
+        data
+    }
+
+    #[test]
+    fn roundtrip_plain() {
+        let path = temp_path("plain");
+        let data = write_sample(&path, None, 0);
+        let r = SdfReader::open(&path).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.read_f32("/iter-3/theta").unwrap(), data);
+        assert_eq!(r.read_f64("/iter-3/time").unwrap(), vec![12.5]);
+        let info = r.info("/iter-3/theta").unwrap();
+        assert_eq!(info.attr("iteration").unwrap().as_i64(), Some(3));
+        assert_eq!(info.attr("unit").unwrap().as_str(), Some("K"));
+        assert_eq!(info.logical_len(), 512);
+    }
+
+    #[test]
+    fn roundtrip_filtered() {
+        for filter in ["rle", "lzss", "lzss|rle"] {
+            let path = temp_path("filt");
+            let data = write_sample(&path, Some(filter), 0);
+            let r = SdfReader::open(&path).unwrap();
+            assert_eq!(r.read_f32("/iter-3/theta").unwrap(), data, "filter {filter}");
+            let info = r.info("/iter-3/theta").unwrap();
+            assert_eq!(info.filter, filter);
+        }
+    }
+
+    #[test]
+    fn roundtrip_chunked() {
+        for (filter, chunk) in [(None, 4u64), (Some("lzss"), 4), (Some("rle"), 16), (None, 100)] {
+            let path = temp_path("chunk");
+            let data = write_sample(&path, filter, chunk);
+            let r = SdfReader::open(&path).unwrap();
+            assert_eq!(
+                r.read_f32("/iter-3/theta").unwrap(),
+                data,
+                "filter {filter:?} chunk {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_filter_roundtrips_within_tolerance() {
+        let path = temp_path("lossy");
+        let mut w = SdfWriter::create(&path).unwrap();
+        let layout = Layout::new(DataType::F32, &[64]);
+        let data: Vec<f32> = (0..64).map(|i| 300.0 + i as f32 * 0.25).collect();
+        let opts = DatasetOptions::plain().with_filter("precision16|lzss");
+        w.write_dataset_f32_opts("/v", &layout, &data, &opts).unwrap();
+        w.finish().unwrap();
+        let r = SdfReader::open(&path).unwrap();
+        let back = r.read_f32("/v").unwrap();
+        for (o, b) in data.iter().zip(&back) {
+            assert!(((o - b) / o).abs() < 1e-3, "{o} vs {b}");
+        }
+    }
+
+    #[test]
+    fn missing_dataset_is_usage_error() {
+        let path = temp_path("missing");
+        write_sample(&path, None, 0);
+        let r = SdfReader::open(&path).unwrap();
+        assert!(matches!(r.read_f32("/nope").unwrap_err(), SdfError::Usage(_)));
+    }
+
+    #[test]
+    fn wrong_dtype_is_usage_error() {
+        let path = temp_path("dtype");
+        write_sample(&path, None, 0);
+        let r = SdfReader::open(&path).unwrap();
+        assert!(matches!(
+            r.read_f64("/iter-3/theta").unwrap_err(),
+            SdfError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let path = temp_path("corrupt");
+        write_sample(&path, None, 0);
+        // Flip one byte inside the first dataset payload (offset 8 is the
+        // first payload byte, right after the superblock).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[9] ^= 0xff;
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(&bytes).unwrap();
+        let r = SdfReader::open(&path).unwrap();
+        assert!(matches!(
+            r.read_f32("/iter-3/theta").unwrap_err(),
+            SdfError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn corrupt_index_detected_at_open() {
+        let path = temp_path("corruptindex");
+        write_sample(&path, None, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 30] ^= 0xff; // inside the index region
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            SdfReader::open(&path).unwrap_err(),
+            SdfError::Corrupt(_) | SdfError::Format(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let path = temp_path("trunc");
+        write_sample(&path, None, 0);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(SdfReader::open(&path).is_err());
+        std::fs::write(&path, &bytes[..4]).unwrap();
+        assert!(SdfReader::open(&path).is_err());
+    }
+
+    #[test]
+    fn not_an_sdf_file() {
+        let path = temp_path("notsdf");
+        std::fs::write(&path, vec![0u8; 64]).unwrap();
+        assert!(matches!(
+            SdfReader::open(&path).unwrap_err(),
+            SdfError::Format(_)
+        ));
+    }
+
+    #[test]
+    fn infos_under_prefix() {
+        let path = temp_path("prefix");
+        write_sample(&path, None, 0);
+        let r = SdfReader::open(&path).unwrap();
+        assert_eq!(r.infos_under("/iter-3/").len(), 2);
+        assert_eq!(r.infos_under("/iter-4/").len(), 0);
+    }
+
+    #[test]
+    fn partial_reads_match_full_reads() {
+        for filter in [None, Some("lzss"), Some("lzss|huff")] {
+            let path = temp_path("rows");
+            let data = write_sample(&path, filter, 4); // 16 rows, chunks of 4
+            let r = SdfReader::open(&path).unwrap();
+            let full = r.read_f32("/iter-3/theta").unwrap();
+            assert_eq!(full, data);
+            let row = 8; // elements per row (16×8 layout)
+            for (first, count) in [(0u64, 1u64), (0, 16), (3, 5), (4, 4), (15, 1), (7, 9)] {
+                let rows = r.read_rows_f32("/iter-3/theta", first, count).unwrap();
+                let expect =
+                    &full[(first as usize * row)..((first + count) as usize * row)];
+                assert_eq!(rows, expect, "filter {filter:?} rows [{first}, +{count})");
+            }
+            // Empty range is fine; out-of-range is not.
+            assert!(r.read_rows_f32("/iter-3/theta", 2, 0).unwrap().is_empty());
+            assert!(r.read_rows_f32("/iter-3/theta", 10, 7).is_err());
+        }
+    }
+
+    #[test]
+    fn partial_read_requires_chunked_dataset() {
+        let path = temp_path("rows-contig");
+        write_sample(&path, None, 0);
+        let r = SdfReader::open(&path).unwrap();
+        assert!(matches!(
+            r.read_rows_f32("/iter-3/theta", 0, 2).unwrap_err(),
+            SdfError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let path = temp_path("empty");
+        let w = SdfWriter::create(&path).unwrap();
+        w.finish().unwrap();
+        let r = SdfReader::open(&path).unwrap();
+        assert!(r.is_empty());
+        assert!(r.dataset_names().is_empty());
+    }
+}

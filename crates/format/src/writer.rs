@@ -1,0 +1,325 @@
+//! Sequential SDF writer.
+//!
+//! Datasets stream to disk as they are written (append-only, no seeking);
+//! the index is held in memory and flushed by [`SdfWriter::finish`]. This
+//! append-only discipline is what lets a Damaris dedicated core interleave
+//! writes from many clients into one large file without coordination — the
+//! paper's "gathering data into large files" (§III).
+
+use crate::checksum::crc32;
+use crate::header::{self, IndexEntry};
+use crate::types::{AttrValue, DataType, Layout};
+use crate::{Result, SdfError};
+use damaris_compress::Pipeline;
+use std::collections::HashSet;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Per-dataset write options.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetOptions {
+    /// Filter pipeline spec (e.g. `"lzss"`, `"precision16|lzss"`). Empty
+    /// string or `None` stores raw bytes.
+    pub filter: Option<String>,
+    /// Chunk extent along dimension 0, in elements. `0` (default) stores the
+    /// dataset contiguously. Chunking splits the payload into independently
+    /// filtered chunks so partial reads don't decompress everything.
+    pub chunk_dim0: u64,
+    /// Attributes recorded in the index.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl DatasetOptions {
+    /// Contiguous, unfiltered, no attributes.
+    pub fn plain() -> Self {
+        Self::default()
+    }
+
+    /// Sets the filter pipeline spec.
+    pub fn with_filter(mut self, spec: impl Into<String>) -> Self {
+        self.filter = Some(spec.into());
+        self
+    }
+
+    /// Adds an attribute.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Sets the chunk extent along dimension 0.
+    pub fn with_chunk_dim0(mut self, chunk: u64) -> Self {
+        self.chunk_dim0 = chunk;
+        self
+    }
+}
+
+/// Streaming writer for a new SDF file.
+pub struct SdfWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    offset: u64,
+    index: Vec<IndexEntry>,
+    seen_paths: HashSet<String>,
+    finished: bool,
+}
+
+impl SdfWriter {
+    /// Creates (truncating) `path` and writes the superblock.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        let mut w = SdfWriter {
+            file: BufWriter::new(file),
+            path,
+            offset: 0,
+            index: Vec::new(),
+            seen_paths: HashSet::new(),
+            finished: false,
+        };
+        let mut sb = Vec::new();
+        header::write_superblock(&mut sb);
+        w.raw_write(&sb)?;
+        Ok(w)
+    }
+
+    fn raw_write(&mut self, bytes: &[u8]) -> Result<()> {
+        self.file.write_all(bytes)?;
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn validate_path(&mut self, path: &str) -> Result<()> {
+        if !path.starts_with('/') || path.ends_with('/') || path.contains("//") {
+            return Err(SdfError::Usage(format!(
+                "dataset path '{path}' must be absolute, non-empty and normalized"
+            )));
+        }
+        if !self.seen_paths.insert(path.to_string()) {
+            return Err(SdfError::Usage(format!("duplicate dataset path '{path}'")));
+        }
+        Ok(())
+    }
+
+    /// Writes a dataset from raw little-endian bytes matching `layout`.
+    pub fn write_dataset_bytes(
+        &mut self,
+        path: &str,
+        layout: &Layout,
+        data: &[u8],
+        options: &DatasetOptions,
+    ) -> Result<()> {
+        if self.finished {
+            return Err(SdfError::Usage("writer already finished".into()));
+        }
+        layout.check_bytes(data.len())?;
+        self.validate_path(path)?;
+
+        let filter_spec = options.filter.clone().unwrap_or_default();
+        let pipeline = if filter_spec.is_empty() {
+            None
+        } else {
+            Some(
+                Pipeline::from_spec(&filter_spec)
+                    .map_err(|e| SdfError::Filter(e.to_string()))?,
+            )
+        };
+
+        // Chunked datasets carry a small per-chunk length table so each
+        // chunk can be located and decoded independently.
+        let chunk_rows = options.chunk_dim0;
+        let payload: Vec<u8> = if chunk_rows > 0 && layout.rank() > 0 && layout.dims[0] > 0 {
+            let row_bytes = (layout.byte_size() / layout.dims[0]) as usize;
+            let chunk_bytes = row_bytes
+                .checked_mul(chunk_rows as usize)
+                .ok_or_else(|| SdfError::Usage("chunk size overflow".into()))?;
+            if chunk_bytes == 0 {
+                return Err(SdfError::Usage("chunk size must be positive".into()));
+            }
+            let mut chunks: Vec<Vec<u8>> = Vec::new();
+            for chunk in data.chunks(chunk_bytes) {
+                let encoded = match &pipeline {
+                    Some(p) => {
+                        p.encode(chunk)
+                            .map_err(|e| SdfError::Filter(e.to_string()))?
+                            .0
+                    }
+                    None => chunk.to_vec(),
+                };
+                chunks.push(encoded);
+            }
+            let mut payload = Vec::new();
+            damaris_compress::varint::write_u64(chunks.len() as u64, &mut payload);
+            for c in &chunks {
+                damaris_compress::varint::write_u64(c.len() as u64, &mut payload);
+            }
+            for c in chunks {
+                payload.extend_from_slice(&c);
+            }
+            payload
+        } else {
+            match &pipeline {
+                Some(p) => {
+                    p.encode(data)
+                        .map_err(|e| SdfError::Filter(e.to_string()))?
+                        .0
+                }
+                None => data.to_vec(),
+            }
+        };
+
+        let entry = IndexEntry {
+            path: path.to_string(),
+            layout: layout.clone(),
+            offset: self.offset,
+            stored_len: payload.len() as u64,
+            crc: crc32(&payload),
+            filter: filter_spec,
+            chunk_dim0: chunk_rows,
+            attrs: options.attrs.clone(),
+        };
+        self.raw_write(&payload)?;
+        self.index.push(entry);
+        Ok(())
+    }
+
+    /// Writes an `f32` dataset with default options.
+    pub fn write_dataset_f32(&mut self, path: &str, layout: &Layout, data: &[f32]) -> Result<()> {
+        self.write_dataset_f32_opts(path, layout, data, &DatasetOptions::plain())
+    }
+
+    /// Writes an `f32` dataset with options.
+    pub fn write_dataset_f32_opts(
+        &mut self,
+        path: &str,
+        layout: &Layout,
+        data: &[f32],
+        options: &DatasetOptions,
+    ) -> Result<()> {
+        if layout.dtype != DataType::F32 {
+            return Err(SdfError::Usage(format!(
+                "layout dtype {:?} does not match f32 data",
+                layout.dtype
+            )));
+        }
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.write_dataset_bytes(path, layout, &bytes, options)
+    }
+
+    /// Writes an `f64` dataset with default options.
+    pub fn write_dataset_f64(&mut self, path: &str, layout: &Layout, data: &[f64]) -> Result<()> {
+        if layout.dtype != DataType::F64 {
+            return Err(SdfError::Usage(format!(
+                "layout dtype {:?} does not match f64 data",
+                layout.dtype
+            )));
+        }
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.write_dataset_bytes(path, layout, &bytes, &DatasetOptions::plain())
+    }
+
+    /// Bytes written so far (including the superblock).
+    pub fn bytes_written(&self) -> u64 {
+        self.offset
+    }
+
+    /// Number of datasets recorded.
+    pub fn dataset_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Path this writer is writing to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Writes the index and footer, flushes, and consumes the writer.
+    pub fn finish(mut self) -> Result<u64> {
+        let index_offset = self.offset;
+        let mut index_bytes = Vec::new();
+        damaris_compress::varint::write_u64(self.index.len() as u64, &mut index_bytes);
+        for entry in &self.index {
+            entry.encode(&mut index_bytes);
+        }
+        let index_crc = crc32(&index_bytes);
+        let index_len = index_bytes.len() as u64;
+        self.raw_write(&index_bytes)?;
+        let mut footer = Vec::new();
+        header::write_footer(index_offset, index_len, index_crc, &mut footer);
+        self.raw_write(&footer)?;
+        self.file.flush()?;
+        self.finished = true;
+        Ok(self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(crate) fn temp_path(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join("damaris-format-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(format!("{tag}-{}-{n}.sdf", std::process::id()))
+    }
+
+    #[test]
+    fn create_write_finish() {
+        let path = temp_path("basic");
+        let mut w = SdfWriter::create(&path).unwrap();
+        let layout = Layout::new(DataType::F32, &[8]);
+        w.write_dataset_f32("/a", &layout, &[0.0; 8]).unwrap();
+        assert_eq!(w.dataset_count(), 1);
+        let total = w.finish().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), total);
+    }
+
+    #[test]
+    fn duplicate_path_rejected() {
+        let path = temp_path("dup");
+        let mut w = SdfWriter::create(&path).unwrap();
+        let layout = Layout::new(DataType::F32, &[1]);
+        w.write_dataset_f32("/a", &layout, &[1.0]).unwrap();
+        let err = w.write_dataset_f32("/a", &layout, &[2.0]).unwrap_err();
+        assert!(matches!(err, SdfError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let path = temp_path("badpath");
+        let mut w = SdfWriter::create(&path).unwrap();
+        let layout = Layout::new(DataType::F32, &[1]);
+        for bad in ["a", "/a/", "//a", ""] {
+            assert!(
+                w.write_dataset_f32(bad, &layout, &[1.0]).is_err(),
+                "path '{bad}' should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let path = temp_path("mismatch");
+        let mut w = SdfWriter::create(&path).unwrap();
+        let layout = Layout::new(DataType::F32, &[4]);
+        assert!(w.write_dataset_f32("/a", &layout, &[1.0; 3]).is_err());
+        let f64_layout = Layout::new(DataType::F64, &[2]);
+        assert!(w.write_dataset_f32("/b", &f64_layout, &[1.0; 2]).is_err());
+    }
+
+    #[test]
+    fn unknown_filter_rejected() {
+        let path = temp_path("badfilter");
+        let mut w = SdfWriter::create(&path).unwrap();
+        let layout = Layout::new(DataType::U8, &[4]);
+        let opts = DatasetOptions::plain().with_filter("bogus");
+        let err = w
+            .write_dataset_bytes("/a", &layout, &[0; 4], &opts)
+            .unwrap_err();
+        assert!(matches!(err, SdfError::Filter(_)), "{err}");
+    }
+}

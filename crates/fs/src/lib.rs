@@ -1,0 +1,34 @@
+//! # damaris-fs
+//!
+//! Parallel file system substrates for the Damaris reproduction.
+//!
+//! The paper evaluates on three machines with three different parallel file
+//! systems, and attributes distinct bottlenecks to each (§I, §II-B):
+//!
+//! * **Lustre** (Kraken) — a *single metadata server*: simultaneous file
+//!   creations are serialized, so the file-per-process approach suffers a
+//!   metadata storm; shared files suffer extent-lock contention on OSTs.
+//! * **PVFS** (Grid'5000) — distributed metadata over the I/O servers, no
+//!   client-side locking; less sensitive to file counts.
+//! * **GPFS** (BluePrint) — byte-range locking through a token manager and
+//!   few NSD servers; shared-file writes pay token steals.
+//!
+//! This crate provides:
+//!
+//! * [`FsSpec`] — a parameterized cost/structure model of such a file
+//!   system (metadata serialization, striping, lock semantics), consumed by
+//!   the discrete-event simulator in `damaris-sim`, with calibrated
+//!   constructors [`FsSpec::lustre`], [`FsSpec::pvfs`], [`FsSpec::gpfs`];
+//! * [`striping`] — deterministic mapping of byte ranges of a file onto
+//!   data servers (round-robin stripes, hashed first server), shared by all
+//!   three models;
+//! * [`local`] — a *real* backend that writes SDF files into a local
+//!   directory, used by the threaded (non-simulated) runtime.
+
+pub mod local;
+pub mod model;
+pub mod striping;
+
+pub use local::LocalDirBackend;
+pub use model::{FsSpec, LockMode};
+pub use striping::{stripes_for, StripeSlice};

@@ -1,0 +1,169 @@
+//! Real storage backend: SDF files in a local directory.
+//!
+//! Used by the threaded (non-simulated) runtime — the Damaris persistency
+//! plugin, the file-per-process baseline, and the examples all store their
+//! output through this backend. It also keeps simple counters so examples
+//! can report achieved throughput.
+
+use damaris_format::{SdfWriter, Result};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A directory acting as the "file system" plus byte/file accounting.
+#[derive(Debug)]
+pub struct LocalDirBackend {
+    root: PathBuf,
+    files_created: AtomicU64,
+    bytes_written: AtomicU64,
+    created_at: Instant,
+}
+
+impl LocalDirBackend {
+    /// Creates (or reuses) the directory.
+    pub fn new(root: impl AsRef<Path>) -> std::io::Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(LocalDirBackend {
+            root,
+            files_created: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            created_at: Instant::now(),
+        })
+    }
+
+    /// Creates a unique scratch backend under the system temp dir.
+    pub fn scratch(tag: &str) -> std::io::Result<Self> {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "damaris-scratch-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        Self::new(dir)
+    }
+
+    /// The backing directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Full path for a file name inside the backend.
+    pub fn path_of(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Opens a new SDF file for writing. `name` may contain `/`
+    /// subdirectories, which are created.
+    pub fn create_sdf(&self, name: &str) -> Result<SdfWriter> {
+        let path = self.root.join(name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(damaris_format::SdfError::Io)?;
+        }
+        self.files_created.fetch_add(1, Ordering::Relaxed);
+        SdfWriter::create(path)
+    }
+
+    /// Records that `bytes` were persisted (writers call this on finish).
+    pub fn account_bytes(&self, bytes: u64) {
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Number of files created through this backend.
+    pub fn files_created(&self) -> u64 {
+        self.files_created.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes accounted.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Mean throughput since creation (bytes/s).
+    pub fn mean_throughput(&self) -> f64 {
+        let elapsed = self.created_at.elapsed().as_secs_f64();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.bytes_written() as f64 / elapsed
+        }
+    }
+
+    /// Lists SDF files (relative paths) currently under the backend.
+    pub fn list_sdf_files(&self) -> std::io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            for entry in std::fs::read_dir(&dir)? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|e| e == "sdf") {
+                    out.push(
+                        path.strip_prefix(&self.root)
+                            .expect("under root")
+                            .to_path_buf(),
+                    );
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Deletes the backing directory and everything in it.
+    pub fn destroy(self) -> std::io::Result<()> {
+        std::fs::remove_dir_all(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use damaris_format::{DataType, Layout, SdfReader};
+
+    #[test]
+    fn create_list_destroy() {
+        let backend = LocalDirBackend::scratch("local-test").unwrap();
+        let layout = Layout::new(DataType::F32, &[4]);
+        for name in ["a.sdf", "sub/dir/b.sdf"] {
+            let mut w = backend.create_sdf(name).unwrap();
+            w.write_dataset_f32("/x", &layout, &[1.0, 2.0, 3.0, 4.0])
+                .unwrap();
+            let total = w.finish().unwrap();
+            backend.account_bytes(total);
+        }
+        assert_eq!(backend.files_created(), 2);
+        assert!(backend.bytes_written() > 0);
+        let files = backend.list_sdf_files().unwrap();
+        assert_eq!(files.len(), 2);
+        assert_eq!(files[0], PathBuf::from("a.sdf"));
+        assert_eq!(files[1], PathBuf::from("sub/dir/b.sdf"));
+
+        let r = SdfReader::open(backend.path_of("a.sdf")).unwrap();
+        assert_eq!(r.read_f32("/x").unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        backend.destroy().unwrap();
+    }
+
+    #[test]
+    fn concurrent_file_creation() {
+        // The file-per-process pattern: many writers, each its own file.
+        let backend = std::sync::Arc::new(LocalDirBackend::scratch("concurrent").unwrap());
+        std::thread::scope(|s| {
+            for rank in 0..16 {
+                let b = std::sync::Arc::clone(&backend);
+                s.spawn(move || {
+                    let layout = Layout::new(DataType::F32, &[64]);
+                    let mut w = b.create_sdf(&format!("rank-{rank}.sdf")).unwrap();
+                    let data = vec![rank as f32; 64];
+                    w.write_dataset_f32("/v", &layout, &data).unwrap();
+                    let total = w.finish().unwrap();
+                    b.account_bytes(total);
+                });
+            }
+        });
+        assert_eq!(backend.files_created(), 16);
+        assert_eq!(backend.list_sdf_files().unwrap().len(), 16);
+    }
+}

@@ -1,0 +1,351 @@
+//! Communicators: rank identity, point-to-point matching, splitting.
+
+use crate::datatypes::Message;
+use crate::transport::{Envelope, Fabric};
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Wildcard source for [`Communicator::recv`].
+pub const ANY_SOURCE: usize = usize::MAX;
+/// Wildcard tag for [`Communicator::recv`].
+pub const ANY_TAG: u32 = u32::MAX;
+
+/// How long a blocking receive waits before reporting a likely deadlock.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Receive failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// No matching message arrived within the deadlock-detection window.
+    Timeout,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout => write!(
+                f,
+                "receive timed out after {RECV_TIMEOUT:?} (likely deadlock)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A group of ranks that can exchange messages, in the MPI sense.
+///
+/// Not `Sync`: each rank's communicator lives on that rank's thread, as in
+/// MPI. (`Send` is irrelevant since `World::run` pins it.)
+pub struct Communicator {
+    /// Local rank within this communicator.
+    rank: usize,
+    /// Map from local rank to world rank.
+    group: Arc<Vec<usize>>,
+    /// Context id segregating traffic of different communicators.
+    context: u64,
+    fabric: Arc<Fabric>,
+    /// This world rank's inbox (shared across communicators of this rank).
+    inbox: Arc<Receiver<Envelope>>,
+    /// Messages received but not yet matched (per-thread).
+    pending: RefCell<VecDeque<Envelope>>,
+    /// Collective sequence number: all members advance it identically, so
+    /// back-to-back collectives never cross-match.
+    coll_seq: Cell<u32>,
+    /// Split counter for deterministic child context ids.
+    split_seq: Cell<u32>,
+}
+
+impl Communicator {
+    pub(crate) fn world(
+        rank: usize,
+        size: usize,
+        fabric: Arc<Fabric>,
+        inbox: Receiver<Envelope>,
+    ) -> Self {
+        Communicator {
+            rank,
+            group: Arc::new((0..size).collect()),
+            context: 0,
+            fabric,
+            inbox: Arc::new(inbox),
+            pending: RefCell::new(VecDeque::new()),
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        }
+    }
+
+    /// This rank's id within the communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// World rank backing a local rank (useful for debugging/metrics).
+    pub fn world_rank_of(&self, local: usize) -> usize {
+        self.group[local]
+    }
+
+    /// Sends `data` with `tag` to local rank `dest`. Never blocks.
+    pub fn send(&self, dest: usize, tag: u32, data: Bytes) {
+        assert!(dest < self.size(), "dest {dest} out of range");
+        assert!(tag != ANY_TAG, "ANY_TAG is reserved for receives");
+        let world_dest = self.group[dest];
+        // A send can only fail if the destination thread already exited —
+        // that is a collective-usage bug equivalent to an MPI abort.
+        self.fabric.senders[world_dest]
+            .send(Envelope {
+                context: self.context,
+                source: self.rank,
+                tag,
+                data,
+            })
+            .expect("destination rank has terminated");
+    }
+
+    fn matches(&self, env: &Envelope, source: usize, tag: u32) -> bool {
+        env.context == self.context
+            && (source == ANY_SOURCE || env.source == source)
+            && (tag == ANY_TAG || env.tag == tag)
+    }
+
+    /// Blocking receive with source/tag matching. Out-of-order arrivals for
+    /// other (source, tag, context) triples are buffered, preserving
+    /// pairwise FIFO per (source, tag), as MPI requires.
+    pub fn recv(&self, source: usize, tag: u32) -> Result<Message, RecvError> {
+        // First scan the pending buffer.
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(idx) = pending.iter().position(|e| self.matches(e, source, tag)) {
+                let env = pending.remove(idx).expect("index valid");
+                return Ok(Message {
+                    source: env.source,
+                    tag: env.tag,
+                    data: env.data,
+                });
+            }
+        }
+        // Then pull from the inbox, buffering non-matching traffic.
+        loop {
+            match self.inbox.recv_timeout(RECV_TIMEOUT) {
+                Ok(env) => {
+                    if self.matches(&env, source, tag) {
+                        return Ok(Message {
+                            source: env.source,
+                            tag: env.tag,
+                            data: env.data,
+                        });
+                    }
+                    self.pending.borrow_mut().push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => return Err(RecvError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Timeout),
+            }
+        }
+    }
+
+    /// Receive, panicking on timeout — for protocol code where a missing
+    /// message is a bug, not a condition.
+    pub fn recv_expect(&self, source: usize, tag: u32) -> Message {
+        self.recv(source, tag)
+            .unwrap_or_else(|e| panic!("rank {}: {e}", self.rank))
+    }
+
+    /// Next collective sequence number (advanced identically on every
+    /// member because collectives are called in the same order).
+    pub(crate) fn next_coll_tag(&self) -> u32 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq.wrapping_add(1));
+        // High bit marks collective traffic; users are told to stay below.
+        0x8000_0000 | (seq & 0x0fff_ffff)
+    }
+
+    /// Splits the communicator by `color`. All members must call this
+    /// collectively with a color; members with equal colors form a new
+    /// communicator ordered by `key` (ties broken by old rank). Returns
+    /// `None` for callers passing `color = None` (MPI_UNDEFINED).
+    pub fn split(&self, color: Option<u64>, key: i64) -> Option<Communicator> {
+        // Exchange (color, key) via an allgather built on the existing
+        // collectives machinery.
+        let tag = self.next_coll_tag();
+        let split_seq = self.split_seq.get();
+        self.split_seq.set(split_seq + 1);
+
+        let my_entry = [
+            color.map_or(u64::MAX, |c| c),
+            key as u64,
+            self.rank as u64,
+        ];
+        // Simple allgather: everyone sends to everyone (sizes here are the
+        // node count at most; fine for a split).
+        let payload = crate::datatypes::encode_u64s(&my_entry);
+        for dest in 0..self.size() {
+            if dest != self.rank {
+                self.send(dest, tag, payload.clone());
+            }
+        }
+        let mut entries: Vec<[u64; 3]> = vec![my_entry];
+        for _ in 0..self.size() - 1 {
+            let msg = self.recv_expect(ANY_SOURCE, tag);
+            let v = msg.as_u64s();
+            entries.push([v[0], v[1], v[2]]);
+        }
+
+        let my_color = color?;
+        let mut members: Vec<[u64; 3]> = entries
+            .into_iter()
+            .filter(|e| e[0] == my_color)
+            .collect();
+        members.sort_by_key(|e| (e[1] as i64, e[2]));
+        let group: Vec<usize> = members.iter().map(|e| self.group[e[2] as usize]).collect();
+        let new_rank = members
+            .iter()
+            .position(|e| e[2] as u64 == self.rank as u64)
+            .expect("caller must be a member");
+
+        // Deterministic child context: same inputs on every member.
+        let context = self
+            .context
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(split_seq))
+            .wrapping_mul(0x100_0000_01B3)
+            .wrapping_add(my_color.wrapping_add(1));
+
+        Some(Communicator {
+            rank: new_rank,
+            group: Arc::new(group),
+            context,
+            fabric: Arc::clone(&self.fabric),
+            inbox: Arc::clone(&self.inbox),
+            pending: RefCell::new(VecDeque::new()),
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        })
+    }
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Communicator(rank={}/{}, ctx={:#x})",
+            self.rank,
+            self.size(),
+            self.context
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn p2p_roundtrip() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, Bytes::from_static(b"hello"));
+                let reply = comm.recv_expect(1, 8);
+                assert_eq!(&reply.data[..], b"world");
+            } else {
+                let msg = comm.recv_expect(0, 7);
+                assert_eq!(&msg.data[..], b"hello");
+                comm.send(0, 8, Bytes::from_static(b"world"));
+            }
+        });
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, Bytes::from_static(b"first"));
+                comm.send(1, 2, Bytes::from_static(b"second"));
+            } else {
+                // Receive in reverse tag order: tag-1 must be buffered.
+                let second = comm.recv_expect(0, 2);
+                let first = comm.recv_expect(0, 1);
+                assert_eq!(&second.data[..], b"second");
+                assert_eq!(&first.data[..], b"first");
+            }
+        });
+    }
+
+    #[test]
+    fn any_source_any_tag() {
+        World::run(4, |comm| {
+            if comm.rank() == 0 {
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..3 {
+                    let msg = comm.recv_expect(ANY_SOURCE, ANY_TAG);
+                    seen.insert(msg.source);
+                }
+                assert_eq!(seen.len(), 3);
+            } else {
+                comm.send(0, comm.rank() as u32, Bytes::from_static(b"x"));
+            }
+        });
+    }
+
+    #[test]
+    fn pairwise_fifo_preserved() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..100u32 {
+                    comm.send(1, 5, crate::datatypes::encode_u64s(&[i as u64]));
+                }
+            } else {
+                for i in 0..100u64 {
+                    let msg = comm.recv_expect(0, 5);
+                    assert_eq!(msg.as_u64s(), vec![i]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn split_by_node() {
+        // 6 ranks, 2 "nodes" of 3: the Damaris topology.
+        World::run(6, |comm| {
+            let node = (comm.rank() / 3) as u64;
+            let sub = comm.split(Some(node), comm.rank() as i64).unwrap();
+            assert_eq!(sub.size(), 3);
+            assert_eq!(sub.rank(), comm.rank() % 3);
+            // Sub-communicator traffic must not leak across nodes.
+            let total = sub.allreduce_sum_f64(&[comm.rank() as f64])[0];
+            let expected: f64 = (0..3).map(|i| (node as usize * 3 + i) as f64).sum();
+            assert_eq!(total, expected);
+        });
+    }
+
+    #[test]
+    fn split_undefined_color() {
+        World::run(3, |comm| {
+            let color = if comm.rank() == 0 { None } else { Some(1u64) };
+            let sub = comm.split(color, 0);
+            if comm.rank() == 0 {
+                assert!(sub.is_none());
+            } else {
+                assert_eq!(sub.unwrap().size(), 2);
+            }
+        });
+    }
+
+    #[test]
+    fn split_key_reorders() {
+        World::run(3, |comm| {
+            // Reverse order by key.
+            let sub = comm.split(Some(0), -(comm.rank() as i64)).unwrap();
+            assert_eq!(sub.rank(), comm.size() - 1 - comm.rank());
+        });
+    }
+}

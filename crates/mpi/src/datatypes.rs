@@ -1,0 +1,103 @@
+//! Message payloads and typed encode/decode helpers.
+//!
+//! Payloads are reference-counted byte buffers (`bytes::Bytes`), so
+//! broadcasting a large array to many ranks shares one allocation — the
+//! in-process analogue of MPI's zero-copy rendezvous path.
+
+use bytes::Bytes;
+
+/// A delivered message: sender, tag, payload.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Rank that sent the message.
+    pub source: usize,
+    /// User (or collective-internal) tag.
+    pub tag: u32,
+    /// Payload bytes.
+    pub data: Bytes,
+}
+
+impl Message {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for empty payloads.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Decodes the payload as little-endian `f64`s.
+    ///
+    /// Panics if the length is not a multiple of 8 — that is a protocol bug,
+    /// not a runtime condition.
+    pub fn as_f64s(&self) -> Vec<f64> {
+        decode_f64s(&self.data)
+    }
+
+    /// Decodes the payload as little-endian `u64`s.
+    pub fn as_u64s(&self) -> Vec<u64> {
+        assert_eq!(self.data.len() % 8, 0, "payload is not a u64 array");
+        self.data
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect()
+    }
+}
+
+/// Encodes `f64`s as little-endian bytes.
+pub fn encode_f64s(values: &[f64]) -> Bytes {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Decodes little-endian `f64`s. Panics on misaligned length (protocol bug).
+pub fn decode_f64s(data: &[u8]) -> Vec<f64> {
+    assert_eq!(data.len() % 8, 0, "payload is not an f64 array");
+    data.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+/// Encodes `u64`s as little-endian bytes.
+pub fn encode_u64s(values: &[u64]) -> Bytes {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let values = vec![1.5, -2.25, 0.0, f64::MAX];
+        let bytes = encode_f64s(&values);
+        assert_eq!(decode_f64s(&bytes), values);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let values = vec![0, 1, u64::MAX];
+        let msg = Message {
+            source: 0,
+            tag: 0,
+            data: encode_u64s(&values),
+        };
+        assert_eq!(msg.as_u64s(), values);
+        assert_eq!(msg.len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an f64 array")]
+    fn misaligned_f64_panics() {
+        decode_f64s(&[0u8; 7]);
+    }
+}

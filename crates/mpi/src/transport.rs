@@ -1,0 +1,107 @@
+//! In-process transport: one unbounded channel per rank, one thread per
+//! rank.
+//!
+//! Channel sends are non-blocking (buffered), mirroring MPI's eager
+//! protocol for the message sizes our consumers exchange; this also makes
+//! naive pairwise exchange patterns deadlock-free, as they are in practice
+//! under eager limits.
+
+use crate::comm::Communicator;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+
+/// A wire-level envelope: communicator context, local source rank, tag,
+/// payload.
+#[derive(Debug, Clone)]
+pub(crate) struct Envelope {
+    pub context: u64,
+    pub source: usize,
+    pub tag: u32,
+    pub data: bytes::Bytes,
+}
+
+/// The shared routing fabric: every world rank's inbox.
+pub(crate) struct Fabric {
+    pub senders: Vec<Sender<Envelope>>,
+}
+
+/// A world of N ranks running on threads.
+pub struct World;
+
+impl World {
+    /// Spawns `size` ranks, runs `f` on each with its [`Communicator`], and
+    /// returns the per-rank results in rank order. Panics in any rank
+    /// propagate (the whole world aborts, like an MPI job).
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Send + Sync,
+    {
+        assert!(size > 0, "world size must be positive");
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let fabric = Arc::new(Fabric { senders });
+        let f = &f;
+
+        let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = receivers
+                .drain(..)
+                .enumerate()
+                .map(|(rank, rx)| {
+                    let fabric = Arc::clone(&fabric);
+                    scope.spawn(move || {
+                        let comm = Communicator::world(rank, size, fabric, rx);
+                        f(&comm)
+                    })
+                })
+                .collect();
+            for (rank, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(v) => results[rank] = Some(v),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_rank_ordered_results() {
+        let out = World::run(5, |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |comm| {
+            assert_eq!(comm.size(), 1);
+            comm.barrier();
+            "ok"
+        });
+        assert_eq!(out, vec!["ok"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn rank_panic_propagates() {
+        World::run(3, |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,296 @@
+//! First-fit free-list allocator under a mutex — the paper's "default
+//! mutex-based allocation algorithm of the Boost library".
+//!
+//! Supports arbitrary allocate/release interleavings from any thread, with
+//! coalescing of adjacent free ranges so long-running sessions don't
+//! fragment into uselessness. All sizes are rounded up to [`ALIGN`] so
+//! segments can hold any scalar type without misalignment.
+
+use crate::buffer::{Segment, SharedBuffer};
+use crate::AllocError;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Alignment granted to every segment.
+pub const ALIGN: usize = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FreeRange {
+    offset: usize,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct FreeList {
+    /// Sorted by offset; no two ranges adjacent (always coalesced).
+    ranges: Vec<FreeRange>,
+    in_use: usize,
+}
+
+/// Mutex-guarded first-fit allocator over a [`SharedBuffer`].
+pub struct MutexAllocator {
+    buffer: Arc<SharedBuffer>,
+    state: Mutex<FreeList>,
+}
+
+impl MutexAllocator {
+    /// Wraps a buffer, making its whole capacity available.
+    pub fn new(buffer: Arc<SharedBuffer>) -> Self {
+        let capacity = buffer.capacity();
+        MutexAllocator {
+            buffer,
+            state: Mutex::new(FreeList {
+                ranges: if capacity > 0 {
+                    vec![FreeRange {
+                        offset: 0,
+                        len: capacity,
+                    }]
+                } else {
+                    Vec::new()
+                },
+                in_use: 0,
+            }),
+        }
+    }
+
+    /// Creates the buffer and the allocator together.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::new(SharedBuffer::new(capacity))
+    }
+
+    /// Total buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.buffer.capacity()
+    }
+
+    /// Bytes currently reserved (after alignment rounding).
+    pub fn in_use(&self) -> usize {
+        self.state.lock().in_use
+    }
+
+    /// The underlying shared buffer.
+    pub fn buffer(&self) -> &Arc<SharedBuffer> {
+        &self.buffer
+    }
+
+    fn rounded(len: usize) -> usize {
+        len.div_ceil(ALIGN).max(1) * ALIGN
+    }
+
+    /// Reserves `len` bytes; the returned segment has exactly `len`
+    /// visible bytes (internal rounding is hidden).
+    pub fn allocate(&self, len: usize) -> Result<Segment, AllocError> {
+        let need = Self::rounded(len);
+        if need > self.buffer.capacity() {
+            return Err(AllocError::TooLarge);
+        }
+        let mut state = self.state.lock();
+        let idx = state
+            .ranges
+            .iter()
+            .position(|r| r.len >= need)
+            .ok_or(AllocError::Full)?;
+        let range = state.ranges[idx];
+        let seg_offset = range.offset;
+        if range.len == need {
+            state.ranges.remove(idx);
+        } else {
+            state.ranges[idx] = FreeRange {
+                offset: range.offset + need,
+                len: range.len - need,
+            };
+        }
+        state.in_use += need;
+        drop(state);
+        Ok(self.buffer.segment(seg_offset, len))
+    }
+
+    /// Returns a segment's bytes to the free list, coalescing neighbours.
+    ///
+    /// Panics if the segment belongs to a different buffer.
+    pub fn release(&self, segment: Segment) {
+        assert!(
+            Arc::ptr_eq(segment.buffer(), &self.buffer),
+            "segment released to the wrong allocator"
+        );
+        let offset = segment.offset();
+        let len = Self::rounded(segment.len());
+        drop(segment);
+        let mut state = self.state.lock();
+        state.in_use -= len;
+        // Insert keeping the list sorted, then coalesce with neighbours.
+        let pos = state
+            .ranges
+            .partition_point(|r| r.offset < offset);
+        state.ranges.insert(pos, FreeRange { offset, len });
+        // Coalesce with the next range.
+        if pos + 1 < state.ranges.len()
+            && state.ranges[pos].offset + state.ranges[pos].len == state.ranges[pos + 1].offset
+        {
+            state.ranges[pos].len += state.ranges[pos + 1].len;
+            state.ranges.remove(pos + 1);
+        }
+        // Coalesce with the previous range.
+        if pos > 0
+            && state.ranges[pos - 1].offset + state.ranges[pos - 1].len == state.ranges[pos].offset
+        {
+            state.ranges[pos - 1].len += state.ranges[pos].len;
+            state.ranges.remove(pos);
+        }
+    }
+
+    /// Largest single allocation that could currently succeed.
+    pub fn largest_free(&self) -> usize {
+        self.state
+            .lock()
+            .ranges
+            .iter()
+            .map(|r| r.len)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for MutexAllocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MutexAllocator(capacity={}, in_use={})",
+            self.capacity(),
+            self.in_use()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn allocate_and_release() {
+        let a = MutexAllocator::with_capacity(1024);
+        let s1 = a.allocate(100).unwrap();
+        let s2 = a.allocate(100).unwrap();
+        assert_ne!(s1.offset(), s2.offset());
+        assert_eq!(a.in_use(), 208); // two 104-rounded blocks
+        a.release(s1);
+        a.release(s2);
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.largest_free(), 1024);
+    }
+
+    #[test]
+    fn full_and_too_large() {
+        let a = MutexAllocator::with_capacity(64);
+        assert_eq!(a.allocate(65).unwrap_err(), AllocError::TooLarge);
+        let _s = a.allocate(64).unwrap();
+        assert_eq!(a.allocate(1).unwrap_err(), AllocError::Full);
+    }
+
+    #[test]
+    fn coalescing_recovers_contiguity() {
+        let a = MutexAllocator::with_capacity(300);
+        let s1 = a.allocate(96).unwrap();
+        let s2 = a.allocate(96).unwrap();
+        let s3 = a.allocate(96).unwrap();
+        // Release middle, then edges: without coalescing, a 288-byte
+        // allocation would be impossible afterwards.
+        a.release(s2);
+        a.release(s1);
+        a.release(s3);
+        assert!(a.allocate(288).is_ok());
+    }
+
+    #[test]
+    fn zero_len_allocation_works() {
+        let a = MutexAllocator::with_capacity(64);
+        let s = a.allocate(0).unwrap();
+        assert_eq!(s.len(), 0);
+        a.release(s);
+        assert_eq!(a.in_use(), 0);
+    }
+
+    #[test]
+    fn reuse_after_release() {
+        let a = MutexAllocator::with_capacity(128);
+        let s1 = a.allocate(128).unwrap();
+        let off = s1.offset();
+        a.release(s1);
+        let s2 = a.allocate(128).unwrap();
+        assert_eq!(s2.offset(), off);
+    }
+
+    #[test]
+    fn concurrent_allocate_release_stress() {
+        let a = std::sync::Arc::new(MutexAllocator::with_capacity(1 << 16));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let a = std::sync::Arc::clone(&a);
+                scope.spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..500 {
+                        match a.allocate(64 + (t * 13 + i) % 256) {
+                            Ok(mut seg) => {
+                                seg.as_mut_slice().fill(t as u8);
+                                held.push(seg);
+                            }
+                            Err(AllocError::Full) => {
+                                for seg in held.drain(..) {
+                                    assert!(seg.as_slice().iter().all(|&b| b == t as u8));
+                                    a.release(seg);
+                                }
+                            }
+                            Err(e) => panic!("unexpected {e}"),
+                        }
+                        if held.len() > 16 {
+                            let seg = held.swap_remove(i % held.len());
+                            assert!(seg.as_slice().iter().all(|&b| b == t as u8));
+                            a.release(seg);
+                        }
+                    }
+                    for seg in held {
+                        a.release(seg);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.largest_free(), 1 << 16);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Live segments never overlap, and releasing everything restores
+        /// the full capacity — the core allocator invariants.
+        #[test]
+        fn no_overlap_and_full_recovery(ops in proptest::collection::vec((any::<bool>(), 1usize..512), 1..200)) {
+            let a = MutexAllocator::with_capacity(8192);
+            let mut live: Vec<Segment> = Vec::new();
+            for (is_alloc, size) in ops {
+                if is_alloc || live.is_empty() {
+                    if let Ok(seg) = a.allocate(size) {
+                        // Check against every live segment for overlap.
+                        for other in &live {
+                            let a0 = seg.offset();
+                            let a1 = a0 + MutexAllocator::rounded(seg.len());
+                            let b0 = other.offset();
+                            let b1 = b0 + MutexAllocator::rounded(other.len());
+                            prop_assert!(a1 <= b0 || b1 <= a0, "overlap [{},{}) vs [{},{})", a0, a1, b0, b1);
+                        }
+                        live.push(seg);
+                    }
+                } else {
+                    let seg = live.swap_remove(size % live.len());
+                    a.release(seg);
+                }
+            }
+            for seg in live.drain(..) {
+                a.release(seg);
+            }
+            prop_assert_eq!(a.in_use(), 0);
+            prop_assert_eq!(a.largest_free(), 8192);
+        }
+    }
+}

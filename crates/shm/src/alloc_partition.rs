@@ -1,0 +1,321 @@
+//! The paper's lock-free reservation scheme.
+//!
+//! "When all clients are expected to write the same amount of data, the
+//! shared-memory buffer is split in as many parts as clients and each client
+//! uses its own region" (§III-B). Each region is a byte ring with two
+//! monotonic counters:
+//!
+//! * `head` — bytes ever reserved; advanced only by the owning client.
+//! * `tail` — bytes ever released; advanced only by the consumer (the
+//!   dedicated core), **in FIFO order per client**.
+//!
+//! Reservation is a couple of atomic loads and one release-store — no locks,
+//! no CAS loops — which is exactly why the paper prefers it on the hot path.
+//! When a reservation would straddle the end of the region it skips the
+//! remaining bytes (wrap padding); the padding is recovered at release time
+//! from the segment's position, which the FIFO discipline makes unambiguous.
+//!
+//! Contract (checked with `debug_assert`s and property tests):
+//! * at most one thread calls [`PartitionAllocator::allocate`] per client id
+//!   at a time;
+//! * segments of one client are released in allocation order.
+
+use crate::buffer::{Segment, SharedBuffer};
+use crate::AllocError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Alignment granted to every segment (shared with the mutex allocator).
+pub const ALIGN: usize = 8;
+
+#[derive(Debug)]
+struct Region {
+    offset: usize,
+    len: usize,
+    /// Monotonic reserved-bytes counter (owned by the client).
+    head: AtomicUsize,
+    /// Monotonic released-bytes counter (owned by the consumer).
+    tail: AtomicUsize,
+}
+
+/// Lock-free per-client partitioned allocator.
+pub struct PartitionAllocator {
+    buffer: Arc<SharedBuffer>,
+    regions: Vec<Region>,
+}
+
+fn rounded(len: usize) -> usize {
+    len.div_ceil(ALIGN).max(1) * ALIGN
+}
+
+impl PartitionAllocator {
+    /// Splits `buffer` into `clients` equal regions (remainder unused).
+    ///
+    /// Panics if `clients == 0`.
+    pub fn new(buffer: Arc<SharedBuffer>, clients: usize) -> Self {
+        assert!(clients > 0, "need at least one client");
+        let region_len = (buffer.capacity() / clients) / ALIGN * ALIGN;
+        let regions = (0..clients)
+            .map(|i| Region {
+                offset: i * region_len,
+                len: region_len,
+                head: AtomicUsize::new(0),
+                tail: AtomicUsize::new(0),
+            })
+            .collect();
+        PartitionAllocator { buffer, regions }
+    }
+
+    /// Creates the buffer and allocator together.
+    pub fn with_capacity(capacity: usize, clients: usize) -> Self {
+        Self::new(SharedBuffer::new(capacity), clients)
+    }
+
+    /// Number of client regions.
+    pub fn clients(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Bytes available to each client.
+    pub fn region_capacity(&self) -> usize {
+        self.regions.first().map_or(0, |r| r.len)
+    }
+
+    /// The underlying shared buffer.
+    pub fn buffer(&self) -> &Arc<SharedBuffer> {
+        &self.buffer
+    }
+
+    /// Bytes currently reserved by `client` (including wrap padding).
+    pub fn in_use(&self, client: usize) -> usize {
+        let r = &self.regions[client];
+        r.head.load(Ordering::Acquire) - r.tail.load(Ordering::Acquire)
+    }
+
+    /// Reserves `len` bytes in `client`'s region.
+    ///
+    /// Lock-free: two atomic loads + one store on success. Must only be
+    /// called by the single thread owning `client`.
+    pub fn allocate(&self, client: usize, len: usize) -> Result<Segment, AllocError> {
+        let region = self.regions.get(client).ok_or(AllocError::BadClient)?;
+        let need = rounded(len);
+        if need > region.len {
+            return Err(AllocError::TooLarge);
+        }
+        // Only this thread writes `head`, so a relaxed load sees our own
+        // latest value; `tail` needs Acquire to observe the consumer's
+        // releases (and the freeing of the bytes they cover).
+        let head = region.head.load(Ordering::Relaxed);
+        let tail = region.tail.load(Ordering::Acquire);
+        let used = head - tail;
+        let pos = head % region.len;
+        let (pad, start) = if pos + need <= region.len {
+            (0, pos)
+        } else {
+            (region.len - pos, 0)
+        };
+        if used + pad + need > region.len {
+            return Err(AllocError::Full);
+        }
+        // Publish the reservation. Release pairs with the consumer's
+        // Acquire in `in_use`/debug checks; the data itself is published by
+        // the event queue when the segment handle is sent.
+        region.head.store(head + pad + need, Ordering::Release);
+        Ok(self.buffer.segment(region.offset + start, len))
+    }
+
+    /// Releases the **oldest** live segment of `client`.
+    ///
+    /// Must be called in allocation order (FIFO per client) and only by the
+    /// single consumer thread. Wrap padding between the current tail and the
+    /// segment start is reclaimed automatically.
+    pub fn release(&self, client: usize, segment: Segment) {
+        assert!(
+            Arc::ptr_eq(segment.buffer(), &self.buffer),
+            "segment released to the wrong allocator"
+        );
+        let region = &self.regions[client];
+        let seg_pos = segment
+            .offset()
+            .checked_sub(region.offset)
+            .filter(|&p| p < region.len)
+            .expect("segment does not belong to this client's region");
+        let need = rounded(segment.len());
+        drop(segment);
+        let tail = region.tail.load(Ordering::Relaxed); // only we write it
+        let tail_pos = tail % region.len;
+        let pad = (seg_pos + region.len - tail_pos) % region.len;
+        let head = region.head.load(Ordering::Acquire);
+        debug_assert!(
+            tail + pad + need <= head,
+            "FIFO release violated: tail {tail} pad {pad} need {need} head {head}"
+        );
+        region.tail.store(tail + pad + need, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for PartitionAllocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PartitionAllocator({} clients × {} bytes)",
+            self.clients(),
+            self.region_capacity()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn regions_are_disjoint_and_equal() {
+        let a = PartitionAllocator::with_capacity(4096, 4);
+        assert_eq!(a.clients(), 4);
+        assert_eq!(a.region_capacity(), 1024);
+        let s0 = a.allocate(0, 100).unwrap();
+        let s1 = a.allocate(1, 100).unwrap();
+        let s3 = a.allocate(3, 100).unwrap();
+        assert_eq!(s0.offset(), 0);
+        assert_eq!(s1.offset(), 1024);
+        assert_eq!(s3.offset(), 3072);
+    }
+
+    #[test]
+    fn bad_client_rejected() {
+        let a = PartitionAllocator::with_capacity(1024, 2);
+        assert_eq!(a.allocate(2, 8).unwrap_err(), AllocError::BadClient);
+    }
+
+    #[test]
+    fn too_large_vs_full() {
+        let a = PartitionAllocator::with_capacity(256, 2); // 128 per client
+        assert_eq!(a.allocate(0, 129).unwrap_err(), AllocError::TooLarge);
+        let _s = a.allocate(0, 128).unwrap();
+        assert_eq!(a.allocate(0, 8).unwrap_err(), AllocError::Full);
+        // Other client is unaffected.
+        assert!(a.allocate(1, 128).is_ok());
+    }
+
+    #[test]
+    fn fifo_release_recycles() {
+        let a = PartitionAllocator::with_capacity(256, 1);
+        for round in 0..50 {
+            let s1 = a.allocate(0, 64).unwrap();
+            let s2 = a.allocate(0, 64).unwrap();
+            a.release(0, s1);
+            a.release(0, s2);
+            assert_eq!(a.in_use(0), 0, "round {round}");
+        }
+    }
+
+    #[test]
+    fn wrap_padding_reclaimed() {
+        let a = PartitionAllocator::with_capacity(256, 1); // one 256-byte ring
+        let s1 = a.allocate(0, 100).unwrap(); // rounds to 104 @ pos 0
+        let s2 = a.allocate(0, 100).unwrap(); // 104 @ pos 104
+        a.release(0, s1); // tail = 104
+        // pos = 208; 104 doesn't fit in the 48 remaining → pad 48, start 0.
+        let s3 = a.allocate(0, 100).unwrap();
+        assert_eq!(s3.offset(), 0);
+        a.release(0, s2); // tail = 208
+        a.release(0, s3); // pad 48 reclaimed, tail = 360
+        assert_eq!(a.in_use(0), 0);
+        // Ring position is 104 now; both the remaining 152 bytes and a
+        // wrapped allocation must still be reachable.
+        let s4 = a.allocate(0, 152).unwrap();
+        assert_eq!(s4.offset(), 104);
+        let s5 = a.allocate(0, 96).unwrap();
+        assert_eq!(s5.offset(), 0);
+        a.release(0, s4);
+        a.release(0, s5);
+        assert_eq!(a.in_use(0), 0);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_per_client() {
+        // The intended topology: N client threads allocating in their own
+        // regions, one consumer thread releasing in FIFO order.
+        let clients = 6;
+        let a = Arc::new(PartitionAllocator::with_capacity(clients * 4096, clients));
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Segment)>();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let a = Arc::clone(&a);
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for i in 0..2000usize {
+                        loop {
+                            match a.allocate(c, 64 + (i % 5) * 32) {
+                                Ok(mut seg) => {
+                                    seg.as_mut_slice().fill(c as u8);
+                                    tx.send((c, seg)).unwrap();
+                                    break;
+                                }
+                                Err(AllocError::Full) => std::thread::yield_now(),
+                                Err(e) => panic!("unexpected {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            let a = Arc::clone(&a);
+            scope.spawn(move || {
+                while let Ok((c, seg)) = rx.recv() {
+                    assert!(
+                        seg.as_slice().iter().all(|&b| b == c as u8),
+                        "client {c} data corrupted"
+                    );
+                    a.release(c, seg);
+                }
+            });
+        });
+        for c in 0..clients {
+            assert_eq!(a.in_use(c), 0, "client {c} leaked");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Single-client sequence of allocations with FIFO releases: live
+        /// segments never overlap and the ring always drains back to empty.
+        #[test]
+        fn ring_no_overlap(sizes in proptest::collection::vec(1usize..200, 1..64), release_after in 1usize..4) {
+            let a = PartitionAllocator::with_capacity(1024, 1);
+            let mut live: std::collections::VecDeque<Segment> = Default::default();
+            for (i, &size) in sizes.iter().enumerate() {
+                match a.allocate(0, size) {
+                    Ok(seg) => {
+                        for other in &live {
+                            let a0 = seg.offset();
+                            let a1 = a0 + rounded(seg.len());
+                            let b0 = other.offset();
+                            let b1 = b0 + rounded(other.len());
+                            prop_assert!(a1 <= b0 || b1 <= a0,
+                                "overlap [{},{}) vs [{},{})", a0, a1, b0, b1);
+                        }
+                        live.push_back(seg);
+                    }
+                    Err(AllocError::Full) => {
+                        let seg = live.pop_front().expect("full while empty");
+                        a.release(0, seg);
+                    }
+                    Err(e) => prop_assert!(false, "unexpected {e} for size {size} at op {i}"),
+                }
+                if i % release_after == 0 {
+                    if let Some(seg) = live.pop_front() {
+                        a.release(0, seg);
+                    }
+                }
+            }
+            while let Some(seg) = live.pop_front() {
+                a.release(0, seg);
+            }
+            prop_assert_eq!(a.in_use(0), 0);
+        }
+    }
+}

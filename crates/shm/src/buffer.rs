@@ -1,0 +1,236 @@
+//! The shared byte buffer and exclusive segment views.
+//!
+//! `SharedBuffer` owns one contiguous allocation. `Segment`s are
+//! non-overlapping exclusive windows handed out by an allocator; writes go
+//! through `&mut Segment`, reads through `&Segment`. Because the allocators
+//! never hand out overlapping live ranges (see the property tests in the
+//! allocator modules), data races are impossible despite the raw-pointer
+//! plumbing underneath.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// A fixed-size byte buffer shared by all cores of one simulated SMP node.
+///
+/// Created once by the dedicated core with a user-chosen size ("the user has
+/// full control over the resources allocated to Damaris", §III-B).
+pub struct SharedBuffer {
+    /// Backing store in 8-byte units so that segments handed out by the
+    /// (8-byte-aligning) allocators can be viewed as f32/f64 slices.
+    data: Box<[UnsafeCell<u64>]>,
+    capacity: usize,
+}
+
+// SAFETY: access to ranges of `data` is mediated by `Segment`s, which the
+// allocators guarantee to be disjoint while live. Cross-thread visibility is
+// provided by the release/acquire pair of whatever channel transfers the
+// segment (the event queue).
+unsafe impl Sync for SharedBuffer {}
+unsafe impl Send for SharedBuffer {}
+
+impl SharedBuffer {
+    /// Allocates a zero-initialized buffer of `capacity` bytes.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        let words = capacity.div_ceil(8);
+        let data: Box<[UnsafeCell<u64>]> = (0..words).map(|_| UnsafeCell::new(0)).collect();
+        Arc::new(SharedBuffer { data, capacity })
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn base(&self) -> *mut u8 {
+        self.data.as_ptr() as *mut u8
+    }
+
+    /// Builds a segment view. Callers must come through an allocator that
+    /// guarantees disjointness; hence the crate-private visibility.
+    pub(crate) fn segment(self: &Arc<Self>, offset: usize, len: usize) -> Segment {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.capacity),
+            "segment [{offset}, {offset}+{len}) out of bounds for capacity {}",
+            self.capacity
+        );
+        Segment {
+            buffer: Arc::clone(self),
+            offset,
+            len,
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedBuffer({} bytes)", self.data.len())
+    }
+}
+
+/// An exclusive view of a byte range of a [`SharedBuffer`].
+///
+/// The segment does **not** free itself on drop: release is an explicit
+/// allocator operation, because in Damaris the *server* frees a segment only
+/// after it has persisted the data, possibly long after the client's handle
+/// is gone. Allocators provide `release`; the higher layers (damaris-core)
+/// wire drop-based reclamation where appropriate.
+pub struct Segment {
+    buffer: Arc<SharedBuffer>,
+    offset: usize,
+    len: usize,
+}
+
+impl Segment {
+    /// Offset of this segment within the buffer.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero-length segments.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The shared buffer this segment belongs to.
+    pub fn buffer(&self) -> &Arc<SharedBuffer> {
+        &self.buffer
+    }
+
+    /// Copies `src` into the segment — the paper's single `memcpy` from the
+    /// simulation's local array into shared memory.
+    ///
+    /// Panics if `src.len() != self.len()`; reserve exactly what you write.
+    pub fn copy_from_slice(&mut self, src: &[u8]) {
+        assert_eq!(
+            src.len(),
+            self.len,
+            "source length {} does not match segment length {}",
+            src.len(),
+            self.len
+        );
+        // SAFETY: `&mut self` gives exclusive access to this segment, and the
+        // allocator guarantees no other live segment overlaps this range.
+        unsafe {
+            let dst = self.buffer.base().add(self.offset);
+            std::ptr::copy_nonoverlapping(src.as_ptr(), dst, src.len());
+        }
+    }
+
+    /// Mutable view for in-place production (the `dc_alloc`/`dc_commit`
+    /// zero-copy path: the simulation computes directly in shared memory).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: exclusive borrow of the segment + allocator disjointness.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.buffer.base().add(self.offset), self.len)
+        }
+    }
+
+    /// Shared read view (used by the server after the handle arrives through
+    /// the event queue, which provides the happens-before edge).
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `&self` prevents concurrent mutation through this handle;
+        // no other handle aliases the range.
+        unsafe {
+            std::slice::from_raw_parts(self.buffer.base().add(self.offset), self.len)
+        }
+    }
+
+    /// Splits off the tail, leaving `self` with the first `at` bytes.
+    /// Useful when a client reserves one block for several variables.
+    pub fn split_off(&mut self, at: usize) -> Segment {
+        assert!(at <= self.len, "split at {at} beyond length {}", self.len);
+        let tail = Segment {
+            buffer: Arc::clone(&self.buffer),
+            offset: self.offset + at,
+            len: self.len - at,
+        };
+        self.len = at;
+        tail
+    }
+}
+
+impl std::fmt::Debug for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Segment[{}..{}]", self.offset, self.offset + self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let buf = SharedBuffer::new(64);
+        let mut seg = buf.segment(8, 4);
+        seg.copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(seg.as_slice(), &[1, 2, 3, 4]);
+        assert_eq!(seg.offset(), 8);
+        assert_eq!(seg.len(), 4);
+    }
+
+    #[test]
+    fn zero_copy_in_place() {
+        let buf = SharedBuffer::new(16);
+        let mut seg = buf.segment(0, 16);
+        for (i, b) in seg.as_mut_slice().iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        assert_eq!(seg.as_slice()[15], 15);
+    }
+
+    #[test]
+    fn disjoint_segments_are_independent() {
+        let buf = SharedBuffer::new(32);
+        let mut a = buf.segment(0, 16);
+        let mut b = buf.segment(16, 16);
+        a.copy_from_slice(&[0xAA; 16]);
+        b.copy_from_slice(&[0xBB; 16]);
+        assert!(a.as_slice().iter().all(|&x| x == 0xAA));
+        assert!(b.as_slice().iter().all(|&x| x == 0xBB));
+    }
+
+    #[test]
+    fn split_off() {
+        let buf = SharedBuffer::new(32);
+        let mut seg = buf.segment(4, 12);
+        let tail = seg.split_off(8);
+        assert_eq!(seg.offset(), 4);
+        assert_eq!(seg.len(), 8);
+        assert_eq!(tail.offset(), 12);
+        assert_eq!(tail.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_segment_panics() {
+        let buf = SharedBuffer::new(8);
+        let _ = buf.segment(4, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match segment length")]
+    fn wrong_copy_length_panics() {
+        let buf = SharedBuffer::new(8);
+        let mut seg = buf.segment(0, 4);
+        seg.copy_from_slice(&[0; 5]);
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let buf = SharedBuffer::new(1024);
+        let mut seg = buf.segment(0, 1024);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            seg.as_mut_slice().fill(42);
+            tx.send(seg).unwrap();
+        });
+        let seg = rx.recv().unwrap();
+        assert!(seg.as_slice().iter().all(|&b| b == 42));
+    }
+}

@@ -1,0 +1,68 @@
+//! # damaris-shm
+//!
+//! The node-local shared-memory substrate of the Damaris architecture
+//! (paper §III-B): a large buffer created by the dedicated core at start
+//! time, from which compute cores *reserve* segments, copy their data with a
+//! single `memcpy`, and notify the dedicated core through a shared event
+//! queue.
+//!
+//! The paper describes two reservation schemes, both implemented here:
+//!
+//! * [`MutexAllocator`] — "the default mutex-based allocation algorithm of
+//!   the Boost library": a first-fit free list guarded by a mutex, allowing
+//!   arbitrary concurrent reserve/release patterns.
+//! * [`PartitionAllocator`] — "another lock-free reservation algorithm: when
+//!   all clients are expected to write the same amount of data, the
+//!   shared-memory buffer is split in as many parts as clients and each
+//!   client uses its own region." Each region is a single-producer ring;
+//!   reservation is a handful of atomic operations.
+//!
+//! In the original, the buffer lives in a POSIX shared-memory region mapped
+//! by separate MPI processes on the node. This reproduction runs "cores" as
+//! threads of one process, so the buffer is one heap allocation shared
+//! through [`std::sync::Arc`] — the data path (reserve → memcpy → notify →
+//! process → release) and all of its concurrency hazards are identical.
+//!
+//! ## Safety model
+//!
+//! A [`Segment`] is an owned, exclusive view of a byte range: the allocator
+//! guarantees live segments never overlap (property-tested), writing goes
+//! through `&mut Segment`, and the happens-before edge between the client's
+//! writes and the server's reads is provided by the event queue's
+//! release/acquire pair when the segment handle is sent.
+
+mod alloc_mutex;
+mod alloc_partition;
+mod buffer;
+mod queue;
+
+pub use alloc_mutex::MutexAllocator;
+pub use alloc_partition::PartitionAllocator;
+pub use buffer::{Segment, SharedBuffer};
+pub use queue::{MpscQueue, PushError};
+
+use std::fmt;
+
+/// Why a reservation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// Not enough contiguous free space right now; retry after the consumer
+    /// releases segments (the paper's clients block/spin in this case).
+    Full,
+    /// The request can never succeed (larger than the region/buffer).
+    TooLarge,
+    /// Client id out of range (partitioned allocator only).
+    BadClient,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Full => write!(f, "shared buffer is full"),
+            AllocError::TooLarge => write!(f, "request exceeds buffer capacity"),
+            AllocError::BadClient => write!(f, "client id out of range"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}

@@ -1,0 +1,336 @@
+//! The shared event queue (paper §III-B): clients post write-notifications
+//! and user-defined events; the dedicated core's event processing engine
+//! pulls them.
+//!
+//! Implemented as a bounded multi-producer queue over a ring of slots with
+//! per-slot sequence numbers (Dmitry Vyukov's MPMC algorithm, as presented
+//! in *Rust Atomics and Locks*-style idioms). We use it in MPSC mode —
+//! many compute cores, one dedicated core — but the algorithm is safe for
+//! multiple consumers too, which the multi-dedicated-core deployments of
+//! §V-A need.
+//!
+//! The successful `push`/`pop` pair forms a release/acquire edge, which is
+//! what makes the zero-copy segment handoff in `damaris-core` sound: all
+//! writes a client performed into its shared-memory segment happen-before
+//! the server's reads.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Error returned by [`MpscQueue::push`] when the ring is full; gives the
+/// value back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PushError<T>(pub T);
+
+struct Slot<T> {
+    /// Sequence: `index` when empty and ready for the producer of that
+    /// index, `index + 1` once filled and ready for the consumer.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded lock-free multi-producer queue.
+pub struct MpscQueue<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+}
+
+// SAFETY: slots are handed between threads with acquire/release on `seq`;
+// `T: Send` is required to move values across threads.
+unsafe impl<T: Send> Sync for MpscQueue<T> {}
+unsafe impl<T: Send> Send for MpscQueue<T> {}
+
+impl<T> MpscQueue<T> {
+    /// Creates a queue with capacity rounded up to the next power of two
+    /// (minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        MpscQueue {
+            slots,
+            mask: cap - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Approximate number of queued items (racy by nature).
+    pub fn len(&self) -> usize {
+        let enq = self.enqueue_pos.load(Ordering::Relaxed);
+        let deq = self.dequeue_pos.load(Ordering::Relaxed);
+        enq.saturating_sub(deq)
+    }
+
+    /// Approximate emptiness check (racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to enqueue; lock-free, callable from any number of threads.
+    pub fn push(&self, value: T) -> Result<(), PushError<T>> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                // Slot free for this ticket: try to claim it.
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: we own this slot until we bump seq.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if seq < pos {
+                // The slot still holds an element a full lap behind: full.
+                return Err(PushError(value));
+            } else {
+                // Another producer claimed this ticket; advance.
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to dequeue.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos + 1 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the producer finished writing (we saw its
+                        // release-store of seq); we own the slot now.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        // Mark the slot free for the producer one lap ahead.
+                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if seq <= pos {
+                // Slot not yet filled: queue empty (for this ticket).
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Spins (with `yield_now`) until an item arrives. Intended for the
+    /// dedicated core's event loop; in the paper that core is busy-polling
+    /// its queue anyway.
+    pub fn pop_wait(&self) -> T {
+        let mut spins = 0u32;
+        loop {
+            if let Some(v) = self.pop() {
+                return v;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Pushes, spinning until space is available.
+    pub fn push_wait(&self, mut value: T) {
+        let mut spins = 0u32;
+        loop {
+            match self.push(value) {
+                Ok(()) => return,
+                Err(PushError(v)) => {
+                    value = v;
+                    spins += 1;
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for MpscQueue<T> {
+    fn drop(&mut self) {
+        // Drain remaining initialized values so their destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for MpscQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MpscQueue(capacity={}, len≈{})", self.capacity(), self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = MpscQueue::new(8);
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.push(99), Err(PushError(99)));
+        for i in 0..8 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let q = MpscQueue::<u8>::new(5);
+        assert_eq!(q.capacity(), 8);
+        let q = MpscQueue::<u8>::new(0);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn wraparound_many_laps() {
+        let q = MpscQueue::new(4);
+        for lap in 0..1000 {
+            q.push(lap).unwrap();
+            q.push(lap + 1).unwrap();
+            assert_eq!(q.pop(), Some(lap));
+            assert_eq!(q.pop(), Some(lap + 1));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_producer_fifo_under_contention() {
+        // MPSC correctness: each producer's own sequence arrives in order,
+        // and nothing is lost or duplicated.
+        let producers = 8;
+        let per_producer = 5000usize;
+        let q = Arc::new(MpscQueue::new(64));
+        std::thread::scope(|scope| {
+            for p in 0..producers {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..per_producer {
+                        q.push_wait((p, i));
+                    }
+                });
+            }
+            let q = Arc::clone(&q);
+            scope.spawn(move || {
+                let mut next = vec![0usize; producers];
+                for _ in 0..producers * per_producer {
+                    let (p, i) = q.pop_wait();
+                    assert_eq!(i, next[p], "producer {p} out of order");
+                    next[p] += 1;
+                }
+                assert!(q.pop().is_none());
+                for (p, &n) in next.iter().enumerate() {
+                    assert_eq!(n, per_producer, "producer {p} count");
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn multiple_consumers_partition_the_stream() {
+        // The Vyukov ring is MPMC-safe: §V-A's multi-dedicated-core nodes
+        // can share one queue between two server threads. Every item is
+        // delivered exactly once across both consumers.
+        let producers = 4;
+        let per_producer = 3000usize;
+        let q = Arc::new(MpscQueue::new(64));
+        let seen = Arc::new(std::sync::Mutex::new(std::collections::HashSet::new()));
+        std::thread::scope(|scope| {
+            for p in 0..producers {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..per_producer {
+                        q.push_wait(p * per_producer + i);
+                    }
+                });
+            }
+            let total = producers * per_producer;
+            let consumed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            for _ in 0..2 {
+                let q = Arc::clone(&q);
+                let seen = Arc::clone(&seen);
+                let consumed = Arc::clone(&consumed);
+                scope.spawn(move || loop {
+                    if consumed.load(Ordering::SeqCst) >= total {
+                        break;
+                    }
+                    if let Some(v) = q.pop() {
+                        assert!(seen.lock().unwrap().insert(v), "duplicate {v}");
+                        consumed.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), producers * per_producer);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn drop_runs_destructors() {
+        let counter = Arc::new(());
+        let q = MpscQueue::new(8);
+        for _ in 0..5 {
+            q.push(Arc::clone(&counter)).unwrap();
+        }
+        assert_eq!(Arc::strong_count(&counter), 6);
+        drop(q);
+        assert_eq!(Arc::strong_count(&counter), 1);
+    }
+
+    #[test]
+    fn happens_before_on_handoff() {
+        // Data written before push must be visible after pop.
+        let q = Arc::new(MpscQueue::new(16));
+        let data = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            let q2 = Arc::clone(&q);
+            let d2 = Arc::clone(&data);
+            scope.spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                q2.push_wait(());
+            });
+            let () = q.pop_wait();
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        });
+    }
+}

@@ -1,0 +1,169 @@
+//! Discrete-event core: a time-ordered event queue with deterministic
+//! tie-breaking.
+//!
+//! The simulator is a queueing network: jobs hop between FCFS resources.
+//! Because the heap delivers events in nondecreasing time order (FIFO among
+//! equal times), feeding each hop's arrival into its resource as the event
+//! is popped yields a correct FCFS schedule without coroutines.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time in seconds.
+pub type SimTime = f64;
+
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        // NaN times are a bug; total_cmp keeps the order total anyway.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue with FIFO tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// Panics if `time` is NaN or in the past — both are simulator bugs.
+    pub fn schedule(&mut self, time: SimTime, payload: T) {
+        assert!(!time.is_nan(), "scheduled at NaN");
+        assert!(
+            time >= self.now,
+            "scheduled in the past: {time} < {}",
+            self.now
+        );
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.pop().unwrap(), (1.0, "a"));
+        assert_eq!(q.pop().unwrap(), (2.0, "b"));
+        assert_eq!(q.pop().unwrap(), (3.0, "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(5.0, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap(), (5.0, i));
+        }
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut q = EventQueue::new();
+        q.schedule(2.5, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 2.5);
+        // Scheduling at the current time is allowed.
+        q.schedule(2.5, ());
+        q.pop();
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        let (t, v) = q.pop().unwrap();
+        assert_eq!((t, v), (1.0, 1));
+        q.schedule(1.5, 2);
+        q.schedule(1.2, 3);
+        assert_eq!(q.pop().unwrap(), (1.2, 3));
+        assert_eq!(q.pop().unwrap(), (1.5, 2));
+        assert!(q.is_empty());
+    }
+}

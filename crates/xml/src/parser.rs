@@ -1,0 +1,239 @@
+//! Tree builder: turns the lexer's token stream into an [`Element`] tree and
+//! enforces well-formedness (balanced tags, single root).
+
+use crate::lexer::{LexError, Lexer, Pos, Token};
+use crate::{Element, Node};
+use std::fmt;
+
+/// A parsed XML document: the root element plus a note of whether any
+/// non-whitespace text appeared outside it (which is rejected).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    pub root: Element,
+}
+
+/// Error produced while parsing a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub pos: Pos,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            pos: e.pos,
+        }
+    }
+}
+
+/// Parses a document and returns its root element.
+///
+/// This is the common entry point: configuration loading only ever needs the
+/// root. Use [`parse_document`] if you want the (currently root-only)
+/// [`Document`] wrapper.
+pub fn parse(input: &str) -> Result<Element, ParseError> {
+    parse_document(input).map(|d| d.root)
+}
+
+/// Parses a complete document, enforcing exactly one root element and no
+/// stray non-whitespace text at top level.
+pub fn parse_document(input: &str) -> Result<Document, ParseError> {
+    let tokens = Lexer::new(input).tokenize()?;
+
+    // Stack of open elements; completed root goes to `root`.
+    let mut stack: Vec<Element> = Vec::new();
+    let mut root: Option<Element> = None;
+
+    fn close(
+        stack: &mut Vec<Element>,
+        root: &mut Option<Element>,
+        elem: Element,
+        pos: Pos,
+    ) -> Result<(), ParseError> {
+        if let Some(parent) = stack.last_mut() {
+            parent.children.push(Node::Element(elem));
+            Ok(())
+        } else if root.is_none() {
+            *root = Some(elem);
+            Ok(())
+        } else {
+            Err(ParseError {
+                message: "multiple root elements".into(),
+                pos,
+            })
+        }
+    }
+
+    for token in tokens {
+        match token {
+            Token::StartTag {
+                name,
+                attributes,
+                self_closing,
+                pos,
+            } => {
+                if root.is_some() && stack.is_empty() {
+                    return Err(ParseError {
+                        message: "content after root element".into(),
+                        pos,
+                    });
+                }
+                let elem = Element {
+                    name,
+                    attributes,
+                    children: Vec::new(),
+                };
+                if self_closing {
+                    close(&mut stack, &mut root, elem, pos)?;
+                } else {
+                    stack.push(elem);
+                }
+            }
+            Token::EndTag { name, pos } => {
+                let elem = stack.pop().ok_or_else(|| ParseError {
+                    message: format!("unexpected end tag '</{name}>'"),
+                    pos,
+                })?;
+                if elem.name != name {
+                    return Err(ParseError {
+                        message: format!(
+                            "mismatched end tag: expected '</{}>', found '</{name}>'",
+                            elem.name
+                        ),
+                        pos,
+                    });
+                }
+                close(&mut stack, &mut root, elem, pos)?;
+            }
+            Token::Text { content, pos } => {
+                if let Some(parent) = stack.last_mut() {
+                    // Merge adjacent text nodes (CDATA next to text, etc.).
+                    if let Some(Node::Text(prev)) = parent.children.last_mut() {
+                        prev.push_str(&content);
+                    } else {
+                        parent.children.push(Node::Text(content));
+                    }
+                } else if !content.trim().is_empty() {
+                    return Err(ParseError {
+                        message: "text outside of root element".into(),
+                        pos,
+                    });
+                }
+            }
+        }
+    }
+
+    if let Some(open) = stack.last() {
+        return Err(ParseError {
+            message: format!("unclosed element '<{}>'", open.name),
+            pos: Pos::default(),
+        });
+    }
+
+    let root = root.ok_or(ParseError {
+        message: "empty document: no root element".into(),
+        pos: Pos::default(),
+    })?;
+    Ok(Document { root })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_config_example() {
+        // The exact structure from Section III-D of the paper.
+        let input = r#"
+            <damaris>
+              <layout name="my_layout" type="real" dimensions="64,16,2" language="fortran" />
+              <variable name="my_variable" layout="my_layout" />
+              <event name="my_event" action="do_something" using="my_plugin.so" scope="local" />
+            </damaris>
+        "#;
+        let root = parse(input).unwrap();
+        assert_eq!(root.name, "damaris");
+        let layout = root.child("layout").unwrap();
+        assert_eq!(layout.attr("dimensions"), Some("64,16,2"));
+        assert_eq!(layout.attr("language"), Some("fortran"));
+        let event = root.child("event").unwrap();
+        assert_eq!(event.attr("using"), Some("my_plugin.so"));
+    }
+
+    #[test]
+    fn nested_text_merging() {
+        let root = parse("<a>x<![CDATA[y]]>z</a>").unwrap();
+        assert_eq!(root.text(), "xyz");
+        assert_eq!(root.children.len(), 1);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn unclosed_rejected() {
+        let err = parse("<a><b>").unwrap_err();
+        assert!(err.message.contains("unclosed"), "{err}");
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn stray_end_tag_rejected() {
+        assert!(parse("</a>").is_err());
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        assert!(parse("  <!-- only a comment -->  ").is_err());
+    }
+
+    #[test]
+    fn whitespace_around_root_ok() {
+        let root = parse("\n  <a/>\n  ").unwrap();
+        assert_eq!(root.name, "a");
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        assert!(parse("<a/>junk").is_err());
+        assert!(parse("junk<a/>").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_roundtrips() {
+        let mut s = String::new();
+        for _ in 0..200 {
+            s.push_str("<d>");
+        }
+        s.push_str("leaf");
+        for _ in 0..200 {
+            s.push_str("</d>");
+        }
+        let root = parse(&s).unwrap();
+        let mut depth = 1;
+        let mut cur = &root;
+        while let Some(next) = cur.child("d") {
+            depth += 1;
+            cur = next;
+        }
+        assert_eq!(depth, 200);
+        assert_eq!(cur.text(), "leaf");
+    }
+}

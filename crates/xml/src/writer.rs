@@ -1,0 +1,122 @@
+//! Serialization of [`Element`] trees back to XML text.
+//!
+//! The writer escapes all reserved characters, so `parse(e.to_xml()) == e`
+//! holds for any tree whose text nodes survive whitespace handling (pretty
+//! printing inserts indentation and therefore does not round-trip text
+//! exactly; use the compact form for fixpoint guarantees).
+
+use crate::{Element, Node};
+
+/// Escapes character data (text node content).
+pub fn escape_text(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escapes an attribute value (double-quote delimited).
+pub fn escape_attr(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            c => out.push(c),
+        }
+    }
+}
+
+pub(crate) fn write_element(out: &mut String, e: &Element, indent: usize, pretty: bool) {
+    if pretty {
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+    out.push('<');
+    out.push_str(&e.name);
+    for (name, value) in &e.attributes {
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("=\"");
+        escape_attr(value, out);
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        if pretty {
+            out.push('\n');
+        }
+        return;
+    }
+    out.push('>');
+
+    let only_text = e.children.iter().all(|n| matches!(n, Node::Text(_)));
+    if pretty && !only_text {
+        out.push('\n');
+    }
+    for child in &e.children {
+        match child {
+            Node::Element(c) => write_element(out, c, indent + 1, pretty),
+            Node::Text(t) => escape_text(t, out),
+        }
+    }
+    if pretty && !only_text {
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+    if pretty {
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, Element};
+
+    #[test]
+    fn roundtrip_compact() {
+        let e = Element::new("event")
+            .with_attr("name", "my_event")
+            .with_attr("note", "a<b & \"c\"")
+            .with_child(Element::new("inner").with_text("1 < 2 & 3"));
+        let xml = e.to_xml();
+        let back = parse(&xml).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn fixpoint_of_serialization() {
+        let e = Element::new("a")
+            .with_child(Element::new("b").with_text("t&t"))
+            .with_attr("x", "y\nz");
+        let once = e.to_xml();
+        let twice = parse(&once).unwrap().to_xml();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn pretty_indents_children() {
+        let e = Element::new("a").with_child(Element::new("b"));
+        let s = e.to_xml_pretty();
+        assert!(s.contains("\n  <b/>"), "{s}");
+    }
+
+    #[test]
+    fn pretty_keeps_text_only_inline() {
+        let e = Element::new("a").with_text("hello");
+        let s = e.to_xml_pretty();
+        assert!(s.contains("<a>hello</a>"), "{s}");
+    }
+}

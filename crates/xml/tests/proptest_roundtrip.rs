@@ -1,0 +1,105 @@
+//! Property tests: any element tree serializes to XML that parses back to
+//! the identical tree (compact form is a fixpoint).
+
+use damaris_xml::{parse, Element, Node};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,12}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Arbitrary printable text including XML-reserved characters; leading/
+    // trailing whitespace is preserved by the parser inside elements.
+    "[ -~]{1,24}"
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), text_strategy()), 0..4),
+        proptest::option::of(text_strategy()),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                e.set_attr(k, v); // set_attr dedups names
+            }
+            if let Some(t) = text {
+                e.children.push(Node::Text(t));
+            }
+            e
+        });
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    e.set_attr(k, v);
+                }
+                for c in children {
+                    e.children.push(Node::Element(c));
+                }
+                e
+            })
+    })
+}
+
+/// Adjacent text nodes merge at parse time; normalize before comparing.
+fn normalize(e: &Element) -> Element {
+    let mut out = Element::new(e.name.clone());
+    out.attributes = e.attributes.clone();
+    for child in &e.children {
+        match child {
+            Node::Element(c) => out.children.push(Node::Element(normalize(c))),
+            Node::Text(t) => {
+                if let Some(Node::Text(prev)) = out.children.last_mut() {
+                    prev.push_str(t);
+                } else {
+                    out.children.push(Node::Text(t.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serialize_parse_roundtrip(e in element_strategy()) {
+        let xml = e.to_xml();
+        let back = parse(&xml).unwrap_or_else(|err| panic!("reparse failed: {err}\n{xml}"));
+        prop_assert_eq!(normalize(&back), normalize(&e));
+    }
+
+    #[test]
+    fn compact_form_is_fixpoint(e in element_strategy()) {
+        let once = e.to_xml();
+        let twice = parse(&once).unwrap().to_xml();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn pretty_form_reparses_to_same_structure(e in element_strategy()) {
+        // Pretty-printing adds whitespace between elements but must keep
+        // names, attributes and element structure identical.
+        let pretty = e.to_xml_pretty();
+        let back = parse(&pretty).unwrap();
+        fn structure(e: &Element) -> (String, Vec<(String, String)>, Vec<Box<(String, Vec<(String, String)>)>>) {
+            (
+                e.name.clone(),
+                e.attributes.clone(),
+                e.child_elements()
+                    .map(|c| Box::new((c.name.clone(), c.attributes.clone())))
+                    .collect(),
+            )
+        }
+        prop_assert_eq!(structure(&back), structure(&e));
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the Damaris reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See `README.md` and `DESIGN.md` at the repository root.
+
+pub use damaris_cm1 as cm1;
+pub use damaris_compress as compress;
+pub use damaris_core as core;
+pub use damaris_format as format;
+pub use damaris_fs as fs;
+pub use damaris_mpi as mpi;
+pub use damaris_shm as shm;
+pub use damaris_sim as sim;
+pub use damaris_xml as xml;

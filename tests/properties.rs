@@ -1,0 +1,121 @@
+//! Workspace-level property tests over the public APIs: invariants that
+//! must hold across crate boundaries.
+
+use damaris_repro::compress::Pipeline;
+use damaris_repro::format::{DataType, DatasetOptions, Layout, SdfReader, SdfWriter};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch_file(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join("damaris-prop-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(format!("{tag}-{}-{n}.sdf", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any f32 dataset written through any lossless filter chain reads back
+    /// bit-identically, whatever the shape.
+    #[test]
+    fn sdf_filter_roundtrip(
+        values in proptest::collection::vec(any::<f32>().prop_filter("finite", |v| v.is_finite()), 1..512),
+        filter in proptest::sample::select(vec!["", "rle", "lzss", "huff", "lzss|huff", "lzss|rle"]),
+        chunk in proptest::sample::select(vec![0u64, 3, 64, 1000]),
+    ) {
+        let path = scratch_file("roundtrip");
+        let layout = Layout::new(DataType::F32, &[values.len() as u64]);
+        let mut w = SdfWriter::create(&path).unwrap();
+        let mut opts = DatasetOptions::plain().with_chunk_dim0(chunk);
+        if !filter.is_empty() {
+            opts = opts.with_filter(filter);
+        }
+        w.write_dataset_f32_opts("/v", &layout, &values, &opts).unwrap();
+        w.finish().unwrap();
+        let r = SdfReader::open(&path).unwrap();
+        let back = r.read_f32("/v").unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// The lossy 16-bit pipeline keeps every value within the binary16
+    /// relative-error bound (normal range).
+    #[test]
+    fn precision16_error_bound(values in proptest::collection::vec(1.0f32..60000.0, 1..256)) {
+        let pipeline = Pipeline::from_spec("precision16|lzss|huff").unwrap();
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let (enc, _) = pipeline.encode(&bytes).unwrap();
+        let dec = pipeline.decode(&enc).unwrap();
+        for (orig, chunk) in values.iter().zip(dec.chunks_exact(4)) {
+            let back = f32::from_le_bytes(chunk.try_into().unwrap());
+            prop_assert!(((orig - back) / orig).abs() <= 1.0 / 2048.0, "{} -> {}", orig, back);
+        }
+    }
+
+    /// The mini-MPI allreduce agrees with a serial reduction for any
+    /// rank count and payload.
+    #[test]
+    fn allreduce_matches_serial(
+        nprocs in 1usize..7,
+        base in proptest::collection::vec(-1e6f64..1e6, 1..8),
+    ) {
+        let expected: Vec<f64> = base
+            .iter()
+            .map(|v| (0..nprocs).map(|r| v + r as f64).sum())
+            .collect();
+        let results = damaris_repro::mpi::World::run(nprocs, |comm| {
+            let mine: Vec<f64> = base.iter().map(|v| v + comm.rank() as f64).collect();
+            comm.allreduce_sum_f64(&mine)
+        });
+        for r in results {
+            for (a, b) in r.iter().zip(&expected) {
+                prop_assert!((a - b).abs() < 1e-6 * b.abs().max(1.0));
+            }
+        }
+    }
+
+    /// Simulated phases are deterministic in the seed and monotone in data
+    /// volume for the FPP strategy (more bytes → no faster).
+    #[test]
+    fn sim_seed_determinism_and_volume_monotonicity(seed in 0u64..1000) {
+        use damaris_repro::sim::{platform, run_io_phase, Strategy, WorkloadSpec};
+        let p = platform::blueprint();
+        let small = WorkloadSpec::cm1_blueprint(16.0);
+        let large = WorkloadSpec::cm1_blueprint(64.0);
+        let a = run_io_phase(&p, &small, Strategy::FilePerProcess, 256, seed);
+        let b = run_io_phase(&p, &small, Strategy::FilePerProcess, 256, seed);
+        prop_assert_eq!(a.phase_duration, b.phase_duration);
+        let c = run_io_phase(&p, &large, Strategy::FilePerProcess, 256, seed);
+        prop_assert!(c.phase_duration >= a.phase_duration);
+    }
+}
+
+#[test]
+fn sdf_rejects_truncation_anywhere() {
+    // Any truncation of a valid file must be detected at open or read.
+    let path = scratch_file("trunc");
+    let layout = Layout::new(DataType::F32, &[64]);
+    let mut w = SdfWriter::create(&path).unwrap();
+    let data: Vec<f32> = (0..64).map(|i| i as f32).collect();
+    w.write_dataset_f32_opts(
+        "/v",
+        &layout,
+        &data,
+        &DatasetOptions::plain().with_filter("lzss"),
+    )
+    .unwrap();
+    w.finish().unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    for cut in [1, 8, 20, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let outcome = SdfReader::open(&path).and_then(|r| r.read_f32("/v"));
+        assert!(outcome.is_err(), "truncation at {cut} went unnoticed");
+    }
+    std::fs::remove_file(&path).ok();
+}
