@@ -63,7 +63,7 @@ fn bench_event_queue(c: &mut Criterion) {
     group.bench_function("push_pop_cycle", |b| {
         let q: MpscQueue<u64> = MpscQueue::new(1024);
         b.iter(|| {
-            q.push(black_box(7)).ok().expect("space");
+            q.push(black_box(7)).expect("space");
             black_box(q.pop().expect("item"));
         });
     });

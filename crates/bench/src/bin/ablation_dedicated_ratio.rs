@@ -74,7 +74,7 @@ fn main() {
                 "dedicated_write_s": run.dedicated_write_mean,
                 "spare_fraction": run.spare_fraction,
             }));
-            if best.map_or(true, |(_, t)| run.total_time < t) {
+            if best.is_none_or(|(_, t)| run.total_time < t) {
                 best = Some((dedicated, run.total_time));
             }
         }

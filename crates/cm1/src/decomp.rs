@@ -22,7 +22,7 @@ impl Decomp2d {
         if px == 0 || py == 0 {
             return Err("process grid dimensions must be positive".into());
         }
-        if gnx % px != 0 || gny % py != 0 {
+        if !gnx.is_multiple_of(px) || !gny.is_multiple_of(py) {
             return Err(format!(
                 "global domain {gnx}×{gny} does not divide into a {px}×{py} process grid"
             ));
@@ -41,15 +41,15 @@ impl Decomp2d {
     pub fn auto(nprocs: usize, gnx: usize, gny: usize, gnz: usize) -> Result<Self, String> {
         let mut best: Option<(usize, usize)> = None;
         for px in 1..=nprocs {
-            if nprocs % px != 0 {
+            if !nprocs.is_multiple_of(px) {
                 continue;
             }
             let py = nprocs / px;
-            if gnx % px != 0 || gny % py != 0 {
+            if !gnx.is_multiple_of(px) || !gny.is_multiple_of(py) {
                 continue;
             }
             let badness = px.abs_diff(py);
-            if best.map_or(true, |(bx, by)| badness < bx.abs_diff(by)) {
+            if best.is_none_or(|(bx, by)| badness < bx.abs_diff(by)) {
                 best = Some((px, py));
             }
         }

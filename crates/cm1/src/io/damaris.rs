@@ -78,7 +78,7 @@ impl DamarisDeployment {
         dir: impl AsRef<Path>,
         events_xml: &str,
     ) -> Result<Self, IoError> {
-        if nprocs % clients_per_node != 0 {
+        if !nprocs.is_multiple_of(clients_per_node) {
             return Err(IoError(format!(
                 "{nprocs} ranks do not form whole nodes of {clients_per_node} clients"
             )));
@@ -263,7 +263,7 @@ mod tests {
         // action on both dedicated cores.
         for rank in 0..4 {
             deployment.clients[rank]
-                .write_f32("theta", 0, &vec![rank as f32; 32])
+                .write_f32("theta", 0, &[rank as f32; 32])
                 .unwrap();
         }
         deployment.broadcast_signal("snapshot", 0).unwrap();

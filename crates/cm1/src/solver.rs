@@ -256,7 +256,7 @@ mod tests {
                 bubble_amplitude: 5.0,
             };
             let results = World::run(nprocs, |comm| {
-                let mut io = NullBackend::default();
+                let mut io = NullBackend;
                 run_rank(comm, &config, &mut io).unwrap().theta_checksum
             });
             // All ranks agree.
@@ -282,7 +282,7 @@ mod tests {
             bubble_amplitude: 2.0,
         };
         let results = World::run(2, |comm| {
-            let mut io = NullBackend::default();
+            let mut io = NullBackend;
             run_rank(comm, &config, &mut io).unwrap()
         });
         assert!(results.iter().all(|r| r.write_phases == 2));
@@ -306,7 +306,7 @@ mod tests {
             f.interior_sum()
         };
         let results = World::run(4, |comm| {
-            let mut io = NullBackend::default();
+            let mut io = NullBackend;
             run_rank(comm, &config, &mut io).unwrap().theta_checksum
         });
         let rel = ((results[0] - initial_mass) / initial_mass).abs();

@@ -227,8 +227,7 @@ impl Codec for Huffman {
         let mut produced = 0usize;
         let mut code = 0u32;
         let mut len = 0usize;
-        for byte_idx in off..input.len() {
-            let byte = input[byte_idx];
+        for &byte in &input[off..] {
             for bit in (0..8).rev() {
                 code = (code << 1) | u32::from((byte >> bit) & 1);
                 len += 1;

@@ -229,12 +229,11 @@ impl Codec for Lzss {
                     return Err(CodecError::new("lzss", format!("match too long: {len}")));
                 }
                 // Overlapping copy must be byte-by-byte.
-                let mut src = out.len() - dist;
+                let first = out.len() - dist;
                 out.reserve(len);
-                for _ in 0..len {
+                for src in first..first + len {
                     let b = out[src];
                     out.push(b);
-                    src += 1;
                 }
             }
         }

@@ -104,7 +104,7 @@ pub fn reduce_f32_slice(values: &[f32], out: &mut Vec<u8>) {
 ///
 /// Returns `None` if the byte length is odd.
 pub fn expand_to_f32(bytes: &[u8]) -> Option<Vec<f32>> {
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         return None;
     }
     Some(
@@ -118,7 +118,7 @@ pub fn expand_to_f32(bytes: &[u8]) -> Option<Vec<f32>> {
 /// Reinterprets an f32 byte buffer (little-endian) as halves, halving its
 /// size. Returns `None` if the length is not a multiple of 4.
 pub fn reduce_f32_bytes(bytes: &[u8]) -> Option<Vec<u8>> {
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return None;
     }
     let mut out = Vec::with_capacity(bytes.len() / 2);

@@ -171,7 +171,7 @@ mod tests {
         ) {
             let mut data = Vec::new();
             for (b, n) in segs {
-                data.extend(std::iter::repeat(b).take(n));
+                data.extend(std::iter::repeat_n(b, n));
             }
             prop_assert_eq!(roundtrip(&data), data);
         }

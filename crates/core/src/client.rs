@@ -12,11 +12,20 @@
 //! A `write` is one shared-memory reservation, one `memcpy`, one queue
 //! push — nothing else; the client returns to computation immediately.
 
+use crate::config::BackpressurePolicy;
 use crate::error::DamarisError;
 use crate::event::Event;
-use crate::node::NodeShared;
+use crate::node::{FaultStats, NodeShared};
+use crate::retry::Backoff;
 use damaris_shm::{AllocError, Segment};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long the lossy policies (`drop`, `sync-fallback`) still wait for
+/// space before giving up on shared memory — long enough to ride out a
+/// momentary collision with the allocator, short enough that the client
+/// never visibly stalls.
+const LOSSY_GRACE: Duration = Duration::from_millis(2);
 
 /// Handle held by one compute core.
 #[derive(Clone)]
@@ -55,26 +64,135 @@ impl DamarisClient {
         Ok((id, self.shared.config.layout_of(def)))
     }
 
-    /// Reserves a segment, spinning while the buffer is full (the consumer
-    /// is draining it continuously).
+    /// Reserves a segment, waiting out a full buffer with bounded
+    /// exponential backoff until `deadline`. Returns `Ok(None)` on timeout
+    /// (the caller's backpressure policy decides what that means);
+    /// non-transient allocation errors (`TooLarge`, `BadClient`) return
+    /// immediately.
     ///
     /// Deadlock note: the server reclaims an iteration's segments once
     /// *every* client of the node has ended that iteration. Clients must
     /// therefore stay loosely synchronized (as halo-exchanging simulations
     /// naturally are) or the buffer must be sized for the maximum
-    /// iteration skew — the same constraint the original Damaris has.
-    fn reserve(&self, len: usize) -> Result<Segment, DamarisError> {
+    /// iteration skew — the same constraint the original Damaris has. The
+    /// deadline turns that failure mode from a silent hang into an error.
+    fn try_reserve(&self, len: usize, deadline: Instant) -> Result<Option<Segment>, DamarisError> {
+        let mut spins = 0u32;
+        let mut backoff = Backoff::new(Duration::from_micros(20), Duration::from_millis(2));
         loop {
             match self.shared.buffer.allocate(self.id, len) {
-                Ok(seg) => return Ok(seg),
-                Err(AllocError::Full) => std::thread::yield_now(),
+                Ok(seg) => return Ok(Some(seg)),
+                Err(AllocError::Full) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Ok(None);
+                    }
+                    if spins < 64 {
+                        // The common case: the dedicated core is mid-drain
+                        // and space appears within microseconds.
+                        spins += 1;
+                        std::thread::yield_now();
+                    } else {
+                        let remaining = deadline - now;
+                        std::thread::sleep(backoff.delay().min(remaining));
+                    }
+                }
                 Err(e) => return Err(e.into()),
             }
         }
     }
 
+    /// Blocking reservation under the `block` policy: timeout surfaces as
+    /// [`DamarisError::Buffer`] with [`AllocError::Full`].
+    fn reserve(&self, len: usize) -> Result<Segment, DamarisError> {
+        let timeout = match self.shared.config.resilience.backpressure {
+            BackpressurePolicy::Block { timeout } => timeout,
+            // The zero-copy path (alloc/commit) has no payload to drop or
+            // divert, so lossy policies fall back to a bounded block.
+            BackpressurePolicy::DropIteration | BackpressurePolicy::SyncFallback => {
+                Duration::from_secs(30)
+            }
+        };
+        self.try_reserve(len, Instant::now() + timeout)?
+            .ok_or(DamarisError::Buffer(AllocError::Full))
+    }
+
+    /// Policy-aware reservation for the write paths. `Ok(None)` means the
+    /// payload was consumed by the policy (dropped or written through) and
+    /// the write is complete.
+    fn reserve_or_divert(
+        &self,
+        variable: &str,
+        iteration: u32,
+        layout: &damaris_format::Layout,
+        data: &[u8],
+    ) -> Result<Option<Segment>, DamarisError> {
+        match self.shared.config.resilience.backpressure {
+            BackpressurePolicy::Block { timeout } => self
+                .try_reserve(data.len(), Instant::now() + timeout)?
+                .ok_or(DamarisError::Buffer(AllocError::Full))
+                .map(Some),
+            BackpressurePolicy::DropIteration => {
+                match self.try_reserve(data.len(), Instant::now() + LOSSY_GRACE)? {
+                    Some(seg) => Ok(Some(seg)),
+                    None => {
+                        FaultStats::bump(&self.shared.stats.writes_dropped);
+                        Ok(None)
+                    }
+                }
+            }
+            BackpressurePolicy::SyncFallback => {
+                match self.try_reserve(data.len(), Instant::now() + LOSSY_GRACE)? {
+                    Some(seg) => Ok(Some(seg)),
+                    None => {
+                        self.write_through(variable, iteration, layout, data)?;
+                        FaultStats::bump(&self.shared.stats.sync_fallback_writes);
+                        Ok(None)
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `sync-fallback` escape hatch: the compute core writes the
+    /// payload to storage itself, through the crash-consistent path. This
+    /// pays the I/O jitter Damaris exists to hide — but loses no data and
+    /// needs no shared-memory space.
+    fn write_through(
+        &self,
+        variable: &str,
+        iteration: u32,
+        layout: &damaris_format::Layout,
+        data: &[u8],
+    ) -> Result<(), DamarisError> {
+        let name = format!(
+            "sync-fallback/rank-{}/iter-{:06}-{variable}.sdf",
+            self.id, iteration
+        );
+        let backend = &self.shared.backend;
+        let mut writer = backend.begin_sdf(&name)?;
+        let path = format!("/iter-{iteration}/rank-{}/{variable}", self.id);
+        writer.write_dataset_bytes(
+            &path,
+            layout,
+            data,
+            &damaris_format::DatasetOptions::plain()
+                .with_attr("iteration", i64::from(iteration))
+                .with_attr("source", i64::from(self.id))
+                .with_attr("sync_fallback", 1i64),
+        )?;
+        let total = backend.commit_sdf(writer)?;
+        backend.account_bytes(total);
+        Ok(())
+    }
+
     /// `df_write`: copies `data` into shared memory and notifies the
     /// dedicated core. The byte length must match the variable's layout.
+    ///
+    /// When the buffer is full, the configured backpressure policy decides
+    /// between blocking (bounded, the default), dropping the payload, or
+    /// writing it through to storage synchronously — see
+    /// [`crate::config::BackpressurePolicy`].
     pub fn write(&self, variable: &str, iteration: u32, data: &[u8]) -> Result<(), DamarisError> {
         let (variable_id, expected) = self.lookup(variable)?;
         if data.len() as u64 != expected {
@@ -84,7 +202,18 @@ impl DamarisClient {
                 actual: data.len() as u64,
             });
         }
-        let mut segment = self.reserve(data.len())?;
+        let layout = {
+            let def = self
+                .shared
+                .config
+                .variable(variable_id)
+                .expect("id just resolved");
+            self.shared.config.layout_of(def).storage_layout()
+        };
+        let mut segment = match self.reserve_or_divert(variable, iteration, &layout, data)? {
+            Some(segment) => segment,
+            None => return Ok(()), // policy consumed the payload
+        };
         segment.copy_from_slice(data);
         self.shared.queue.push_wait(Event::Write {
             variable_id,
@@ -120,7 +249,10 @@ impl DamarisClient {
                 actual: data.len() as u64,
             });
         }
-        let mut segment = self.reserve(data.len())?;
+        let mut segment = match self.reserve_or_divert(variable, iteration, &layout, data)? {
+            Some(segment) => segment,
+            None => return Ok(()), // policy consumed the payload
+        };
         segment.copy_from_slice(data);
         self.shared.queue.push_wait(Event::Write {
             variable_id,

@@ -22,6 +22,7 @@ use crate::error::DamarisError;
 use crate::layout::LayoutDef;
 use damaris_xml::Element;
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Which reservation algorithm the node's shared buffer uses (§III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,6 +59,76 @@ pub struct ActionBinding {
     pub scope: String,
 }
 
+/// What a client does when the shared buffer cannot satisfy a reservation
+/// (the buffer is full because the dedicated core has not yet released
+/// earlier iterations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Wait with bounded exponential backoff; after `timeout` the write
+    /// fails with [`DamarisError::Buffer`]. The default — preserves every
+    /// byte while turning the old unbounded busy-wait into a bounded one.
+    Block { timeout: Duration },
+    /// Drop the write after a short grace period and keep computing. The
+    /// dropped payloads are counted in `NodeReport::writes_dropped` — the
+    /// "lossy telemetry" mode for data that ages out anyway.
+    DropIteration,
+    /// Bypass shared memory: the client writes the payload synchronously to
+    /// the storage backend itself (paying the jitter Damaris normally
+    /// hides). Counted in `NodeReport::sync_fallback_writes`.
+    SyncFallback,
+}
+
+impl Default for BackpressurePolicy {
+    fn default() -> Self {
+        BackpressurePolicy::Block {
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Degradation policies for the whole I/O path, set by the `<resilience>`
+/// configuration element:
+///
+/// ```xml
+/// <resilience backpressure="block" timeout_ms="30000"
+///             persist_retries="2" retry_base_ms="10"
+///             persist_deadline_ms="2000"
+///             plugin_quarantine="3" recovery_scan="true"/>
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Client behaviour on a full buffer.
+    pub backpressure: BackpressurePolicy,
+    /// Persist retries after the first failed attempt (0 = no retry).
+    pub persist_retries: u32,
+    /// First retry backoff; doubles per attempt, with jitter.
+    pub retry_base: Duration,
+    /// Wall-clock budget for one iteration's persist (attempts + backoff).
+    /// Exhausting it degrades the iteration (data dropped, counted in
+    /// `NodeReport::iterations_degraded`) instead of aborting the server.
+    pub persist_deadline: Duration,
+    /// Consecutive failures after which a plugin is quarantined (disabled,
+    /// EPE keeps running). 0 = fail fast: the first plugin error aborts the
+    /// run — the pre-resilience behaviour, and the default.
+    pub plugin_quarantine: u32,
+    /// Run the startup recovery scan (delete `*.tmp` orphans, quarantine
+    /// torn `*.sdf`) before serving.
+    pub recovery_scan: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            backpressure: BackpressurePolicy::default(),
+            persist_retries: 2,
+            retry_base: Duration::from_millis(10),
+            persist_deadline: Duration::from_secs(2),
+            plugin_quarantine: 0,
+            recovery_scan: true,
+        }
+    }
+}
+
 /// Parsed configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -73,6 +144,8 @@ pub struct Config {
     pub variables: Vec<VariableDef>,
     /// Event bindings in declaration order.
     pub actions: Vec<ActionBinding>,
+    /// Failure-handling policies (see [`ResilienceConfig`]).
+    pub resilience: ResilienceConfig,
 }
 
 impl Config {
@@ -99,6 +172,7 @@ impl Config {
             layouts: HashMap::new(),
             variables: Vec::new(),
             actions: Vec::new(),
+            resilience: ResilienceConfig::default(),
         };
 
         // Elements may sit at the root or inside grouping elements.
@@ -180,6 +254,65 @@ impl Config {
                         using: e.attr("using").map(str::to_string),
                         scope: e.attr("scope").unwrap_or("local").to_string(),
                     });
+                }
+                "resilience" => {
+                    let r = &mut config.resilience;
+                    let timeout = e
+                        .attr_parse::<u64>("timeout_ms")
+                        .map_err(DamarisError::Config)?
+                        .map(Duration::from_millis);
+                    match e.attr("backpressure") {
+                        None | Some("block") => {
+                            r.backpressure = BackpressurePolicy::Block {
+                                timeout: timeout
+                                    .unwrap_or(Duration::from_secs(30)),
+                            }
+                        }
+                        Some("drop") => r.backpressure = BackpressurePolicy::DropIteration,
+                        Some("sync-fallback") | Some("sync") => {
+                            r.backpressure = BackpressurePolicy::SyncFallback
+                        }
+                        Some(other) => {
+                            return Err(DamarisError::Config(format!(
+                                "unknown backpressure policy '{other}' \
+                                 (expected block, drop, or sync-fallback)"
+                            )))
+                        }
+                    }
+                    if let Some(n) = e
+                        .attr_parse::<u32>("persist_retries")
+                        .map_err(DamarisError::Config)?
+                    {
+                        r.persist_retries = n;
+                    }
+                    if let Some(ms) = e
+                        .attr_parse::<u64>("retry_base_ms")
+                        .map_err(DamarisError::Config)?
+                    {
+                        r.retry_base = Duration::from_millis(ms);
+                    }
+                    if let Some(ms) = e
+                        .attr_parse::<u64>("persist_deadline_ms")
+                        .map_err(DamarisError::Config)?
+                    {
+                        r.persist_deadline = Duration::from_millis(ms);
+                    }
+                    if let Some(k) = e
+                        .attr_parse::<u32>("plugin_quarantine")
+                        .map_err(DamarisError::Config)?
+                    {
+                        r.plugin_quarantine = k;
+                    }
+                    match e.attr("recovery_scan") {
+                        None => {}
+                        Some("true") => r.recovery_scan = true,
+                        Some("false") => r.recovery_scan = false,
+                        Some(other) => {
+                            return Err(DamarisError::Config(format!(
+                                "recovery_scan must be true or false, got '{other}'"
+                            )))
+                        }
+                    }
                 }
                 // Grouping elements: descend (children keep their order
                 // relative to each other).
@@ -285,6 +418,22 @@ impl Config {
                 )
                 .with_attr("queue", self.queue_capacity.to_string()),
         );
+        let r = &self.resilience;
+        let mut res = Element::new("resilience");
+        match r.backpressure {
+            BackpressurePolicy::Block { timeout } => {
+                res.set_attr("backpressure", "block");
+                res.set_attr("timeout_ms", timeout.as_millis().to_string());
+            }
+            BackpressurePolicy::DropIteration => res.set_attr("backpressure", "drop"),
+            BackpressurePolicy::SyncFallback => res.set_attr("backpressure", "sync-fallback"),
+        }
+        res.set_attr("persist_retries", r.persist_retries.to_string());
+        res.set_attr("retry_base_ms", r.retry_base.as_millis().to_string());
+        res.set_attr("persist_deadline_ms", r.persist_deadline.as_millis().to_string());
+        res.set_attr("plugin_quarantine", r.plugin_quarantine.to_string());
+        res.set_attr("recovery_scan", if r.recovery_scan { "true" } else { "false" });
+        root.children.push(damaris_xml::Node::Element(res));
         let mut names: Vec<&String> = self.layouts.keys().collect();
         names.sort();
         for name in names {
@@ -491,6 +640,75 @@ mod tests {
         let warnings = c.diagnostics(2);
         assert_eq!(warnings.len(), 1);
         assert!(warnings[0].contains("dynamic"));
+    }
+
+    #[test]
+    fn resilience_defaults_and_overrides() {
+        let c = Config::from_xml("<damaris/>").unwrap();
+        assert_eq!(c.resilience, ResilienceConfig::default());
+        assert_eq!(
+            c.resilience.backpressure,
+            BackpressurePolicy::Block {
+                timeout: Duration::from_secs(30)
+            }
+        );
+        assert_eq!(c.resilience.plugin_quarantine, 0);
+        assert!(c.resilience.recovery_scan);
+
+        let c = Config::from_xml(
+            r#"<damaris>
+                 <resilience backpressure="drop" persist_retries="5"
+                             retry_base_ms="7" persist_deadline_ms="900"
+                             plugin_quarantine="3" recovery_scan="false"/>
+               </damaris>"#,
+        )
+        .unwrap();
+        assert_eq!(c.resilience.backpressure, BackpressurePolicy::DropIteration);
+        assert_eq!(c.resilience.persist_retries, 5);
+        assert_eq!(c.resilience.retry_base, Duration::from_millis(7));
+        assert_eq!(c.resilience.persist_deadline, Duration::from_millis(900));
+        assert_eq!(c.resilience.plugin_quarantine, 3);
+        assert!(!c.resilience.recovery_scan);
+
+        let c = Config::from_xml(
+            r#"<damaris><resilience backpressure="block" timeout_ms="250"/></damaris>"#,
+        )
+        .unwrap();
+        assert_eq!(
+            c.resilience.backpressure,
+            BackpressurePolicy::Block {
+                timeout: Duration::from_millis(250)
+            }
+        );
+        let c = Config::from_xml(
+            r#"<damaris><resilience backpressure="sync-fallback"/></damaris>"#,
+        )
+        .unwrap();
+        assert_eq!(c.resilience.backpressure, BackpressurePolicy::SyncFallback);
+    }
+
+    #[test]
+    fn resilience_rejects_bad_values() {
+        for bad in [
+            r#"<damaris><resilience backpressure="explode"/></damaris>"#,
+            r#"<damaris><resilience recovery_scan="maybe"/></damaris>"#,
+            r#"<damaris><resilience persist_retries="lots"/></damaris>"#,
+        ] {
+            assert!(Config::from_xml(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn resilience_roundtrips_through_xml() {
+        let c = Config::from_xml(
+            r#"<damaris>
+                 <resilience backpressure="sync-fallback" persist_retries="4"
+                             plugin_quarantine="2"/>
+               </damaris>"#,
+        )
+        .unwrap();
+        let c2 = Config::from_xml(&c.to_xml()).unwrap();
+        assert_eq!(c2.resilience, c.resilience);
     }
 
     #[test]

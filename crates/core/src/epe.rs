@@ -4,21 +4,45 @@
 //! [`crate::server`]) and dispatches them to plugins according to the
 //! event→action bindings of the configuration file. Multiple actions may
 //! bind to one event; they run in declaration order.
+//!
+//! # Plugin isolation
+//!
+//! Every dispatch runs under `catch_unwind`: a panicking plugin cannot
+//! take down the dedicated core (which would deadlock clients blocked on
+//! a full buffer). What happens *after* the failure is governed by
+//! `<resilience plugin_quarantine="K">`:
+//!
+//! * `K = 0` (default) — fail fast: the first failure (error return or
+//!   panic) propagates and aborts the run, as before.
+//! * `K > 0` — degrade: failures are counted per binding; after `K`
+//!   *consecutive* failures the plugin is quarantined (skipped, with a
+//!   logged reason) and the EPE keeps serving every other binding. One
+//!   success resets the streak.
 
 use crate::config::Config;
 use crate::error::DamarisError;
+use crate::node::FaultStats;
 use crate::plugin::{ActionContext, EventInfo, Plugin, PluginFactory};
 use crate::plugins;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// The implicit event fired when every client of the node has ended an
 /// iteration. Binding an action to it in the configuration overrides the
 /// default persistence behaviour.
 pub const END_OF_ITERATION: &str = "end_of_iteration";
 
+struct Binding {
+    event: String,
+    plugin: Box<dyn Plugin>,
+    consecutive_failures: u32,
+    /// `Some(reason)` once the plugin is disabled.
+    quarantined: Option<String>,
+}
+
 /// Event name → ordered plugin instances.
 pub struct EventProcessingEngine {
-    bindings: Vec<(String, Box<dyn Plugin>)>,
+    bindings: Vec<Binding>,
 }
 
 impl EventProcessingEngine {
@@ -37,39 +61,123 @@ impl EventProcessingEngine {
             } else {
                 plugins::builtin(action)?
             };
-            bindings.push((action.event.clone(), plugin));
+            bindings.push(Binding {
+                event: action.event.clone(),
+                plugin,
+                consecutive_failures: 0,
+                quarantined: None,
+            });
         }
         // Default behaviour: persist every completed iteration unless the
         // configuration bound something else to end_of_iteration.
-        if !bindings.iter().any(|(e, _)| e == END_OF_ITERATION) {
-            bindings.push((
-                END_OF_ITERATION.to_string(),
-                Box::new(plugins::persist::PersistPlugin::new(None)),
-            ));
+        if !bindings.iter().any(|b| b.event == END_OF_ITERATION) {
+            bindings.push(Binding {
+                event: END_OF_ITERATION.to_string(),
+                plugin: Box::new(plugins::persist::PersistPlugin::new(None)),
+                consecutive_failures: 0,
+                quarantined: None,
+            });
         }
         Ok(EventProcessingEngine { bindings })
     }
 
-    /// Dispatches one event to every bound plugin, in order.
+    /// Dispatches one event to every bound plugin, in order. Quarantined
+    /// plugins are skipped; see the module docs for failure handling.
     pub fn fire(
         &mut self,
         ctx: &mut ActionContext<'_>,
         event: &EventInfo,
     ) -> Result<(), DamarisError> {
-        for (name, plugin) in &mut self.bindings {
-            if *name == event.name {
-                plugin.handle(ctx, event)?;
+        let threshold = ctx.config.resilience.plugin_quarantine;
+        for i in 0..self.bindings.len() {
+            if self.bindings[i].event != event.name || self.bindings[i].quarantined.is_some() {
+                continue;
             }
+            let outcome = {
+                let b = &mut self.bindings[i];
+                catch_unwind(AssertUnwindSafe(|| b.plugin.handle(ctx, event)))
+            };
+            self.settle(i, outcome, ctx, threshold)?;
         }
         Ok(())
     }
 
     /// Shutdown pass: lets every plugin flush its state (in binding order).
+    /// Quarantined plugins stay disabled; failures here follow the same
+    /// fail-fast/degrade policy as [`EventProcessingEngine::fire`].
     pub fn finalize_all(&mut self, ctx: &mut ActionContext<'_>) -> Result<(), DamarisError> {
-        for (_, plugin) in &mut self.bindings {
-            plugin.finalize(ctx)?;
+        let threshold = ctx.config.resilience.plugin_quarantine;
+        for i in 0..self.bindings.len() {
+            if self.bindings[i].quarantined.is_some() {
+                continue;
+            }
+            let outcome = {
+                let b = &mut self.bindings[i];
+                catch_unwind(AssertUnwindSafe(|| b.plugin.finalize(ctx)))
+            };
+            self.settle(i, outcome, ctx, threshold)?;
         }
         Ok(())
+    }
+
+    /// Applies the failure policy to one dispatch outcome.
+    fn settle(
+        &mut self,
+        i: usize,
+        outcome: std::thread::Result<Result<(), DamarisError>>,
+        ctx: &ActionContext<'_>,
+        threshold: u32,
+    ) -> Result<(), DamarisError> {
+        let b = &mut self.bindings[i];
+        let error = match outcome {
+            Ok(Ok(())) => {
+                b.consecutive_failures = 0;
+                return Ok(());
+            }
+            Ok(Err(e)) => e,
+            Err(panic) => DamarisError::Plugin {
+                plugin: b.plugin.name().to_string(),
+                // as_ref() so we downcast the payload, not the Box itself.
+                message: format!("panicked: {}", panic_message(panic.as_ref())),
+            },
+        };
+        FaultStats::bump(&ctx.stats.plugin_failures);
+        if threshold == 0 {
+            return Err(error);
+        }
+        b.consecutive_failures += 1;
+        if b.consecutive_failures >= threshold {
+            eprintln!(
+                "[damaris node {}] plugin '{}' quarantined after {} consecutive \
+                 failure(s), last: {error}",
+                ctx.node_id,
+                b.plugin.name(),
+                b.consecutive_failures
+            );
+            b.quarantined = Some(error.to_string());
+            FaultStats::bump(&ctx.stats.plugins_quarantined);
+        } else {
+            eprintln!(
+                "[damaris node {}] plugin '{}' failed ({}/{threshold} before \
+                 quarantine): {error}",
+                ctx.node_id,
+                b.plugin.name(),
+                b.consecutive_failures
+            );
+        }
+        Ok(())
+    }
+
+    /// Quarantined plugins as `(name, reason)` pairs.
+    pub fn quarantined(&self) -> Vec<(String, String)> {
+        self.bindings
+            .iter()
+            .filter_map(|b| {
+                b.quarantined
+                    .as_ref()
+                    .map(|reason| (b.plugin.name().to_string(), reason.clone()))
+            })
+            .collect()
     }
 
     /// Number of instantiated bindings.
@@ -80,6 +188,17 @@ impl EventProcessingEngine {
     /// Always has at least the default persistence binding.
     pub fn is_empty(&self) -> bool {
         false
+    }
+}
+
+/// Extracts the payload of a caught panic, when it is a string.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -63,10 +63,13 @@ pub mod multinode;
 pub mod node;
 pub mod plugin;
 pub mod plugins;
+pub(crate) mod retry;
 pub mod server;
 
 pub use client::{AllocatedRegion, DamarisClient};
-pub use config::{ActionBinding, AllocatorKind, Config, VariableDef};
+pub use config::{
+    ActionBinding, AllocatorKind, BackpressurePolicy, Config, ResilienceConfig, VariableDef,
+};
 pub use error::DamarisError;
 pub use event::Event;
 pub use layout::LayoutDef;

@@ -95,7 +95,7 @@ impl SmpNode {
                         "symmetric topology needs at least one dedicated core".into(),
                     ));
                 }
-                if n_clients % dedicated != 0 {
+                if !n_clients.is_multiple_of(dedicated) {
                     return Err(DamarisError::Config(format!(
                         "{n_clients} clients do not split evenly over {dedicated} dedicated cores"
                     )));

@@ -9,9 +9,10 @@ use crate::error::DamarisError;
 use crate::event::Event;
 use crate::plugin::PluginFactory;
 use crate::server;
-use damaris_fs::LocalDirBackend;
+use damaris_fs::{LocalDirBackend, StorageBackend};
 use damaris_shm::{AllocError, MpscQueue, MutexAllocator, PartitionAllocator, Segment};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Either of the paper's two reservation schemes, behind one interface.
@@ -43,12 +44,40 @@ impl BufferManager {
     }
 }
 
+/// Failure/degradation counters shared across the node: clients bump the
+/// backpressure ones, the dedicated core bumps the persist/plugin ones, and
+/// the final [`NodeReport`] copies them out.
+#[derive(Debug, Default)]
+pub(crate) struct FaultStats {
+    pub persist_retries: AtomicU64,
+    pub iterations_degraded: AtomicU64,
+    pub writes_dropped: AtomicU64,
+    pub sync_fallback_writes: AtomicU64,
+    pub plugin_failures: AtomicU64,
+    pub plugins_quarantined: AtomicU64,
+    pub recovery_actions: AtomicU64,
+}
+
+impl FaultStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::SeqCst)
+    }
+}
+
 /// State shared between the clients and the server of one node.
 pub(crate) struct NodeShared {
     pub config: Config,
     pub buffer: BufferManager,
     pub queue: MpscQueue<Event>,
     pub clients: usize,
+    /// Storage target; a trait object so tests can decorate it with
+    /// fault injection ([`damaris_fs::FaultyBackend`]).
+    pub backend: Arc<dyn StorageBackend>,
+    pub stats: FaultStats,
 }
 
 /// Final accounting returned by [`NodeRuntime::finish`].
@@ -69,6 +98,23 @@ pub struct NodeReport {
     /// Peak shared-memory bytes resident in the metadata store — how much
     /// of the buffer the node actually needed (buffer-sizing guidance).
     pub peak_resident_bytes: u64,
+    /// Persist attempts retried after a transient storage failure.
+    pub persist_retries: u64,
+    /// Iterations whose data was dropped because persist exhausted its
+    /// retry budget/deadline (the run continued — graceful degradation).
+    pub iterations_degraded: u64,
+    /// Client writes dropped under the `drop` backpressure policy.
+    pub writes_dropped: u64,
+    /// Client writes that bypassed shared memory under the `sync-fallback`
+    /// backpressure policy (written synchronously by the compute core).
+    pub sync_fallback_writes: u64,
+    /// Plugin invocations that failed (error return or caught panic).
+    pub plugin_failures: u64,
+    /// Plugins disabled after `plugin_quarantine` consecutive failures.
+    pub plugins_quarantined: u64,
+    /// Startup recovery actions (orphan `*.tmp` deletions + torn-file
+    /// quarantines) taken before serving.
+    pub recovery_actions: u64,
 }
 
 /// One running Damaris node: a dedicated-core server thread plus client
@@ -77,7 +123,6 @@ pub struct NodeRuntime {
     shared: Arc<NodeShared>,
     clients: Option<Vec<DamarisClient>>,
     server: Option<std::thread::JoinHandle<Result<NodeReport, DamarisError>>>,
-    backend: Arc<LocalDirBackend>,
 }
 
 impl NodeRuntime {
@@ -101,6 +146,23 @@ impl NodeRuntime {
         node_id: u32,
         extra_plugins: Vec<(String, PluginFactory)>,
     ) -> Result<NodeRuntime, DamarisError> {
+        let backend = Arc::new(
+            LocalDirBackend::new(output_dir)
+                .map_err(|e| DamarisError::Storage(damaris_format::SdfError::Io(e)))?,
+        );
+        Self::start_with_backend(config, n_clients, backend, node_id, extra_plugins)
+    }
+
+    /// Starts a node persisting through an explicit [`StorageBackend`] —
+    /// how chaos tests slide a [`damaris_fs::FaultyBackend`] under the
+    /// whole I/O path, and how alternative backends plug in.
+    pub fn start_with_backend(
+        config: Config,
+        n_clients: usize,
+        backend: Arc<dyn StorageBackend>,
+        node_id: u32,
+        extra_plugins: Vec<(String, PluginFactory)>,
+    ) -> Result<NodeRuntime, DamarisError> {
         if n_clients == 0 {
             return Err(DamarisError::Config("need at least one client".into()));
         }
@@ -113,17 +175,34 @@ impl NodeRuntime {
             ),
         };
         let queue = MpscQueue::new(config.queue_capacity);
-        let backend = Arc::new(
-            LocalDirBackend::new(output_dir)
-                .map_err(|e| DamarisError::Storage(damaris_format::SdfError::Io(e)))?,
-        );
 
         let epe = EventProcessingEngine::build(&config, extra_plugins)?;
+        let stats = FaultStats::default();
+        if config.resilience.recovery_scan {
+            // Crash recovery before serving: anything a previous run (or a
+            // previous fault) left half-written is removed or quarantined
+            // so this run starts from a consistent directory.
+            let scan = damaris_fs::recover(backend.as_ref())
+                .map_err(|e| DamarisError::Storage(damaris_format::SdfError::Io(e)))?;
+            if !scan.is_clean() {
+                eprintln!(
+                    "[damaris node {node_id}] recovery: removed {} orphan tmp file(s), \
+                     quarantined {} torn file(s)",
+                    scan.removed_tmp.len(),
+                    scan.quarantined.len()
+                );
+            }
+            stats
+                .recovery_actions
+                .store(scan.actions(), Ordering::SeqCst);
+        }
         let shared = Arc::new(NodeShared {
             config,
             buffer,
             queue,
             clients: n_clients,
+            backend,
+            stats,
         });
 
         let clients = (0..n_clients as u32)
@@ -131,17 +210,15 @@ impl NodeRuntime {
             .collect();
 
         let server_shared = Arc::clone(&shared);
-        let server_backend = Arc::clone(&backend);
         let server = std::thread::Builder::new()
             .name(format!("damaris-ded-{node_id}"))
-            .spawn(move || server::run(server_shared, server_backend, epe, node_id))
+            .spawn(move || server::run(server_shared, epe, node_id))
             .expect("spawn dedicated-core thread");
 
         Ok(NodeRuntime {
             shared,
             clients: Some(clients),
             server: Some(server),
-            backend,
         })
     }
 
@@ -160,8 +237,8 @@ impl NodeRuntime {
     }
 
     /// The storage backend (for inspecting produced files).
-    pub fn backend(&self) -> &Arc<LocalDirBackend> {
-        &self.backend
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.shared.backend
     }
 
     /// Capacity of the node's shared buffer in bytes.

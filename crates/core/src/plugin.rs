@@ -12,8 +12,8 @@
 use crate::config::{ActionBinding, Config};
 use crate::error::DamarisError;
 use crate::metadata::MetadataStore;
-use crate::node::BufferManager;
-use damaris_fs::LocalDirBackend;
+use crate::node::{BufferManager, FaultStats};
+use damaris_fs::StorageBackend;
 use damaris_shm::Segment;
 
 /// The event being dispatched, as plugins see it.
@@ -36,9 +36,12 @@ pub struct ActionContext<'a> {
     pub config: &'a Config,
     /// Resident variables; actions typically drain an iteration.
     pub store: &'a mut MetadataStore,
-    /// Real storage (SDF files in a directory).
-    pub backend: &'a LocalDirBackend,
+    /// Storage behind the [`StorageBackend`] trait — usually a local
+    /// directory, possibly decorated with fault injection under test.
+    pub backend: &'a dyn StorageBackend,
     pub(crate) buffer: &'a BufferManager,
+    /// Failure counters (persist retries, degraded iterations, …).
+    pub(crate) stats: &'a FaultStats,
     /// Monotonically increasing per-source sequence of pending releases;
     /// flushed by the server after the action completes, in FIFO order per
     /// source (required by the partitioned allocator).

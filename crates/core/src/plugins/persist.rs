@@ -5,10 +5,24 @@
 //! With a codec spec in the binding's `using` attribute (e.g. `"lzss"` or
 //! `"precision16|lzss"`), data is compressed inside the dedicated core —
 //! invisible to the simulation, unlike client-side compression (§IV-D).
+//!
+//! # Failure handling
+//!
+//! Files go through the crash-consistent `begin_sdf`/`commit_sdf` protocol
+//! (tmp file + fsync + atomic rename): a crash mid-persist never publishes
+//! a half-written file. Transient storage failures are retried with
+//! exponential backoff + jitter under `<resilience persist_retries=…
+//! retry_base_ms=… persist_deadline_ms=…>`; when the budget is exhausted
+//! the iteration is *degraded* — its data is dropped, the shared memory is
+//! released (so clients never deadlock on a sick file system), the event
+//! is counted in `NodeReport::iterations_degraded`, and the server loop
+//! keeps running.
 
 use crate::error::DamarisError;
+use crate::node::FaultStats;
 use crate::plugin::{ActionContext, EventInfo, Plugin};
 use damaris_format::DatasetOptions;
+use std::time::Instant;
 
 /// Writes `/iter-N/rank-S/<variable>` datasets into `node-<id>/iter-N.sdf`.
 pub struct PersistPlugin {
@@ -32,6 +46,35 @@ impl PersistPlugin {
     pub fn ratio_percent(&self) -> f64 {
         damaris_compress::paper_ratio_percent(self.logical_bytes as usize, self.stored_bytes as usize)
     }
+
+    /// One full write-and-commit attempt. On failure nothing is published
+    /// (at worst a `*.tmp` is left for recovery/retry to overwrite).
+    fn try_persist(
+        &self,
+        ctx: &ActionContext<'_>,
+        iteration: u32,
+        drained: &[crate::metadata::StoredVariable],
+    ) -> Result<u64, DamarisError> {
+        let file_name = format!("node-{}/iter-{:06}.sdf", ctx.node_id, iteration);
+        let mut writer = ctx.backend.begin_sdf(&file_name)?;
+        for var in drained {
+            let path = format!("/iter-{}/rank-{}/{}", iteration, var.key.source, var.name);
+            let mut opts = DatasetOptions::plain()
+                .with_attr("iteration", i64::from(iteration))
+                .with_attr("source", i64::from(var.key.source));
+            // Static variable attributes from the configuration (unit, …).
+            if let Some(def) = ctx.config.variable(var.key.variable_id) {
+                for (k, v) in &def.attrs {
+                    opts = opts.with_attr(k.clone(), v.as_str());
+                }
+            }
+            if let Some(filter) = &self.filter {
+                opts = opts.with_filter(filter.clone());
+            }
+            writer.write_dataset_bytes(&path, &var.layout, var.data(), &opts)?;
+        }
+        Ok(ctx.backend.commit_sdf(writer)?)
+    }
 }
 
 impl Plugin for PersistPlugin {
@@ -49,29 +92,46 @@ impl Plugin for PersistPlugin {
         if drained.is_empty() {
             return Ok(());
         }
-        let file_name = format!("node-{}/iter-{:06}.sdf", ctx.node_id, iteration);
-        let mut writer = ctx.backend.create_sdf(&file_name)?;
-        for var in &drained {
-            let path = format!("/iter-{}/rank-{}/{}", iteration, var.key.source, var.name);
-            let mut opts = DatasetOptions::plain()
-                .with_attr("iteration", i64::from(iteration))
-                .with_attr("source", i64::from(var.key.source));
-            // Static variable attributes from the configuration (unit, …).
-            if let Some(def) = ctx.config.variable(var.key.variable_id) {
-                for (k, v) in &def.attrs {
-                    opts = opts.with_attr(k.clone(), v.as_str());
+        let policy = ctx.config.resilience;
+        let deadline = Instant::now() + policy.persist_deadline;
+        let mut backoff =
+            crate::retry::Backoff::new(policy.retry_base, policy.persist_deadline / 4);
+        let mut attempt = 0u32;
+        loop {
+            match self.try_persist(ctx, iteration, &drained) {
+                Ok(total) => {
+                    for var in &drained {
+                        self.logical_bytes += var.segment.len() as u64;
+                    }
+                    self.stored_bytes += total;
+                    ctx.backend.account_bytes(total);
+                    break;
+                }
+                Err(error) => {
+                    let delay = backoff.delay();
+                    let budget_left =
+                        attempt < policy.persist_retries && Instant::now() + delay < deadline;
+                    if !budget_left {
+                        // Degrade rather than abort: the iteration's data
+                        // is lost, but the run — and every later
+                        // iteration — continues.
+                        FaultStats::bump(&ctx.stats.iterations_degraded);
+                        eprintln!(
+                            "[damaris node {}] iteration {iteration} degraded: persist \
+                             failed after {} attempt(s): {error}",
+                            ctx.node_id,
+                            attempt + 1
+                        );
+                        break;
+                    }
+                    attempt += 1;
+                    FaultStats::bump(&ctx.stats.persist_retries);
+                    std::thread::sleep(delay);
                 }
             }
-            if let Some(filter) = &self.filter {
-                opts = opts.with_filter(filter.clone());
-            }
-            writer.write_dataset_bytes(&path, &var.layout, var.data(), &opts)?;
-            self.logical_bytes += var.segment.len() as u64;
         }
-        let total = writer.finish()?;
-        self.stored_bytes += total;
-        ctx.backend.account_bytes(total);
-        // Data persisted: shared memory can be reclaimed.
+        // Persisted or degraded: either way the shared memory is reclaimed
+        // so clients can keep producing.
         ctx.release_all(drained);
         Ok(())
     }

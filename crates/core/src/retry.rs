@@ -1,0 +1,77 @@
+//! Bounded exponential backoff with jitter, shared by the client's
+//! buffer-full path and the persist plugin's storage retries.
+//!
+//! Jitter matters here for the same reason it matters in any fan-in system:
+//! every client of a node hits a full buffer at the same moment (they run
+//! the same simulation step), and synchronized retries would re-collide.
+//! The jitter source is `RandomState` (std's per-process SipHash keys) —
+//! no dependency, not cryptographic, good enough to decorrelate threads.
+
+use std::hash::{BuildHasher, Hasher};
+use std::time::Duration;
+
+/// An exponential backoff sequence: `base`, `2·base`, `4·base`, … capped at
+/// `cap`, each step with up to +50% jitter.
+#[derive(Debug)]
+pub(crate) struct Backoff {
+    next: Duration,
+    cap: Duration,
+    attempt: u32,
+}
+
+impl Backoff {
+    pub(crate) fn new(base: Duration, cap: Duration) -> Self {
+        Backoff {
+            next: base.max(Duration::from_micros(1)),
+            cap,
+            attempt: 0,
+        }
+    }
+
+    /// The next delay to sleep (advances the sequence).
+    pub(crate) fn delay(&mut self) -> Duration {
+        let step = self.next.min(self.cap);
+        self.next = (self.next * 2).min(self.cap);
+        self.attempt += 1;
+        step + jitter(step / 2, self.attempt)
+    }
+}
+
+/// Uniform-ish jitter in `[0, max]`, decorrelated across threads/attempts.
+fn jitter(max: Duration, attempt: u32) -> Duration {
+    let nanos = max.as_nanos() as u64;
+    if nanos == 0 {
+        return Duration::ZERO;
+    }
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u32(attempt);
+    Duration::from_nanos(h.finish() % (nanos + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_and_caps() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(35);
+        let mut b = Backoff::new(base, cap);
+        let d0 = b.delay();
+        assert!(d0 >= base && d0 <= base + base / 2, "{d0:?}");
+        let d1 = b.delay();
+        assert!(d1 >= 2 * base && d1 <= 3 * base, "{d1:?}");
+        // From here the schedule is capped (plus at most 50% jitter).
+        for _ in 0..5 {
+            let d = b.delay();
+            assert!(d >= cap && d <= cap + cap / 2, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn zero_jitter_for_tiny_steps() {
+        assert_eq!(jitter(Duration::ZERO, 3), Duration::ZERO);
+        let mut b = Backoff::new(Duration::from_nanos(1), Duration::from_nanos(1));
+        assert!(b.delay() <= Duration::from_nanos(2));
+    }
+}

@@ -10,9 +10,8 @@ use crate::epe::{EventProcessingEngine, END_OF_ITERATION};
 use crate::error::DamarisError;
 use crate::event::Event;
 use crate::metadata::{MetadataStore, StoredVariable, VariableKey};
-use crate::node::{NodeReport, NodeShared};
+use crate::node::{FaultStats, NodeReport, NodeShared};
 use crate::plugin::{ActionContext, EventInfo};
-use damaris_fs::LocalDirBackend;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -23,7 +22,6 @@ pub const SERVER_SOURCE: u32 = u32::MAX;
 /// `Terminate` event arrives.
 pub(crate) fn run(
     shared: Arc<NodeShared>,
-    backend: Arc<LocalDirBackend>,
     mut epe: EventProcessingEngine,
     node_id: u32,
 ) -> Result<NodeReport, DamarisError> {
@@ -32,6 +30,7 @@ pub(crate) fn run(
     let mut pending_release = Vec::new();
     let mut end_counts: HashMap<u32, usize> = HashMap::new();
     let mut seq: u64 = 0;
+    let backend = Arc::clone(&shared.backend);
 
     macro_rules! ctx {
         () => {
@@ -39,8 +38,9 @@ pub(crate) fn run(
                 node_id,
                 config: &shared.config,
                 store: &mut store,
-                backend: &backend,
+                backend: backend.as_ref(),
                 buffer: &shared.buffer,
+                stats: &shared.stats,
                 pending_release: &mut pending_release,
             }
         };
@@ -144,5 +144,13 @@ pub(crate) fn run(
 
     report.files_created = backend.files_created();
     report.bytes_stored = backend.bytes_written();
+    let stats = &shared.stats;
+    report.persist_retries = FaultStats::get(&stats.persist_retries);
+    report.iterations_degraded = FaultStats::get(&stats.iterations_degraded);
+    report.writes_dropped = FaultStats::get(&stats.writes_dropped);
+    report.sync_fallback_writes = FaultStats::get(&stats.sync_fallback_writes);
+    report.plugin_failures = FaultStats::get(&stats.plugin_failures);
+    report.plugins_quarantined = FaultStats::get(&stats.plugins_quarantined);
+    report.recovery_actions = FaultStats::get(&stats.recovery_actions);
     Ok(report)
 }

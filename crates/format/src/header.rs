@@ -38,6 +38,12 @@ pub fn check_superblock(bytes: &[u8]) -> Result<()> {
             "unsupported SDF version {version} (expected {VERSION})"
         )));
     }
+    let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
+    if flags != 0 {
+        return Err(SdfError::Format(format!(
+            "unknown superblock flags {flags:#06x} (all flag bits are reserved)"
+        )));
+    }
     Ok(())
 }
 
@@ -250,6 +256,18 @@ mod tests {
         assert!(check_superblock(&buf).is_ok());
         buf[0] = b'X';
         assert!(check_superblock(&buf).is_err());
+    }
+
+    #[test]
+    fn reserved_flag_bits_rejected() {
+        let mut buf = Vec::new();
+        write_superblock(&mut buf);
+        for bit in 0..16 {
+            let mut flipped = buf.clone();
+            let flags = 1u16 << bit;
+            flipped[6..8].copy_from_slice(&flags.to_le_bytes());
+            assert!(check_superblock(&flipped).is_err(), "flag bit {bit} accepted");
+        }
     }
 
     #[test]

@@ -225,6 +225,17 @@ impl SdfReader {
         Ok(logical)
     }
 
+    /// Verifies the stored checksum of *every* dataset payload (the index
+    /// and footer were already verified at open). Decoding/filters are not
+    /// exercised — this is the cheap integrity pass a recovery scan runs
+    /// over files found after a crash.
+    pub fn validate(&self) -> Result<()> {
+        for entry in &self.entries {
+            self.read_stored(entry)?;
+        }
+        Ok(())
+    }
+
     /// Reads and decodes the full payload of a dataset as raw bytes.
     pub fn read_bytes(&self, path: &str) -> Result<Vec<u8>> {
         let entry = self.entry(path)?;

@@ -235,7 +235,19 @@ impl SdfWriter {
     }
 
     /// Writes the index and footer, flushes, and consumes the writer.
-    pub fn finish(mut self) -> Result<u64> {
+    pub fn finish(self) -> Result<u64> {
+        self.finish_inner(false)
+    }
+
+    /// Like [`SdfWriter::finish`], but also fsyncs the file to disk before
+    /// returning. Crash-consistent commit protocols (write to a temporary
+    /// name, sync, rename into place) need the sync to happen *before* the
+    /// rename publishes the file.
+    pub fn finish_synced(self) -> Result<u64> {
+        self.finish_inner(true)
+    }
+
+    fn finish_inner(mut self, sync: bool) -> Result<u64> {
         let index_offset = self.offset;
         let mut index_bytes = Vec::new();
         damaris_compress::varint::write_u64(self.index.len() as u64, &mut index_bytes);
@@ -249,6 +261,9 @@ impl SdfWriter {
         header::write_footer(index_offset, index_len, index_crc, &mut footer);
         self.raw_write(&footer)?;
         self.file.flush()?;
+        if sync {
+            self.file.get_ref().sync_all()?;
+        }
         self.finished = true;
         Ok(self.offset)
     }

@@ -1,0 +1,112 @@
+//! The storage-backend abstraction behind the Damaris persist path.
+//!
+//! Historically the runtime wrote through [`LocalDirBackend`] directly.
+//! Fault-injection (see [`crate::faulty::FaultyBackend`]) and any future
+//! remote/striped backends need the persist path to go through a trait
+//! object instead, so the dedicated core never knows (or cares) whether a
+//! write can fail, stall, or tear.
+//!
+//! # Crash-consistent commit
+//!
+//! [`StorageBackend::begin_sdf`] opens the writer on a temporary name
+//! (`<name>.tmp`); [`StorageBackend::commit_sdf`] finishes the writer,
+//! fsyncs, and atomically renames it to its final name. A crash (or an
+//! injected fault) between the two leaves either a `*.tmp` orphan or
+//! nothing — never a half-written `*.sdf` that readers could mistake for
+//! output. The recovery scan ([`crate::recovery::recover`]) deletes
+//! orphans and quarantines any `*.sdf` whose checksums don't verify.
+
+use damaris_format::{Result, SdfError, SdfWriter};
+use std::path::{Path, PathBuf};
+
+/// Suffix added to in-flight SDF files until they are committed.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// Abstract storage target for SDF output.
+///
+/// Object-safe so the runtime can hold an `Arc<dyn StorageBackend>` and
+/// tests can swap in decorated (fault-injecting) backends.
+pub trait StorageBackend: Send + Sync + std::fmt::Debug {
+    /// Opens a writer on the *temporary* name for `name` (parents are
+    /// created). The file is invisible to [`StorageBackend::list_sdf_files`]
+    /// until [`StorageBackend::commit_sdf`] renames it into place.
+    fn begin_sdf(&self, name: &str) -> Result<SdfWriter>;
+
+    /// Finishes + fsyncs `writer` and atomically publishes it under its
+    /// final name. Returns total bytes in the file.
+    fn commit_sdf(&self, writer: SdfWriter) -> Result<u64>;
+
+    /// Legacy non-atomic create: writes directly to the final name.
+    /// Baselines (file-per-process) and tools that don't need crash
+    /// consistency still use this.
+    fn create_sdf(&self, name: &str) -> Result<SdfWriter>;
+
+    /// Records that `bytes` were persisted.
+    fn account_bytes(&self, bytes: u64);
+
+    /// Number of files created (committed or legacy-created).
+    fn files_created(&self) -> u64;
+
+    /// Total bytes accounted via [`StorageBackend::account_bytes`].
+    fn bytes_written(&self) -> u64;
+
+    /// Mean throughput since creation (bytes/s).
+    fn mean_throughput(&self) -> f64;
+
+    /// Published SDF files (relative paths); excludes `*.tmp`.
+    fn list_sdf_files(&self) -> std::io::Result<Vec<PathBuf>>;
+
+    /// The backing directory.
+    fn root(&self) -> &Path;
+
+    /// Full path for a name inside the backend.
+    fn path_of(&self, name: &str) -> PathBuf;
+}
+
+/// Maps a final SDF path to its in-flight temporary path.
+pub fn tmp_path_of(final_path: &Path) -> PathBuf {
+    let mut os = final_path.as_os_str().to_os_string();
+    os.push(TMP_SUFFIX);
+    PathBuf::from(os)
+}
+
+/// Recovers the final path from a temporary path, if it is one.
+pub fn final_path_of(tmp_path: &Path) -> Option<PathBuf> {
+    let s = tmp_path.to_str()?;
+    s.strip_suffix(TMP_SUFFIX).map(PathBuf::from)
+}
+
+/// Shared rename-into-place step: fsync is the *caller's* job (via
+/// [`SdfWriter::finish_synced`]); this publishes and then best-effort syncs
+/// the parent directory so the rename itself survives a crash.
+pub(crate) fn publish(tmp: &Path) -> Result<PathBuf> {
+    let final_path = final_path_of(tmp).ok_or_else(|| {
+        SdfError::Usage(format!(
+            "commit_sdf: writer path {} does not end in {TMP_SUFFIX}",
+            tmp.display()
+        ))
+    })?;
+    std::fs::rename(tmp, &final_path).map_err(SdfError::Io)?;
+    if let Some(parent) = final_path.parent() {
+        // Directory fsync is not supported everywhere; the rename is still
+        // atomic without it, so failures here are not fatal.
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(final_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tmp_final_roundtrip() {
+        let f = PathBuf::from("/x/node-0/iter-000001.sdf");
+        let t = tmp_path_of(&f);
+        assert_eq!(t, PathBuf::from("/x/node-0/iter-000001.sdf.tmp"));
+        assert_eq!(final_path_of(&t).unwrap(), f);
+        assert_eq!(final_path_of(&f), None);
+    }
+}

@@ -1,0 +1,310 @@
+//! Deterministic fault injection for the storage path.
+//!
+//! [`FaultyBackend`] decorates any [`StorageBackend`] with a scripted
+//! [`FaultPlan`]: rules keyed by *operation* (begin/commit) and *call
+//! ordinal* fire exactly once each, so a chaos test can say "the 2nd commit
+//! returns a transient error, the 4th commit tears" and then assert the
+//! runtime's counters match the plan to the digit. No randomness is
+//! involved — reproducibility is the whole point of the harness.
+
+use crate::backend::StorageBackend;
+use damaris_format::{Result, SdfError, SdfWriter};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Which backend operation a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// [`StorageBackend::begin_sdf`] (file creation).
+    Begin,
+    /// [`StorageBackend::commit_sdf`] (finish + fsync + rename).
+    Commit,
+}
+
+/// What happens when a rule fires.
+#[derive(Debug, Clone)]
+pub enum FaultKind {
+    /// The operation fails with an I/O error; retrying may succeed.
+    TransientError,
+    /// The operation succeeds, but only after sleeping this long — models
+    /// the I/O jitter the paper sets out to hide from compute cores.
+    Stall(Duration),
+    /// Commit only: the file is published *torn* — truncated to `keep_num /
+    /// keep_den` of its length, bypassing the atomic protocol, as if the
+    /// node died after the rename but before data hit the platters. The
+    /// call still reports success; only a later recovery scan can tell.
+    TornWrite { keep_num: u64, keep_den: u64 },
+}
+
+/// One scripted fault: fires on the `nth` call (0-based) of `op`.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    pub op: FaultOp,
+    pub nth: u64,
+    pub kind: FaultKind,
+}
+
+/// An ordered script of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `nth` call of `op` fails with a transient I/O error.
+    pub fn fail_nth(mut self, op: FaultOp, nth: u64) -> Self {
+        self.rules.push(FaultRule {
+            op,
+            nth,
+            kind: FaultKind::TransientError,
+        });
+        self
+    }
+
+    /// The first `n` calls of `op` fail, later ones succeed (the classic
+    /// "fail N then succeed" shape retry logic must survive).
+    pub fn fail_first(mut self, op: FaultOp, n: u64) -> Self {
+        for nth in 0..n {
+            self.rules.push(FaultRule {
+                op,
+                nth,
+                kind: FaultKind::TransientError,
+            });
+        }
+        self
+    }
+
+    /// The `nth` call of `op` stalls for `d` before succeeding.
+    pub fn stall_nth(mut self, op: FaultOp, nth: u64, d: Duration) -> Self {
+        self.rules.push(FaultRule {
+            op,
+            nth,
+            kind: FaultKind::Stall(d),
+        });
+        self
+    }
+
+    /// The `nth` commit publishes a torn file keeping `keep_num/keep_den`
+    /// of its bytes.
+    pub fn tear_nth_commit(mut self, nth: u64, keep_num: u64, keep_den: u64) -> Self {
+        assert!(keep_den > 0 && keep_num < keep_den, "tear must drop bytes");
+        self.rules.push(FaultRule {
+            op: FaultOp::Commit,
+            nth,
+            kind: FaultKind::TornWrite { keep_num, keep_den },
+        });
+        self
+    }
+
+    fn take_matching(&mut self, op: FaultOp, nth: u64) -> Option<FaultKind> {
+        let i = self.rules.iter().position(|r| r.op == op && r.nth == nth)?;
+        Some(self.rules.remove(i).kind)
+    }
+}
+
+/// Counts of faults actually injected, for test assertions.
+#[derive(Debug, Default)]
+pub struct InjectedCounts {
+    pub transient_errors: AtomicU64,
+    pub stalls: AtomicU64,
+    pub torn_writes: AtomicU64,
+}
+
+/// A [`StorageBackend`] decorator that executes a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultyBackend<B> {
+    inner: B,
+    plan: Mutex<FaultPlan>,
+    begin_calls: AtomicU64,
+    commit_calls: AtomicU64,
+    injected: InjectedCounts,
+}
+
+impl<B: StorageBackend> FaultyBackend<B> {
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        FaultyBackend {
+            inner,
+            plan: Mutex::new(plan),
+            begin_calls: AtomicU64::new(0),
+            commit_calls: AtomicU64::new(0),
+            injected: InjectedCounts::default(),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Counts of faults injected so far.
+    pub fn injected(&self) -> &InjectedCounts {
+        &self.injected
+    }
+
+    fn next_fault(&self, op: FaultOp, counter: &AtomicU64) -> Option<FaultKind> {
+        let nth = counter.fetch_add(1, Ordering::SeqCst);
+        self.plan
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take_matching(op, nth)
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
+    fn begin_sdf(&self, name: &str) -> Result<SdfWriter> {
+        match self.next_fault(FaultOp::Begin, &self.begin_calls) {
+            Some(FaultKind::TransientError) => {
+                self.injected.transient_errors.fetch_add(1, Ordering::SeqCst);
+                Err(injected_io_error("begin_sdf", name))
+            }
+            Some(FaultKind::Stall(d)) => {
+                self.injected.stalls.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(d);
+                self.inner.begin_sdf(name)
+            }
+            Some(FaultKind::TornWrite { .. }) => {
+                // Tearing is a commit-time concept; treat as a plan bug.
+                panic!("FaultPlan: TornWrite rule attached to Begin")
+            }
+            None => self.inner.begin_sdf(name),
+        }
+    }
+
+    fn commit_sdf(&self, writer: SdfWriter) -> Result<u64> {
+        match self.next_fault(FaultOp::Commit, &self.commit_calls) {
+            Some(FaultKind::TransientError) => {
+                self.injected.transient_errors.fetch_add(1, Ordering::SeqCst);
+                // The tmp file stays behind, exactly like a failed commit:
+                // recovery (or a retry writing the same name) deals with it.
+                Err(injected_io_error("commit_sdf", &writer.path().display().to_string()))
+            }
+            Some(FaultKind::Stall(d)) => {
+                self.injected.stalls.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(d);
+                self.inner.commit_sdf(writer)
+            }
+            Some(FaultKind::TornWrite { keep_num, keep_den }) => {
+                self.injected.torn_writes.fetch_add(1, Ordering::SeqCst);
+                let tmp = writer.path().to_path_buf();
+                let total = self.inner.commit_sdf(writer)?;
+                // The commit published the file; now tear it behind the
+                // runtime's back, as a dying node would.
+                let final_path = crate::backend::final_path_of(&tmp)
+                    .expect("commit succeeded, so the path was a tmp path");
+                let keep = total * keep_num / keep_den;
+                let f = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&final_path)
+                    .map_err(SdfError::Io)?;
+                f.set_len(keep).map_err(SdfError::Io)?;
+                Ok(total)
+            }
+            None => self.inner.commit_sdf(writer),
+        }
+    }
+
+    fn create_sdf(&self, name: &str) -> Result<SdfWriter> {
+        self.inner.create_sdf(name)
+    }
+
+    fn account_bytes(&self, bytes: u64) {
+        self.inner.account_bytes(bytes)
+    }
+
+    fn files_created(&self) -> u64 {
+        self.inner.files_created()
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+
+    fn mean_throughput(&self) -> f64 {
+        self.inner.mean_throughput()
+    }
+
+    fn list_sdf_files(&self) -> std::io::Result<Vec<PathBuf>> {
+        self.inner.list_sdf_files()
+    }
+
+    fn root(&self) -> &Path {
+        self.inner.root()
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        self.inner.path_of(name)
+    }
+}
+
+fn injected_io_error(op: &str, target: &str) -> SdfError {
+    SdfError::Io(std::io::Error::other(format!(
+        "injected transient fault: {op}({target})"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocalDirBackend;
+    use damaris_format::{DataType, Layout, SdfReader};
+
+    fn write_one(backend: &dyn StorageBackend, name: &str) -> Result<u64> {
+        let mut w = backend.begin_sdf(name)?;
+        let layout = Layout::new(DataType::F32, &[16]);
+        w.write_dataset_f32("/v", &layout, &[1.5; 16])?;
+        backend.commit_sdf(w)
+    }
+
+    #[test]
+    fn plan_fires_on_exact_ordinals() {
+        let inner = LocalDirBackend::scratch("faulty-ordinal").unwrap();
+        let plan = FaultPlan::new().fail_nth(FaultOp::Commit, 1);
+        let b = FaultyBackend::new(inner, plan);
+        assert!(write_one(&b, "a.sdf").is_ok());
+        assert!(write_one(&b, "b.sdf").is_err()); // 2nd commit injected
+        assert!(write_one(&b, "c.sdf").is_ok());
+        assert_eq!(b.injected().transient_errors.load(Ordering::SeqCst), 1);
+        // The failed commit left its tmp file behind; only 2 published.
+        assert_eq!(b.list_sdf_files().unwrap().len(), 2);
+        assert!(b.path_of("b.sdf.tmp").exists());
+    }
+
+    #[test]
+    fn fail_first_then_succeed() {
+        let inner = LocalDirBackend::scratch("faulty-failfirst").unwrap();
+        let plan = FaultPlan::new().fail_first(FaultOp::Begin, 2);
+        let b = FaultyBackend::new(inner, plan);
+        assert!(b.begin_sdf("x.sdf").is_err());
+        assert!(b.begin_sdf("x.sdf").is_err());
+        assert!(b.begin_sdf("x.sdf").is_ok());
+    }
+
+    #[test]
+    fn torn_write_publishes_corrupt_file() {
+        let inner = LocalDirBackend::scratch("faulty-torn").unwrap();
+        let plan = FaultPlan::new().tear_nth_commit(0, 1, 2);
+        let b = FaultyBackend::new(inner, plan);
+        let total = write_one(&b, "torn.sdf").unwrap();
+        let on_disk = std::fs::metadata(b.path_of("torn.sdf")).unwrap().len();
+        assert_eq!(on_disk, total / 2);
+        assert!(SdfReader::open(b.path_of("torn.sdf")).is_err());
+        assert_eq!(b.injected().torn_writes.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stall_delays_but_succeeds() {
+        let inner = LocalDirBackend::scratch("faulty-stall").unwrap();
+        let plan = FaultPlan::new().stall_nth(FaultOp::Commit, 0, Duration::from_millis(30));
+        let b = FaultyBackend::new(inner, plan);
+        let t0 = std::time::Instant::now();
+        write_one(&b, "slow.sdf").unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        assert!(SdfReader::open(b.path_of("slow.sdf")).is_ok());
+    }
+}

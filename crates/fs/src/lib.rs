@@ -23,12 +23,25 @@
 //!   data servers (round-robin stripes, hashed first server), shared by all
 //!   three models;
 //! * [`local`] — a *real* backend that writes SDF files into a local
-//!   directory, used by the threaded (non-simulated) runtime.
+//!   directory, used by the threaded (non-simulated) runtime;
+//! * [`backend`] — the [`StorageBackend`] trait the runtime writes
+//!   through, with a crash-consistent begin/commit protocol (tmp file +
+//!   fsync + atomic rename);
+//! * [`faulty`] — [`FaultyBackend`], a decorator executing a deterministic
+//!   [`FaultPlan`] (transient errors, stalls, torn writes) for chaos tests;
+//! * [`recovery`] — the startup scan that deletes orphan `*.tmp` files and
+//!   quarantines torn `*.sdf` files.
 
+pub mod backend;
+pub mod faulty;
 pub mod local;
 pub mod model;
+pub mod recovery;
 pub mod striping;
 
+pub use backend::StorageBackend;
+pub use faulty::{FaultKind, FaultOp, FaultPlan, FaultyBackend};
 pub use local::LocalDirBackend;
 pub use model::{FsSpec, LockMode};
+pub use recovery::{recover, recover_dir, RecoveryReport};
 pub use striping::{stripes_for, StripeSlice};

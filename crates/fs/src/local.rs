@@ -5,7 +5,8 @@
 //! output through this backend. It also keeps simple counters so examples
 //! can report achieved throughput.
 
-use damaris_format::{SdfWriter, Result};
+use crate::backend::{publish, tmp_path_of, StorageBackend};
+use damaris_format::{Result, SdfWriter};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -64,6 +65,25 @@ impl LocalDirBackend {
         SdfWriter::create(path)
     }
 
+    /// Opens a writer on the temporary name for `name` (crash-consistent
+    /// path; pair with [`LocalDirBackend::commit_sdf`]).
+    pub fn begin_sdf(&self, name: &str) -> Result<SdfWriter> {
+        let final_path = self.root.join(name);
+        if let Some(parent) = final_path.parent() {
+            std::fs::create_dir_all(parent).map_err(damaris_format::SdfError::Io)?;
+        }
+        SdfWriter::create(tmp_path_of(&final_path))
+    }
+
+    /// Finishes + fsyncs `writer` and atomically renames it into place.
+    pub fn commit_sdf(&self, writer: SdfWriter) -> Result<u64> {
+        let tmp = writer.path().to_path_buf();
+        let total = writer.finish_synced()?;
+        publish(&tmp)?;
+        self.files_created.fetch_add(1, Ordering::Relaxed);
+        Ok(total)
+    }
+
     /// Records that `bytes` were persisted (writers call this on finish).
     pub fn account_bytes(&self, bytes: u64) {
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
@@ -115,6 +135,48 @@ impl LocalDirBackend {
     /// Deletes the backing directory and everything in it.
     pub fn destroy(self) -> std::io::Result<()> {
         std::fs::remove_dir_all(&self.root)
+    }
+}
+
+impl StorageBackend for LocalDirBackend {
+    fn begin_sdf(&self, name: &str) -> Result<SdfWriter> {
+        LocalDirBackend::begin_sdf(self, name)
+    }
+
+    fn commit_sdf(&self, writer: SdfWriter) -> Result<u64> {
+        LocalDirBackend::commit_sdf(self, writer)
+    }
+
+    fn create_sdf(&self, name: &str) -> Result<SdfWriter> {
+        LocalDirBackend::create_sdf(self, name)
+    }
+
+    fn account_bytes(&self, bytes: u64) {
+        LocalDirBackend::account_bytes(self, bytes)
+    }
+
+    fn files_created(&self) -> u64 {
+        LocalDirBackend::files_created(self)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        LocalDirBackend::bytes_written(self)
+    }
+
+    fn mean_throughput(&self) -> f64 {
+        LocalDirBackend::mean_throughput(self)
+    }
+
+    fn list_sdf_files(&self) -> std::io::Result<Vec<PathBuf>> {
+        LocalDirBackend::list_sdf_files(self)
+    }
+
+    fn root(&self) -> &Path {
+        LocalDirBackend::root(self)
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        LocalDirBackend::path_of(self, name)
     }
 }
 

@@ -1,0 +1,166 @@
+//! Startup recovery scan for a storage directory.
+//!
+//! After a crash (or under fault injection) a backend directory can hold:
+//!
+//! * `*.sdf.tmp` orphans — commits that never finished. The atomic rename
+//!   protocol guarantees no reader ever saw them; they are deleted.
+//! * torn `*.sdf` files — published files whose payload or index checksums
+//!   no longer verify (e.g. the node died before data reached the
+//!   platters). These are *quarantined*: renamed to `*.sdf.quarantined` so
+//!   they drop out of [`StorageBackend::list_sdf_files`] listings and
+//!   downstream consumers, but remain on disk for post-mortem.
+//! * valid `*.sdf` files — counted and left alone.
+//!
+//! The scan is cheap (per-payload CRC pass, no decompression) and is run
+//! by the node runtime before serving, mirroring how journal replay works
+//! in real storage systems.
+
+use crate::backend::{StorageBackend, TMP_SUFFIX};
+use damaris_format::SdfReader;
+use std::path::{Path, PathBuf};
+
+/// Suffix given to quarantined (corrupt) SDF files.
+pub const QUARANTINE_SUFFIX: &str = ".quarantined";
+
+/// What a recovery scan found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `*.sdf` files whose checksums verified.
+    pub valid: Vec<PathBuf>,
+    /// Corrupt `*.sdf` files renamed to `*.sdf.quarantined` (original
+    /// relative paths).
+    pub quarantined: Vec<PathBuf>,
+    /// Orphan `*.tmp` files deleted (relative paths).
+    pub removed_tmp: Vec<PathBuf>,
+}
+
+impl RecoveryReport {
+    /// True when the directory was already clean.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.removed_tmp.is_empty()
+    }
+
+    /// Total recovery actions taken (deletions + quarantines).
+    pub fn actions(&self) -> u64 {
+        (self.quarantined.len() + self.removed_tmp.len()) as u64
+    }
+}
+
+/// Scans `root` recursively; deletes `*.tmp` orphans and quarantines
+/// corrupt `*.sdf` files. Returns what it did.
+pub fn recover_dir(root: &Path) -> std::io::Result<RecoveryReport> {
+    let mut report = RecoveryReport::default();
+    let mut stack = vec![root.to_path_buf()];
+    let mut files = Vec::new();
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let name = path.to_string_lossy();
+        if name.ends_with(TMP_SUFFIX) {
+            std::fs::remove_file(&path)?;
+            report.removed_tmp.push(rel);
+        } else if name.ends_with(".sdf") {
+            match SdfReader::open(&path).and_then(|r| r.validate()) {
+                Ok(()) => report.valid.push(rel),
+                Err(_) => {
+                    let mut q = path.as_os_str().to_os_string();
+                    q.push(QUARANTINE_SUFFIX);
+                    std::fs::rename(&path, PathBuf::from(q))?;
+                    report.quarantined.push(rel);
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// [`recover_dir`] over a backend's root.
+pub fn recover(backend: &dyn StorageBackend) -> std::io::Result<RecoveryReport> {
+    recover_dir(backend.root())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocalDirBackend;
+    use damaris_format::{DataType, Layout};
+
+    fn write_valid(b: &LocalDirBackend, name: &str) {
+        let mut w = b.begin_sdf(name).unwrap();
+        let layout = Layout::new(DataType::F32, &[8]);
+        w.write_dataset_f32("/v", &layout, &[2.0; 8]).unwrap();
+        b.commit_sdf(w).unwrap();
+    }
+
+    #[test]
+    fn clean_directory_reports_clean() {
+        let b = LocalDirBackend::scratch("recover-clean").unwrap();
+        write_valid(&b, "a.sdf");
+        write_valid(&b, "sub/b.sdf");
+        let report = recover(&b).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.valid.len(), 2);
+        assert_eq!(report.actions(), 0);
+    }
+
+    #[test]
+    fn orphan_tmp_removed_and_torn_quarantined() {
+        let b = LocalDirBackend::scratch("recover-dirty").unwrap();
+        write_valid(&b, "good.sdf");
+
+        // Orphan tmp: a begin that never committed.
+        let mut w = b.begin_sdf("orphan.sdf").unwrap();
+        let layout = Layout::new(DataType::F32, &[8]);
+        w.write_dataset_f32("/v", &layout, &[3.0; 8]).unwrap();
+        drop(w);
+
+        // Torn file: published, then truncated behind the protocol's back.
+        write_valid(&b, "torn.sdf");
+        let torn = b.path_of("torn.sdf");
+        let len = std::fs::metadata(&torn).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&torn)
+            .unwrap()
+            .set_len(len / 3)
+            .unwrap();
+
+        let report = recover(&b).unwrap();
+        assert_eq!(report.valid, vec![PathBuf::from("good.sdf")]);
+        assert_eq!(report.quarantined, vec![PathBuf::from("torn.sdf")]);
+        assert_eq!(report.removed_tmp, vec![PathBuf::from("orphan.sdf.tmp")]);
+        assert_eq!(report.actions(), 2);
+
+        // The quarantined file is out of listings but still on disk.
+        assert_eq!(b.list_sdf_files().unwrap(), vec![PathBuf::from("good.sdf")]);
+        assert!(b.path_of("torn.sdf.quarantined").exists());
+        assert!(!b.path_of("orphan.sdf.tmp").exists());
+
+        // A second scan finds nothing left to do.
+        assert!(recover(&b).unwrap().is_clean());
+    }
+
+    #[test]
+    fn corrupt_payload_with_valid_index_is_quarantined() {
+        // A bit flip in a payload leaves open() happy (index is fine) but
+        // must still fail validate()'s CRC pass.
+        let b = LocalDirBackend::scratch("recover-bitflip").unwrap();
+        write_valid(&b, "flip.sdf");
+        let path = b.path_of("flip.sdf");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[9] ^= 0x80; // inside the first payload, after the superblock
+        std::fs::write(&path, &bytes).unwrap();
+        let report = recover(&b).unwrap();
+        assert_eq!(report.quarantined, vec![PathBuf::from("flip.sdf")]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: an SDF file truncated or bit-flipped at an *arbitrary*
+//! offset must be rejected cleanly by the reader's checksum pass and
+//! quarantined by the recovery scan — never mis-read, never a panic.
+
+use damaris_format::{DataType, Layout, SdfReader};
+use damaris_fs::{recover_dir, LocalDirBackend};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch(tag: &str) -> LocalDirBackend {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "damaris-corruption-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    LocalDirBackend::new(dir).unwrap()
+}
+
+/// A committed SDF file with a couple of datasets; returns its full path.
+fn write_fixture(backend: &LocalDirBackend, values: &[f32]) -> PathBuf {
+    let mut w = backend.begin_sdf("fixture.sdf").unwrap();
+    let layout = Layout::new(DataType::F32, &[values.len() as u64]);
+    w.write_dataset_f32("/a", &layout, values).unwrap();
+    let doubled: Vec<f32> = values.iter().map(|v| v * 2.0).collect();
+    w.write_dataset_f32("/b", &layout, &doubled).unwrap();
+    backend.commit_sdf(w).unwrap();
+    backend.path_of("fixture.sdf")
+}
+
+/// Open + full checksum pass; any corruption must surface as an `Err`.
+fn rejects(path: &PathBuf) -> bool {
+    SdfReader::open(path).and_then(|r| r.validate()).is_err()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn truncation_at_any_offset_is_rejected(
+        cut in 0usize..100_000,
+        n in 4usize..64,
+    ) {
+        let backend = scratch("truncate");
+        let values: Vec<f32> = (0..n).map(|i| i as f32 * 0.25).collect();
+        let path = write_fixture(&backend, &values);
+        let len = std::fs::metadata(&path).unwrap().len() as usize;
+        let keep = cut % len; // strictly shorter than the original
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(keep as u64)
+            .unwrap();
+
+        prop_assert!(rejects(&path), "survived truncation to {keep}/{len}");
+        let scan = recover_dir(backend.root()).unwrap();
+        prop_assert_eq!(scan.quarantined, vec![PathBuf::from("fixture.sdf")]);
+        prop_assert!(scan.valid.is_empty());
+        backend.destroy().ok();
+    }
+
+    #[test]
+    fn bit_flip_at_any_offset_is_rejected(
+        offset in 0usize..100_000,
+        bit in 0u8..8,
+        n in 4usize..64,
+    ) {
+        let backend = scratch("bitflip");
+        let values: Vec<f32> = (0..n).map(|i| 1.0 + i as f32).collect();
+        let path = write_fixture(&backend, &values);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = offset % bytes.len();
+        bytes[at] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+
+        prop_assert!(rejects(&path), "survived bit {bit} flip at byte {at}");
+        let scan = recover_dir(backend.root()).unwrap();
+        prop_assert_eq!(scan.quarantined, vec![PathBuf::from("fixture.sdf")]);
+        backend.destroy().ok();
+    }
+
+    #[test]
+    fn pristine_files_always_pass(n in 4usize..64) {
+        let backend = scratch("pristine");
+        let values: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let path = write_fixture(&backend, &values);
+        prop_assert!(!rejects(&path));
+        let scan = recover_dir(backend.root()).unwrap();
+        prop_assert!(scan.is_clean());
+        prop_assert_eq!(scan.valid, vec![PathBuf::from("fixture.sdf")]);
+        backend.destroy().ok();
+    }
+}

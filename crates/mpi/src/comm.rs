@@ -208,7 +208,7 @@ impl Communicator {
         let group: Vec<usize> = members.iter().map(|e| self.group[e[2] as usize]).collect();
         let new_rank = members
             .iter()
-            .position(|e| e[2] as u64 == self.rank as u64)
+            .position(|e| e[2] == self.rank as u64)
             .expect("caller must be a member");
 
         // Deterministic child context: same inputs on every member.

@@ -6,7 +6,6 @@ use crate::noise::SimRng;
 use crate::platform::PlatformSpec;
 use crate::strategies::{run_phase, PhaseOutcome, Strategy};
 use crate::workload::WorkloadSpec;
-use serde::Serialize;
 
 /// Results of one simulated write phase (plus derived metrics).
 #[derive(Debug, Clone)]
@@ -64,7 +63,7 @@ pub fn run_io_phase(
 
 /// A full simulated run: `iterations` compute iterations with a write
 /// phase every `workload.iterations_per_write`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     pub strategy: String,
     pub ncores: usize,

@@ -1,9 +1,8 @@
 //! Summary statistics and paper-style derived metrics.
 
-use serde::Serialize;
 
 /// Summary of a sample set (write times, durations, …).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {
     pub count: usize,
     pub mean: f64,

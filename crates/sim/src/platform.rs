@@ -56,7 +56,7 @@ impl PlatformSpec {
     /// Number of nodes used when running on `ncores` cores.
     pub fn nodes_for(&self, ncores: usize) -> usize {
         assert!(
-            ncores % self.cores_per_node == 0,
+            ncores.is_multiple_of(self.cores_per_node),
             "{ncores} cores is not a whole number of {}-core nodes",
             self.cores_per_node
         );

@@ -72,13 +72,13 @@ pub(super) fn run(sim: &mut IoSim<'_>) -> PhaseOutcome {
 
     for round in 0..rounds {
         let mut round_end = round_start;
-        for agg in 0..nodes {
-            let cb = (domain_per_agg - consumed[agg]).min(CB_BYTES);
+        for (agg, agg_consumed) in consumed.iter_mut().enumerate() {
+            let cb = (domain_per_agg - *agg_consumed).min(CB_BYTES);
             if cb == 0 {
                 continue;
             }
-            let offset = agg as u64 * domain_per_agg + consumed[agg];
-            consumed[agg] += cb;
+            let offset = agg as u64 * domain_per_agg + *agg_consumed;
+            *agg_consumed += cb;
 
             // (1) Exchange: the aggregator's NIC absorbs the buffer, with a
             // per-sender message cost. Senders ≈ the node's own cores plus

@@ -78,12 +78,12 @@ pub(super) fn run(sim: &mut IoSim<'_>, opts: &DamarisOptions) -> PhaseOutcome {
     let effective_bw = sim.platform.memcpy_bandwidth / clients_per_node as f64;
     let mut client_write_times = Vec::with_capacity(nodes * clients_per_node);
     let mut node_copy_done = vec![0.0f64; nodes];
-    for node in 0..nodes {
+    for copy_done in node_copy_done.iter_mut() {
         for _ in 0..clients_per_node {
             let noise = 1.0 + 0.05 * sim.rng.unit();
             let t = sim.arrival_skew() + bytes_per_client as f64 / effective_bw * noise;
             client_write_times.push(t);
-            node_copy_done[node] = node_copy_done[node].max(t);
+            *copy_done = copy_done.max(t);
         }
     }
     let phase_duration = client_write_times.iter().fold(0.0f64, |a, &b| a.max(b));

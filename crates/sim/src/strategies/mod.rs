@@ -200,8 +200,10 @@ mod tests {
     fn labels() {
         assert_eq!(Strategy::FilePerProcess.label(), "file-per-process");
         assert_eq!(Strategy::damaris().label(), "damaris");
-        let mut o = DamarisOptions::default();
-        o.scheduled = true;
+        let o = DamarisOptions {
+            scheduled: true,
+            ..Default::default()
+        };
         assert_eq!(Strategy::Damaris(o).label(), "damaris+sched");
     }
 

@@ -55,7 +55,7 @@ pub fn parse_document(input: &str) -> Result<Document, ParseError> {
     let mut root: Option<Element> = None;
 
     fn close(
-        stack: &mut Vec<Element>,
+        stack: &mut [Element],
         root: &mut Option<Element>,
         elem: Element,
         pos: Pos,

@@ -91,12 +91,13 @@ proptest! {
         // names, attributes and element structure identical.
         let pretty = e.to_xml_pretty();
         let back = parse(&pretty).unwrap();
-        fn structure(e: &Element) -> (String, Vec<(String, String)>, Vec<Box<(String, Vec<(String, String)>)>>) {
+        type Attrs = Vec<(String, String)>;
+        fn structure(e: &Element) -> (String, Attrs, Vec<(String, Attrs)>) {
             (
                 e.name.clone(),
                 e.attributes.clone(),
                 e.child_elements()
-                    .map(|c| Box::new((c.name.clone(), c.attributes.clone())))
+                    .map(|c| (c.name.clone(), c.attributes.clone()))
                     .collect(),
             )
         }

@@ -1,0 +1,209 @@
+//! Minimal offline stand-in for `criterion`: same macro/builder surface,
+//! but a simple mean-of-samples timer instead of statistical analysis.
+//! `cargo bench` prints one line per benchmark with mean time and, when a
+//! throughput was declared, derived bandwidth.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Declared per-iteration workload, used to report bandwidth.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs and times one benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    mean: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, then size the batch so one sample takes ≳1ms.
+        std::hint::black_box(routine());
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 8;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.mean = if iters == 0 { Duration::ZERO } else { total / iters as u32 };
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Cap samples to keep this stub's `cargo bench` fast.
+        self.samples = n.clamp(1, 10);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.id, b.mean);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            mean: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.id, b.mean);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, mean: Duration) {
+        let rate = match (self.throughput, mean.as_nanos()) {
+            (Some(Throughput::Bytes(n)), ns) if ns > 0 => {
+                let gib = n as f64 / (1u64 << 30) as f64 / (ns as f64 * 1e-9);
+                format!("  {gib:.3} GiB/s")
+            }
+            (Some(Throughput::Elements(n)), ns) if ns > 0 => {
+                let me = n as f64 / 1e6 / (ns as f64 * 1e-9);
+                format!("  {me:.1} Melem/s")
+            }
+            _ => String::new(),
+        };
+        println!("bench {}/{id}: {mean:?}/iter{rate}", self.name);
+    }
+}
+
+/// Entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles bench functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("add", |b| {
+            b.iter(|| std::hint::black_box(1u64 + 1));
+        });
+        let data = vec![1u8; 16];
+        group.bench_with_input(BenchmarkId::new("sum", 16), &data, |b, d| {
+            b.iter(|| d.iter().map(|&x| x as u64).sum::<u64>());
+        });
+        group.finish();
+    }
+}

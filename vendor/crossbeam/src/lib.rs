@@ -1,0 +1,91 @@
+//! Minimal offline stand-in for `crossbeam`, providing the `channel`
+//! module surface this workspace uses, backed by `std::sync::mpsc`.
+//!
+//! Differences from the real crate are confined to performance: the
+//! receiver is a `Mutex<mpsc::Receiver>` so it can be `Sync` (crossbeam
+//! receivers are lock-free). Semantics — unbounded buffering, disconnect
+//! on last-sender drop, timeouts — match.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Unbounded MPMC-ish channel (MPSC underneath; the consumer side is
+    /// serialized by a mutex, which matches this workspace's usage of one
+    /// logical consumer per receiver).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    /// Cloneable sending half.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Cloneable, `Sync` receiving half.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner()).recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .recv_timeout(timeout)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner()).try_recv()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_disconnect() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            let tx2 = tx.clone();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            drop(tx);
+            drop(tx2);
+            assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn timeout() {
+            let (_tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+                RecvTimeoutError::Timeout
+            );
+        }
+    }
+}

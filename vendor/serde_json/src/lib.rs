@@ -1,0 +1,454 @@
+//! Minimal offline stand-in for `serde_json`: the `Value` tree, the
+//! `json!` macro, and pretty serialization. No `serde` integration — this
+//! workspace only builds `Value`s explicitly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// JSON number: integers are kept exact, everything else is f64.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self {
+            Number::I64(v) => *v as f64,
+            Number::U64(v) => *v as f64,
+            Number::F64(v) => *v,
+        })
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::I64(v) => Some(*v),
+            Number::U64(v) => i64::try_from(*v).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::I64(v) => u64::try_from(*v).ok(),
+            Number::U64(v) => Some(*v),
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::I64(v) => write!(f, "{v}"),
+            Number::U64(v) => write!(f, "{v}"),
+            Number::F64(v) => {
+                if v.is_finite() {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // JSON has no Inf/NaN; serde_json emits null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value tree (object keys sorted, like a canonical form).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+/// Map type alias mirroring `serde_json::Map`.
+pub type Map = BTreeMap<String, Value>;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Panicking index like `value["key"]` / `value[0]` (read-only).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::I64(v as i64)) }
+        }
+    )*};
+}
+from_int!(i8, i16, i32, i64, isize);
+
+macro_rules! from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::U64(v as u64)) }
+        }
+    )*};
+}
+from_uint!(u8, u16, u32, u64, usize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F64(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F64(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+/// `json!` takes its expressions by reference (like real serde_json, which
+/// serializes through `&T: Serialize`), so any clonable convertible type
+/// works behind a borrow.
+impl<T: Clone + Into<Value>> From<&T> for Value {
+    fn from(v: &T) -> Value {
+        v.clone().into()
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(Number::I64(v)) => i64::try_from(*other).is_ok_and(|o| *v == o),
+                    Value::Number(Number::U64(v)) => u64::try_from(*other).is_ok_and(|o| *v == o),
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+eq_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, indent: usize, pretty: bool, out: &mut String) {
+    let pad = |n: usize, out: &mut String| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(indent + 1, out);
+                write_value(item, indent + 1, pretty, out);
+            }
+            pad(indent, out);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(indent + 1, out);
+                escape_into(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(val, indent + 1, pretty, out);
+            }
+            pad(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_value(self, 0, false, &mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Serialization can't fail for `Value`; the Result mirrors serde_json.
+pub type Error = std::convert::Infallible;
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Compact serialization.
+pub fn to_string(value: &Value) -> Result<String> {
+    let mut s = String::new();
+    write_value(value, 0, false, &mut s);
+    Ok(s)
+}
+
+/// Two-space-indented serialization.
+pub fn to_string_pretty(value: &Value) -> Result<String> {
+    let mut s = String::new();
+    write_value(value, 0, true, &mut s);
+    Ok(s)
+}
+
+/// Builds a [`Value`] with JSON syntax, like `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_array![ $($tt)* ]) };
+    ({ $($tt:tt)* }) => { $crate::json_object!(@obj [] $($tt)*) };
+    ($other:expr) => { $crate::Value::from(&$other) };
+}
+
+/// Internal: array element list → `Vec<Value>`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array {
+    () => { ::std::vec::Vec::<$crate::Value>::new() };
+    ($($elem:tt),+ $(,)?) => { ::std::vec![ $($crate::json!($elem)),+ ] };
+}
+
+/// Internal: object body → `Value::Object`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object {
+    (@obj [$($pairs:tt)*]) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_object!(@insert map $($pairs)*);
+        $crate::Value::Object(map)
+    }};
+    // Munch one `"key": value` pair; value is a tt that json! can handle.
+    (@obj [$($pairs:tt)*] $key:literal : $value:tt , $($rest:tt)*) => {
+        $crate::json_object!(@obj [$($pairs)* ($key, $value)] $($rest)*)
+    };
+    (@obj [$($pairs:tt)*] $key:literal : $value:tt) => {
+        $crate::json_object!(@obj [$($pairs)* ($key, $value)])
+    };
+    // Value is a general expression up to the next comma.
+    (@obj [$($pairs:tt)*] $key:literal : $value:expr , $($rest:tt)*) => {
+        $crate::json_object!(@obj [$($pairs)* ($key, ($value))] $($rest)*)
+    };
+    (@obj [$($pairs:tt)*] $key:literal : $value:expr) => {
+        $crate::json_object!(@obj [$($pairs)* ($key, ($value))])
+    };
+    (@insert $map:ident $(($key:literal, $value:tt))*) => {
+        $( $map.insert($key.to_string(), $crate::json!($value)); )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let rows = vec![json!({ "a": 1 }), json!({ "a": 2 })];
+        let v = json!({
+            "name": "fig2",
+            "count": 3usize,
+            "ratio": 0.5,
+            "ok": true,
+            "missing": null,
+            "rows": rows,
+            "inline": [1, 2, 3],
+            "nested": { "x": [ { "y": "z" } ] },
+        });
+        assert_eq!(v["name"].as_str(), Some("fig2"));
+        assert_eq!(v["count"].as_u64(), Some(3));
+        assert_eq!(v["rows"][1]["a"].as_i64(), Some(2));
+        assert_eq!(v["nested"]["x"][0]["y"].as_str(), Some("z"));
+        assert!(v["missing"].is_null());
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"name\": \"fig2\""));
+        let compact = to_string(&v).unwrap();
+        assert!(compact.contains("\"inline\":[1,2,3]"));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = json!({ "s": "a\"b\\c\nd" });
+        assert_eq!(to_string(&v).unwrap(), r#"{"s":"a\"b\\c\nd"}"#);
+    }
+}
