@@ -1,0 +1,84 @@
+//! Vector clocks — the happens-before backbone of the checker.
+//!
+//! Every virtual thread carries a [`VClock`]; synchronization operations
+//! (spawn, join, release-store → acquire-load, mutex unlock → lock) join
+//! clocks, and every recording operation bumps the owner's component.
+//! Two accesses `a` (by thread `ta` at epoch `ea`) and `b` (by `tb`) are
+//! ordered `a → b` iff `clock_of(tb).get(ta) >= ea` at the time of `b`.
+
+/// A grow-on-demand vector clock indexed by virtual-thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    t: Vec<u64>,
+}
+
+impl VClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// Component for thread `tid` (0 if never touched).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.t.get(tid).copied().unwrap_or(0)
+    }
+
+    fn ensure(&mut self, tid: usize) {
+        if self.t.len() <= tid {
+            self.t.resize(tid + 1, 0);
+        }
+    }
+
+    /// Sets component `tid` to `v` (test helper).
+    #[cfg(test)]
+    pub fn set(&mut self, tid: usize, v: u64) {
+        self.ensure(tid);
+        self.t[tid] = v;
+    }
+
+    /// Increments the owner's component — creates a fresh epoch.
+    pub fn bump(&mut self, tid: usize) {
+        self.ensure(tid);
+        self.t[tid] += 1;
+    }
+
+    /// Componentwise maximum: after `a.join(b)`, everything ordered before
+    /// `b`'s snapshot is also ordered before `a`.
+    pub fn join(&mut self, other: &VClock) {
+        self.ensure(other.t.len().saturating_sub(1));
+        for (i, &v) in other.t.iter().enumerate() {
+            if self.t[i] < v {
+                self.t[i] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VClock::new();
+        a.set(0, 3);
+        a.set(2, 1);
+        let mut b = VClock::new();
+        b.set(0, 1);
+        b.set(1, 5);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.get(9), 0);
+    }
+
+    #[test]
+    fn bump_grows() {
+        let mut c = VClock::new();
+        c.bump(4);
+        assert_eq!(c.get(4), 1);
+        c.bump(4);
+        assert_eq!(c.get(4), 2);
+    }
+}

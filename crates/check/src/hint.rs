@@ -1,0 +1,9 @@
+//! `std::hint` stand-ins.
+
+/// In a model run a spin-loop hint behaves like [`crate::thread::yield_now`]:
+/// spinning without yielding would generate unbounded no-progress branches,
+/// and deprioritizing the spinner is exactly the fairness assumption a real
+/// `spin_loop` encodes ("someone else will make progress").
+pub fn spin_loop() {
+    crate::thread::yield_now();
+}

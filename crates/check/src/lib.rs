@@ -1,0 +1,233 @@
+//! # damaris-check — a vendored, offline mini-loom
+//!
+//! Deterministic, exhaustive (bounded-preemption) exploration of thread
+//! interleavings for the `damaris-shm` substrate, with vector-clock data
+//! race detection. No dependencies, no network, no OS-scheduler luck:
+//! every schedule the DFS can reach is actually executed.
+//!
+//! ```
+//! use damaris_check as check;
+//! use check::sync::atomic::{AtomicUsize, Ordering};
+//! use check::sync::Arc;
+//!
+//! check::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = check::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     t.join();
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! ## What it models
+//!
+//! * **Schedules**: every atomic access, mutex operation, spawn, and
+//!   yield is a schedule point; the explorer runs the model closure once
+//!   per reachable decision path (DFS with backtracking), bounding
+//!   *preemptive* switches per execution (CHESS-style).
+//! * **Happens-before**: release/acquire edges through atomics and
+//!   mutexes, spawn/join edges, vector clocks throughout. `Relaxed`
+//!   stores break release chains — exactly the bug class a weakened
+//!   ordering introduces.
+//! * **Data races**: non-atomic data must go through
+//!   [`cell::CheckCell`]/[`cell::RangeTracker`]; conflicting unordered
+//!   accesses fail the run with the schedule that exposed them.
+//! * **Deadlocks & livelocks**: all-threads-blocked is reported with each
+//!   thread's blocker; runaway spin loops hit the step budget.
+//!
+//! ## What it does not model
+//!
+//! Store buffers / load reordering (loads return the latest store —
+//! ordering bugs surface through the happens-before race detector, as in
+//! ThreadSanitizer), spurious CAS failures, and `SeqCst`'s total order
+//! beyond acquire+release. These are the same simplifications the
+//! orderings audit in `DESIGN.md` documents.
+
+mod clock;
+mod rt;
+mod sched;
+
+pub mod cell;
+pub mod hint;
+pub mod sync;
+pub mod thread;
+
+pub use sched::{Failure, FailureKind};
+
+use rt::{set_ctx, Ctx};
+use sched::{ChoiceRec, ExecAbort, Scheduler};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Exploration statistics returned by a successful check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stats {
+    /// Complete executions (distinct schedules) explored.
+    pub executions: usize,
+}
+
+/// Exploration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Builder {
+    /// Maximum *preemptive* context switches per execution. 2 is the
+    /// classic sweet spot: most concurrency bugs need at most two.
+    pub preemption_bound: usize,
+    /// Schedule points allowed per execution before declaring livelock.
+    pub max_steps: usize,
+    /// Ceiling on explored schedules (guards against state explosion).
+    pub max_executions: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: 2,
+            max_steps: 20_000,
+            max_executions: 500_000,
+        }
+    }
+}
+
+/// Install (once) a panic hook that silences the checker's internal
+/// abort payloads; real panics keep the default report.
+fn install_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ExecAbort>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Sets the preemption bound.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Explores every schedule of `f`; panics (with the failing schedule)
+    /// on the first data race, deadlock, livelock, or assertion failure.
+    pub fn check<F>(self, f: F) -> Stats
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.check_result(f) {
+            Ok(stats) => stats,
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+
+    /// Like [`Builder::check`] but returns the failure instead of
+    /// panicking — how seeded-bug tests assert that the checker *does*
+    /// catch a deliberately weakened ordering.
+    pub fn check_result<F>(self, f: F) -> Result<Stats, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_hook();
+        let f = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            let (record, failure) = self.run_once(Arc::clone(&f), prefix.clone(), executions);
+            if let Some(failure) = failure {
+                return Err(failure);
+            }
+            executions += 1;
+            if executions >= self.max_executions {
+                panic!(
+                    "damaris-check: exceeded {} executions without exhausting the \
+                     schedule space; shrink the model or lower the preemption bound",
+                    self.max_executions
+                );
+            }
+            // Depth-first backtrack: rewind to the deepest decision with an
+            // unexplored alternative and take it.
+            let mut rec = record;
+            let mut next: Option<Vec<usize>> = None;
+            while let Some(c) = rec.pop() {
+                if c.chosen_idx + 1 < c.options.len() {
+                    let mut p: Vec<usize> = rec.iter().map(|r| r.chosen_idx).collect();
+                    p.push(c.chosen_idx + 1);
+                    next = Some(p);
+                    break;
+                }
+            }
+            match next {
+                Some(p) => prefix = p,
+                None => return Ok(Stats { executions }),
+            }
+        }
+    }
+
+    fn run_once<F>(
+        &self,
+        f: Arc<F>,
+        prefix: Vec<usize>,
+        executions_before: usize,
+    ) -> (Vec<ChoiceRec>, Option<Failure>)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let sched = Arc::new(Scheduler::new(
+            self.preemption_bound,
+            self.max_steps,
+            prefix,
+            executions_before,
+        ));
+        let s2 = Arc::clone(&sched);
+        let root = std::thread::Builder::new()
+            .name("check-vt-0".into())
+            .spawn(move || {
+                set_ctx(Some(Ctx {
+                    sched: Arc::clone(&s2),
+                    tid: 0,
+                }));
+                let r = panic::catch_unwind(AssertUnwindSafe(|| f()));
+                match r {
+                    Ok(()) => s2.finish_thread(0),
+                    Err(payload) => {
+                        if payload.downcast_ref::<ExecAbort>().is_none() {
+                            // `as_ref`, not `&payload` — see thread.rs: the
+                            // reference to the Box would coerce to `&dyn Any`
+                            // of the Box itself and never downcast.
+                            let msg = thread::panic_message(payload.as_ref());
+                            let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+                                s2.fail(FailureKind::Panic, msg.clone())
+                            }));
+                        }
+                        s2.finish_thread_aborted(0);
+                    }
+                }
+            })
+            .expect("spawn model root thread");
+        sched.wait_all_done();
+        let _ = root.join();
+        sched.take_results()
+    }
+}
+
+/// Explores every schedule of `f` with default parameters; panics on the
+/// first failure. The entry point for model tests:
+///
+/// ```ignore
+/// check::model(|| { /* spawn threads, use check::sync types, assert */ });
+/// ```
+pub fn model<F>(f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}

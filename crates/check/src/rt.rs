@@ -1,0 +1,34 @@
+//! Per-OS-thread runtime context: which scheduler and which virtual
+//! thread id the currently executing code belongs to. Shim types consult
+//! this to turn `load`/`store`/`lock` calls into schedule points and
+//! happens-before edges; outside a model run they fall back to plain
+//! behavior so the shims stay usable in ordinary unit tests.
+
+use crate::sched::Scheduler;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub sched: Arc<Scheduler>,
+    pub tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// The current model context, if any. Returns `None` outside a model run
+/// *and* while the current thread is unwinding — during an abort, shim
+/// operations degrade to raw accesses so destructors can run without
+/// re-entering the (already poisoned-by-design) scheduler.
+pub(crate) fn ctx() -> Option<Ctx> {
+    if std::thread::panicking() {
+        return None;
+    }
+    CTX.with(|c| c.borrow().clone())
+}

@@ -1,0 +1,139 @@
+//! Thread shims: `spawn`, `yield_now`, and a `JoinHandle` mirroring the
+//! `std::thread` surface the shm substrate uses. Inside a model run every
+//! spawned closure becomes a scheduler-controlled virtual thread; outside
+//! one, the calls delegate to `std::thread`.
+
+use crate::rt::{ctx, set_ctx, Ctx};
+use crate::sched::{ExecAbort, FailureKind};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a model (or plain) thread.
+pub struct JoinHandle<T> {
+    /// Virtual-thread id when spawned inside a model, else `None`.
+    vtid: Option<usize>,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread and returns its value.
+    ///
+    /// Inside a model this is a blocking synchronization edge: the
+    /// joiner's clock absorbs the joinee's, so everything the joinee did
+    /// happens-before everything the joiner does next. A panic in the
+    /// joinee has already failed the whole execution, so `join` on a
+    /// panicked model thread simply unwinds with the abort payload.
+    pub fn join(mut self) -> T {
+        if let Some(tid) = self.vtid {
+            let c = ctx().expect("model JoinHandle joined outside its model run");
+            c.sched.join_thread(c.tid, tid);
+        }
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        match self.result.lock().unwrap().take() {
+            Some(Ok(v)) => v,
+            Some(Err(_)) | None => {
+                // The joinee panicked; the execution is already failing.
+                panic::panic_any(ExecAbort)
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model run the closure becomes a virtual
+/// thread under scheduler control; the spawn point itself is a schedule
+/// point, so the child may run before the parent's next step.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    match ctx() {
+        Some(c) => {
+            let tid = c.sched.spawn_thread(c.tid);
+            let sched = Arc::clone(&c.sched);
+            let os = std::thread::Builder::new()
+                .name(format!("check-vt-{tid}"))
+                .spawn(move || {
+                    set_ctx(Some(Ctx {
+                        sched: Arc::clone(&sched),
+                        tid,
+                    }));
+                    // The entry gate must sit *inside* the catch: if the run
+                    // aborts before this thread's first step, `wait_for_turn`
+                    // unwinds with `ExecAbort`, and escaping the catch would
+                    // skip `finish_thread_aborted` — the controller would
+                    // then wait for `all_done` forever.
+                    let r = panic::catch_unwind(AssertUnwindSafe(|| {
+                        sched.wait_for_turn(tid);
+                        f()
+                    }));
+                    match r {
+                        Ok(v) => {
+                            *slot.lock().unwrap() = Some(Ok(v));
+                            sched.finish_thread(tid);
+                        }
+                        Err(payload) => {
+                            if payload.downcast_ref::<ExecAbort>().is_none() {
+                                // `as_ref`, not `&payload`: a `&Box<dyn Any>`
+                                // unsize-coerces to `&dyn Any` *of the Box*,
+                                // and every downcast of the payload fails.
+                                let msg = panic_message(payload.as_ref());
+                                let mut inner_fail = || {
+                                    sched.fail(FailureKind::Panic, msg.clone());
+                                };
+                                // `fail` unwinds; contain it so we can still
+                                // run the abort-path bookkeeping below.
+                                let _ = panic::catch_unwind(AssertUnwindSafe(&mut inner_fail));
+                            }
+                            sched.finish_thread_aborted(tid);
+                        }
+                    }
+                })
+                .expect("spawn model thread");
+            // Give the scheduler a branch point right after the spawn.
+            c.sched.schedule(c.tid);
+            JoinHandle {
+                vtid: Some(tid),
+                result,
+                os: Some(os),
+            }
+        }
+        None => {
+            let os = std::thread::spawn(move || {
+                let r = panic::catch_unwind(AssertUnwindSafe(f));
+                *slot.lock().unwrap() = Some(r);
+            });
+            JoinHandle {
+                vtid: None,
+                result,
+                os: Some(os),
+            }
+        }
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Yield point: inside a model, deprioritizes the caller until another
+/// thread has made progress (this is what makes bounded spin loops
+/// explorable); outside, delegates to the OS.
+pub fn yield_now() {
+    match ctx() {
+        Some(c) => c.sched.yield_now(c.tid),
+        None => std::thread::yield_now(),
+    }
+}

@@ -60,6 +60,7 @@ impl DamarisClient {
             .config
             .variable_id(variable)
             .ok_or_else(|| DamarisError::UnknownVariable(variable.to_string()))?;
+        // invariant: `variable_id` returned this id one line above.
         let def = self.shared.config.variable(id).expect("id just resolved");
         Ok((id, self.shared.config.layout_of(def)))
     }
@@ -207,6 +208,7 @@ impl DamarisClient {
                 .shared
                 .config
                 .variable(variable_id)
+                // invariant: id came from `lookup` on the same config.
                 .expect("id just resolved");
             self.shared.config.layout_of(def).storage_layout()
         };
@@ -359,6 +361,8 @@ impl AllocatedRegion {
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
         self.segment
             .as_mut()
+            // invariant: only `commit` (which consumes self) takes the
+            // segment; a live `&mut self` implies it is still here.
             .expect("region still owned")
             .as_mut_slice()
     }
@@ -376,6 +380,7 @@ impl AllocatedRegion {
 
     /// `dc_commit`: informs the dedicated core that the data is ready.
     pub fn commit(mut self) {
+        // invariant: `commit` consumes self, so the segment is present.
         let segment = self.segment.take().expect("commit called once");
         self.client.shared.queue.push_wait(Event::Write {
             variable_id: self.variable_id,

@@ -356,6 +356,8 @@ impl Config {
     pub fn layout_of(&self, var: &VariableDef) -> &LayoutDef {
         self.layouts
             .get(&var.layout)
+            // invariant: parse-time validation rejects configs whose
+            // variables reference undefined layouts.
             .expect("validated at parse time")
     }
 

@@ -115,6 +115,8 @@ impl MetadataStore {
             .collect();
         keys.iter()
             .map(|k| {
+                // invariant: `k` was collected from `entries` above and
+                // nothing removes between the two passes.
                 let v = self.entries.remove(k).expect("key just listed");
                 self.bytes_resident -= v.segment.len();
                 v

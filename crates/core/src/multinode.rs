@@ -129,6 +129,8 @@ impl SmpNode {
                 let analysis = std::thread::Builder::new()
                     .name("damaris-analysis".into())
                     .spawn(move || analysis_core(rx, &analysis_dir))
+                    // invariant: spawn fails only on process-scale resource
+                    // exhaustion; asymmetric mode cannot run without it.
                     .expect("spawn analysis core");
 
                 let forwarder: PluginFactory = Box::new(move |_binding| {
@@ -200,8 +202,12 @@ impl SmpNode {
                 let io = runtime.finish()?; // drops the forwarder → channel closes
                 let report = analysis
                     .take()
+                    // invariant: only `finish` (which consumes self) takes
+                    // the handle.
                     .expect("analysis thread")
                     .join()
+                    // invariant: the analysis core catches plugin panics;
+                    // one escaping is a harness bug worth aborting on.
                     .expect("analysis core panicked");
                 Ok(SmpNodeReport {
                     io: vec![io],
@@ -264,11 +270,15 @@ fn analysis_core(
     rx: crossbeam::channel::Receiver<AnalysisMsg>,
     dir: &Path,
 ) -> AnalysisReport {
+    // invariant: the analysis dir was created by `start`; failure here
+    // means the filesystem vanished, which no report can survive.
     let backend = LocalDirBackend::new(dir).expect("analysis output dir");
     let mut report = AnalysisReport::default();
     while let Ok(AnalysisMsg::Iteration(iteration, items)) = rx.recv() {
         let mut writer = backend
             .create_sdf(&format!("analysis-iter-{iteration:06}.sdf"))
+            // invariant: analysis output is best-effort local scratch; an
+            // I/O failure here has no graceful continuation.
             .expect("create analysis file");
         let layout = Layout::new(DataType::F64, &[3]);
         for item in &items {
@@ -280,10 +290,12 @@ fn analysis_core(
                 let bytes: Vec<u8> = stats.iter().flat_map(|v| v.to_le_bytes()).collect();
                 writer
                     .write_dataset_bytes(&path, &layout, &bytes, &DatasetOptions::plain())
+                    // invariant: see `create_sdf` above.
                     .expect("write stats");
                 report.datasets_analyzed += 1;
             }
         }
+        // invariant: see `create_sdf` above.
         writer.finish().expect("finish analysis file");
         report.iterations_analyzed += 1;
         report.files_created += 1;

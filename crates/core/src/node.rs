@@ -10,10 +10,9 @@ use crate::event::Event;
 use crate::plugin::PluginFactory;
 use crate::server;
 use damaris_fs::{LocalDirBackend, StorageBackend};
+use damaris_shm::sync::{Arc, AtomicU64, Ordering};
 use damaris_shm::{AllocError, MpscQueue, MutexAllocator, PartitionAllocator, Segment};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Either of the paper's two reservation schemes, behind one interface.
 pub(crate) enum BufferManager {
@@ -60,11 +59,18 @@ pub(crate) struct FaultStats {
 
 impl FaultStats {
     pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: pure event counters on the hot client/server paths.
+        // Nothing is published under them — readers only need eventual
+        // totals, and `get` runs after the server thread is joined (a
+        // happens-before edge that already orders every bump). SeqCst
+        // here bought nothing but a fence per client write.
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn get(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::SeqCst)
+        // Relaxed: see `bump` — the server-thread join orders all bumps
+        // before the final report copies the counters out.
+        counter.load(Ordering::Relaxed)
     }
 }
 
@@ -192,9 +198,12 @@ impl NodeRuntime {
                     scan.quarantined.len()
                 );
             }
+            // Relaxed: single-threaded startup — the clients and the
+            // server thread don't exist yet; the spawn below is the
+            // publishing happens-before edge.
             stats
                 .recovery_actions
-                .store(scan.actions(), Ordering::SeqCst);
+                .store(scan.actions(), Ordering::Relaxed);
         }
         let shared = Arc::new(NodeShared {
             config,
@@ -213,6 +222,9 @@ impl NodeRuntime {
         let server = std::thread::Builder::new()
             .name(format!("damaris-ded-{node_id}"))
             .spawn(move || server::run(server_shared, epe, node_id))
+            // invariant: thread spawn only fails on resource exhaustion at
+            // process scale; a node that cannot start its dedicated core
+            // cannot run at all.
             .expect("spawn dedicated-core thread");
 
         Ok(NodeRuntime {
@@ -227,12 +239,15 @@ impl NodeRuntime {
     pub fn clients(&self) -> Vec<DamarisClient> {
         self.clients
             .as_ref()
+            // invariant: documented API contract — `clients`/`take_clients`
+            // may only be called before the handles are taken.
             .expect("clients already taken")
             .clone()
     }
 
     /// Takes ownership of the client handles.
     pub fn take_clients(&mut self) -> Vec<DamarisClient> {
+        // invariant: documented API contract — handles are taken once.
         self.clients.take().expect("clients already taken")
     }
 
@@ -268,6 +283,7 @@ impl NodeRuntime {
     /// after all client activity is done.
     pub fn finish(mut self) -> Result<NodeReport, DamarisError> {
         self.shared.queue.push_wait(Event::Terminate);
+        // invariant: `finish` consumes `self`, so the handle is present.
         let handle = self.server.take().expect("finish called once");
         match handle.join() {
             Ok(report) => report,

@@ -35,6 +35,7 @@ pub fn summarize(dtype: DataType, bytes: &[u8]) -> Option<[f64; 3]> {
             .collect(),
         DataType::F64 => bytes
             .chunks_exact(8)
+            // invariant: chunks_exact(8) yields exactly 8-byte slices.
             .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
             .collect(),
         DataType::I32 => bytes
@@ -43,6 +44,7 @@ pub fn summarize(dtype: DataType, bytes: &[u8]) -> Option<[f64; 3]> {
             .collect(),
         DataType::I64 => bytes
             .chunks_exact(8)
+            // invariant: chunks_exact(8) yields exactly 8-byte slices.
             .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")) as f64)
             .collect(),
         DataType::U8 => bytes.iter().map(|&b| f64::from(b)).collect(),

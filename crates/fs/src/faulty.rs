@@ -148,7 +148,9 @@ impl<B: StorageBackend> FaultyBackend<B> {
     }
 
     fn next_fault(&self, op: FaultOp, counter: &AtomicU64) -> Option<FaultKind> {
-        let nth = counter.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: the RMW's atomicity alone guarantees unique tickets;
+        // no other memory is published under this counter.
+        let nth = counter.fetch_add(1, Ordering::Relaxed);
         self.plan
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -160,11 +162,13 @@ impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
     fn begin_sdf(&self, name: &str) -> Result<SdfWriter> {
         match self.next_fault(FaultOp::Begin, &self.begin_calls) {
             Some(FaultKind::TransientError) => {
-                self.injected.transient_errors.fetch_add(1, Ordering::SeqCst);
+                // Relaxed (here and below): pure test-assertion counters,
+                // read after the exercised threads are joined.
+                self.injected.transient_errors.fetch_add(1, Ordering::Relaxed);
                 Err(injected_io_error("begin_sdf", name))
             }
             Some(FaultKind::Stall(d)) => {
-                self.injected.stalls.fetch_add(1, Ordering::SeqCst);
+                self.injected.stalls.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(d);
                 self.inner.begin_sdf(name)
             }
@@ -179,18 +183,18 @@ impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
     fn commit_sdf(&self, writer: SdfWriter) -> Result<u64> {
         match self.next_fault(FaultOp::Commit, &self.commit_calls) {
             Some(FaultKind::TransientError) => {
-                self.injected.transient_errors.fetch_add(1, Ordering::SeqCst);
+                self.injected.transient_errors.fetch_add(1, Ordering::Relaxed);
                 // The tmp file stays behind, exactly like a failed commit:
                 // recovery (or a retry writing the same name) deals with it.
                 Err(injected_io_error("commit_sdf", &writer.path().display().to_string()))
             }
             Some(FaultKind::Stall(d)) => {
-                self.injected.stalls.fetch_add(1, Ordering::SeqCst);
+                self.injected.stalls.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(d);
                 self.inner.commit_sdf(writer)
             }
             Some(FaultKind::TornWrite { keep_num, keep_den }) => {
-                self.injected.torn_writes.fetch_add(1, Ordering::SeqCst);
+                self.injected.torn_writes.fetch_add(1, Ordering::Relaxed);
                 let tmp = writer.path().to_path_buf();
                 let total = self.inner.commit_sdf(writer)?;
                 // The commit published the file; now tear it behind the

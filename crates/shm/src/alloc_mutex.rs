@@ -5,11 +5,17 @@
 //! coalescing of adjacent free ranges so long-running sessions don't
 //! fragment into uselessness. All sizes are rounded up to [`ALIGN`] so
 //! segments can hold any scalar type without misalignment.
+//!
+//! All cross-thread state lives under the one [`crate::sync::Mutex`]; there
+//! is no ordering subtlety here — the lock's release/acquire edges order
+//! everything. `release` carries a double-free canary: a returned range
+//! overlapping the free list means the same segment was released twice (or
+//! a forged segment was released), and we abort loudly instead of silently
+//! corrupting the free list and handing the bytes out to two owners.
 
 use crate::buffer::{Segment, SharedBuffer};
+use crate::sync::{Arc, Mutex};
 use crate::AllocError;
-use parking_lot::Mutex;
-use std::sync::Arc;
 
 /// Alignment granted to every segment.
 pub const ALIGN: usize = 8;
@@ -107,7 +113,10 @@ impl MutexAllocator {
 
     /// Returns a segment's bytes to the free list, coalescing neighbours.
     ///
-    /// Panics if the segment belongs to a different buffer.
+    /// Panics if the segment belongs to a different buffer, and — the
+    /// double-free canary — if any byte of the segment is already free,
+    /// which can only mean the same range was released twice or a handle
+    /// was forged by splitting after release.
     pub fn release(&self, segment: Segment) {
         assert!(
             Arc::ptr_eq(segment.buffer(), &self.buffer),
@@ -117,11 +126,41 @@ impl MutexAllocator {
         let len = Self::rounded(segment.len());
         drop(segment);
         let mut state = self.state.lock();
-        state.in_use -= len;
         // Insert keeping the list sorted, then coalesce with neighbours.
         let pos = state
             .ranges
             .partition_point(|r| r.offset < offset);
+        // Double-release canary: the freed range must not intersect the
+        // range before or after its sorted insertion point (the list is
+        // sorted and coalesced, so these are the only possible overlaps).
+        // An intersection means those bytes are already on the free list —
+        // a double release — and continuing would hand the same memory to
+        // two future allocations. Zero-length ranges (len 0 never occurs:
+        // `rounded` is >= ALIGN) need no special casing.
+        if pos > 0 {
+            let prev = state.ranges[pos - 1];
+            assert!(
+                prev.offset + prev.len <= offset,
+                "double release: [{offset}, {}) overlaps free range [{}, {})",
+                offset + len,
+                prev.offset,
+                prev.offset + prev.len
+            );
+        }
+        if pos < state.ranges.len() {
+            let next = state.ranges[pos];
+            assert!(
+                offset + len <= next.offset,
+                "double release: [{offset}, {}) overlaps free range [{}, {})",
+                offset + len,
+                next.offset,
+                next.offset + next.len
+            );
+        }
+        // invariant: in_use counts exactly the rounded bytes of live
+        // segments; the canary above guarantees this range is live.
+        debug_assert!(state.in_use >= len, "in_use underflow on release");
+        state.in_use -= len;
         state.ranges.insert(pos, FreeRange { offset, len });
         // Coalesce with the next range.
         if pos + 1 < state.ranges.len()
@@ -162,7 +201,9 @@ impl std::fmt::Debug for MutexAllocator {
     }
 }
 
-#[cfg(test)]
+// OS-thread + proptest suites don't run under the model checker; the
+// `check` build is exercised by tests/model.rs instead.
+#[cfg(all(test, not(feature = "check")))]
 mod tests {
     use super::*;
     use proptest::prelude::*;
@@ -222,11 +263,39 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_is_caught() {
+        let a = MutexAllocator::with_capacity(256);
+        let s1 = a.allocate(64).unwrap();
+        let (off, len) = (s1.offset(), s1.len());
+        a.release(s1);
+        // Re-forge an identical segment (the API makes true double release
+        // impossible by move semantics, so simulate a stale duplicated
+        // handle the way a buggy FFI layer could produce one).
+        let s_dup = a.buffer().segment(off, len);
+        a.release(s_dup);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn overlapping_release_is_caught() {
+        let a = MutexAllocator::with_capacity(256);
+        let s1 = a.allocate(64).unwrap();
+        let s2 = a.allocate(64).unwrap();
+        let off2 = s2.offset();
+        a.release(s2);
+        // A forged range straddling live s1 and freed s2 bytes.
+        let forged = a.buffer().segment(off2 - 8, 16);
+        drop(s1);
+        a.release(forged);
+    }
+
+    #[test]
     fn concurrent_allocate_release_stress() {
-        let a = std::sync::Arc::new(MutexAllocator::with_capacity(1 << 16));
+        let a = Arc::new(MutexAllocator::with_capacity(1 << 16));
         std::thread::scope(|scope| {
             for t in 0..8 {
-                let a = std::sync::Arc::clone(&a);
+                let a = Arc::clone(&a);
                 scope.spawn(move || {
                     let mut held = Vec::new();
                     for i in 0..500 {

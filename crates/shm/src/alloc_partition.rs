@@ -15,15 +15,28 @@
 //! remaining bytes (wrap padding); the padding is recovered at release time
 //! from the segment's position, which the FIFO discipline makes unambiguous.
 //!
-//! Contract (checked with `debug_assert`s and property tests):
+//! Contract (checked with `debug_assert`s, property tests, and the model
+//! tests in `tests/model.rs`):
 //! * at most one thread calls [`PartitionAllocator::allocate`] per client id
 //!   at a time;
 //! * segments of one client are released in allocation order.
+//!
+//! ## Memory-ordering argument (verified under `--features check`)
+//!
+//! Each counter has a single writer, so its owner may load it `Relaxed`
+//! (it always sees its own latest value) while the *other* side loads it
+//! `Acquire` against the owner's `Release` store. The Acquire on `tail` in
+//! `allocate` is what makes recycling sound: observing `tail = t` means the
+//! consumer finished reading every byte below `t`, so overwriting them
+//! cannot race. Third-party observers (`in_use`) must load `tail` **before**
+//! `head`: both counters are monotonic and `tail <= head` holds at every
+//! instant, so `tail_read <= head_read` follows — loading them in the other
+//! order allowed `tail` to overtake a stale `head` snapshot and the
+//! subtraction to underflow (the bug fixed here, pinned by a model test).
 
 use crate::buffer::{Segment, SharedBuffer};
+use crate::sync::{Arc, AtomicUsize, Ordering};
 use crate::AllocError;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
 /// Alignment granted to every segment (shared with the mutex allocator).
 pub const ALIGN: usize = 8;
@@ -87,9 +100,39 @@ impl PartitionAllocator {
     }
 
     /// Bytes currently reserved by `client` (including wrap padding).
+    ///
+    /// Callable from any thread; returns a consistent instantaneous value
+    /// in `[0, region_capacity()]`.
     pub fn in_use(&self, client: usize) -> usize {
         let r = &self.regions[client];
-        r.head.load(Ordering::Acquire) - r.tail.load(Ordering::Acquire)
+        // Seqlock-style consistent snapshot. The original implementation
+        // loaded `head` then `tail` independently, which had TWO races with
+        // a concurrent allocate+release pair: `tail` could overtake a stale
+        // `head` snapshot and the subtraction wrapped to ~usize::MAX, and
+        // symmetrically a fresh `head` against a stale `tail` over-reported
+        // past the region size. Re-reading `tail` around the `head` load
+        // fixes both: `tail` is monotonic, so an unchanged re-read proves
+        // `tail` held that value at the instant `head` was loaded, making
+        // the pair a consistent snapshot where `tail <= head <= tail + len`
+        // holds by the region invariants. Each retry requires the consumer
+        // to have advanced `tail`, so the loop is bounded by the releases
+        // in flight. Regression model test: `in_use_is_always_consistent`
+        // in tests/model.rs.
+        //
+        // Acquire on all three: pairs with the owners' Release stores so
+        // the snapshot is also ordered after the work it covers.
+        let mut tail = r.tail.load(Ordering::Acquire);
+        loop {
+            let head = r.head.load(Ordering::Acquire);
+            let tail_after = r.tail.load(Ordering::Acquire);
+            if tail_after == tail {
+                // Belt and braces: the snapshot argument above rules out
+                // underflow, but saturate so even a future regression
+                // cannot return a garbage count.
+                return head.saturating_sub(tail);
+            }
+            tail = tail_after;
+        }
     }
 
     /// Reserves `len` bytes in `client`'s region.
@@ -102,11 +145,14 @@ impl PartitionAllocator {
         if need > region.len {
             return Err(AllocError::TooLarge);
         }
-        // Only this thread writes `head`, so a relaxed load sees our own
-        // latest value; `tail` needs Acquire to observe the consumer's
-        // releases (and the freeing of the bytes they cover).
+        // Relaxed: only this thread writes `head`, so we always see our own
+        // latest value. Acquire on `tail`: pairs with the consumer's Release
+        // in `release`, ordering its reads of the freed bytes before our
+        // overwrite of them.
         let head = region.head.load(Ordering::Relaxed);
         let tail = region.tail.load(Ordering::Acquire);
+        // Cannot underflow: the consumer only releases what we allocated,
+        // so tail <= head always holds from the owner's view of head.
         let used = head - tail;
         let pos = head % region.len;
         let (pad, start) = if pos + need <= region.len {
@@ -117,9 +163,9 @@ impl PartitionAllocator {
         if used + pad + need > region.len {
             return Err(AllocError::Full);
         }
-        // Publish the reservation. Release pairs with the consumer's
-        // Acquire in `in_use`/debug checks; the data itself is published by
-        // the event queue when the segment handle is sent.
+        // Release: publishes the reservation to `in_use` observers and the
+        // consumer's debug checks; the segment *data* is published by the
+        // event queue's release/acquire pair when the handle is sent.
         region.head.store(head + pad + need, Ordering::Release);
         Ok(self.buffer.segment(region.offset + start, len))
     }
@@ -139,17 +185,25 @@ impl PartitionAllocator {
             .offset()
             .checked_sub(region.offset)
             .filter(|&p| p < region.len)
+            // invariant: segments carry the offset the allocator assigned;
+            // a mismatch is caller misuse, not a runtime condition.
             .expect("segment does not belong to this client's region");
         let need = rounded(segment.len());
         drop(segment);
-        let tail = region.tail.load(Ordering::Relaxed); // only we write it
+        // Relaxed: only this (consumer) thread writes `tail`.
+        let tail = region.tail.load(Ordering::Relaxed);
         let tail_pos = tail % region.len;
         let pad = (seg_pos + region.len - tail_pos) % region.len;
+        // Acquire: pairs with the client's Release store of `head` so the
+        // FIFO debug check below sees the reservation being released.
         let head = region.head.load(Ordering::Acquire);
         debug_assert!(
             tail + pad + need <= head,
             "FIFO release violated: tail {tail} pad {pad} need {need} head {head}"
         );
+        // Release: hands the freed bytes back to the client — pairs with
+        // the Acquire on `tail` in `allocate`, ordering our reads of the
+        // segment data before the client's next overwrite.
         region.tail.store(tail + pad + need, Ordering::Release);
     }
 }
@@ -165,7 +219,9 @@ impl std::fmt::Debug for PartitionAllocator {
     }
 }
 
-#[cfg(test)]
+// OS-thread + proptest suites don't run under the model checker; the
+// `check` build is exercised by tests/model.rs instead.
+#[cfg(all(test, not(feature = "check")))]
 mod tests {
     use super::*;
     use proptest::prelude::*;
@@ -276,6 +332,60 @@ mod tests {
         for c in 0..clients {
             assert_eq!(a.in_use(c), 0, "client {c} leaked");
         }
+    }
+
+    #[test]
+    fn in_use_stays_sane_under_concurrent_observation() {
+        // Regression (observable half of the underflow bug): a third
+        // thread hammering `in_use` while one client allocates and the
+        // consumer releases must never see a value above the region size
+        // — an underflow would wrap to ~usize::MAX.
+        let a = Arc::new(PartitionAllocator::with_capacity(1024, 1));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::channel::<Segment>();
+            {
+                let a = Arc::clone(&a);
+                scope.spawn(move || {
+                    for _ in 0..20_000usize {
+                        loop {
+                            match a.allocate(0, 64) {
+                                Ok(seg) => {
+                                    tx.send(seg).unwrap();
+                                    break;
+                                }
+                                Err(_) => std::thread::yield_now(),
+                            }
+                        }
+                    }
+                });
+            }
+            {
+                let a = Arc::clone(&a);
+                scope.spawn(move || {
+                    while let Ok(seg) = rx.recv() {
+                        a.release(0, seg);
+                    }
+                });
+            }
+            let cap = a.region_capacity();
+            let a = Arc::clone(&a);
+            let stop2 = Arc::clone(&stop);
+            scope.spawn(move || {
+                while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                    let used = a.in_use(0);
+                    assert!(used <= cap, "in_use reported {used} (> region {cap})");
+                }
+            });
+            // Scoped threads: the producer/consumer pair finishes, then we
+            // stop the observer.
+            scope.spawn(move || {
+                // Give the data path a moment, then stop the observer; the
+                // assertion above does the real work on every iteration.
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+        });
     }
 
     proptest! {

@@ -6,9 +6,21 @@
 //! never hand out overlapping live ranges (see the property tests in the
 //! allocator modules), data races are impossible despite the raw-pointer
 //! plumbing underneath.
+//!
+//! That disjointness argument is *verified*, not just asserted: the buffer
+//! carries a [`crate::sync::RangeTracker`], and every slice access declares
+//! its byte range to it. In the default build the declarations compile to
+//! nothing; under `--features check` the model checker cross-checks every
+//! pair of overlapping accesses for a happens-before edge and fails the
+//! run on any unordered conflict (see `tests/model.rs`).
+//!
+//! The backing store stays a raw `UnsafeCell` array rather than per-word
+//! [`crate::sync::ShmCell`]s: segments are byte-granular and word cells
+//! would force 8-byte access granularity. Byte-range tracking is the
+//! facade treatment for this type.
 
+use crate::sync::{Arc, RangeTracker};
 use std::cell::UnsafeCell;
-use std::sync::Arc;
 
 /// A fixed-size byte buffer shared by all cores of one simulated SMP node.
 ///
@@ -19,13 +31,17 @@ pub struct SharedBuffer {
     /// (8-byte-aligning) allocators can be viewed as f32/f64 slices.
     data: Box<[UnsafeCell<u64>]>,
     capacity: usize,
+    /// Race detector for segment accesses; no-op unless `check`.
+    tracker: RangeTracker,
 }
 
 // SAFETY: access to ranges of `data` is mediated by `Segment`s, which the
-// allocators guarantee to be disjoint while live. Cross-thread visibility is
-// provided by the release/acquire pair of whatever channel transfers the
-// segment (the event queue).
+// allocators guarantee to be disjoint while live (model-checked under
+// `--features check` via `tracker`). Cross-thread visibility is provided by
+// the release/acquire pair of whatever channel transfers the segment (the
+// event queue).
 unsafe impl Sync for SharedBuffer {}
+// SAFETY: no thread affinity; see `Sync` argument above.
 unsafe impl Send for SharedBuffer {}
 
 impl SharedBuffer {
@@ -33,7 +49,11 @@ impl SharedBuffer {
     pub fn new(capacity: usize) -> Arc<Self> {
         let words = capacity.div_ceil(8);
         let data: Box<[UnsafeCell<u64>]> = (0..words).map(|_| UnsafeCell::new(0)).collect();
-        Arc::new(SharedBuffer { data, capacity })
+        Arc::new(SharedBuffer {
+            data,
+            capacity,
+            tracker: RangeTracker::new(),
+        })
     }
 
     /// Total capacity in bytes.
@@ -113,6 +133,8 @@ impl Segment {
             src.len(),
             self.len
         );
+        // Declare the write to the race detector (no-op unless `check`).
+        self.buffer.tracker.write(self.offset, self.len);
         // SAFETY: `&mut self` gives exclusive access to this segment, and the
         // allocator guarantees no other live segment overlaps this range.
         unsafe {
@@ -124,6 +146,8 @@ impl Segment {
     /// Mutable view for in-place production (the `dc_alloc`/`dc_commit`
     /// zero-copy path: the simulation computes directly in shared memory).
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // Declare the write to the race detector (no-op unless `check`).
+        self.buffer.tracker.write(self.offset, self.len);
         // SAFETY: exclusive borrow of the segment + allocator disjointness.
         unsafe {
             std::slice::from_raw_parts_mut(self.buffer.base().add(self.offset), self.len)
@@ -133,6 +157,8 @@ impl Segment {
     /// Shared read view (used by the server after the handle arrives through
     /// the event queue, which provides the happens-before edge).
     pub fn as_slice(&self) -> &[u8] {
+        // Declare the read to the race detector (no-op unless `check`).
+        self.buffer.tracker.read(self.offset, self.len);
         // SAFETY: `&self` prevents concurrent mutation through this handle;
         // no other handle aliases the range.
         unsafe {
@@ -160,7 +186,9 @@ impl std::fmt::Debug for Segment {
     }
 }
 
-#[cfg(test)]
+// Plain functional tests; segment race semantics under concurrency are
+// model-checked in tests/model.rs with `--features check`.
+#[cfg(all(test, not(feature = "check")))]
 mod tests {
     use super::*;
 

@@ -30,11 +30,21 @@
 //! through `&mut Segment`, and the happens-before edge between the client's
 //! writes and the server's reads is provided by the event queue's
 //! release/acquire pair when the segment handle is sent.
+//!
+//! ## Verification
+//!
+//! All synchronization primitives are imported from the [`sync`] facade.
+//! Building with `--features check` swaps them onto the `damaris-check`
+//! model checker, and `tests/model.rs` exhaustively explores bounded
+//! interleavings of the queue, both allocators, and the backpressure
+//! protocol — including seeded-bug tests proving the checker rejects
+//! weakened orderings. See `DESIGN.md` § "Memory model & verification".
 
 mod alloc_mutex;
 mod alloc_partition;
 mod buffer;
 mod queue;
+pub mod sync;
 
 pub use alloc_mutex::MutexAllocator;
 pub use alloc_partition::PartitionAllocator;

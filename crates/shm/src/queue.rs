@@ -13,10 +13,23 @@
 //! what makes the zero-copy segment handoff in `damaris-core` sound: all
 //! writes a client performed into its shared-memory segment happen-before
 //! the server's reads.
+//!
+//! ## Memory-ordering argument (verified under `--features check`)
+//!
+//! Per slot, `seq` is the single synchronization variable. The producer's
+//! `Release` store of `seq = pos + 1` publishes the value it wrote into
+//! the slot; the consumer's `Acquire` load of `seq` observes it before
+//! touching the value, and its own `Release` store of `seq = pos + mask + 1`
+//! publishes the now-empty slot back to the producer one lap ahead. The
+//! `enqueue_pos`/`dequeue_pos` tickets need no ordering of their own: they
+//! only arbitrate *which* thread owns a slot (CAS), and all data movement
+//! is ordered through `seq`. The model tests in `tests/model.rs` explore
+//! every bounded-preemption schedule of a 2×2 producer/consumer
+//! configuration, and the seeded-bug test shows the checker rejects this
+//! algorithm if the `seq` publication store is weakened to `Relaxed`.
 
-use std::cell::UnsafeCell;
+use crate::sync::{spin_loop, yield_now, AtomicUsize, Ordering, ShmCell};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Error returned by [`MpscQueue::push`] when the ring is full; gives the
 /// value back to the caller.
@@ -27,7 +40,7 @@ struct Slot<T> {
     /// Sequence: `index` when empty and ready for the producer of that
     /// index, `index + 1` once filled and ready for the consumer.
     seq: AtomicUsize,
-    value: UnsafeCell<MaybeUninit<T>>,
+    value: ShmCell<MaybeUninit<T>>,
 }
 
 /// Bounded lock-free multi-producer queue.
@@ -38,9 +51,12 @@ pub struct MpscQueue<T> {
     dequeue_pos: AtomicUsize,
 }
 
-// SAFETY: slots are handed between threads with acquire/release on `seq`;
-// `T: Send` is required to move values across threads.
+// SAFETY: slots are handed between threads with acquire/release on `seq`
+// (see the module-level ordering argument); `T: Send` is required because
+// values move across threads through the slots.
 unsafe impl<T: Send> Sync for MpscQueue<T> {}
+// SAFETY: owning the queue confers no thread affinity; all shared state
+// is atomics plus protocol-guarded slots.
 unsafe impl<T: Send> Send for MpscQueue<T> {}
 
 impl<T> MpscQueue<T> {
@@ -51,7 +67,7 @@ impl<T> MpscQueue<T> {
         let slots: Box<[Slot<T>]> = (0..cap)
             .map(|i| Slot {
                 seq: AtomicUsize::new(i),
-                value: UnsafeCell::new(MaybeUninit::uninit()),
+                value: ShmCell::new(MaybeUninit::uninit()),
             })
             .collect();
         MpscQueue {
@@ -69,6 +85,8 @@ impl<T> MpscQueue<T> {
 
     /// Approximate number of queued items (racy by nature).
     pub fn len(&self) -> usize {
+        // Relaxed: a monitoring estimate; no data is accessed on the
+        // strength of these loads.
         let enq = self.enqueue_pos.load(Ordering::Relaxed);
         let deq = self.dequeue_pos.load(Ordering::Relaxed);
         enq.saturating_sub(deq)
@@ -81,12 +99,20 @@ impl<T> MpscQueue<T> {
 
     /// Attempts to enqueue; lock-free, callable from any number of threads.
     pub fn push(&self, value: T) -> Result<(), PushError<T>> {
+        // Relaxed: the ticket only picks a slot to try; slot ownership is
+        // decided by the CAS and data ordering by `seq`.
         let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
+            // Acquire: pairs with the consumer's Release store when it
+            // recycles this slot, so we see the slot truly vacated (and
+            // the consumer's read of any previous value completed) before
+            // we overwrite it.
             let seq = slot.seq.load(Ordering::Acquire);
             if seq == pos {
                 // Slot free for this ticket: try to claim it.
+                // Relaxed success/failure: the CAS only arbitrates slot
+                // ownership between producers; it publishes nothing.
                 match self.enqueue_pos.compare_exchange_weak(
                     pos,
                     pos + 1,
@@ -94,8 +120,12 @@ impl<T> MpscQueue<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // SAFETY: we own this slot until we bump seq.
-                        unsafe { (*slot.value.get()).write(value) };
+                        // SAFETY: the CAS above made us the unique owner
+                        // of this slot until we bump `seq`; no other
+                        // thread reads or writes the cell in between.
+                        slot.value.with_mut(|p| unsafe { (*p).write(value) });
+                        // Release: publishes the value written above to
+                        // the consumer whose Acquire load sees `pos + 1`.
                         slot.seq.store(pos + 1, Ordering::Release);
                         return Ok(());
                     }
@@ -113,11 +143,15 @@ impl<T> MpscQueue<T> {
 
     /// Attempts to dequeue.
     pub fn pop(&self) -> Option<T> {
+        // Relaxed: ticket selection only (see `push`).
         let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
+            // Acquire: pairs with the producer's Release store of
+            // `pos + 1`, ordering its value write before our read.
             let seq = slot.seq.load(Ordering::Acquire);
             if seq == pos + 1 {
+                // Relaxed CAS: consumer-side ticket arbitration only.
                 match self.dequeue_pos.compare_exchange_weak(
                     pos,
                     pos + 1,
@@ -126,9 +160,14 @@ impl<T> MpscQueue<T> {
                 ) {
                     Ok(_) => {
                         // SAFETY: the producer finished writing (we saw its
-                        // release-store of seq); we own the slot now.
-                        let value = unsafe { (*slot.value.get()).assume_init_read() };
-                        // Mark the slot free for the producer one lap ahead.
+                        // release-store of seq); the CAS made us the unique
+                        // consumer of this slot, so the value is initialized
+                        // and unaliased.
+                        let value =
+                            slot.value.with(|p| unsafe { (*p).assume_init_read() });
+                        // Release: marks the slot free for the producer one
+                        // lap ahead, ordering our read of the value before
+                        // its overwrite.
                         slot.seq.store(pos + self.mask + 1, Ordering::Release);
                         return Some(value);
                     }
@@ -154,9 +193,9 @@ impl<T> MpscQueue<T> {
             }
             spins += 1;
             if spins < 64 {
-                std::hint::spin_loop();
+                spin_loop();
             } else {
-                std::thread::yield_now();
+                yield_now();
             }
         }
     }
@@ -171,9 +210,9 @@ impl<T> MpscQueue<T> {
                     value = v;
                     spins += 1;
                     if spins < 64 {
-                        std::hint::spin_loop();
+                        spin_loop();
                     } else {
-                        std::thread::yield_now();
+                        yield_now();
                     }
                 }
             }
@@ -194,7 +233,10 @@ impl<T> std::fmt::Debug for MpscQueue<T> {
     }
 }
 
-#[cfg(test)]
+// Concurrency tests below use OS threads; under `--features check` the
+// facade types only function inside a model run, so the whole module is
+// compiled out and `tests/model.rs` takes over.
+#[cfg(all(test, not(feature = "check")))]
 mod tests {
     use super::*;
     use std::sync::Arc;
@@ -217,6 +259,8 @@ mod tests {
         let q = MpscQueue::<u8>::new(5);
         assert_eq!(q.capacity(), 8);
         let q = MpscQueue::<u8>::new(0);
+        assert_eq!(q.capacity(), 2);
+        let q = MpscQueue::<u8>::new(1);
         assert_eq!(q.capacity(), 2);
     }
 
@@ -289,12 +333,12 @@ mod tests {
                 let seen = Arc::clone(&seen);
                 let consumed = Arc::clone(&consumed);
                 scope.spawn(move || loop {
-                    if consumed.load(Ordering::SeqCst) >= total {
+                    if consumed.load(std::sync::atomic::Ordering::Acquire) >= total {
                         break;
                     }
                     if let Some(v) = q.pop() {
                         assert!(seen.lock().unwrap().insert(v), "duplicate {v}");
-                        consumed.fetch_add(1, Ordering::SeqCst);
+                        consumed.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
                     } else {
                         std::thread::yield_now();
                     }
@@ -326,11 +370,11 @@ mod tests {
             let q2 = Arc::clone(&q);
             let d2 = Arc::clone(&data);
             scope.spawn(move || {
-                d2.store(42, Ordering::Relaxed);
+                d2.store(42, std::sync::atomic::Ordering::Relaxed);
                 q2.push_wait(());
             });
             let () = q.pop_wait();
-            assert_eq!(data.load(Ordering::Relaxed), 42);
+            assert_eq!(data.load(std::sync::atomic::Ordering::Relaxed), 42);
         });
     }
 }
