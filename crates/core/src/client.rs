@@ -9,16 +9,29 @@
 //! | `df_signal(event, step)`       | [`DamarisClient::signal`]           |
 //! | `dc_alloc`/`dc_commit`         | [`DamarisClient::alloc`]/[`AllocatedRegion::commit`] |
 //!
-//! A `write` is one shared-memory reservation, one `memcpy`, one queue
-//! push — nothing else; the client returns to computation immediately.
+//! A `write` is one shared-memory reservation, one `memcpy`, one journal
+//! append, one queue push — nothing else; the client returns to
+//! computation immediately.
+//!
+//! # Dedicated-core failure
+//!
+//! While waiting on a full buffer, clients watch the server's heartbeat
+//! word. If it stays unchanged for `<resilience heartbeat_timeout_ms=…>`
+//! the dedicated core is presumed dead and the backpressure policy
+//! degrades accordingly: the lossy policies divert immediately (`drop`
+//! counts the loss, `sync-fallback` writes through to storage), while
+//! `block` parks until a new heartbeat epoch appears — the supervisor
+//! respawning the server — and fails with
+//! [`DamarisError::EpeUnavailable`] if none does within its timeout.
 
 use crate::config::BackpressurePolicy;
 use crate::error::DamarisError;
 use crate::event::Event;
+use crate::journal::JournalPayload;
 use crate::node::{FaultStats, NodeShared};
 use crate::retry::Backoff;
+use damaris_shm::sync::{Arc, AtomicU64, Ordering};
 use damaris_shm::{AllocError, Segment};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How long the lossy policies (`drop`, `sync-fallback`) still wait for
@@ -27,21 +40,68 @@ use std::time::{Duration, Instant};
 /// never visibly stalls.
 const LOSSY_GRACE: Duration = Duration::from_millis(2);
 
+/// Outcome of a bounded reservation wait.
+enum ReserveOutcome {
+    Got(Segment),
+    /// Deadline passed while the server was (still) heartbeating.
+    TimedOut,
+    /// The heartbeat word went stale: the dedicated core is presumed dead.
+    Stale,
+}
+
 /// Handle held by one compute core.
-#[derive(Clone)]
 pub struct DamarisClient {
     id: u32,
     shared: Arc<NodeShared>,
+    /// Anchor for the monotonic nanosecond readings below (immutable).
+    hb_anchor: Instant,
+    /// Last heartbeat word observed, packed `(epoch << 32) | beat`, and
+    /// when it last *changed* (nanoseconds past `hb_anchor`) — carried
+    /// across calls so staleness accrues wall-clock time even though each
+    /// individual wait is short.
+    hb_word: AtomicU64,
+    hb_changed_ns: AtomicU64,
+}
+
+impl Clone for DamarisClient {
+    fn clone(&self) -> Self {
+        DamarisClient {
+            id: self.id,
+            shared: Arc::clone(&self.shared),
+            hb_anchor: self.hb_anchor,
+            hb_word: AtomicU64::new(self.hb_word.load(Ordering::Relaxed)),
+            hb_changed_ns: AtomicU64::new(self.hb_changed_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Packs an `(epoch, beat)` observation into one comparable word.
+fn pack_word((epoch, beat): (u32, u32)) -> u64 {
+    (u64::from(epoch) << 32) | u64::from(beat)
 }
 
 impl DamarisClient {
     pub(crate) fn new(id: u32, shared: Arc<NodeShared>) -> Self {
-        DamarisClient { id, shared }
+        let hb_word = AtomicU64::new(pack_word(shared.heartbeat.observe()));
+        DamarisClient {
+            id,
+            shared,
+            hb_anchor: Instant::now(),
+            hb_word,
+            hb_changed_ns: AtomicU64::new(0),
+        }
     }
 
     /// This client's id within its node (the `source` of its tuples).
     pub fn id(&self) -> u32 {
         self.id
+    }
+
+    /// Bytes currently reserved in the node's shared buffer — a leak
+    /// detector that stays usable after the runtime handle is consumed
+    /// (zero at the end of a leak-free run, crashed-and-replayed or not).
+    pub fn buffer_in_use(&self) -> usize {
+        self.shared.buffer.in_use(self.shared.clients)
     }
 
     fn lookup(&self, variable: &str) -> Result<(u32, u64), DamarisError> {
@@ -65,11 +125,58 @@ impl DamarisClient {
         Ok((id, self.shared.config.layout_of(def)))
     }
 
+    /// Samples the heartbeat word; true once it has been unchanged for the
+    /// configured window. A live-but-busy server (long plugin action)
+    /// resumes beating and resets the clock before most windows elapse —
+    /// the configuration must keep `heartbeat_timeout` above the longest
+    /// expected action.
+    fn heartbeat_stale(&self) -> bool {
+        let word = pack_word(self.shared.heartbeat.observe());
+        let elapsed_ns = self.hb_anchor.elapsed().as_nanos() as u64;
+        if word != self.hb_word.load(Ordering::Relaxed) {
+            self.hb_word.store(word, Ordering::Relaxed);
+            self.hb_changed_ns.store(elapsed_ns, Ordering::Relaxed);
+            return false;
+        }
+        let since_change = elapsed_ns.saturating_sub(self.hb_changed_ns.load(Ordering::Relaxed));
+        Duration::from_nanos(since_change) >= self.shared.config.resilience.heartbeat_timeout
+    }
+
+    /// Resets staleness tracking (after observing recovery).
+    fn reset_heartbeat_tracking(&self) {
+        let word = pack_word(self.shared.heartbeat.observe());
+        self.hb_word.store(word, Ordering::Relaxed);
+        self.hb_changed_ns
+            .store(self.hb_anchor.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Parks until the heartbeat moves again — a new epoch (supervisor
+    /// respawned the server) or a resumed beat (false alarm: the old
+    /// server was busy, not dead). Fails with `EpeUnavailable` at
+    /// `deadline`.
+    fn await_heartbeat(&self, deadline: Instant) -> Result<(), DamarisError> {
+        FaultStats::bump(&self.shared.stats.heartbeat_stale_observed);
+        let word = self.shared.heartbeat.observe();
+        loop {
+            if self.shared.heartbeat.observe() != word {
+                self.reset_heartbeat_tracking();
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(DamarisError::EpeUnavailable {
+                    node_id: self.shared.node_id,
+                    epoch: self.shared.heartbeat.epoch(),
+                });
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
     /// Reserves a segment, waiting out a full buffer with bounded
-    /// exponential backoff until `deadline`. Returns `Ok(None)` on timeout
-    /// (the caller's backpressure policy decides what that means);
-    /// non-transient allocation errors (`TooLarge`, `BadClient`) return
-    /// immediately.
+    /// exponential backoff until `deadline`. [`ReserveOutcome::TimedOut`]
+    /// leaves the policy decision to the caller; [`ReserveOutcome::Stale`]
+    /// reports a dead-looking dedicated core; non-transient allocation
+    /// errors (`TooLarge`, `BadClient`) return immediately.
     ///
     /// Deadlock note: the server reclaims an iteration's segments once
     /// *every* client of the node has ended that iteration. Clients must
@@ -77,16 +184,19 @@ impl DamarisClient {
     /// naturally are) or the buffer must be sized for the maximum
     /// iteration skew — the same constraint the original Damaris has. The
     /// deadline turns that failure mode from a silent hang into an error.
-    fn try_reserve(&self, len: usize, deadline: Instant) -> Result<Option<Segment>, DamarisError> {
+    fn try_reserve(&self, len: usize, deadline: Instant) -> Result<ReserveOutcome, DamarisError> {
         let mut spins = 0u32;
         let mut backoff = Backoff::new(Duration::from_micros(20), Duration::from_millis(2));
         loop {
             match self.shared.buffer.allocate(self.id, len) {
-                Ok(seg) => return Ok(Some(seg)),
+                Ok(seg) => return Ok(ReserveOutcome::Got(seg)),
                 Err(AllocError::Full) => {
+                    if self.heartbeat_stale() {
+                        return Ok(ReserveOutcome::Stale);
+                    }
                     let now = Instant::now();
                     if now >= deadline {
-                        return Ok(None);
+                        return Ok(ReserveOutcome::TimedOut);
                     }
                     if spins < 64 {
                         // The common case: the dedicated core is mid-drain
@@ -104,7 +214,9 @@ impl DamarisClient {
     }
 
     /// Blocking reservation under the `block` policy: timeout surfaces as
-    /// [`DamarisError::Buffer`] with [`AllocError::Full`].
+    /// [`DamarisError::Buffer`] with [`AllocError::Full`]; a stale
+    /// heartbeat parks for a respawn and surfaces
+    /// [`DamarisError::EpeUnavailable`] if none arrives in time.
     fn reserve(&self, len: usize) -> Result<Segment, DamarisError> {
         let timeout = match self.shared.config.resilience.backpressure {
             BackpressurePolicy::Block { timeout } => timeout,
@@ -114,8 +226,16 @@ impl DamarisClient {
                 Duration::from_secs(30)
             }
         };
-        self.try_reserve(len, Instant::now() + timeout)?
-            .ok_or(DamarisError::Buffer(AllocError::Full))
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.try_reserve(len, deadline)? {
+                ReserveOutcome::Got(seg) => return Ok(seg),
+                ReserveOutcome::TimedOut => {
+                    return Err(DamarisError::Buffer(AllocError::Full))
+                }
+                ReserveOutcome::Stale => self.await_heartbeat(deadline)?,
+            }
+        }
     }
 
     /// Policy-aware reservation for the write paths. `Ok(None)` means the
@@ -129,14 +249,29 @@ impl DamarisClient {
         data: &[u8],
     ) -> Result<Option<Segment>, DamarisError> {
         match self.shared.config.resilience.backpressure {
-            BackpressurePolicy::Block { timeout } => self
-                .try_reserve(data.len(), Instant::now() + timeout)?
-                .ok_or(DamarisError::Buffer(AllocError::Full))
-                .map(Some),
+            BackpressurePolicy::Block { timeout } => {
+                let deadline = Instant::now() + timeout;
+                loop {
+                    match self.try_reserve(data.len(), deadline)? {
+                        ReserveOutcome::Got(seg) => return Ok(Some(seg)),
+                        ReserveOutcome::TimedOut => {
+                            return Err(DamarisError::Buffer(AllocError::Full))
+                        }
+                        ReserveOutcome::Stale => self.await_heartbeat(deadline)?,
+                    }
+                }
+            }
             BackpressurePolicy::DropIteration => {
                 match self.try_reserve(data.len(), Instant::now() + LOSSY_GRACE)? {
-                    Some(seg) => Ok(Some(seg)),
-                    None => {
+                    ReserveOutcome::Got(seg) => Ok(Some(seg)),
+                    ReserveOutcome::TimedOut => {
+                        FaultStats::bump(&self.shared.stats.writes_dropped);
+                        Ok(None)
+                    }
+                    ReserveOutcome::Stale => {
+                        // Dead server: shed immediately, and separately
+                        // count that the loss was liveness-driven.
+                        FaultStats::bump(&self.shared.stats.heartbeat_stale_observed);
                         FaultStats::bump(&self.shared.stats.writes_dropped);
                         Ok(None)
                     }
@@ -144,8 +279,14 @@ impl DamarisClient {
             }
             BackpressurePolicy::SyncFallback => {
                 match self.try_reserve(data.len(), Instant::now() + LOSSY_GRACE)? {
-                    Some(seg) => Ok(Some(seg)),
-                    None => {
+                    ReserveOutcome::Got(seg) => Ok(Some(seg)),
+                    ReserveOutcome::TimedOut => {
+                        self.write_through(variable, iteration, layout, data)?;
+                        FaultStats::bump(&self.shared.stats.sync_fallback_writes);
+                        Ok(None)
+                    }
+                    ReserveOutcome::Stale => {
+                        FaultStats::bump(&self.shared.stats.heartbeat_stale_observed);
                         self.write_through(variable, iteration, layout, data)?;
                         FaultStats::bump(&self.shared.stats.sync_fallback_writes);
                         Ok(None)
@@ -187,6 +328,28 @@ impl DamarisClient {
         Ok(())
     }
 
+    /// Journals a write-notification (before the queue push) and returns
+    /// its sequence number.
+    fn journal_write(
+        &self,
+        variable_id: u32,
+        iteration: u32,
+        segment: &Segment,
+        dynamic_layout: Option<&damaris_format::Layout>,
+    ) -> u64 {
+        self.shared.journal.append(
+            self.shared.heartbeat.epoch(),
+            JournalPayload::Write {
+                variable_id,
+                iteration,
+                source: self.id,
+                offset: segment.offset(),
+                len: segment.len(),
+                dynamic_layout: dynamic_layout.cloned(),
+            },
+        )
+    }
+
     /// `df_write`: copies `data` into shared memory and notifies the
     /// dedicated core. The byte length must match the variable's layout.
     ///
@@ -217,12 +380,14 @@ impl DamarisClient {
             None => return Ok(()), // policy consumed the payload
         };
         segment.copy_from_slice(data);
+        let seq = self.journal_write(variable_id, iteration, &segment, None);
         self.shared.queue.push_wait(Event::Write {
             variable_id,
             iteration,
             source: self.id,
             segment,
             dynamic_layout: None,
+            seq,
         });
         Ok(())
     }
@@ -256,12 +421,14 @@ impl DamarisClient {
             None => return Ok(()), // policy consumed the payload
         };
         segment.copy_from_slice(data);
+        let seq = self.journal_write(variable_id, iteration, &segment, Some(&layout));
         self.shared.queue.push_wait(Event::Write {
             variable_id,
             iteration,
             source: self.id,
             segment,
             dynamic_layout: Some(layout),
+            seq,
         });
         Ok(())
     }
@@ -321,10 +488,19 @@ impl DamarisClient {
         if self.shared.config.bindings_for(event).is_empty() {
             return Err(DamarisError::UnknownEvent(event.to_string()));
         }
+        let seq = self.shared.journal.append(
+            self.shared.heartbeat.epoch(),
+            JournalPayload::User {
+                name: event.to_string(),
+                iteration,
+                source: self.id,
+            },
+        );
         self.shared.queue.push_wait(Event::User {
             name: event.to_string(),
             iteration,
             source: self.id,
+            seq,
         });
         Ok(())
     }
@@ -333,9 +509,17 @@ impl DamarisClient {
     /// the node has done so, iteration-scoped actions (persistence by
     /// default) fire on the dedicated core.
     pub fn end_iteration(&self, iteration: u32) -> Result<(), DamarisError> {
+        let seq = self.shared.journal.append(
+            self.shared.heartbeat.epoch(),
+            JournalPayload::EndIteration {
+                iteration,
+                source: self.id,
+            },
+        );
         self.shared.queue.push_wait(Event::EndIteration {
             iteration,
             source: self.id,
+            seq,
         });
         Ok(())
     }
@@ -382,12 +566,16 @@ impl AllocatedRegion {
     pub fn commit(mut self) {
         // invariant: `commit` consumes self, so the segment is present.
         let segment = self.segment.take().expect("commit called once");
+        let seq =
+            self.client
+                .journal_write(self.variable_id, self.iteration, &segment, None);
         self.client.shared.queue.push_wait(Event::Write {
             variable_id: self.variable_id,
             iteration: self.iteration,
             source: self.client.id,
             segment,
             dynamic_layout: None,
+            seq,
         });
     }
 }

@@ -93,7 +93,8 @@ impl Default for BackpressurePolicy {
 /// <resilience backpressure="block" timeout_ms="30000"
 ///             persist_retries="2" retry_base_ms="10"
 ///             persist_deadline_ms="2000"
-///             plugin_quarantine="3" recovery_scan="true"/>
+///             plugin_quarantine="3" recovery_scan="true"
+///             epe_respawn="1" heartbeat_timeout_ms="1000"/>
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResilienceConfig {
@@ -114,6 +115,16 @@ pub struct ResilienceConfig {
     /// Run the startup recovery scan (delete `*.tmp` orphans, quarantine
     /// torn `*.sdf`) before serving.
     pub recovery_scan: bool,
+    /// How many times a crashed dedicated-core thread is respawned (each
+    /// respawn bumps the heartbeat epoch and replays the event journal).
+    /// 0 = no supervision beyond the crash surfacing at `finish` — the
+    /// pre-recovery behaviour, and the default.
+    pub epe_respawn: u32,
+    /// How long the heartbeat word may stay unchanged before clients treat
+    /// the dedicated core as dead and degrade per `backpressure`. Must
+    /// exceed the longest plugin action (the server does not beat while a
+    /// plugin runs).
+    pub heartbeat_timeout: Duration,
 }
 
 impl Default for ResilienceConfig {
@@ -125,6 +136,8 @@ impl Default for ResilienceConfig {
             persist_deadline: Duration::from_secs(2),
             plugin_quarantine: 0,
             recovery_scan: true,
+            epe_respawn: 0,
+            heartbeat_timeout: Duration::from_secs(1),
         }
     }
 }
@@ -303,6 +316,23 @@ impl Config {
                     {
                         r.plugin_quarantine = k;
                     }
+                    if let Some(n) = e
+                        .attr_parse::<u32>("epe_respawn")
+                        .map_err(DamarisError::Config)?
+                    {
+                        r.epe_respawn = n;
+                    }
+                    if let Some(ms) = e
+                        .attr_parse::<u64>("heartbeat_timeout_ms")
+                        .map_err(DamarisError::Config)?
+                    {
+                        if ms == 0 {
+                            return Err(DamarisError::Config(
+                                "heartbeat_timeout_ms must be positive".into(),
+                            ));
+                        }
+                        r.heartbeat_timeout = Duration::from_millis(ms);
+                    }
                     match e.attr("recovery_scan") {
                         None => {}
                         Some("true") => r.recovery_scan = true,
@@ -435,6 +465,11 @@ impl Config {
         res.set_attr("persist_deadline_ms", r.persist_deadline.as_millis().to_string());
         res.set_attr("plugin_quarantine", r.plugin_quarantine.to_string());
         res.set_attr("recovery_scan", if r.recovery_scan { "true" } else { "false" });
+        res.set_attr("epe_respawn", r.epe_respawn.to_string());
+        res.set_attr(
+            "heartbeat_timeout_ms",
+            r.heartbeat_timeout.as_millis().to_string(),
+        );
         root.children.push(damaris_xml::Node::Element(res));
         let mut names: Vec<&String> = self.layouts.keys().collect();
         names.sort();
@@ -661,7 +696,8 @@ mod tests {
             r#"<damaris>
                  <resilience backpressure="drop" persist_retries="5"
                              retry_base_ms="7" persist_deadline_ms="900"
-                             plugin_quarantine="3" recovery_scan="false"/>
+                             plugin_quarantine="3" recovery_scan="false"
+                             epe_respawn="2" heartbeat_timeout_ms="350"/>
                </damaris>"#,
         )
         .unwrap();
@@ -671,6 +707,8 @@ mod tests {
         assert_eq!(c.resilience.persist_deadline, Duration::from_millis(900));
         assert_eq!(c.resilience.plugin_quarantine, 3);
         assert!(!c.resilience.recovery_scan);
+        assert_eq!(c.resilience.epe_respawn, 2);
+        assert_eq!(c.resilience.heartbeat_timeout, Duration::from_millis(350));
 
         let c = Config::from_xml(
             r#"<damaris><resilience backpressure="block" timeout_ms="250"/></damaris>"#,
@@ -695,6 +733,8 @@ mod tests {
             r#"<damaris><resilience backpressure="explode"/></damaris>"#,
             r#"<damaris><resilience recovery_scan="maybe"/></damaris>"#,
             r#"<damaris><resilience persist_retries="lots"/></damaris>"#,
+            r#"<damaris><resilience epe_respawn="forever"/></damaris>"#,
+            r#"<damaris><resilience heartbeat_timeout_ms="0"/></damaris>"#,
         ] {
             assert!(Config::from_xml(bad).is_err(), "{bad}");
         }
@@ -705,7 +745,8 @@ mod tests {
         let c = Config::from_xml(
             r#"<damaris>
                  <resilience backpressure="sync-fallback" persist_retries="4"
-                             plugin_quarantine="2"/>
+                             plugin_quarantine="2" epe_respawn="1"
+                             heartbeat_timeout_ms="1250"/>
                </damaris>"#,
         )
         .unwrap();

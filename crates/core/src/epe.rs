@@ -48,15 +48,19 @@ pub struct EventProcessingEngine {
 impl EventProcessingEngine {
     /// Instantiates plugins for every configured binding. `extra` factories
     /// (action name → factory) take precedence over built-ins — the paper's
-    /// "plugin provided by the user".
+    /// "plugin provided by the user". Borrowed (not consumed) so the node
+    /// supervisor can rebuild a fresh engine from the same factories after
+    /// a dedicated-core crash.
     pub fn build(
         config: &Config,
-        extra: Vec<(String, PluginFactory)>,
+        extra: &[(String, PluginFactory)],
     ) -> Result<Self, DamarisError> {
-        let extra: HashMap<String, PluginFactory> = extra.into_iter().collect();
+        let extra: HashMap<&str, &PluginFactory> =
+            extra.iter().map(|(n, f)| (n.as_str(), f)).collect();
         let mut bindings = Vec::new();
         for action in &config.actions {
-            let plugin: Box<dyn Plugin> = if let Some(factory) = extra.get(&action.action) {
+            let plugin: Box<dyn Plugin> = if let Some(factory) = extra.get(action.action.as_str())
+            {
                 factory(action)?
             } else {
                 plugins::builtin(action)?
@@ -210,7 +214,7 @@ mod tests {
     #[test]
     fn default_persist_added() {
         let c = Config::from_xml("<damaris/>").unwrap();
-        let epe = EventProcessingEngine::build(&c, Vec::new()).unwrap();
+        let epe = EventProcessingEngine::build(&c, &[]).unwrap();
         assert_eq!(epe.len(), 1);
     }
 
@@ -220,7 +224,7 @@ mod tests {
             r#"<damaris><event name="end_of_iteration" action="persist" using="lzss"/></damaris>"#,
         )
         .unwrap();
-        let epe = EventProcessingEngine::build(&c, Vec::new()).unwrap();
+        let epe = EventProcessingEngine::build(&c, &[]).unwrap();
         assert_eq!(epe.len(), 1);
     }
 
@@ -230,7 +234,7 @@ mod tests {
             r#"<damaris><event name="e" action="launch_missiles"/></damaris>"#,
         )
         .unwrap();
-        assert!(EventProcessingEngine::build(&c, Vec::new()).is_err());
+        assert!(EventProcessingEngine::build(&c, &[]).is_err());
     }
 
     #[test]
@@ -255,7 +259,7 @@ mod tests {
         let factory: PluginFactory =
             Box::new(|_b: &ActionBinding| Ok(Box::new(Nop) as Box<dyn Plugin>));
         let epe =
-            EventProcessingEngine::build(&c, vec![("persist".to_string(), factory)]).unwrap();
+            EventProcessingEngine::build(&c, &[("persist".to_string(), factory)]).unwrap();
         // One explicit binding + the default end_of_iteration persist.
         assert_eq!(epe.len(), 2);
     }

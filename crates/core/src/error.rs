@@ -26,6 +26,14 @@ pub enum DamarisError {
     Plugin { plugin: String, message: String },
     /// The runtime is shutting down or already finished.
     Terminated,
+    /// A peer rank died; no further messages from it can arrive.
+    PeerFailed { rank: usize },
+    /// A collective did not complete within the receive window and no dead
+    /// peer could be identified (deadlock or silent failure).
+    CollectiveTimeout,
+    /// The node's dedicated core stopped heartbeating and the respawn
+    /// budget (if any) did not produce a new epoch in time.
+    EpeUnavailable { node_id: u32, epoch: u32 },
 }
 
 impl fmt::Display for DamarisError {
@@ -52,6 +60,17 @@ impl fmt::Display for DamarisError {
                 write!(f, "plugin '{plugin}': {message}")
             }
             DamarisError::Terminated => write!(f, "damaris runtime already terminated"),
+            DamarisError::PeerFailed { rank } => {
+                write!(f, "peer rank {rank} failed; no further messages can arrive")
+            }
+            DamarisError::CollectiveTimeout => {
+                write!(f, "collective timed out (likely deadlock or silent peer)")
+            }
+            DamarisError::EpeUnavailable { node_id, epoch } => write!(
+                f,
+                "node {node_id}: dedicated core unavailable (last epoch {epoch}, \
+                 heartbeat stale and no respawn observed)"
+            ),
         }
     }
 }
@@ -78,6 +97,15 @@ impl From<damaris_format::SdfError> for DamarisError {
     }
 }
 
+impl From<damaris_mpi::RecvError> for DamarisError {
+    fn from(e: damaris_mpi::RecvError) -> Self {
+        match e {
+            damaris_mpi::RecvError::PeerFailed { rank } => DamarisError::PeerFailed { rank },
+            damaris_mpi::RecvError::Timeout => DamarisError::CollectiveTimeout,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +129,21 @@ mod tests {
         assert!(matches!(e, DamarisError::Buffer(_)));
         let e: DamarisError = damaris_format::SdfError::Format("x".into()).into();
         assert!(matches!(e, DamarisError::Storage(_)));
+        let e: DamarisError = damaris_mpi::RecvError::PeerFailed { rank: 3 }.into();
+        assert!(matches!(e, DamarisError::PeerFailed { rank: 3 }));
+        let e: DamarisError = damaris_mpi::RecvError::Timeout.into();
+        assert!(matches!(e, DamarisError::CollectiveTimeout));
+    }
+
+    #[test]
+    fn failure_variants_carry_identity() {
+        let s = DamarisError::PeerFailed { rank: 7 }.to_string();
+        assert!(s.contains("rank 7"));
+        let s = DamarisError::EpeUnavailable {
+            node_id: 2,
+            epoch: 1,
+        }
+        .to_string();
+        assert!(s.contains("node 2") && s.contains("epoch 1"));
     }
 }

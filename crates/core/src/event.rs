@@ -3,6 +3,12 @@
 //! A write-notification carries the shared-memory [`Segment`] itself: the
 //! queue's release/acquire handoff is exactly what makes the zero-copy
 //! transfer sound (the client's writes happen-before the server's reads).
+//!
+//! Every client-originated event also carries the sequence number assigned
+//! by the node's write-ahead [`crate::journal::EventJournal`]. The journal
+//! entry is appended *before* the queue push, so a restarted dedicated
+//! core can replay events the dead one never finished, and reject the
+//! stale queue copies when they eventually pop (`claim` arbitration).
 
 use damaris_shm::Segment;
 
@@ -22,6 +28,8 @@ pub enum Event {
         /// Per-write shape for dynamic variables (particle arrays, §III-D);
         /// `None` for statically-declared layouts.
         dynamic_layout: Option<damaris_format::Layout>,
+        /// Write-ahead journal sequence number.
+        seq: u64,
     },
     /// A user-defined event (`df_signal`).
     User {
@@ -30,12 +38,31 @@ pub enum Event {
         name: String,
         iteration: u32,
         source: u32,
+        /// Write-ahead journal sequence number.
+        seq: u64,
     },
     /// The client finished an iteration; when every client of the node has
     /// sent this, iteration-scoped actions fire.
-    EndIteration { iteration: u32, source: u32 },
+    EndIteration {
+        iteration: u32,
+        source: u32,
+        /// Write-ahead journal sequence number.
+        seq: u64,
+    },
     /// The runtime is shutting down; the server drains and exits.
     Terminate,
+}
+
+impl Event {
+    /// The journal sequence number, if this event kind is journaled.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            Event::Write { seq, .. }
+            | Event::User { seq, .. }
+            | Event::EndIteration { seq, .. } => Some(*seq),
+            Event::Terminate => None,
+        }
+    }
 }
 
 impl std::fmt::Debug for Event {
@@ -46,18 +73,24 @@ impl std::fmt::Debug for Event {
                 iteration,
                 source,
                 segment,
+                seq,
                 ..
             } => write!(
                 f,
-                "Write{{var={variable_id}, it={iteration}, src={source}, {segment:?}}}"
+                "Write{{var={variable_id}, it={iteration}, src={source}, seq={seq}, {segment:?}}}"
             ),
             Event::User {
                 name,
                 iteration,
                 source,
-            } => write!(f, "User{{'{name}', it={iteration}, src={source}}}"),
-            Event::EndIteration { iteration, source } => {
-                write!(f, "EndIteration{{it={iteration}, src={source}}}")
+                seq,
+            } => write!(f, "User{{'{name}', it={iteration}, src={source}, seq={seq}}}"),
+            Event::EndIteration {
+                iteration,
+                source,
+                seq,
+            } => {
+                write!(f, "EndIteration{{it={iteration}, src={source}, seq={seq}}}")
             }
             Event::Terminate => write!(f, "Terminate"),
         }
@@ -82,6 +115,7 @@ mod tests {
                 source: 0,
                 segment: seg,
                 dynamic_layout: None,
+                seq: 0,
             })
             .ok()
             .unwrap();
@@ -90,6 +124,7 @@ mod tests {
                 name: "snapshot".into(),
                 iteration: 1,
                 source: 0,
+                seq: 1,
             })
             .ok()
             .unwrap();
@@ -113,8 +148,11 @@ mod tests {
         let e = Event::EndIteration {
             iteration: 4,
             source: 2,
+            seq: 9,
         };
-        assert_eq!(format!("{e:?}"), "EndIteration{it=4, src=2}");
+        assert_eq!(format!("{e:?}"), "EndIteration{it=4, src=2, seq=9}");
         assert_eq!(format!("{:?}", Event::Terminate), "Terminate");
+        assert_eq!(e.seq(), Some(9));
+        assert_eq!(Event::Terminate.seq(), None);
     }
 }

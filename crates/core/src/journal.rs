@@ -1,0 +1,326 @@
+//! Write-ahead journal for the node's shared event queue.
+//!
+//! The dedicated core (EPE) runs as a thread; if it dies, the queue, the
+//! shared buffer, and this journal all survive in [`crate::node::NodeShared`],
+//! but the server's in-flight state — its metadata store, its
+//! end-of-iteration counts — dies with its stack. The journal is what lets
+//! a respawned server reconstruct that state:
+//!
+//! * every client-originated event (`Write`, `User`, `EndIteration`) is
+//!   appended here **before** it is pushed onto the queue, carrying the
+//!   assigned sequence number in the event itself;
+//! * the server *claims* each sequence number as it pops the event
+//!   ([`EventJournal::claim`]), and marks it *applied* once its side
+//!   effects are durable (segment released, iteration fired);
+//! * a respawned server replays every non-applied record in sequence
+//!   order, re-adopting the shared-memory segments the dead server had
+//!   resident, and the stale queue copies of replayed events are rejected
+//!   when they eventually pop — `claim` is the exactly-once arbiter
+//!   closing the race between the replay snapshot and late queue pops.
+//!
+//! Records carry a CRC over their header (computed with the same
+//! `damaris-format` CRC-32 the SDF files use); a corrupted record is
+//! skipped at replay rather than poisoning the new epoch.
+//!
+//! # Invariants
+//!
+//! * Sequence numbers are assigned by one atomic counter and never reused:
+//!   the journal's iteration order *is* the global notification order, and
+//!   per client it matches queue order (each client appends, then pushes).
+//! * A record moves `Pending → Resident → Applied`, never backwards; only
+//!   `claim` performs `Pending → Resident` and it succeeds exactly once.
+//! * `Applied` records are dead weight; [`EventJournal::compact`] drops
+//!   them (a missing record claims as `Stale`, preserving at-most-once).
+
+use damaris_format::Layout;
+use damaris_shm::sync::{AtomicU64, Mutex, Ordering};
+use std::collections::BTreeMap;
+
+/// What a journaled notification said, minus the live [`damaris_shm::Segment`]
+/// handle (the journal stores the segment's coordinates so a new server
+/// can re-adopt it from the allocator).
+#[derive(Debug, Clone)]
+pub enum JournalPayload {
+    /// A write-notification: `offset`/`len` locate the payload in the
+    /// shared buffer for re-adoption after a crash.
+    Write {
+        variable_id: u32,
+        iteration: u32,
+        source: u32,
+        offset: usize,
+        len: usize,
+        dynamic_layout: Option<Layout>,
+    },
+    /// A user-defined event (`df_signal`).
+    User {
+        name: String,
+        iteration: u32,
+        source: u32,
+    },
+    /// A client's end-of-iteration notification.
+    EndIteration { iteration: u32, source: u32 },
+}
+
+/// Lifecycle of a journal record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordState {
+    /// Appended, not yet claimed by any server epoch (the event is still
+    /// in the queue, or was, when the previous server died).
+    Pending,
+    /// Claimed by a server: a `Write` is resident in the metadata store,
+    /// an `EndIteration` is counted, a `User` is about to fire.
+    Resident,
+    /// Side effects durable; the record is garbage awaiting [`EventJournal::compact`].
+    Applied,
+}
+
+/// One journaled notification.
+#[derive(Debug, Clone)]
+pub struct JournalRecord {
+    pub seq: u64,
+    /// Heartbeat epoch of the *appending* side at append time (0 for
+    /// clients started before any respawn). Diagnostic only.
+    pub epoch: u32,
+    /// CRC-32 over the encoded header; verified at replay.
+    pub crc: u32,
+    pub payload: JournalPayload,
+    pub state: RecordState,
+}
+
+/// Outcome of [`EventJournal::claim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Claim {
+    /// First claim — process the event.
+    Fresh,
+    /// Already claimed (by a previous epoch's replay or processing) —
+    /// drop the event without side effects.
+    Stale,
+}
+
+/// What a replaying server gets for each surviving record.
+#[derive(Debug, Clone)]
+pub struct ReplayEntry {
+    pub seq: u64,
+    pub state: RecordState,
+    pub payload: JournalPayload,
+}
+
+/// The write-ahead journal shared by a node's clients and its (current)
+/// dedicated-core thread.
+#[derive(Debug, Default)]
+pub struct EventJournal {
+    next_seq: AtomicU64,
+    inner: Mutex<BTreeMap<u64, JournalRecord>>,
+}
+
+/// Encodes the integrity-protected header fields of a record.
+fn encode_header(seq: u64, payload: &JournalPayload) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    match payload {
+        JournalPayload::Write {
+            variable_id,
+            iteration,
+            source,
+            offset,
+            len,
+            ..
+        } => {
+            buf.push(0);
+            buf.extend_from_slice(&variable_id.to_le_bytes());
+            buf.extend_from_slice(&iteration.to_le_bytes());
+            buf.extend_from_slice(&source.to_le_bytes());
+            buf.extend_from_slice(&(*offset as u64).to_le_bytes());
+            buf.extend_from_slice(&(*len as u64).to_le_bytes());
+        }
+        JournalPayload::User {
+            name,
+            iteration,
+            source,
+        } => {
+            buf.push(1);
+            buf.extend_from_slice(name.as_bytes());
+            buf.extend_from_slice(&iteration.to_le_bytes());
+            buf.extend_from_slice(&source.to_le_bytes());
+        }
+        JournalPayload::EndIteration { iteration, source } => {
+            buf.push(2);
+            buf.extend_from_slice(&iteration.to_le_bytes());
+            buf.extend_from_slice(&source.to_le_bytes());
+        }
+    }
+    buf
+}
+
+impl EventJournal {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Journals a notification and returns its sequence number. Called by
+    /// clients *before* the matching queue push.
+    pub fn append(&self, epoch: u32, payload: JournalPayload) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let crc = damaris_format::crc32(&encode_header(seq, &payload));
+        let record = JournalRecord {
+            seq,
+            epoch,
+            crc,
+            payload,
+            state: RecordState::Pending,
+        };
+        self.inner.lock().insert(seq, record);
+        seq
+    }
+
+    /// Claims a sequence number for processing: `Pending → Resident`,
+    /// exactly once. Any other state — including a record already dropped
+    /// by [`compact`](Self::compact) — is `Stale`, and the caller must
+    /// discard the event without side effects.
+    pub fn claim(&self, seq: u64) -> Claim {
+        let mut inner = self.inner.lock();
+        match inner.get_mut(&seq) {
+            Some(rec) if rec.state == RecordState::Pending => {
+                rec.state = RecordState::Resident;
+                Claim::Fresh
+            }
+            _ => Claim::Stale,
+        }
+    }
+
+    /// Marks a record's side effects durable. Idempotent; unknown
+    /// sequence numbers (already compacted) are ignored.
+    pub fn mark_applied(&self, seq: u64) {
+        if let Some(rec) = self.inner.lock().get_mut(&seq) {
+            rec.state = RecordState::Applied;
+        }
+    }
+
+    /// Snapshot of every non-applied record in sequence order, for a
+    /// respawned server to replay. CRC-corrupted records are skipped; the
+    /// second element counts them.
+    pub fn replay_snapshot(&self) -> (Vec<ReplayEntry>, usize) {
+        let inner = self.inner.lock();
+        let mut entries = Vec::new();
+        let mut corrupt = 0;
+        for rec in inner.values() {
+            if rec.state == RecordState::Applied {
+                continue;
+            }
+            if damaris_format::crc32(&encode_header(rec.seq, &rec.payload)) != rec.crc {
+                corrupt += 1;
+                continue;
+            }
+            entries.push(ReplayEntry {
+                seq: rec.seq,
+                state: rec.state,
+                payload: rec.payload.clone(),
+            });
+        }
+        (entries, corrupt)
+    }
+
+    /// Drops applied records; returns how many were removed.
+    pub fn compact(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.len();
+        inner.retain(|_, rec| rec.state != RecordState::Applied);
+        before - inner.len()
+    }
+
+    /// Records currently retained (any state).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Test hook: flip a record's stored CRC so replay sees corruption.
+    #[cfg(test)]
+    fn corrupt_for_test(&self, seq: u64) {
+        if let Some(rec) = self.inner.lock().get_mut(&seq) {
+            rec.crc ^= 0xdead_beef;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_payload(source: u32) -> JournalPayload {
+        JournalPayload::Write {
+            variable_id: 1,
+            iteration: 0,
+            source,
+            offset: 128,
+            len: 64,
+            dynamic_layout: None,
+        }
+    }
+
+    #[test]
+    fn seqnos_are_monotonic_and_claims_are_exactly_once() {
+        let j = EventJournal::new();
+        let a = j.append(0, write_payload(0));
+        let b = j.append(0, JournalPayload::EndIteration {
+            iteration: 0,
+            source: 0,
+        });
+        assert!(b > a);
+        assert_eq!(j.claim(a), Claim::Fresh);
+        assert_eq!(j.claim(a), Claim::Stale);
+        assert_eq!(j.claim(b), Claim::Fresh);
+        // Unknown (never appended / compacted) seqnos are stale too.
+        assert_eq!(j.claim(b + 1000), Claim::Stale);
+    }
+
+    #[test]
+    fn replay_skips_applied_and_orders_by_seq() {
+        let j = EventJournal::new();
+        let a = j.append(0, write_payload(0));
+        let b = j.append(0, write_payload(1));
+        let c = j.append(0, JournalPayload::User {
+            name: "snap".into(),
+            iteration: 0,
+            source: 1,
+        });
+        j.claim(a);
+        j.mark_applied(a);
+        j.claim(b); // resident, not applied: must replay
+        let (entries, corrupt) = j.replay_snapshot();
+        assert_eq!(corrupt, 0);
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![b, c]);
+        assert_eq!(entries[0].state, RecordState::Resident);
+        assert_eq!(entries[1].state, RecordState::Pending);
+    }
+
+    #[test]
+    fn corrupt_records_are_skipped_not_replayed() {
+        let j = EventJournal::new();
+        let a = j.append(0, write_payload(0));
+        let b = j.append(0, write_payload(1));
+        j.corrupt_for_test(a);
+        let (entries, corrupt) = j.replay_snapshot();
+        assert_eq!(corrupt, 1);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].seq, b);
+    }
+
+    #[test]
+    fn compact_drops_only_applied() {
+        let j = EventJournal::new();
+        let a = j.append(0, write_payload(0));
+        let b = j.append(0, write_payload(1));
+        j.claim(a);
+        j.mark_applied(a);
+        assert_eq!(j.compact(), 1);
+        assert_eq!(j.len(), 1);
+        // The compacted record stays at-most-once.
+        assert_eq!(j.claim(a), Claim::Stale);
+        assert_eq!(j.claim(b), Claim::Fresh);
+    }
+}

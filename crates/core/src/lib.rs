@@ -57,6 +57,7 @@ pub mod config;
 pub mod epe;
 pub mod error;
 pub mod event;
+pub mod journal;
 pub mod layout;
 pub mod metadata;
 pub mod multinode;
@@ -72,6 +73,7 @@ pub use config::{
 };
 pub use error::DamarisError;
 pub use event::Event;
+pub use journal::{Claim, EventJournal, JournalPayload, RecordState};
 pub use layout::LayoutDef;
 pub use metadata::{MetadataStore, StoredVariable, VariableKey};
 pub use multinode::{AnalysisReport, SmpNode, SmpNodeReport, Topology};

@@ -25,9 +25,10 @@ pub struct StoredVariable {
     pub name: String,
     pub layout: Layout,
     pub segment: Segment,
-    /// Arrival sequence assigned by the server; preserves each client's
-    /// allocation order so segment release can stay FIFO per client (a
-    /// requirement of the partitioned allocator).
+    /// The write-notification's journal sequence number. Per client it
+    /// matches allocation order, so segment release can stay FIFO per
+    /// client (a requirement of the partitioned allocator), and it keys
+    /// the journal record to mark applied when the segment is released.
     pub seq: u64,
 }
 
@@ -66,13 +67,13 @@ impl MetadataStore {
     }
 
     /// Records a received variable. A duplicate tuple replaces the earlier
-    /// entry and returns its segment (caller releases it).
-    pub fn insert(&mut self, var: StoredVariable) -> Option<Segment> {
+    /// entry and returns it (caller releases its segment and retires its
+    /// journal record).
+    pub fn insert(&mut self, var: StoredVariable) -> Option<StoredVariable> {
         self.bytes_resident += var.segment.len();
         let prev = self.entries.insert(var.key, var);
-        prev.map(|p| {
+        prev.inspect(|p| {
             self.bytes_resident -= p.segment.len();
-            p.segment
         })
     }
 
@@ -195,7 +196,8 @@ mod tests {
         let mut store = MetadataStore::new();
         assert!(store.insert(stored(&alloc, 5, 1, 0, 0xAA)).is_none());
         let old = store.insert(stored(&alloc, 5, 1, 0, 0xBB)).expect("replaced");
-        alloc.release(old);
+        assert_eq!(old.data(), [0xAA; 8]);
+        alloc.release(old.segment);
         assert_eq!(store.len(), 1);
         let v = store.iteration_entries(5).next().unwrap();
         assert_eq!(v.data(), [0xBB; 8]);

@@ -1,17 +1,30 @@
 //! Node runtime: wires one dedicated-core server thread to K client
 //! handles over a shared buffer and event queue — one SMP node of the
 //! Damaris deployment (paper Fig. 1).
+//!
+//! # Supervision
+//!
+//! The dedicated core runs under a supervisor thread. With `<resilience
+//! epe_respawn="N">` a crashed server thread (error or panic) is respawned
+//! up to N times: each incarnation gets a new heartbeat epoch, replays the
+//! event journal (see [`crate::journal`]), re-adopts the shared-memory
+//! segments the dead incarnation held, and resumes serving the same queue.
+//! With the default `epe_respawn="0"` the crash simply surfaces at
+//! [`NodeRuntime::finish`], as before.
 
 use crate::client::DamarisClient;
 use crate::config::{AllocatorKind, Config};
 use crate::epe::EventProcessingEngine;
 use crate::error::DamarisError;
 use crate::event::Event;
+use crate::journal::{EventJournal, JournalPayload};
 use crate::plugin::PluginFactory;
 use crate::server;
 use damaris_fs::{LocalDirBackend, StorageBackend};
 use damaris_shm::sync::{Arc, AtomicU64, Ordering};
-use damaris_shm::{AllocError, MpscQueue, MutexAllocator, PartitionAllocator, Segment};
+use damaris_shm::{
+    AllocError, HeartbeatWord, MpscQueue, MutexAllocator, PartitionAllocator, Segment,
+};
 use std::path::Path;
 
 /// Either of the paper's two reservation schemes, behind one interface.
@@ -35,10 +48,29 @@ impl BufferManager {
         }
     }
 
+    /// Re-adopts a still-allocated range after a dedicated-core crash: the
+    /// journal records the coordinates, the allocator validates them and
+    /// reissues the handle. `None` if the range is not a live allocation.
+    pub(crate) fn adopt(&self, client: u32, offset: usize, len: usize) -> Option<Segment> {
+        match self {
+            BufferManager::Mutex(a) => a.adopt(offset, len),
+            BufferManager::Partition(a) => a.adopt(client as usize, offset, len),
+        }
+    }
+
     pub(crate) fn capacity(&self) -> usize {
         match self {
             BufferManager::Mutex(a) => a.capacity(),
             BufferManager::Partition(a) => a.buffer().capacity(),
+        }
+    }
+
+    /// Bytes currently reserved across the whole buffer (leak detector:
+    /// zero once every segment of a finished run was released).
+    pub(crate) fn in_use(&self, n_clients: usize) -> usize {
+        match self {
+            BufferManager::Mutex(a) => a.in_use(),
+            BufferManager::Partition(a) => (0..n_clients).map(|c| a.in_use(c)).sum(),
         }
     }
 }
@@ -55,6 +87,10 @@ pub(crate) struct FaultStats {
     pub plugin_failures: AtomicU64,
     pub plugins_quarantined: AtomicU64,
     pub recovery_actions: AtomicU64,
+    pub epe_respawns: AtomicU64,
+    pub events_replayed: AtomicU64,
+    pub stale_events_rejected: AtomicU64,
+    pub heartbeat_stale_observed: AtomicU64,
 }
 
 impl FaultStats {
@@ -80,10 +116,16 @@ pub(crate) struct NodeShared {
     pub buffer: BufferManager,
     pub queue: MpscQueue<Event>,
     pub clients: usize,
+    pub node_id: u32,
     /// Storage target; a trait object so tests can decorate it with
     /// fault injection ([`damaris_fs::FaultyBackend`]).
     pub backend: Arc<dyn StorageBackend>,
     pub stats: FaultStats,
+    /// Write-ahead journal of every client notification; outlives server
+    /// incarnations, driving replay after a crash.
+    pub journal: EventJournal,
+    /// Liveness word the dedicated core beats and clients observe.
+    pub heartbeat: HeartbeatWord,
 }
 
 /// Final accounting returned by [`NodeRuntime::finish`].
@@ -121,14 +163,22 @@ pub struct NodeReport {
     /// Startup recovery actions (orphan `*.tmp` deletions + torn-file
     /// quarantines) taken before serving.
     pub recovery_actions: u64,
+    /// Dedicated-core crashes recovered by the supervisor.
+    pub epe_respawns: u64,
+    /// Journal records replayed by respawned server incarnations.
+    pub events_replayed: u64,
+    /// Stale queue events rejected by claim arbitration after a replay.
+    pub stale_events_rejected: u64,
+    /// Times a client observed the heartbeat stale and degraded.
+    pub heartbeat_stale_observed: u64,
 }
 
-/// One running Damaris node: a dedicated-core server thread plus client
-/// handles for the compute cores.
+/// One running Damaris node: a supervised dedicated-core server thread
+/// plus client handles for the compute cores.
 pub struct NodeRuntime {
     shared: Arc<NodeShared>,
     clients: Option<Vec<DamarisClient>>,
-    server: Option<std::thread::JoinHandle<Result<NodeReport, DamarisError>>>,
+    supervisor: Option<std::thread::JoinHandle<Result<NodeReport, DamarisError>>>,
 }
 
 impl NodeRuntime {
@@ -182,7 +232,9 @@ impl NodeRuntime {
         };
         let queue = MpscQueue::new(config.queue_capacity);
 
-        let epe = EventProcessingEngine::build(&config, extra_plugins)?;
+        // Built synchronously so configuration errors surface at start, not
+        // from inside the supervisor.
+        let epe = EventProcessingEngine::build(&config, &extra_plugins)?;
         let stats = FaultStats::default();
         if config.resilience.recovery_scan {
             // Crash recovery before serving: anything a previous run (or a
@@ -210,27 +262,30 @@ impl NodeRuntime {
             buffer,
             queue,
             clients: n_clients,
+            node_id,
             backend,
             stats,
+            journal: EventJournal::new(),
+            heartbeat: HeartbeatWord::new(),
         });
 
         let clients = (0..n_clients as u32)
             .map(|id| DamarisClient::new(id, Arc::clone(&shared)))
             .collect();
 
-        let server_shared = Arc::clone(&shared);
-        let server = std::thread::Builder::new()
-            .name(format!("damaris-ded-{node_id}"))
-            .spawn(move || server::run(server_shared, epe, node_id))
+        let sup_shared = Arc::clone(&shared);
+        let supervisor = std::thread::Builder::new()
+            .name(format!("damaris-sup-{node_id}"))
+            .spawn(move || supervise(sup_shared, epe, extra_plugins, node_id))
             // invariant: thread spawn only fails on resource exhaustion at
             // process scale; a node that cannot start its dedicated core
             // cannot run at all.
-            .expect("spawn dedicated-core thread");
+            .expect("spawn supervisor thread");
 
         Ok(NodeRuntime {
             shared,
             clients: Some(clients),
-            server: Some(server),
+            supervisor: Some(supervisor),
         })
     }
 
@@ -261,6 +316,23 @@ impl NodeRuntime {
         self.shared.buffer.capacity()
     }
 
+    /// Bytes currently reserved in the shared buffer. Zero after `finish`
+    /// on a leak-free run — including runs that crashed and replayed.
+    pub fn buffer_in_use(&self) -> usize {
+        self.shared.buffer.in_use(self.shared.clients)
+    }
+
+    /// The current heartbeat epoch (0 until the first respawn).
+    pub fn heartbeat_epoch(&self) -> u32 {
+        self.shared.heartbeat.epoch()
+    }
+
+    /// Times clients have observed the heartbeat stale so far — a live
+    /// counter (the final total also lands in [`NodeReport`]).
+    pub fn heartbeat_stale_observed(&self) -> u64 {
+        FaultStats::get(&self.shared.stats.heartbeat_stale_observed)
+    }
+
     /// Injects a user event from *outside* the simulation — the paper's
     /// "events sent either by the simulation **or by external tools**"
     /// (§III-A): a steering console or monitoring agent can trigger
@@ -271,20 +343,29 @@ impl NodeRuntime {
         if self.shared.config.bindings_for(event).is_empty() {
             return Err(DamarisError::UnknownEvent(event.to_string()));
         }
+        let seq = self.shared.journal.append(
+            self.shared.heartbeat.epoch(),
+            JournalPayload::User {
+                name: event.to_string(),
+                iteration,
+                source: crate::server::SERVER_SOURCE,
+            },
+        );
         self.shared.queue.push_wait(Event::User {
             name: event.to_string(),
             iteration,
             source: crate::server::SERVER_SOURCE,
+            seq,
         });
         Ok(())
     }
 
-    /// Sends the termination event and joins the dedicated core. Call
-    /// after all client activity is done.
+    /// Sends the termination event and joins the dedicated core (through
+    /// its supervisor). Call after all client activity is done.
     pub fn finish(mut self) -> Result<NodeReport, DamarisError> {
-        self.shared.queue.push_wait(Event::Terminate);
         // invariant: `finish` consumes `self`, so the handle is present.
-        let handle = self.server.take().expect("finish called once");
+        let handle = self.supervisor.take().expect("finish called once");
+        terminate(&self.shared, &handle);
         match handle.join() {
             Ok(report) => report,
             Err(panic) => std::panic::resume_unwind(panic),
@@ -292,10 +373,77 @@ impl NodeRuntime {
     }
 }
 
+/// Enqueues `Terminate` without parking forever: if the supervisor (and
+/// with it the last server incarnation) is already gone, a full queue
+/// would never drain and `push_wait` would hang the caller.
+fn terminate(
+    shared: &Arc<NodeShared>,
+    handle: &std::thread::JoinHandle<Result<NodeReport, DamarisError>>,
+) {
+    loop {
+        if shared.queue.push(Event::Terminate).is_ok() || handle.is_finished() {
+            return;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// The supervisor loop: (re)spawns the dedicated-core thread, each time
+/// with the next heartbeat epoch, until it terminates cleanly or the
+/// respawn budget is exhausted.
+fn supervise(
+    shared: Arc<NodeShared>,
+    first_epe: EventProcessingEngine,
+    factories: Vec<(String, PluginFactory)>,
+    node_id: u32,
+) -> Result<NodeReport, DamarisError> {
+    let budget = shared.config.resilience.epe_respawn;
+    let mut epoch: u32 = 0;
+    let mut engine = Some(first_epe);
+    loop {
+        let epe = match engine.take() {
+            Some(e) => e,
+            // Fresh plugin instances for the new incarnation (the dead
+            // one's plugin state is unrecoverable mid-panic anyway).
+            None => EventProcessingEngine::build(&shared.config, &factories)?,
+        };
+        let srv_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("damaris-ded-{node_id}"))
+            .spawn(move || server::run(srv_shared, epe, node_id, epoch))
+            // invariant: thread spawn only fails on resource exhaustion at
+            // process scale.
+            .expect("spawn dedicated-core thread");
+        match handle.join() {
+            Ok(Ok(report)) => return Ok(report),
+            Ok(Err(error)) => {
+                if epoch >= budget {
+                    return Err(error);
+                }
+                eprintln!(
+                    "[damaris node {node_id}] dedicated core (epoch {epoch}) died: \
+                     {error}; respawning"
+                );
+            }
+            Err(panic) => {
+                if epoch >= budget {
+                    std::panic::resume_unwind(panic);
+                }
+                eprintln!(
+                    "[damaris node {node_id}] dedicated core (epoch {epoch}) \
+                     panicked; respawning"
+                );
+            }
+        }
+        epoch += 1;
+        FaultStats::bump(&shared.stats.epe_respawns);
+    }
+}
+
 impl Drop for NodeRuntime {
     fn drop(&mut self) {
-        if let Some(handle) = self.server.take() {
-            self.shared.queue.push_wait(Event::Terminate);
+        if let Some(handle) = self.supervisor.take() {
+            terminate(&self.shared, &handle);
             let _ = handle.join();
         }
     }

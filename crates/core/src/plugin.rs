@@ -11,6 +11,7 @@
 
 use crate::config::{ActionBinding, Config};
 use crate::error::DamarisError;
+use crate::journal::EventJournal;
 use crate::metadata::MetadataStore;
 use crate::node::{BufferManager, FaultStats};
 use damaris_fs::StorageBackend;
@@ -42,6 +43,8 @@ pub struct ActionContext<'a> {
     pub(crate) buffer: &'a BufferManager,
     /// Failure counters (persist retries, degraded iterations, …).
     pub(crate) stats: &'a FaultStats,
+    /// Write-ahead journal; releases retire the matching records.
+    pub(crate) journal: &'a EventJournal,
     /// Monotonically increasing per-source sequence of pending releases;
     /// flushed by the server after the action completes, in FIFO order per
     /// source (required by the partitioned allocator).
@@ -64,8 +67,13 @@ impl ActionContext<'_> {
 
     pub(crate) fn flush_releases(&mut self) {
         // FIFO per source: sort by (source, seq) then release in order.
+        // The journal record is marked applied *before* the segment goes
+        // back to the allocator: a crash between the two strands one
+        // segment's bytes (bounded loss), while the reverse order would
+        // let a replay re-adopt a segment the allocator already reissued.
         self.pending_release.sort_by_key(|(src, seq, _)| (*src, *seq));
-        for (source, _, segment) in self.pending_release.drain(..) {
+        for (source, seq, segment) in self.pending_release.drain(..) {
+            self.journal.mark_applied(seq);
             self.buffer.release(source, segment);
         }
     }

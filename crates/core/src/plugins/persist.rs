@@ -22,7 +22,6 @@ use crate::error::DamarisError;
 use crate::node::FaultStats;
 use crate::plugin::{ActionContext, EventInfo, Plugin};
 use damaris_format::DatasetOptions;
-use std::time::Instant;
 
 /// Writes `/iter-N/rank-S/<variable>` datasets into `node-<id>/iter-N.sdf`.
 pub struct PersistPlugin {
@@ -93,7 +92,11 @@ impl Plugin for PersistPlugin {
             return Ok(());
         }
         let policy = ctx.config.resilience;
-        let deadline = Instant::now() + policy.persist_deadline;
+        // All waiting goes through the backend's clock: real time in
+        // production, virtual time under test (injected stalls and retry
+        // backoff then cost the test no wall time).
+        let clock = ctx.backend.clock();
+        let deadline = clock.now() + policy.persist_deadline;
         let mut backoff =
             crate::retry::Backoff::new(policy.retry_base, policy.persist_deadline / 4);
         let mut attempt = 0u32;
@@ -110,7 +113,7 @@ impl Plugin for PersistPlugin {
                 Err(error) => {
                     let delay = backoff.delay();
                     let budget_left =
-                        attempt < policy.persist_retries && Instant::now() + delay < deadline;
+                        attempt < policy.persist_retries && clock.now() + delay < deadline;
                     if !budget_left {
                         // Degrade rather than abort: the iteration's data
                         // is lost, but the run — and every later
@@ -126,7 +129,7 @@ impl Plugin for PersistPlugin {
                     }
                     attempt += 1;
                     FaultStats::bump(&ctx.stats.persist_retries);
-                    std::thread::sleep(delay);
+                    clock.sleep(delay);
                 }
             }
         }

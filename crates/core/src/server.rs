@@ -5,10 +5,26 @@
 //! completion across the node's clients, and hands events to the EPE.
 //! Actual I/O happens inside plugins — asynchronously with respect to the
 //! compute cores, which is the whole point (§III).
+//!
+//! # Crash recovery
+//!
+//! The loop runs under the node supervisor (see [`crate::node`]): each
+//! incarnation gets a heartbeat *epoch*. Epoch 0 starts clean; a respawned
+//! epoch first **replays** the write-ahead journal — re-adopting the
+//! shared-memory segments the dead incarnation had resident, re-counting
+//! end-of-iteration notifications, firing still-pending user events — and
+//! only then publishes its epoch on the heartbeat word, so clients parked
+//! on a stale heartbeat resume against a consistent allocator and store.
+//!
+//! Exactly-once processing hinges on [`crate::journal::EventJournal::claim`]:
+//! both the replay and the normal pop path claim an event's sequence
+//! number, and only the first claim wins — a replayed event's stale queue
+//! copy is counted in `stale_events_rejected` and dropped.
 
 use crate::epe::{EventProcessingEngine, END_OF_ITERATION};
 use crate::error::DamarisError;
 use crate::event::Event;
+use crate::journal::{Claim, JournalPayload, RecordState};
 use crate::metadata::{MetadataStore, StoredVariable, VariableKey};
 use crate::node::{FaultStats, NodeReport, NodeShared};
 use crate::plugin::{ActionContext, EventInfo};
@@ -19,17 +35,21 @@ use std::sync::Arc;
 pub const SERVER_SOURCE: u32 = u32::MAX;
 
 /// The dedicated-core event loop; returns the node's accounting when a
-/// `Terminate` event arrives.
+/// `Terminate` event arrives. `epoch` is this incarnation's heartbeat
+/// epoch — nonzero means a predecessor crashed and the journal replays.
 pub(crate) fn run(
     shared: Arc<NodeShared>,
     mut epe: EventProcessingEngine,
     node_id: u32,
+    epoch: u32,
 ) -> Result<NodeReport, DamarisError> {
     let mut store = MetadataStore::new();
     let mut report = NodeReport::default();
     let mut pending_release = Vec::new();
-    let mut end_counts: HashMap<u32, usize> = HashMap::new();
-    let mut seq: u64 = 0;
+    // Journal seqnos of the end-notifications counted per iteration; the
+    // length is the completion count, and the seqnos are marked applied
+    // when the iteration fires.
+    let mut end_counts: HashMap<u32, Vec<u64>> = HashMap::new();
     let backend = Arc::clone(&shared.backend);
 
     macro_rules! ctx {
@@ -41,19 +61,179 @@ pub(crate) fn run(
                 backend: backend.as_ref(),
                 buffer: &shared.buffer,
                 stats: &shared.stats,
+                journal: &shared.journal,
                 pending_release: &mut pending_release,
             }
         };
     }
 
+    // Fires `end_of_iteration`. The counted end-notification records are
+    // retired *before* the plugins run: plugin side effects are
+    // at-most-once across crashes (a crash mid-fire does not re-fire the
+    // iteration on replay — its data is still flushed at `Terminate`).
+    macro_rules! fire_iteration {
+        ($iteration:expr, $seqs:expr) => {{
+            for seq in $seqs {
+                shared.journal.mark_applied(seq);
+            }
+            let info = EventInfo {
+                name: END_OF_ITERATION.to_string(),
+                iteration: $iteration,
+                source: SERVER_SOURCE,
+            };
+            let mut ctx = ctx!();
+            epe.fire(&mut ctx, &info)?;
+            ctx.flush_releases();
+            report.iterations_persisted += 1;
+        }};
+    }
+
+    if epoch > 0 {
+        // === Journal replay: rebuild the dead incarnation's state. ===
+        let (entries, corrupt) = shared.journal.replay_snapshot();
+        if corrupt > 0 {
+            eprintln!(
+                "[damaris node {node_id}] replay (epoch {epoch}): skipped {corrupt} \
+                 CRC-corrupt journal record(s)"
+            );
+        }
+        for entry in entries {
+            match entry.payload {
+                JournalPayload::Write {
+                    variable_id,
+                    iteration,
+                    source,
+                    offset,
+                    len,
+                    dynamic_layout,
+                } => {
+                    // Claim pending records so the stale queue copy is
+                    // rejected when it eventually pops.
+                    if entry.state == RecordState::Pending {
+                        let _ = shared.journal.claim(entry.seq);
+                    }
+                    let Some(def) = shared.config.variable(variable_id) else {
+                        shared.journal.mark_applied(entry.seq);
+                        eprintln!(
+                            "[damaris node {node_id}] replay: unknown variable id \
+                             {variable_id} (seq {}); skipped",
+                            entry.seq
+                        );
+                        continue;
+                    };
+                    match shared.buffer.adopt(source, offset, len) {
+                        Some(segment) => {
+                            FaultStats::bump(&shared.stats.events_replayed);
+                            report.variables_received += 1;
+                            report.bytes_received += segment.len() as u64;
+                            let layout = match dynamic_layout {
+                                Some(layout) => layout,
+                                None => shared.config.layout_of(def).storage_layout(),
+                            };
+                            let var = StoredVariable {
+                                key: VariableKey {
+                                    iteration,
+                                    variable_id,
+                                    source,
+                                },
+                                name: def.name.clone(),
+                                layout,
+                                segment,
+                                seq: entry.seq,
+                            };
+                            report.peak_resident_bytes = report
+                                .peak_resident_bytes
+                                .max(store.bytes_resident() as u64 + var.segment.len() as u64);
+                            if let Some(replaced) = store.insert(var) {
+                                shared.journal.mark_applied(replaced.seq);
+                                shared.buffer.release(source, replaced.segment);
+                            }
+                        }
+                        None => {
+                            // Not adoptable: the dead server released it
+                            // between persisting and marking the record
+                            // applied. The data is already safe (or was
+                            // deliberately degraded) — retire the record.
+                            shared.journal.mark_applied(entry.seq);
+                            eprintln!(
+                                "[damaris node {node_id}] replay: write seq {} \
+                                 (src {source}, {len}B@{offset}) not adoptable; skipped",
+                                entry.seq
+                            );
+                        }
+                    }
+                }
+                JournalPayload::EndIteration { iteration, .. } => {
+                    if entry.state == RecordState::Pending {
+                        let _ = shared.journal.claim(entry.seq);
+                    }
+                    FaultStats::bump(&shared.stats.events_replayed);
+                    end_counts.entry(iteration).or_default().push(entry.seq);
+                }
+                JournalPayload::User {
+                    name,
+                    iteration,
+                    source,
+                } => {
+                    if entry.state != RecordState::Pending {
+                        // The dead epoch claimed it and may have run its
+                        // plugins: at-most-once forbids re-firing.
+                        shared.journal.mark_applied(entry.seq);
+                        continue;
+                    }
+                    let _ = shared.journal.claim(entry.seq);
+                    shared.journal.mark_applied(entry.seq);
+                    FaultStats::bump(&shared.stats.events_replayed);
+                    report.user_events += 1;
+                    let info = EventInfo {
+                        name,
+                        iteration,
+                        source,
+                    };
+                    let mut ctx = ctx!();
+                    epe.fire(&mut ctx, &info)?;
+                    ctx.flush_releases();
+                }
+            }
+        }
+        // Fire iterations the replayed notifications completed.
+        let mut complete: Vec<u32> = end_counts
+            .iter()
+            .filter(|(_, seqs)| seqs.len() == shared.clients)
+            .map(|(it, _)| *it)
+            .collect();
+        complete.sort_unstable();
+        for iteration in complete {
+            let seqs = end_counts.remove(&iteration).unwrap_or_default();
+            fire_iteration!(iteration, seqs);
+        }
+        shared.journal.compact();
+    }
+    // Publish this epoch only after replay: clients parked on a stale
+    // heartbeat resume against fully-rebuilt state (the Release store
+    // makes everything above visible to their Acquire observe).
+    shared.heartbeat.begin_epoch(epoch);
+
     loop {
-        match shared.queue.pop_wait() {
+        let event = shared.queue.pop_wait_with(|| shared.heartbeat.beat());
+        // Claim arbitration: an event whose journal record was already
+        // processed (by a previous epoch's replay) is dropped. The segment
+        // handle in a stale Write is inert — the replay's adopted handle
+        // owns the allocation.
+        if let Some(seq) = event.seq() {
+            if shared.journal.claim(seq) == Claim::Stale {
+                FaultStats::bump(&shared.stats.stale_events_rejected);
+                continue;
+            }
+        }
+        match event {
             Event::Write {
                 variable_id,
                 iteration,
                 source,
                 segment,
                 dynamic_layout,
+                seq,
             } => {
                 let def = shared
                     .config
@@ -76,21 +256,25 @@ pub(crate) fn run(
                     segment,
                     seq,
                 };
-                seq += 1;
                 report.peak_resident_bytes = report
                     .peak_resident_bytes
                     .max(store.bytes_resident() as u64 + var.segment.len() as u64);
                 if let Some(replaced) = store.insert(var) {
                     // Duplicate tuple: the older segment is the oldest live
                     // one for this client, safe to release immediately.
-                    shared.buffer.release(source, replaced);
+                    shared.journal.mark_applied(replaced.seq);
+                    shared.buffer.release(source, replaced.segment);
                 }
             }
             Event::User {
                 name,
                 iteration,
                 source,
+                seq,
             } => {
+                // At-most-once: retire the record before firing, so a
+                // crash mid-plugin does not re-fire it on replay.
+                shared.journal.mark_applied(seq);
                 report.user_events += 1;
                 let info = EventInfo {
                     name,
@@ -101,21 +285,14 @@ pub(crate) fn run(
                 epe.fire(&mut ctx, &info)?;
                 ctx.flush_releases();
             }
-            Event::EndIteration { iteration, source } => {
-                let _ = source;
-                let count = end_counts.entry(iteration).or_insert(0);
-                *count += 1;
-                if *count == shared.clients {
-                    end_counts.remove(&iteration);
-                    let info = EventInfo {
-                        name: END_OF_ITERATION.to_string(),
-                        iteration,
-                        source: SERVER_SOURCE,
-                    };
-                    let mut ctx = ctx!();
-                    epe.fire(&mut ctx, &info)?;
-                    ctx.flush_releases();
-                    report.iterations_persisted += 1;
+            Event::EndIteration {
+                iteration, seq, ..
+            } => {
+                let counted = end_counts.entry(iteration).or_default();
+                counted.push(seq);
+                if counted.len() == shared.clients {
+                    let seqs = end_counts.remove(&iteration).unwrap_or_default();
+                    fire_iteration!(iteration, seqs);
                 }
             }
             Event::Terminate => {
@@ -123,15 +300,15 @@ pub(crate) fn run(
                 // crashed between write and end_iteration): persist what we
                 // have rather than lose it.
                 for iteration in store.pending_iterations() {
-                    let info = EventInfo {
-                        name: END_OF_ITERATION.to_string(),
-                        iteration,
-                        source: SERVER_SOURCE,
-                    };
-                    let mut ctx = ctx!();
-                    epe.fire(&mut ctx, &info)?;
-                    ctx.flush_releases();
-                    report.iterations_persisted += 1;
+                    let seqs = end_counts.remove(&iteration).unwrap_or_default();
+                    fire_iteration!(iteration, seqs);
+                }
+                // End-notifications for iterations with no resident data
+                // have no further effect; retire their records.
+                for (_, seqs) in end_counts.drain() {
+                    for seq in seqs {
+                        shared.journal.mark_applied(seq);
+                    }
                 }
                 // Shutdown pass: stateful plugins flush their residuals.
                 let mut ctx = ctx!();
@@ -140,7 +317,9 @@ pub(crate) fn run(
                 break;
             }
         }
+        shared.heartbeat.beat();
     }
+    shared.journal.compact();
 
     report.files_created = backend.files_created();
     report.bytes_stored = backend.bytes_written();
@@ -152,5 +331,9 @@ pub(crate) fn run(
     report.plugin_failures = FaultStats::get(&stats.plugin_failures);
     report.plugins_quarantined = FaultStats::get(&stats.plugins_quarantined);
     report.recovery_actions = FaultStats::get(&stats.recovery_actions);
+    report.epe_respawns = FaultStats::get(&stats.epe_respawns);
+    report.events_replayed = FaultStats::get(&stats.events_replayed);
+    report.stale_events_rejected = FaultStats::get(&stats.stale_events_rejected);
+    report.heartbeat_stale_observed = FaultStats::get(&stats.heartbeat_stale_observed);
     Ok(report)
 }

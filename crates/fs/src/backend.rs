@@ -16,6 +16,7 @@
 //! output. The recovery scan ([`crate::recovery::recover`]) deletes
 //! orphans and quarantines any `*.sdf` whose checksums don't verify.
 
+use crate::clock::{IoClock, WallClock};
 use damaris_format::{Result, SdfError, SdfWriter};
 use std::path::{Path, PathBuf};
 
@@ -61,6 +62,15 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
 
     /// Full path for a name inside the backend.
     fn path_of(&self, name: &str) -> PathBuf;
+
+    /// The time source consumers of this backend should wait on (retry
+    /// backoff, injected stalls). Defaults to the wall clock; decorated
+    /// test backends override it with a [`crate::clock::VirtualClock`] so
+    /// waits advance simulated time instead of blocking the test.
+    fn clock(&self) -> &dyn IoClock {
+        static WALL: WallClock = WallClock;
+        &WALL
+    }
 }
 
 /// Maps a final SDF path to its in-flight temporary path.

@@ -8,10 +8,11 @@
 //! involved — reproducibility is the whole point of the harness.
 
 use crate::backend::StorageBackend;
+use crate::clock::{IoClock, WallClock};
 use damaris_format::{Result, SdfError, SdfWriter};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Which backend operation a rule applies to.
@@ -124,6 +125,7 @@ pub struct FaultyBackend<B> {
     begin_calls: AtomicU64,
     commit_calls: AtomicU64,
     injected: InjectedCounts,
+    clock: Arc<dyn IoClock>,
 }
 
 impl<B: StorageBackend> FaultyBackend<B> {
@@ -134,7 +136,17 @@ impl<B: StorageBackend> FaultyBackend<B> {
             begin_calls: AtomicU64::new(0),
             commit_calls: AtomicU64::new(0),
             injected: InjectedCounts::default(),
+            clock: Arc::new(WallClock),
         }
+    }
+
+    /// Replaces the time source: injected stalls sleep on `clock`, and
+    /// [`StorageBackend::clock`] hands it to retry loops upstream. With a
+    /// [`crate::clock::VirtualClock`] an injected 10 s stall costs the test
+    /// no wall time at all.
+    pub fn with_clock(mut self, clock: Arc<dyn IoClock>) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// The wrapped backend.
@@ -169,7 +181,7 @@ impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
             }
             Some(FaultKind::Stall(d)) => {
                 self.injected.stalls.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(d);
+                self.clock.sleep(d);
                 self.inner.begin_sdf(name)
             }
             Some(FaultKind::TornWrite { .. }) => {
@@ -190,7 +202,7 @@ impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
             }
             Some(FaultKind::Stall(d)) => {
                 self.injected.stalls.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(d);
+                self.clock.sleep(d);
                 self.inner.commit_sdf(writer)
             }
             Some(FaultKind::TornWrite { keep_num, keep_den }) => {
@@ -243,6 +255,10 @@ impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
 
     fn path_of(&self, name: &str) -> PathBuf {
         self.inner.path_of(name)
+    }
+
+    fn clock(&self) -> &dyn IoClock {
+        self.clock.as_ref()
     }
 }
 
@@ -310,5 +326,23 @@ mod tests {
         write_one(&b, "slow.sdf").unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(30));
         assert!(SdfReader::open(b.path_of("slow.sdf")).is_ok());
+    }
+
+    #[test]
+    fn virtual_clock_absorbs_stalls_without_wall_time() {
+        use crate::clock::VirtualClock;
+        let inner = LocalDirBackend::scratch("faulty-vclock").unwrap();
+        // A stall that would make a wall-clock test unbearable.
+        let plan = FaultPlan::new().stall_nth(FaultOp::Commit, 0, Duration::from_secs(30));
+        let clock = std::sync::Arc::new(VirtualClock::new());
+        let b = FaultyBackend::new(inner, plan).with_clock(clock.clone());
+        let t0 = std::time::Instant::now();
+        write_one(&b, "virtslow.sdf").unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(5), "stall hit the wall clock");
+        assert_eq!(clock.slept(), Duration::from_secs(30));
+        assert_eq!(b.injected().stalls.load(Ordering::SeqCst), 1);
+        // The trait surface hands the same clock to upstream retry loops.
+        assert_eq!(b.clock().now(), Duration::from_secs(30));
+        assert!(SdfReader::open(b.path_of("virtslow.sdf")).is_ok());
     }
 }

@@ -29,10 +29,14 @@
 //!   fsync + atomic rename);
 //! * [`faulty`] — [`FaultyBackend`], a decorator executing a deterministic
 //!   [`FaultPlan`] (transient errors, stalls, torn writes) for chaos tests;
+//! * [`clock`] — the [`IoClock`] time source behind retry backoff and
+//!   injected stalls ([`WallClock`] in production, [`VirtualClock`] in
+//!   tests so waits advance simulated time instead of blocking);
 //! * [`recovery`] — the startup scan that deletes orphan `*.tmp` files and
 //!   quarantines torn `*.sdf` files.
 
 pub mod backend;
+pub mod clock;
 pub mod faulty;
 pub mod local;
 pub mod model;
@@ -40,6 +44,7 @@ pub mod recovery;
 pub mod striping;
 
 pub use backend::StorageBackend;
+pub use clock::{IoClock, VirtualClock, WallClock};
 pub use faulty::{FaultKind, FaultOp, FaultPlan, FaultyBackend};
 pub use local::LocalDirBackend;
 pub use model::{FsSpec, LockMode};

@@ -3,8 +3,14 @@
 //! exchange) so their communication structure — and therefore their
 //! synchronization cost, the thing the paper's collective-I/O baseline pays
 //! for — matches real MPI implementations.
+//!
+//! Every collective comes in two flavors: a `try_*` variant returning
+//! `Result<_, RecvError>` — under fault injection a dead member surfaces
+//! as [`RecvError::PeerFailed`] within the receive-timeout window instead
+//! of hanging the survivors — and the original panicking form for protocol
+//! code where a missing peer is a bug, not a condition.
 
-use crate::comm::{Communicator, ANY_SOURCE};
+use crate::comm::{Communicator, RecvError, ANY_SOURCE};
 use crate::datatypes::{decode_f64s, encode_f64s};
 use bytes::Bytes;
 
@@ -12,9 +18,17 @@ impl Communicator {
     /// Dissemination barrier: ⌈log₂ n⌉ rounds, each rank sends to
     /// `rank + 2^k` and waits on `rank − 2^k` (mod n).
     pub fn barrier(&self) {
+        // invariant: without fault injection every member participates, so
+        // the exchange cannot fail; a failure here is a usage bug.
+        self.try_barrier()
+            .unwrap_or_else(|e| panic!("rank {}: barrier: {e}", self.rank()))
+    }
+
+    /// Fallible [`Communicator::barrier`].
+    pub fn try_barrier(&self) -> Result<(), RecvError> {
         let n = self.size();
         if n == 1 {
-            return;
+            return Ok(());
         }
         let tag = self.next_coll_tag();
         let mut step = 1usize;
@@ -26,7 +40,8 @@ impl Communicator {
             // when `from == to` at small sizes.
             self.send(to, tag, Bytes::copy_from_slice(&round.to_le_bytes()));
             loop {
-                let msg = self.recv_expect(from, tag);
+                let msg = self.recv(from, tag)?;
+                // invariant: barrier payloads are always 4-byte rounds.
                 let r = u32::from_le_bytes(msg.data[..4].try_into().expect("4 bytes"));
                 if r == round {
                     break;
@@ -39,15 +54,24 @@ impl Communicator {
             step <<= 1;
             round += 1;
         }
+        Ok(())
     }
 
     /// Binomial-tree broadcast of `data` from local rank `root`.
     pub fn broadcast(&self, root: usize, data: Option<Bytes>) -> Bytes {
+        // invariant: see barrier — fault-free collectives cannot fail.
+        self.try_broadcast(root, data)
+            .unwrap_or_else(|e| panic!("rank {}: broadcast: {e}", self.rank()))
+    }
+
+    /// Fallible [`Communicator::broadcast`].
+    pub fn try_broadcast(&self, root: usize, data: Option<Bytes>) -> Result<Bytes, RecvError> {
         assert!(root < self.size());
         let n = self.size();
         let tag = self.next_coll_tag();
         let relative = (self.rank() + n - root) % n;
         let mut buf = if self.rank() == root {
+            // invariant: API contract — the root supplies the payload.
             data.expect("root must supply data")
         } else {
             Bytes::new()
@@ -57,7 +81,7 @@ impl Communicator {
         while mask < n {
             if relative & mask != 0 {
                 let src = (relative - mask + root) % n;
-                buf = self.recv_expect(src, tag).data;
+                buf = self.recv(src, tag)?.data;
                 break;
             }
             mask <<= 1;
@@ -70,7 +94,7 @@ impl Communicator {
             }
             mask >>= 1;
         }
-        buf
+        Ok(buf)
     }
 
     /// Binomial-tree reduction of f64 vectors to `root` with a pairwise
@@ -81,6 +105,18 @@ impl Communicator {
         data: &[f64],
         op: impl Fn(f64, f64) -> f64,
     ) -> Option<Vec<f64>> {
+        // invariant: see barrier — fault-free collectives cannot fail.
+        self.try_reduce_f64(root, data, op)
+            .unwrap_or_else(|e| panic!("rank {}: reduce: {e}", self.rank()))
+    }
+
+    /// Fallible [`Communicator::reduce_f64`].
+    pub fn try_reduce_f64(
+        &self,
+        root: usize,
+        data: &[f64],
+        op: impl Fn(f64, f64) -> f64,
+    ) -> Result<Option<Vec<f64>>, RecvError> {
         assert!(root < self.size());
         let n = self.size();
         let tag = self.next_coll_tag();
@@ -93,7 +129,7 @@ impl Communicator {
                 let src_rel = relative | mask;
                 if src_rel < n {
                     let src = (src_rel + root) % n;
-                    let incoming = self.recv_expect(src, tag).as_f64s();
+                    let incoming = self.recv(src, tag)?.as_f64s();
                     assert_eq!(incoming.len(), acc.len(), "reduce length mismatch");
                     for (a, b) in acc.iter_mut().zip(incoming) {
                         *a = op(*a, b);
@@ -103,11 +139,11 @@ impl Communicator {
                 let dst_rel = relative & !mask;
                 let dst = (dst_rel + root) % n;
                 self.send(dst, tag, encode_f64s(&acc));
-                return None; // sent up the tree; done
+                return Ok(None); // sent up the tree; done
             }
             mask <<= 1;
         }
-        Some(acc)
+        Ok(Some(acc))
     }
 
     /// Allreduce (sum) over f64 vectors: reduce to 0, then broadcast.
@@ -127,27 +163,51 @@ impl Communicator {
 
     /// Generic allreduce over f64 vectors.
     pub fn allreduce_f64(&self, data: &[f64], op: impl Fn(f64, f64) -> f64 + Copy) -> Vec<f64> {
-        let reduced = self.reduce_f64(0, data, op);
-        let bytes = self.broadcast(0, reduced.map(|v| encode_f64s(&v)));
-        decode_f64s(&bytes)
+        // invariant: see barrier — fault-free collectives cannot fail.
+        self.try_allreduce_f64(data, op)
+            .unwrap_or_else(|e| panic!("rank {}: allreduce: {e}", self.rank()))
+    }
+
+    /// Fallible [`Communicator::allreduce_f64`].
+    pub fn try_allreduce_f64(
+        &self,
+        data: &[f64],
+        op: impl Fn(f64, f64) -> f64 + Copy,
+    ) -> Result<Vec<f64>, RecvError> {
+        let reduced = self.try_reduce_f64(0, data, op)?;
+        let bytes = self.try_broadcast(0, reduced.map(|v| encode_f64s(&v)))?;
+        Ok(decode_f64s(&bytes))
     }
 
     /// Gathers every rank's bytes at `root` (rank-indexed). Non-roots get
     /// `None`.
     pub fn gather(&self, root: usize, data: Bytes) -> Option<Vec<Bytes>> {
+        // invariant: see barrier — fault-free collectives cannot fail.
+        self.try_gather(root, data)
+            .unwrap_or_else(|e| panic!("rank {}: gather: {e}", self.rank()))
+    }
+
+    /// Fallible [`Communicator::gather`].
+    pub fn try_gather(&self, root: usize, data: Bytes) -> Result<Option<Vec<Bytes>>, RecvError> {
         assert!(root < self.size());
         let tag = self.next_coll_tag();
         if self.rank() == root {
             let mut out: Vec<Option<Bytes>> = vec![None; self.size()];
             out[root] = Some(data);
             for _ in 0..self.size() - 1 {
-                let msg = self.recv_expect(ANY_SOURCE, tag);
+                let msg = self.recv(ANY_SOURCE, tag)?;
                 out[msg.source] = Some(msg.data);
             }
-            Some(out.into_iter().map(|b| b.expect("all ranks sent")).collect())
+            Ok(Some(
+                out.into_iter()
+                    // invariant: the loop above received size-1 distinct
+                    // contributions, so every slot is filled.
+                    .map(|b| b.expect("all ranks sent"))
+                    .collect(),
+            ))
         } else {
             self.send(root, tag, data);
-            None
+            Ok(None)
         }
     }
 
@@ -155,8 +215,16 @@ impl Communicator {
     /// rank-indexed list of all contributions (gather to 0 + broadcast of
     /// the concatenated, length-prefixed buffer).
     pub fn allgather(&self, data: Bytes) -> Vec<Bytes> {
-        let gathered = self.gather(0, data);
+        // invariant: see barrier — fault-free collectives cannot fail.
+        self.try_allgather(data)
+            .unwrap_or_else(|e| panic!("rank {}: allgather: {e}", self.rank()))
+    }
+
+    /// Fallible [`Communicator::allgather`].
+    pub fn try_allgather(&self, data: Bytes) -> Result<Vec<Bytes>, RecvError> {
+        let gathered = self.try_gather(0, data)?;
         let packed = if self.rank() == 0 {
+            // invariant: rank 0 is the gather root and always gets Some.
             let parts = gathered.expect("root gathers");
             let mut buf = Vec::new();
             for part in &parts {
@@ -169,17 +237,18 @@ impl Communicator {
         } else {
             None
         };
-        let all = self.broadcast(0, packed);
+        let all = self.try_broadcast(0, packed)?;
         let mut out = Vec::with_capacity(self.size());
         let mut off = 0usize;
         for _ in 0..self.size() {
+            // invariant: the root packed exactly size length-prefixed parts.
             let len =
                 u64::from_le_bytes(all[off..off + 8].try_into().expect("length prefix")) as usize;
             off += 8;
             out.push(all.slice(off..off + len));
             off += len;
         }
-        out
+        Ok(out)
     }
 
     /// Personalized all-to-all: `chunks[i]` goes to rank `i`; returns the
@@ -187,6 +256,13 @@ impl Communicator {
     /// two-phase collective I/O, whose cost the paper identifies as the
     /// scalability limit of that approach (§II-B).
     pub fn alltoallv(&self, chunks: Vec<Bytes>) -> Vec<Bytes> {
+        // invariant: see barrier — fault-free collectives cannot fail.
+        self.try_alltoallv(chunks)
+            .unwrap_or_else(|e| panic!("rank {}: alltoallv: {e}", self.rank()))
+    }
+
+    /// Fallible [`Communicator::alltoallv`].
+    pub fn try_alltoallv(&self, chunks: Vec<Bytes>) -> Result<Vec<Bytes>, RecvError> {
         assert_eq!(chunks.len(), self.size(), "need one chunk per rank");
         let n = self.size();
         let tag = self.next_coll_tag();
@@ -197,18 +273,23 @@ impl Communicator {
             let dst = (self.rank() + i) % n;
             let src = (self.rank() + n - i) % n;
             self.send(dst, tag, chunks[dst].clone());
-            let msg = self.recv_expect(src, tag);
+            let msg = self.recv(src, tag)?;
             out[src] = Some(msg.data);
         }
-        out.into_iter().map(|b| b.expect("full exchange")).collect()
+        Ok(out
+            .into_iter()
+            // invariant: the pairwise schedule filled every slot above.
+            .map(|b| b.expect("full exchange"))
+            .collect())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use crate::datatypes::encode_u64s;
-    use crate::World;
+    use crate::{FaultPlan, RecvError, World};
     use bytes::Bytes;
+    use std::time::Duration;
 
     #[test]
     fn barrier_various_sizes() {
@@ -356,6 +437,62 @@ mod tests {
                 );
                 assert_eq!(u64::from_le_bytes(b[..8].try_into().unwrap()), i);
             }
+        });
+    }
+
+    #[test]
+    fn collectives_surface_peer_failure_within_timeout() {
+        // Rank 2 dies before the barrier; survivors must get PeerFailed
+        // within the shortened window, not hang for minutes.
+        let plan = FaultPlan::new().kill_rank(2, 0);
+        let outcomes = World::run_with_faults(4, plan, |comm| {
+            comm.set_recv_timeout(Duration::from_millis(200));
+            if comm.fail_point(0) {
+                return None;
+            }
+            Some(comm.try_barrier())
+        });
+        assert_eq!(outcomes[2], None);
+        for (rank, outcome) in outcomes.iter().enumerate() {
+            if rank == 2 {
+                continue;
+            }
+            match outcome {
+                Some(Err(RecvError::PeerFailed { rank: 2 })) => {}
+                other => panic!("rank {rank}: expected PeerFailed from rank 2, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_gather_reports_dead_contributor() {
+        let plan = FaultPlan::new().kill_rank(1, 0);
+        World::run_with_faults(3, plan, |comm| {
+            comm.set_recv_timeout(Duration::from_millis(150));
+            if comm.fail_point(0) {
+                return;
+            }
+            let res = comm.try_gather(0, Bytes::from_static(b"x"));
+            if comm.rank() == 0 {
+                assert_eq!(res.unwrap_err(), RecvError::PeerFailed { rank: 1 });
+            } else {
+                // Non-roots only send; their gather succeeds locally.
+                assert!(res.unwrap().is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn try_alltoallv_reports_dead_peer() {
+        let plan = FaultPlan::new().kill_rank(3, 0);
+        World::run_with_faults(4, plan, |comm| {
+            comm.set_recv_timeout(Duration::from_millis(200));
+            if comm.fail_point(0) {
+                return;
+            }
+            let chunks: Vec<Bytes> = (0..4).map(|_| Bytes::from_static(b"c")).collect();
+            let err = comm.try_alltoallv(chunks).unwrap_err();
+            assert_eq!(err, RecvError::PeerFailed { rank: 3 });
         });
     }
 }

@@ -1,36 +1,55 @@
 //! Communicators: rank identity, point-to-point matching, splitting.
 
 use crate::datatypes::Message;
+use crate::fault::MsgFault;
 use crate::transport::{Envelope, Fabric};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Wildcard source for [`Communicator::recv`].
 pub const ANY_SOURCE: usize = usize::MAX;
 /// Wildcard tag for [`Communicator::recv`].
 pub const ANY_TAG: u32 = u32::MAX;
 
-/// How long a blocking receive waits before reporting a likely deadlock.
+/// Default for how long a blocking receive waits before reporting a likely
+/// deadlock. Override per-communicator with
+/// [`Communicator::set_recv_timeout`] — failure-detection tests shrink it
+/// so a dead peer surfaces in milliseconds, not minutes.
 const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// How often a blocked receive wakes to re-check peer liveness and its
+/// deadline. Arrivals still wake the receiver immediately; this bounds
+/// only the detection latency for a peer that dies while we wait.
+const LIVENESS_POLL: Duration = Duration::from_millis(5);
 
 /// Receive failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecvError {
     /// No matching message arrived within the deadlock-detection window.
     Timeout,
+    /// The awaited peer (identified by its local rank within this
+    /// communicator) is dead — killed by fault injection — and its
+    /// in-flight messages have been drained; nothing more can arrive.
+    PeerFailed {
+        /// Local rank of the dead peer within this communicator.
+        rank: usize,
+    },
 }
 
 impl std::fmt::Display for RecvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RecvError::Timeout => write!(
-                f,
-                "receive timed out after {RECV_TIMEOUT:?} (likely deadlock)"
-            ),
+            RecvError::Timeout => {
+                write!(f, "receive timed out (likely deadlock or silent peer)")
+            }
+            RecvError::PeerFailed { rank } => {
+                write!(f, "peer rank {rank} failed; no further messages can arrive")
+            }
         }
     }
 }
@@ -58,6 +77,9 @@ pub struct Communicator {
     coll_seq: Cell<u32>,
     /// Split counter for deterministic child context ids.
     split_seq: Cell<u32>,
+    /// Deadlock-detection window for blocking receives; inherited by
+    /// [`Communicator::split`] children.
+    recv_timeout: Cell<Duration>,
 }
 
 impl Communicator {
@@ -76,6 +98,7 @@ impl Communicator {
             pending: RefCell::new(VecDeque::new()),
             coll_seq: Cell::new(0),
             split_seq: Cell::new(0),
+            recv_timeout: Cell::new(RECV_TIMEOUT),
         }
     }
 
@@ -94,20 +117,69 @@ impl Communicator {
         self.group[local]
     }
 
-    /// Sends `data` with `tag` to local rank `dest`. Never blocks.
+    /// Sets the window after which a blocking receive gives up, for this
+    /// communicator only (children of later [`Communicator::split`] calls
+    /// inherit it). Failure-aware callers shrink this so a dead peer
+    /// surfaces as a typed error within their detection budget.
+    pub fn set_recv_timeout(&self, window: Duration) {
+        self.recv_timeout.set(window);
+    }
+
+    /// Cooperative rank-kill: returns `true` once the fault plan schedules
+    /// this rank's death at or before `iteration`. The first firing marks
+    /// the rank dead on the fabric — peers' receives then fail fast with
+    /// [`RecvError::PeerFailed`] — and the caller must stop communicating
+    /// and return a sentinel from its `World` closure.
+    pub fn fail_point(&self, iteration: u32) -> bool {
+        let me = self.group[self.rank];
+        match self.fabric.plan.kill_at(me) {
+            Some(at) if iteration >= at => {
+                // Release pairs with the Acquire in peers' liveness checks:
+                // a peer that sees us dead also sees all our prior sends.
+                self.fabric.alive[me].store(false, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Sends `data` with `tag` to local rank `dest`. Never blocks (beyond
+    /// an injected delay fault).
     pub fn send(&self, dest: usize, tag: u32, data: Bytes) {
         assert!(dest < self.size(), "dest {dest} out of range");
         assert!(tag != ANY_TAG, "ANY_TAG is reserved for receives");
         let world_dest = self.group[dest];
-        // A send can only fail if the destination thread already exited —
-        // that is a collective-usage bug equivalent to an MPI abort.
+        let env = Envelope {
+            context: self.context,
+            source: self.rank,
+            tag,
+            data,
+        };
+        if self.fabric.faulty {
+            let world_src = self.group[self.rank];
+            let ordinal = self.fabric.next_ordinal(world_src, world_dest);
+            match self.fabric.plan.message_fault(world_src, world_dest, ordinal) {
+                Some(MsgFault::Drop) => return,
+                Some(MsgFault::Delay(d)) => std::thread::sleep(d),
+                Some(MsgFault::Duplicate) => self.deliver(world_dest, env.clone()),
+                None => {}
+            }
+        }
+        self.deliver(world_dest, env);
+    }
+
+    fn deliver(&self, world_dest: usize, env: Envelope) {
+        // A dead rank's inbox is held open but never drained; drop the
+        // message at the send site so the queue doesn't grow unboundedly.
+        if self.fabric.faulty && !self.fabric.alive[world_dest].load(Ordering::Acquire) {
+            return;
+        }
+        // invariant: a send can only fail if the destination thread already
+        // exited — under World::run that is a collective-usage bug
+        // equivalent to an MPI abort; under run_with_faults the keepalive
+        // receivers hold every channel open, so this cannot fire.
         self.fabric.senders[world_dest]
-            .send(Envelope {
-                context: self.context,
-                source: self.rank,
-                tag,
-                data,
-            })
+            .send(env)
             .expect("destination rank has terminated");
     }
 
@@ -117,25 +189,73 @@ impl Communicator {
             && (tag == ANY_TAG || env.tag == tag)
     }
 
+    /// Removes and returns the first pending envelope matching
+    /// `(source, tag)`, if any.
+    fn take_pending(&self, source: usize, tag: u32) -> Option<Message> {
+        let mut pending = self.pending.borrow_mut();
+        let idx = pending.iter().position(|e| self.matches(e, source, tag))?;
+        // invariant: position() above returned an index valid under the
+        // same borrow.
+        let env = pending.remove(idx).expect("index valid");
+        Some(Message {
+            source: env.source,
+            tag: env.tag,
+            data: env.data,
+        })
+    }
+
+    /// Explains a silent receive: if a member of this communicator is dead,
+    /// name it; otherwise report a plain timeout.
+    fn silence_error(&self) -> RecvError {
+        if self.fabric.faulty {
+            for (local, &world) in self.group.iter().enumerate() {
+                if !self.fabric.alive[world].load(Ordering::Acquire) {
+                    return RecvError::PeerFailed { rank: local };
+                }
+            }
+        }
+        RecvError::Timeout
+    }
+
     /// Blocking receive with source/tag matching. Out-of-order arrivals for
     /// other (source, tag, context) triples are buffered, preserving
     /// pairwise FIFO per (source, tag), as MPI requires.
+    ///
+    /// Fails fast with [`RecvError::PeerFailed`] when the awaited source is
+    /// dead and its in-flight traffic has been drained; a receive that
+    /// exhausts the timeout window names a dead group member if one exists,
+    /// so collectives stalled by a killed rank surface the failure instead
+    /// of a generic deadlock report.
     pub fn recv(&self, source: usize, tag: u32) -> Result<Message, RecvError> {
         // First scan the pending buffer.
-        {
-            let mut pending = self.pending.borrow_mut();
-            if let Some(idx) = pending.iter().position(|e| self.matches(e, source, tag)) {
-                let env = pending.remove(idx).expect("index valid");
-                return Ok(Message {
-                    source: env.source,
-                    tag: env.tag,
-                    data: env.data,
-                });
-            }
+        if let Some(msg) = self.take_pending(source, tag) {
+            return Ok(msg);
         }
+        let deadline = Instant::now() + self.recv_timeout.get();
         // Then pull from the inbox, buffering non-matching traffic.
         loop {
-            match self.inbox.recv_timeout(RECV_TIMEOUT) {
+            // Fail fast on a specifically awaited dead source: drain what
+            // it sent before dying, then report the failure. The Acquire
+            // load pairs with fail_point's Release store, so everything
+            // the victim sent is already visible in our inbox.
+            if self.fabric.faulty
+                && source != ANY_SOURCE
+                && !self.fabric.alive[self.group[source]].load(Ordering::Acquire)
+            {
+                while let Ok(env) = self.inbox.try_recv() {
+                    self.pending.borrow_mut().push_back(env);
+                }
+                if let Some(msg) = self.take_pending(source, tag) {
+                    return Ok(msg);
+                }
+                return Err(RecvError::PeerFailed { rank: source });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(self.silence_error());
+            }
+            let chunk = LIVENESS_POLL.min(deadline - now);
+            match self.inbox.recv_timeout(chunk) {
                 Ok(env) => {
                     if self.matches(&env, source, tag) {
                         return Ok(Message {
@@ -146,8 +266,8 @@ impl Communicator {
                     }
                     self.pending.borrow_mut().push_back(env);
                 }
-                Err(RecvTimeoutError::Timeout) => return Err(RecvError::Timeout),
-                Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Timeout),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return Err(self.silence_error()),
             }
         }
     }
@@ -209,6 +329,8 @@ impl Communicator {
         let new_rank = members
             .iter()
             .position(|e| e[2] == self.rank as u64)
+            // invariant: the caller's own entry was seeded into `entries`
+            // and survives the equal-color filter.
             .expect("caller must be a member");
 
         // Deterministic child context: same inputs on every member.
@@ -228,6 +350,7 @@ impl Communicator {
             pending: RefCell::new(VecDeque::new()),
             coll_seq: Cell::new(0),
             split_seq: Cell::new(0),
+            recv_timeout: Cell::new(self.recv_timeout.get()),
         })
     }
 }
@@ -247,7 +370,7 @@ impl std::fmt::Debug for Communicator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::World;
+    use crate::{FaultPlan, World};
 
     #[test]
     fn p2p_roundtrip() {
@@ -346,6 +469,101 @@ mod tests {
             // Reverse order by key.
             let sub = comm.split(Some(0), -(comm.rank() as i64)).unwrap();
             assert_eq!(sub.rank(), comm.size() - 1 - comm.rank());
+        });
+    }
+
+    #[test]
+    fn recv_times_out_with_short_window() {
+        World::run(1, |comm| {
+            comm.set_recv_timeout(Duration::from_millis(30));
+            let start = Instant::now();
+            let err = comm.recv(ANY_SOURCE, ANY_TAG).unwrap_err();
+            assert_eq!(err, RecvError::Timeout);
+            assert!(start.elapsed() < Duration::from_secs(5));
+        });
+    }
+
+    #[test]
+    fn dead_peer_fails_fast_not_timeout() {
+        let plan = FaultPlan::new().kill_rank(1, 0);
+        World::run_with_faults(2, plan, |comm| {
+            if comm.rank() == 1 {
+                assert!(comm.fail_point(0));
+                return;
+            }
+            comm.set_recv_timeout(Duration::from_secs(30));
+            let start = Instant::now();
+            let err = comm.recv(1, 7).unwrap_err();
+            assert_eq!(err, RecvError::PeerFailed { rank: 1 });
+            // Far less than the 30 s window: detection, not timeout.
+            assert!(start.elapsed() < Duration::from_secs(10));
+        });
+    }
+
+    #[test]
+    fn dead_peer_inflight_messages_still_delivered() {
+        let plan = FaultPlan::new().kill_rank(0, 1);
+        World::run_with_faults(2, plan, |comm| {
+            if comm.rank() == 0 {
+                // Send during iteration 0, then die at iteration 1.
+                comm.send(1, 3, Bytes::from_static(b"parting"));
+                assert!(comm.fail_point(1));
+                return;
+            }
+            comm.set_recv_timeout(Duration::from_secs(10));
+            // The pre-death message must arrive even after the sender died.
+            let msg = comm.recv(0, 3).expect("in-flight message survives");
+            assert_eq!(&msg.data[..], b"parting");
+            // But the next receive fails fast.
+            assert_eq!(
+                comm.recv(0, 3).unwrap_err(),
+                RecvError::PeerFailed { rank: 0 }
+            );
+        });
+    }
+
+    #[test]
+    fn dropped_message_is_lost_delayed_arrives() {
+        let plan = FaultPlan::new()
+            .drop_nth(0, 1, 0)
+            .delay_nth(0, 1, 1, Duration::from_millis(25));
+        World::run_with_faults(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, Bytes::from_static(b"dropped"));
+                comm.send(1, 2, Bytes::from_static(b"delayed"));
+            } else {
+                comm.set_recv_timeout(Duration::from_millis(300));
+                let msg = comm.recv_expect(0, 2);
+                assert_eq!(&msg.data[..], b"delayed");
+                // The dropped tag-1 message never arrives.
+                assert_eq!(comm.recv(0, 1).unwrap_err(), RecvError::Timeout);
+            }
+        });
+    }
+
+    #[test]
+    fn duplicated_message_arrives_twice() {
+        let plan = FaultPlan::new().duplicate_nth(0, 1, 0);
+        World::run_with_faults(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 4, Bytes::from_static(b"twin"));
+            } else {
+                let a = comm.recv_expect(0, 4);
+                let b = comm.recv_expect(0, 4);
+                assert_eq!(&a.data[..], b"twin");
+                assert_eq!(&b.data[..], b"twin");
+            }
+        });
+    }
+
+    #[test]
+    fn split_inherits_recv_timeout() {
+        World::run(2, |comm| {
+            comm.set_recv_timeout(Duration::from_millis(40));
+            let sub = comm.split(Some(0), 0).unwrap();
+            let start = Instant::now();
+            assert_eq!(sub.recv(0, 1).unwrap_err(), RecvError::Timeout);
+            assert!(start.elapsed() < Duration::from_secs(5));
         });
     }
 }

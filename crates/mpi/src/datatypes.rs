@@ -41,6 +41,7 @@ impl Message {
         assert_eq!(self.data.len() % 8, 0, "payload is not a u64 array");
         self.data
             .chunks_exact(8)
+            // invariant: chunks_exact(8) yields 8-byte slices.
             .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
             .collect()
     }
@@ -59,6 +60,7 @@ pub fn encode_f64s(values: &[f64]) -> Bytes {
 pub fn decode_f64s(data: &[u8]) -> Vec<f64> {
     assert_eq!(data.len() % 8, 0, "payload is not an f64 array");
     data.chunks_exact(8)
+        // invariant: chunks_exact(8) yields 8-byte slices.
         .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
         .collect()
 }

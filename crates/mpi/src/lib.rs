@@ -15,7 +15,12 @@
 //!   their synchronization structure matches real implementations,
 //! * communicator splitting ([`Communicator::split`]) for node-local
 //!   sub-communicators, which is how Damaris groups a node's clients with
-//!   its dedicated core.
+//!   its dedicated core,
+//! * deterministic fault injection ([`FaultPlan`] +
+//!   [`World::run_with_faults`]): message drop/delay/duplication by
+//!   per-pair ordinal, and cooperative rank-kill — dead peers surface as
+//!   [`RecvError::PeerFailed`] from receives and the `try_*` collectives
+//!   within a configurable window, instead of hanging the survivors.
 //!
 //! ## Example
 //!
@@ -32,8 +37,14 @@
 mod collectives;
 mod comm;
 mod datatypes;
+mod fault;
 mod transport;
 
 pub use comm::{Communicator, RecvError, ANY_SOURCE, ANY_TAG};
 pub use datatypes::Message;
+pub use fault::{FaultPlan, MsgFault};
 pub use transport::World;
+
+/// Message payload type, re-exported so callers need no direct `bytes`
+/// dependency to build payloads.
+pub use bytes::Bytes;

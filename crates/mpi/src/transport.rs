@@ -5,9 +5,17 @@
 //! protocol for the message sizes our consumers exchange; this also makes
 //! naive pairwise exchange patterns deadlock-free, as they are in practice
 //! under eager limits.
+//!
+//! [`World::run_with_faults`] layers a deterministic [`FaultPlan`] over
+//! the same fabric: planned messages are dropped/delayed/duplicated at the
+//! send site, and a cooperatively killed rank is marked dead on the fabric
+//! so surviving peers' receives fail fast with `RecvError::PeerFailed`
+//! instead of hanging until the deadlock timeout.
 
 use crate::comm::Communicator;
+use crate::fault::FaultPlan;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A wire-level envelope: communicator context, local source rank, tag,
@@ -20,9 +28,52 @@ pub(crate) struct Envelope {
     pub data: bytes::Bytes,
 }
 
-/// The shared routing fabric: every world rank's inbox.
+/// The shared routing fabric: every world rank's inbox, plus the fault
+/// state consulted on the send path.
 pub(crate) struct Fabric {
     pub senders: Vec<Sender<Envelope>>,
+    /// Per-world-rank liveness, cleared by `Communicator::fail_point` when
+    /// the plan kills the rank. `Release` on death / `Acquire` on observe:
+    /// a peer that sees the flag down also sees every message the victim
+    /// sent before dying already buffered in its inbox.
+    pub alive: Vec<AtomicBool>,
+    /// The active fault plan; empty under [`World::run`].
+    pub plan: FaultPlan,
+    /// Cached `plan.is_empty()` so the fault-free send path pays one
+    /// branch, no hashing, no ordinal bump.
+    pub faulty: bool,
+    /// Per-`(src, dst)` world-rank send counters (row-major `src * n +
+    /// dst`) giving each message a deterministic ordinal for plan lookup.
+    /// Only advanced when `faulty`.
+    ordinals: Vec<AtomicU64>,
+    /// Cloned inbox receivers held for the whole world so sends to a rank
+    /// whose thread already exited are buffered instead of panicking.
+    /// Empty under [`World::run`], preserving its fail-fast "destination
+    /// rank has terminated" semantics for protocol bugs.
+    _keepalive: Vec<Receiver<Envelope>>,
+}
+
+impl Fabric {
+    fn new(
+        senders: Vec<Sender<Envelope>>,
+        plan: FaultPlan,
+        keepalive: Vec<Receiver<Envelope>>,
+    ) -> Self {
+        let n = senders.len();
+        Fabric {
+            alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            faulty: !plan.is_empty(),
+            ordinals: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            senders,
+            plan,
+            _keepalive: keepalive,
+        }
+    }
+
+    /// Claims the next send ordinal on the `(src, dst)` world-rank pair.
+    pub fn next_ordinal(&self, src: usize, dst: usize) -> u64 {
+        self.ordinals[src * self.senders.len() + dst].fetch_add(1, Ordering::Relaxed)
+    }
 }
 
 /// A world of N ranks running on threads.
@@ -37,6 +88,31 @@ impl World {
         T: Send,
         F: Fn(&Communicator) -> T + Send + Sync,
     {
+        Self::run_inner(size, FaultPlan::new(), f)
+    }
+
+    /// Like [`World::run`], but with a deterministic [`FaultPlan`] active
+    /// on the fabric. Two behavioral differences from the clean world:
+    ///
+    /// * every inbox is held open for the whole run, so a send to a rank
+    ///   that already died or finished is buffered (and dropped if the
+    ///   destination is marked dead) instead of panicking;
+    /// * ranks the plan kills must poll `Communicator::fail_point` and
+    ///   return early when it fires — their peers then see
+    ///   `RecvError::PeerFailed` from receives and collectives.
+    pub fn run_with_faults<T, F>(size: usize, plan: FaultPlan, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Send + Sync,
+    {
+        Self::run_inner(size, plan, f)
+    }
+
+    fn run_inner<T, F>(size: usize, plan: FaultPlan, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Send + Sync,
+    {
         assert!(size > 0, "world size must be positive");
         let mut senders = Vec::with_capacity(size);
         let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(size);
@@ -45,7 +121,12 @@ impl World {
             senders.push(tx);
             receivers.push(rx);
         }
-        let fabric = Arc::new(Fabric { senders });
+        let keepalive = if plan.is_empty() {
+            Vec::new()
+        } else {
+            receivers.clone()
+        };
+        let fabric = Arc::new(Fabric::new(senders, plan, keepalive));
         let f = &f;
 
         let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
@@ -70,6 +151,8 @@ impl World {
         });
         results
             .into_iter()
+            // invariant: every spawned rank either stored a result or its
+            // join panic already propagated above.
             .map(|r| r.expect("rank produced no result"))
             .collect()
     }
@@ -102,6 +185,31 @@ mod tests {
             if comm.rank() == 1 {
                 panic!("boom");
             }
+        });
+    }
+
+    #[test]
+    fn faulty_world_without_triggers_behaves_normally() {
+        // A plan whose faults never fire must not perturb results.
+        let plan = FaultPlan::new().drop_nth(0, 1, 999_999);
+        let out = World::run_with_faults(4, plan, |comm| {
+            comm.allreduce_sum_f64(&[comm.rank() as f64])[0]
+        });
+        assert_eq!(out, vec![6.0; 4]);
+    }
+
+    #[test]
+    fn send_to_finished_rank_is_buffered_under_faults() {
+        // Rank 1 exits immediately; rank 0's late send must not panic
+        // because the keepalive receiver holds the channel open.
+        let plan = FaultPlan::new().kill_rank(1, 0);
+        World::run_with_faults(2, plan, |comm| {
+            if comm.rank() == 1 {
+                assert!(comm.fail_point(0));
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            comm.send(1, 9, bytes::Bytes::from_static(b"late"));
         });
     }
 }

@@ -178,6 +178,35 @@ impl MutexAllocator {
         }
     }
 
+    /// Re-creates the handle of a segment that is still accounted as in
+    /// use — crash recovery: the previous owner's handle died with its
+    /// thread, but the bytes were never released, so the journal's
+    /// `(offset, len)` record is enough to re-adopt them. Returns `None`
+    /// if the range is out of bounds or any of its bytes are currently on
+    /// the free list (a stale or corrupt journal record — adopting it
+    /// would alias a future allocation).
+    pub fn adopt(&self, offset: usize, len: usize) -> Option<Segment> {
+        let need = Self::rounded(len);
+        if !offset.is_multiple_of(ALIGN) || offset.checked_add(need)? > self.buffer.capacity() {
+            return None;
+        }
+        let state = self.state.lock();
+        // Same overlap scan as the release canary, but non-panicking: an
+        // adoptable range must be entirely absent from the free list.
+        let pos = state.ranges.partition_point(|r| r.offset < offset);
+        if pos > 0 {
+            let prev = state.ranges[pos - 1];
+            if prev.offset + prev.len > offset {
+                return None;
+            }
+        }
+        if pos < state.ranges.len() && offset + need > state.ranges[pos].offset {
+            return None;
+        }
+        drop(state);
+        Some(self.buffer.segment(offset, len))
+    }
+
     /// Largest single allocation that could currently succeed.
     pub fn largest_free(&self) -> usize {
         self.state
@@ -288,6 +317,39 @@ mod tests {
         let forged = a.buffer().segment(off2 - 8, 16);
         drop(s1);
         a.release(forged);
+    }
+
+    #[test]
+    fn adopt_recovers_live_segment() {
+        let a = MutexAllocator::with_capacity(256);
+        let mut s1 = a.allocate(64).unwrap();
+        s1.as_mut_slice().fill(0xAB);
+        let (off, len) = (s1.offset(), s1.len());
+        // The crash: the handle is lost without a release.
+        drop(s1);
+        assert_eq!(a.in_use(), 64);
+        let adopted = a.adopt(off, len).expect("range is live");
+        assert!(adopted.as_slice().iter().all(|&b| b == 0xAB));
+        a.release(adopted);
+        assert_eq!(a.in_use(), 0);
+    }
+
+    #[test]
+    fn adopt_rejects_free_or_bad_ranges() {
+        let a = MutexAllocator::with_capacity(256);
+        let s1 = a.allocate(64).unwrap();
+        let (off, len) = (s1.offset(), s1.len());
+        a.release(s1);
+        // Released range: adopting it would alias future allocations.
+        assert!(a.adopt(off, len).is_none());
+        // Out of bounds / misaligned.
+        assert!(a.adopt(512, 8).is_none());
+        assert!(a.adopt(3, 8).is_none());
+        // Range straddling live and free bytes.
+        let s2 = a.allocate(64).unwrap();
+        let off2 = s2.offset();
+        assert!(a.adopt(off2, 128).is_none());
+        a.release(s2);
     }
 
     #[test]

@@ -170,6 +170,30 @@ impl PartitionAllocator {
         Ok(self.buffer.segment(region.offset + start, len))
     }
 
+    /// Re-creates the handle of a segment that is still reserved in
+    /// `client`'s region — crash recovery: the consumer died holding the
+    /// handle, the ring counters survived (they live here, not in the
+    /// consumer), and the journal's `(offset, len)` record is enough to
+    /// re-adopt the bytes so they can later be released in FIFO order.
+    /// Returns `None` for an out-of-range client/offset or a length that
+    /// exceeds the bytes currently reserved (a stale or corrupt record).
+    pub fn adopt(&self, client: usize, offset: usize, len: usize) -> Option<Segment> {
+        let region = self.regions.get(client)?;
+        let pos = offset
+            .checked_sub(region.offset)
+            .filter(|&p| p < region.len)?;
+        // A real segment never straddles the region end (wrap padding
+        // guarantees it), so the whole range must fit from `pos`.
+        if pos.checked_add(len)? > region.len {
+            return None;
+        }
+        // Sanity: at least this many bytes must still be outstanding.
+        if rounded(len) > self.in_use(client) {
+            return None;
+        }
+        Some(self.buffer.segment(offset, len))
+    }
+
     /// Releases the **oldest** live segment of `client`.
     ///
     /// Must be called in allocation order (FIFO per client) and only by the
@@ -288,6 +312,38 @@ mod tests {
         a.release(0, s4);
         a.release(0, s5);
         assert_eq!(a.in_use(0), 0);
+    }
+
+    #[test]
+    fn adopt_recovers_reserved_segment() {
+        let a = PartitionAllocator::with_capacity(512, 2);
+        let mut s = a.allocate(1, 64).unwrap();
+        s.as_mut_slice().fill(0xCD);
+        let (off, len) = (s.offset(), s.len());
+        // The crash: the consumer's handle dies without a release; the
+        // region counters (head advanced, tail not) survive.
+        drop(s);
+        assert_eq!(a.in_use(1), 64);
+        let adopted = a.adopt(1, off, len).expect("range is reserved");
+        assert!(adopted.as_slice().iter().all(|&b| b == 0xCD));
+        a.release(1, adopted);
+        assert_eq!(a.in_use(1), 0);
+    }
+
+    #[test]
+    fn adopt_rejects_stale_or_bad_records() {
+        let a = PartitionAllocator::with_capacity(512, 2);
+        // Nothing outstanding: nothing to adopt.
+        assert!(a.adopt(0, 0, 64).is_none());
+        // Bad client / wrong region / overlong.
+        let s = a.allocate(0, 64).unwrap();
+        let (off, len) = (s.offset(), s.len());
+        assert!(a.adopt(2, off, len).is_none());
+        assert!(a.adopt(1, off + 256, 64).is_none());
+        assert!(a.adopt(0, off, 512).is_none());
+        a.release(0, s);
+        // Released: the reservation is gone.
+        assert!(a.adopt(0, off, len).is_none());
     }
 
     #[test]

@@ -43,12 +43,14 @@
 mod alloc_mutex;
 mod alloc_partition;
 mod buffer;
+mod heartbeat;
 mod queue;
 pub mod sync;
 
 pub use alloc_mutex::MutexAllocator;
 pub use alloc_partition::PartitionAllocator;
 pub use buffer::{Segment, SharedBuffer};
+pub use heartbeat::HeartbeatWord;
 pub use queue::{MpscQueue, PushError};
 
 use std::fmt;

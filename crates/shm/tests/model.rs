@@ -23,10 +23,10 @@
 
 #![cfg(feature = "check")]
 
-use damaris_check::sync::atomic::{AtomicUsize, Ordering};
+use damaris_check::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use damaris_check::{model, thread, Builder, FailureKind};
 use damaris_shm::sync::{Arc, ShmCell};
-use damaris_shm::{AllocError, MpscQueue, MutexAllocator, PartitionAllocator};
+use damaris_shm::{AllocError, HeartbeatWord, MpscQueue, MutexAllocator, PartitionAllocator};
 
 // ---------------------------------------------------------------------------
 // MPMC queue
@@ -321,6 +321,170 @@ fn mutex_allocator_cycle_is_race_free() {
         t.join();
         assert_eq!(alloc.in_use(), 0);
     });
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat (dedicated-core liveness word)
+// ---------------------------------------------------------------------------
+
+/// The crash-recovery publish pair: a respawned server rebuilds state
+/// (journal replay, re-adopted segments — modeled by one shared cell) and
+/// only then announces its epoch via `begin_epoch`'s Release store. A
+/// client whose Acquire `observe` sees the new epoch must see the rebuilt
+/// state in every explored schedule.
+#[test]
+fn heartbeat_epoch_publishes_rebuilt_state() {
+    model(|| {
+        let hb = Arc::new(HeartbeatWord::new());
+        let state = Arc::new(ShmCell::new(0usize));
+        let (h2, s2) = (Arc::clone(&hb), Arc::clone(&state));
+        let server = thread::spawn(move || {
+            // SAFETY: written before begin_epoch; its Release store
+            // publishes this to any client that observes epoch 1.
+            s2.with_mut(|p| unsafe { *p = 0xEB0C });
+            h2.begin_epoch(1);
+            h2.beat();
+        });
+        // Client side of `heartbeat_stale`/`await_heartbeat`: poll for the
+        // word to change, then resume against the server's state.
+        loop {
+            let (epoch, _) = hb.observe();
+            if epoch == 1 {
+                break;
+            }
+            thread::yield_now();
+        }
+        // SAFETY: ordered after the server's write via the Acquire observe
+        // of the epoch it Release-published.
+        assert_eq!(state.with(|p| unsafe { *p }), 0xEB0C);
+        server.join();
+    });
+}
+
+/// Seeded bug: the same scenario with the epoch publication weakened to a
+/// `Relaxed` store (a replica of `begin_epoch`, not the real one). The
+/// checker must report the data race on the rebuilt state.
+#[test]
+fn seeded_relaxed_epoch_store_is_a_data_race() {
+    let failure = Builder::new()
+        .check_result(|| {
+            let word = Arc::new(AtomicU64::new(0));
+            let state = Arc::new(ShmCell::new(0usize));
+            let (w2, s2) = (Arc::clone(&word), Arc::clone(&state));
+            let server = thread::spawn(move || {
+                // SAFETY: deliberately unsound replica — the Relaxed store
+                // below publishes nothing; the model must object.
+                s2.with_mut(|p| unsafe { *p = 0xEB0C });
+                w2.store(1 << 32, Ordering::Relaxed); // seeded bug: was Release
+            });
+            while word.load(Ordering::Acquire) >> 32 != 1 {
+                thread::yield_now();
+            }
+            // SAFETY: intentionally racy — no release pairs with the
+            // Acquire above.
+            let _ = state.with(|p| unsafe { *p });
+            server.join();
+        })
+        .expect_err("weakened epoch store must be reported");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+}
+
+// ---------------------------------------------------------------------------
+// Journal seqno handoff (claim arbitration, modeled at the shm level)
+// ---------------------------------------------------------------------------
+
+/// Replica of the event journal's exactly-once claim: a record's state
+/// word goes Pending(0) → Resident(1) by a single compare-exchange, and
+/// the *replay* path races the *queue pop* path for it. In every schedule
+/// exactly one side must win, and the winner must see the payload the
+/// appender wrote before publishing the seqno.
+#[test]
+fn journal_claim_is_exactly_once_under_race() {
+    model(|| {
+        let state = Arc::new(AtomicUsize::new(0)); // 0 Pending, 1 Resident
+        let published = Arc::new(AtomicUsize::new(0));
+        let payload = Arc::new(ShmCell::new(0usize));
+        let wins = Arc::new(AtomicUsize::new(0));
+
+        // Appender (client): record the payload, then hand the seq over.
+        let (p2, pub2) = (Arc::clone(&payload), Arc::clone(&published));
+        let appender = thread::spawn(move || {
+            // SAFETY: written before the Release publication below.
+            p2.with_mut(|p| unsafe { *p = 0x5E9_usize });
+            pub2.store(1, Ordering::Release);
+        });
+
+        // Two claimers: the respawned server's replay and the stale queue
+        // copy's pop. Exactly one CAS may succeed.
+        let mut claimers = Vec::new();
+        for _ in 0..2 {
+            let (st, pb, pl, w) = (
+                Arc::clone(&state),
+                Arc::clone(&published),
+                Arc::clone(&payload),
+                Arc::clone(&wins),
+            );
+            claimers.push(thread::spawn(move || {
+                while pb.load(Ordering::Acquire) == 0 {
+                    thread::yield_now();
+                }
+                if st
+                    .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // SAFETY: the Acquire load of `published` orders this
+                    // read after the appender's write.
+                    assert_eq!(pl.with(|p| unsafe { *p }), 0x5E9_usize);
+                    w.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        appender.join();
+        for c in claimers {
+            c.join();
+        }
+        assert_eq!(
+            wins.load(Ordering::Relaxed),
+            1,
+            "exactly one of replay/pop may process a journaled event"
+        );
+    });
+}
+
+/// Seeded bug: claim implemented as load-then-store instead of one RMW.
+/// The checker must find the schedule where both the replay and the pop
+/// observe Pending and both "win" — the double-processing the journal's
+/// compare-exchange exists to prevent.
+#[test]
+fn seeded_load_store_claim_double_processes() {
+    let failure = Builder::new()
+        .check_result(|| {
+            let state = Arc::new(AtomicUsize::new(0));
+            let wins = Arc::new(AtomicUsize::new(0));
+            let mut claimers = Vec::new();
+            for _ in 0..2 {
+                let (st, w) = (Arc::clone(&state), Arc::clone(&wins));
+                claimers.push(thread::spawn(move || {
+                    // seeded bug: check-then-act with a window in between.
+                    if st.load(Ordering::Acquire) == 0 {
+                        thread::yield_now();
+                        st.store(1, Ordering::Release);
+                        w.fetch_add(1, Ordering::Relaxed);
+                    }
+                }));
+            }
+            for c in claimers {
+                c.join();
+            }
+            assert_eq!(wins.load(Ordering::Relaxed), 1, "claim raced: double-processed");
+        })
+        .expect_err("load/store claim must double-process in some schedule");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("double-processed"),
+        "unexpected message: {}",
+        failure.message
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -180,6 +180,124 @@ pub fn run_simulation(
     }
 }
 
+/// A scripted rank failure for [`run_simulation_with_failure`]: `rank`
+/// dies at the start of iteration `at_iteration`; the survivors learn of
+/// it only when a synchronization times out `detection_timeout` seconds
+/// later (mirroring the typed `PeerFailed` surfaced by the threaded MPI
+/// substrate's receive timeouts).
+#[derive(Debug, Clone, Copy)]
+pub struct FailureSpec {
+    /// The rank that dies (only used for labeling; the model is symmetric).
+    pub rank: usize,
+    /// 1-based iteration at whose start the rank dies.
+    pub at_iteration: u32,
+    /// How long survivors block before the failure surfaces (s).
+    pub detection_timeout: f64,
+}
+
+/// [`RunReport`] plus the failure's measured impact.
+#[derive(Debug, Clone)]
+pub struct FailureRunReport {
+    pub run: RunReport,
+    /// The failed rank, echoed from the spec.
+    pub failed_rank: usize,
+    /// Wall time of the iteration in which the failure was detected.
+    pub failure_iteration_time: f64,
+    /// Median iteration time across the run (jitter baseline).
+    pub median_iteration_time: f64,
+    /// `failure_iteration_time / median_iteration_time` — how hard the
+    /// failure spiked the iteration cadence.
+    pub jitter_factor: f64,
+    /// Duration of the write phase disrupted by the failure, if the
+    /// strategy couples ranks at I/O time (collective I/O blocks the whole
+    /// phase on the dead rank; file-per-process does not).
+    pub disrupted_phase: Option<f64>,
+}
+
+/// [`run_simulation`] with one scripted rank failure.
+///
+/// The application synchronizes every iteration (halo exchanges), so every
+/// survivor stalls for `detection_timeout` at iteration `at_iteration` —
+/// the sim's analogue of a blocked `recv` returning `PeerFailed`. Under
+/// collective I/O the next write phase is *also* held up by the timeout
+/// (shared-file collectives cannot complete without every rank); under
+/// file-per-process the phase runs undisturbed. The run then continues
+/// with the survivors, as a restart-from-checkpoint harness would.
+pub fn run_simulation_with_failure(
+    platform: &PlatformSpec,
+    workload: &WorkloadSpec,
+    strategy: Strategy,
+    ncores: usize,
+    iterations: u32,
+    seed: u64,
+    failure: FailureSpec,
+) -> FailureRunReport {
+    let nodes = platform.nodes_for(ncores);
+    let mut rng = SimRng::new(seed, 0xC0FFEE);
+    let mut compute_time = 0.0;
+    let mut io_time = 0.0;
+    let mut phase_durations = Vec::new();
+    let mut iteration_times = Vec::new();
+    let mut failure_iteration_time = 0.0;
+    let mut disrupted_phase = None;
+    let mut failure_pending_for_io = false;
+
+    for iter in 1..=iterations {
+        let mut it = iteration_time(platform, &strategy, workload, nodes, &mut rng);
+        if iter == failure.at_iteration {
+            // Survivors block in the halo exchange until the timeout fires.
+            it += failure.detection_timeout;
+            failure_iteration_time = it;
+            failure_pending_for_io = true;
+        }
+        iteration_times.push(it);
+        compute_time += it;
+        if iter % workload.iterations_per_write == 0 {
+            let phase_seed = seed.wrapping_mul(31).wrapping_add(u64::from(iter));
+            let out = run_phase(platform, workload, &strategy, ncores, phase_seed);
+            let mut duration = out.phase_duration;
+            if failure_pending_for_io {
+                // Strategies that couple ranks at I/O time pay the timeout
+                // again inside the phase: a shared-file collective cannot
+                // complete without the dead rank's contribution.
+                if matches!(strategy, Strategy::CollectiveIo) {
+                    duration += failure.detection_timeout;
+                    disrupted_phase = Some(duration);
+                }
+                failure_pending_for_io = false;
+            }
+            phase_durations.push(duration);
+            io_time += duration;
+        }
+    }
+
+    let mut sorted = iteration_times.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("iteration times are finite"));
+    let median_iteration_time = sorted[sorted.len() / 2];
+    let phase_stats = Stats::from(&phase_durations);
+    let run = RunReport {
+        strategy: strategy.label().to_string(),
+        ncores,
+        total_time: compute_time + io_time,
+        compute_time,
+        io_time,
+        phase_mean: phase_stats.mean,
+        phase_max: phase_stats.max,
+        phase_min: phase_stats.min,
+        phase_durations,
+        spare_fraction: 0.0,
+        dedicated_write_mean: 0.0,
+    };
+    FailureRunReport {
+        run,
+        failed_rank: failure.rank,
+        failure_iteration_time,
+        median_iteration_time,
+        jitter_factor: failure_iteration_time / median_iteration_time.max(f64::MIN_POSITIVE),
+        disrupted_phase,
+    }
+}
+
 /// Baseline `C_N`: compute-only time for `iterations` iterations on the
 /// standard decomposition, used by the scalability factor (§IV-C2).
 pub fn baseline_compute_time(
@@ -258,6 +376,44 @@ mod tests {
         let a = baseline_compute_time(&p, &w, 576, 50, 9);
         let b = baseline_compute_time(&p, &w, 576, 50, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rank_failure_spikes_jitter_and_collective_phase() {
+        let p = platform::kraken();
+        let w = WorkloadSpec::cm1_kraken();
+        let spec = FailureSpec {
+            rank: 17,
+            at_iteration: 25,
+            detection_timeout: 5.0,
+        };
+        let fpp =
+            run_simulation_with_failure(&p, &w, Strategy::FilePerProcess, 576, 50, 3, spec);
+        let cio =
+            run_simulation_with_failure(&p, &w, Strategy::CollectiveIo, 576, 50, 3, spec);
+
+        // The detection stall dominates an ordinary iteration: the failure
+        // iteration is a visible jitter spike for every strategy.
+        for r in [&fpp, &cio] {
+            // The 5 s stall dominates (ordinary iterations have well under
+            // 1 s of spread around the median).
+            assert!(
+                r.failure_iteration_time > r.median_iteration_time + 4.0,
+                "failure iter {} vs median {}",
+                r.failure_iteration_time,
+                r.median_iteration_time
+            );
+            assert!(r.jitter_factor > 1.5, "jitter factor {}", r.jitter_factor);
+            assert_eq!(r.failed_rank, 17);
+        }
+        // Only the rank-coupled strategy loses the write phase too.
+        assert!(fpp.disrupted_phase.is_none());
+        let disrupted = cio.disrupted_phase.expect("collective phase disrupted");
+        assert!(disrupted >= 5.0);
+        // Same seed, same spec → byte-identical accounting (determinism).
+        let again =
+            run_simulation_with_failure(&p, &w, Strategy::CollectiveIo, 576, 50, 3, spec);
+        assert_eq!(again.run.total_time, cio.run.total_time);
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub mod resources;
 pub mod strategies;
 pub mod workload;
 
-pub use experiment::{run_io_phase, run_simulation, PhaseReport, RunReport};
+pub use experiment::{
+    run_io_phase, run_simulation, run_simulation_with_failure, FailureRunReport, FailureSpec,
+    PhaseReport, RunReport,
+};
 pub use metrics::Stats;
 pub use platform::PlatformSpec;
 pub use strategies::Strategy;

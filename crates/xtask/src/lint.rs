@@ -174,7 +174,11 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
     let in_shm_or_core =
         file.starts_with("crates/shm/src") || file.starts_with("crates/core/src");
     let is_facade = file == "crates/shm/src/sync.rs";
-    let in_core_src = file.starts_with("crates/core/src");
+    // The untagged-expect gate covers the crates whose panics take down
+    // supervised threads: core (the dedicated-core server) and mpi (the
+    // rank substrate, where an unwrap kills a "rank").
+    let in_core_src =
+        file.starts_with("crates/core/src") || file.starts_with("crates/mpi/src");
     let in_check = file.starts_with("crates/check/");
     let in_xtask = file.starts_with("crates/xtask/");
     // Integration tests, benches, and examples are test code wholesale.
@@ -244,8 +248,8 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
                 file: file.to_string(),
                 line: line_no,
                 rule: "untagged-expect",
-                message: "unwrap/expect in non-test core code without an \
-                          `// invariant:` justification in the comment \
+                message: "unwrap/expect in non-test core/mpi code without \
+                          an `// invariant:` justification in the comment \
                           block immediately above"
                     .to_string(),
             });
@@ -418,6 +422,21 @@ let v = unsafe { *p };
         assert_eq!(rules("crates/core/src/node.rs", src), ["untagged-expect"]);
         // Other crates are out of scope for this rule.
         assert!(rules("crates/fs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn untagged_expect_in_mpi_flagged() {
+        // The mpi substrate is rank-failure territory: an unwrap there
+        // kills a "rank", so it gets the same gate as core.
+        let src = "let v = maybe.unwrap();\n";
+        assert_eq!(rules("crates/mpi/src/comm.rs", src), ["untagged-expect"]);
+        let tagged = "\
+// invariant: the channel outlives every rank by construction.
+let v = maybe.unwrap();
+";
+        assert!(rules("crates/mpi/src/comm.rs", tagged).is_empty());
+        // mpi test files stay exempt like everyone else's.
+        assert!(rules("crates/mpi/tests/faults.rs", src).is_empty());
     }
 
     #[test]
