@@ -142,6 +142,31 @@ impl PhaseSummary {
     }
 }
 
+/// Per-phase write durations for one (strategy, scale) cell: the raw
+/// samples [`summarize_phases`] aggregates, exposed so figure binaries
+/// can also emit them as `PhaseSample` trace records. Same seeds, so the
+/// simulation reproduces the summary's numbers exactly.
+pub fn phase_durations(
+    platform: &PlatformSpec,
+    workload: &WorkloadSpec,
+    strategy: &Strategy,
+    ncores: usize,
+    seed: u64,
+) -> Vec<f64> {
+    (0..PHASES)
+        .map(|phase| {
+            experiment::run_io_phase(
+                platform,
+                workload,
+                strategy.clone(),
+                ncores,
+                seed.wrapping_add(phase * 7919),
+            )
+            .phase_duration
+        })
+        .collect()
+}
+
 /// The three compared strategies with paper-default options.
 pub fn standard_strategies() -> Vec<Strategy> {
     vec![

@@ -30,6 +30,7 @@ use crate::event::Event;
 use crate::journal::JournalPayload;
 use crate::node::{FaultStats, NodeShared};
 use crate::retry::Backoff;
+use damaris_obs::{EventKind, Recorder};
 use damaris_shm::sync::{Arc, AtomicU64, Ordering};
 use damaris_shm::{AllocError, Segment};
 use std::time::{Duration, Instant};
@@ -53,6 +54,9 @@ enum ReserveOutcome {
 pub struct DamarisClient {
     id: u32,
     shared: Arc<NodeShared>,
+    /// Trace recorder for this rank (clones share the rank's MPSC ring;
+    /// one branch per call when observability is disabled).
+    rec: Recorder,
     /// Anchor for the monotonic nanosecond readings below (immutable).
     hb_anchor: Instant,
     /// Last heartbeat word observed, packed `(epoch << 32) | beat`, and
@@ -68,6 +72,7 @@ impl Clone for DamarisClient {
         DamarisClient {
             id: self.id,
             shared: Arc::clone(&self.shared),
+            rec: self.rec.clone(),
             hb_anchor: self.hb_anchor,
             hb_word: AtomicU64::new(self.hb_word.load(Ordering::Relaxed)),
             hb_changed_ns: AtomicU64::new(self.hb_changed_ns.load(Ordering::Relaxed)),
@@ -83,9 +88,11 @@ fn pack_word((epoch, beat): (u32, u32)) -> u64 {
 impl DamarisClient {
     pub(crate) fn new(id: u32, shared: Arc<NodeShared>) -> Self {
         let hb_word = AtomicU64::new(pack_word(shared.heartbeat.observe()));
+        let rec = shared.obs.client_recorder(id);
         DamarisClient {
             id,
             shared,
+            rec,
             hb_anchor: Instant::now(),
             hb_word,
             hb_changed_ns: AtomicU64::new(0),
@@ -350,6 +357,37 @@ impl DamarisClient {
         )
     }
 
+    /// Shared tail of the copy-based write paths — memcpy into the
+    /// segment, journal append, queue notification — each under its trace
+    /// span. The spans chain: `t` is the previous span's end timestamp,
+    /// and the return value is the last span's end, so the whole tail
+    /// costs three clock reads instead of six.
+    fn copy_and_notify(
+        &self,
+        variable_id: u32,
+        iteration: u32,
+        mut segment: Segment,
+        dynamic_layout: Option<damaris_format::Layout>,
+        data: &[u8],
+        t: u64,
+    ) -> u64 {
+        segment.copy_from_slice(data);
+        let t = self
+            .rec
+            .end(EventKind::Memcpy, iteration, data.len() as u64, t);
+        let seq = self.journal_write(variable_id, iteration, &segment, dynamic_layout.as_ref());
+        let t = self.rec.end(EventKind::JournalAppend, iteration, 0, t);
+        self.shared.queue.push_wait(Event::Write {
+            variable_id,
+            iteration,
+            source: self.id,
+            segment,
+            dynamic_layout,
+            seq,
+        });
+        self.rec.end(EventKind::QueuePush, iteration, 0, t)
+    }
+
     /// `df_write`: copies `data` into shared memory and notifies the
     /// dedicated core. The byte length must match the variable's layout.
     ///
@@ -358,6 +396,11 @@ impl DamarisClient {
     /// writing it through to storage synchronously — see
     /// [`crate::config::BackpressurePolicy`].
     pub fn write(&self, variable: &str, iteration: u32, data: &[u8]) -> Result<(), DamarisError> {
+        // One timestamp opens both the WriteCall and AllocWait spans (the
+        // nanoscale name lookup rides inside AllocWait); the inner spans
+        // chain end-to-start from here, so a fully traced write costs six
+        // clock reads, not ten.
+        let t_call = self.rec.begin();
         let (variable_id, expected) = self.lookup(variable)?;
         if data.len() as u64 != expected {
             return Err(DamarisError::LayoutMismatch {
@@ -375,20 +418,22 @@ impl DamarisClient {
                 .expect("id just resolved");
             self.shared.config.layout_of(def).storage_layout()
         };
-        let mut segment = match self.reserve_or_divert(variable, iteration, &layout, data)? {
+        let segment = match self.reserve_or_divert(variable, iteration, &layout, data)? {
             Some(segment) => segment,
-            None => return Ok(()), // policy consumed the payload
+            None => {
+                // Policy consumed the payload (dropped or written through):
+                // the wait shows up as backpressure, not alloc time.
+                self.rec
+                    .end(EventKind::Backpressure, iteration, data.len() as u64, t_call);
+                return Ok(());
+            }
         };
-        segment.copy_from_slice(data);
-        let seq = self.journal_write(variable_id, iteration, &segment, None);
-        self.shared.queue.push_wait(Event::Write {
-            variable_id,
-            iteration,
-            source: self.id,
-            segment,
-            dynamic_layout: None,
-            seq,
-        });
+        let t = self
+            .rec
+            .end(EventKind::AllocWait, iteration, data.len() as u64, t_call);
+        let t_end = self.copy_and_notify(variable_id, iteration, segment, None, data, t);
+        self.rec
+            .span_at(EventKind::WriteCall, iteration, data.len() as u64, t_call, t_end);
         Ok(())
     }
 
@@ -416,20 +461,22 @@ impl DamarisClient {
                 actual: data.len() as u64,
             });
         }
-        let mut segment = match self.reserve_or_divert(variable, iteration, &layout, data)? {
+        let t_call = self.rec.begin();
+        let segment = match self.reserve_or_divert(variable, iteration, &layout, data)? {
             Some(segment) => segment,
-            None => return Ok(()), // policy consumed the payload
+            None => {
+                // Policy consumed the payload (dropped or written through).
+                self.rec
+                    .end(EventKind::Backpressure, iteration, data.len() as u64, t_call);
+                return Ok(());
+            }
         };
-        segment.copy_from_slice(data);
-        let seq = self.journal_write(variable_id, iteration, &segment, Some(&layout));
-        self.shared.queue.push_wait(Event::Write {
-            variable_id,
-            iteration,
-            source: self.id,
-            segment,
-            dynamic_layout: Some(layout),
-            seq,
-        });
+        let t = self
+            .rec
+            .end(EventKind::AllocWait, iteration, data.len() as u64, t_call);
+        let t_end = self.copy_and_notify(variable_id, iteration, segment, Some(layout), data, t);
+        self.rec
+            .span_at(EventKind::WriteCall, iteration, data.len() as u64, t_call, t_end);
         Ok(())
     }
 
@@ -473,7 +520,9 @@ impl DamarisClient {
     /// [`AllocatedRegion::as_mut_slice`], then [`AllocatedRegion::commit`].
     pub fn alloc(&self, variable: &str, iteration: u32) -> Result<AllocatedRegion, DamarisError> {
         let (variable_id, bytes) = self.lookup(variable)?;
+        let t_alloc = self.rec.begin();
         let segment = self.reserve(bytes as usize)?;
+        self.rec.end(EventKind::AllocWait, iteration, bytes, t_alloc);
         Ok(AllocatedRegion {
             client: self.clone(),
             variable_id,
@@ -566,9 +615,12 @@ impl AllocatedRegion {
     pub fn commit(mut self) {
         // invariant: `commit` consumes self, so the segment is present.
         let segment = self.segment.take().expect("commit called once");
+        let rec = &self.client.rec;
+        let t = rec.begin();
         let seq =
             self.client
                 .journal_write(self.variable_id, self.iteration, &segment, None);
+        let t = rec.end(EventKind::JournalAppend, self.iteration, 0, t);
         self.client.shared.queue.push_wait(Event::Write {
             variable_id: self.variable_id,
             iteration: self.iteration,
@@ -577,6 +629,7 @@ impl AllocatedRegion {
             dynamic_layout: None,
             seq,
         });
+        rec.end(EventKind::QueuePush, self.iteration, 0, t);
     }
 }
 

@@ -142,6 +142,39 @@ impl Default for ResilienceConfig {
     }
 }
 
+/// Observability settings, set by the `<observability>` element:
+///
+/// ```xml
+/// <observability enabled="true" ring_capacity="4096"
+///                trace_dir="out/traces"/>
+/// ```
+///
+/// Tracing is *always-on* by default (the obs overhead budget is <5%);
+/// `enabled="false"` reduces every instrumentation point to one branch.
+/// `trace_dir` makes the dedicated core flush the node's trace rings into
+/// `<trace_dir>/node-<id>.dtrc` between iterations; without it the rings
+/// still feed the metrics registry but nothing is persisted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservabilityConfig {
+    /// Record trace events at runtime.
+    pub enabled: bool,
+    /// Slots per trace ring (power of two, >= 4). The ring drops oldest
+    /// on overflow, so this bounds memory, not correctness.
+    pub ring_capacity: usize,
+    /// Directory for per-node DTRC trace files (created on demand).
+    pub trace_dir: Option<String>,
+}
+
+impl Default for ObservabilityConfig {
+    fn default() -> Self {
+        ObservabilityConfig {
+            enabled: true,
+            ring_capacity: 4096,
+            trace_dir: None,
+        }
+    }
+}
+
 /// Parsed configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -159,6 +192,8 @@ pub struct Config {
     pub actions: Vec<ActionBinding>,
     /// Failure-handling policies (see [`ResilienceConfig`]).
     pub resilience: ResilienceConfig,
+    /// Tracing/metrics settings (see [`ObservabilityConfig`]).
+    pub observability: ObservabilityConfig,
 }
 
 impl Config {
@@ -186,6 +221,7 @@ impl Config {
             variables: Vec::new(),
             actions: Vec::new(),
             resilience: ResilienceConfig::default(),
+            observability: ObservabilityConfig::default(),
         };
 
         // Elements may sit at the root or inside grouping elements.
@@ -344,6 +380,33 @@ impl Config {
                         }
                     }
                 }
+                "observability" => {
+                    let o = &mut config.observability;
+                    match e.attr("enabled") {
+                        None => {}
+                        Some("true") => o.enabled = true,
+                        Some("false") => o.enabled = false,
+                        Some(other) => {
+                            return Err(DamarisError::Config(format!(
+                                "observability enabled must be true or false, got '{other}'"
+                            )))
+                        }
+                    }
+                    if let Some(n) = e
+                        .attr_parse::<usize>("ring_capacity")
+                        .map_err(DamarisError::Config)?
+                    {
+                        if n < 4 || !n.is_power_of_two() {
+                            return Err(DamarisError::Config(format!(
+                                "ring_capacity must be a power of two >= 4, got {n}"
+                            )));
+                        }
+                        o.ring_capacity = n;
+                    }
+                    if let Some(dir) = e.attr("trace_dir") {
+                        o.trace_dir = Some(dir.to_string());
+                    }
+                }
                 // Grouping elements: descend (children keep their order
                 // relative to each other).
                 "data" | "actions" | "architecture" => {
@@ -471,6 +534,14 @@ impl Config {
             r.heartbeat_timeout.as_millis().to_string(),
         );
         root.children.push(damaris_xml::Node::Element(res));
+        let o = &self.observability;
+        let mut obs = Element::new("observability")
+            .with_attr("enabled", if o.enabled { "true" } else { "false" })
+            .with_attr("ring_capacity", o.ring_capacity.to_string());
+        if let Some(dir) = &o.trace_dir {
+            obs.set_attr("trace_dir", dir.clone());
+        }
+        root.children.push(damaris_xml::Node::Element(obs));
         let mut names: Vec<&String> = self.layouts.keys().collect();
         names.sort();
         for name in names {
@@ -752,6 +823,41 @@ mod tests {
         .unwrap();
         let c2 = Config::from_xml(&c.to_xml()).unwrap();
         assert_eq!(c2.resilience, c.resilience);
+    }
+
+    #[test]
+    fn observability_defaults_overrides_and_roundtrip() {
+        let c = Config::from_xml("<damaris/>").unwrap();
+        assert_eq!(c.observability, ObservabilityConfig::default());
+        assert!(c.observability.enabled);
+        assert_eq!(c.observability.ring_capacity, 4096);
+        assert!(c.observability.trace_dir.is_none());
+
+        let c = Config::from_xml(
+            r#"<damaris>
+                 <observability enabled="false" ring_capacity="64"
+                                trace_dir="out/traces"/>
+               </damaris>"#,
+        )
+        .unwrap();
+        assert!(!c.observability.enabled);
+        assert_eq!(c.observability.ring_capacity, 64);
+        assert_eq!(c.observability.trace_dir.as_deref(), Some("out/traces"));
+
+        let c2 = Config::from_xml(&c.to_xml()).unwrap();
+        assert_eq!(c2.observability, c.observability);
+    }
+
+    #[test]
+    fn observability_rejects_bad_values() {
+        for bad in [
+            r#"<damaris><observability enabled="sometimes"/></damaris>"#,
+            r#"<damaris><observability ring_capacity="3"/></damaris>"#,
+            r#"<damaris><observability ring_capacity="100"/></damaris>"#,
+            r#"<damaris><observability ring_capacity="many"/></damaris>"#,
+        ] {
+            assert!(Config::from_xml(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

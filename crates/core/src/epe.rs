@@ -24,6 +24,7 @@ use crate::error::DamarisError;
 use crate::node::FaultStats;
 use crate::plugin::{ActionContext, EventInfo, Plugin, PluginFactory};
 use crate::plugins;
+use damaris_obs::EventKind;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -97,10 +98,12 @@ impl EventProcessingEngine {
             if self.bindings[i].event != event.name || self.bindings[i].quarantined.is_some() {
                 continue;
             }
+            let t = ctx.rec.begin();
             let outcome = {
                 let b = &mut self.bindings[i];
                 catch_unwind(AssertUnwindSafe(|| b.plugin.handle(ctx, event)))
             };
+            ctx.rec.end(EventKind::PluginRun, event.iteration, 0, t);
             self.settle(i, outcome, ctx, threshold)?;
         }
         Ok(())

@@ -69,7 +69,8 @@ pub mod server;
 
 pub use client::{AllocatedRegion, DamarisClient};
 pub use config::{
-    ActionBinding, AllocatorKind, BackpressurePolicy, Config, ResilienceConfig, VariableDef,
+    ActionBinding, AllocatorKind, BackpressurePolicy, Config, ObservabilityConfig,
+    ResilienceConfig, VariableDef,
 };
 pub use error::DamarisError;
 pub use event::Event;

@@ -21,11 +21,13 @@ use crate::journal::{EventJournal, JournalPayload};
 use crate::plugin::PluginFactory;
 use crate::server;
 use damaris_fs::{LocalDirBackend, StorageBackend};
-use damaris_shm::sync::{Arc, AtomicU64, Ordering};
+use damaris_obs::{Counter, MetricsSnapshot, Recorder, Registry, TraceRing, FLAG_SERVER};
+use damaris_shm::sync::Arc;
 use damaris_shm::{
     AllocError, HeartbeatWord, MpscQueue, MutexAllocator, PartitionAllocator, Segment,
 };
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Either of the paper's two reservation schemes, behind one interface.
 pub(crate) enum BufferManager {
@@ -78,35 +80,116 @@ impl BufferManager {
 /// Failure/degradation counters shared across the node: clients bump the
 /// backpressure ones, the dedicated core bumps the persist/plugin ones, and
 /// the final [`NodeReport`] copies them out.
-#[derive(Debug, Default)]
+///
+/// The fields are named handles into the node's metrics [`Registry`] (one
+/// `node.*` counter each) rather than raw atomics, so the same totals are
+/// visible through [`NodeRuntime::metrics_snapshot`] — `NodeReport` stays
+/// the stable end-of-run snapshot view. A `Counter` bump is one Relaxed
+/// `fetch_add`: nothing is published under these counters, and `get` runs
+/// after the server-thread join orders every bump (same reasoning that
+/// previously justified Relaxed on the raw `AtomicU64`s).
+#[derive(Debug)]
 pub(crate) struct FaultStats {
-    pub persist_retries: AtomicU64,
-    pub iterations_degraded: AtomicU64,
-    pub writes_dropped: AtomicU64,
-    pub sync_fallback_writes: AtomicU64,
-    pub plugin_failures: AtomicU64,
-    pub plugins_quarantined: AtomicU64,
-    pub recovery_actions: AtomicU64,
-    pub epe_respawns: AtomicU64,
-    pub events_replayed: AtomicU64,
-    pub stale_events_rejected: AtomicU64,
-    pub heartbeat_stale_observed: AtomicU64,
+    pub persist_retries: Counter,
+    pub iterations_degraded: Counter,
+    pub writes_dropped: Counter,
+    pub sync_fallback_writes: Counter,
+    pub plugin_failures: Counter,
+    pub plugins_quarantined: Counter,
+    pub recovery_actions: Counter,
+    pub epe_respawns: Counter,
+    pub events_replayed: Counter,
+    pub stale_events_rejected: Counter,
+    pub heartbeat_stale_observed: Counter,
 }
 
 impl FaultStats {
-    pub(crate) fn bump(counter: &AtomicU64) {
-        // Relaxed: pure event counters on the hot client/server paths.
-        // Nothing is published under them — readers only need eventual
-        // totals, and `get` runs after the server thread is joined (a
-        // happens-before edge that already orders every bump). SeqCst
-        // here bought nothing but a fence per client write.
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn new(metrics: &Registry) -> FaultStats {
+        FaultStats {
+            persist_retries: metrics.counter("node.persist_retries"),
+            iterations_degraded: metrics.counter("node.iterations_degraded"),
+            writes_dropped: metrics.counter("node.writes_dropped"),
+            sync_fallback_writes: metrics.counter("node.sync_fallback_writes"),
+            plugin_failures: metrics.counter("node.plugin_failures"),
+            plugins_quarantined: metrics.counter("node.plugins_quarantined"),
+            recovery_actions: metrics.counter("node.recovery_actions"),
+            epe_respawns: metrics.counter("node.epe_respawns"),
+            events_replayed: metrics.counter("node.events_replayed"),
+            stale_events_rejected: metrics.counter("node.stale_events_rejected"),
+            heartbeat_stale_observed: metrics.counter("node.heartbeat_stale_observed"),
+        }
     }
 
-    pub(crate) fn get(counter: &AtomicU64) -> u64 {
-        // Relaxed: see `bump` — the server-thread join orders all bumps
-        // before the final report copies the counters out.
-        counter.load(Ordering::Relaxed)
+    pub(crate) fn bump(counter: &Counter) {
+        counter.inc();
+    }
+
+    pub(crate) fn get(counter: &Counter) -> u64 {
+        counter.get()
+    }
+}
+
+/// Per-node observability state: one trace ring per client rank plus one
+/// for the dedicated core, all timed against a single anchor so the
+/// merged trace is one timeline. Empty (every recorder disabled) when the
+/// configuration turns tracing off.
+pub(crate) struct NodeObs {
+    /// Per-client rings, indexed by client id.
+    pub client_rings: Vec<Arc<TraceRing>>,
+    /// The dedicated core's own ring.
+    pub server_ring: Option<Arc<TraceRing>>,
+    /// Shared monotonic epoch for every recorder of this node.
+    pub anchor: Instant,
+    /// Where the dedicated core flushes `node-<id>.dtrc`, if configured.
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl NodeObs {
+    fn new(cfg: &crate::config::ObservabilityConfig, n_clients: usize) -> NodeObs {
+        let anchor = Instant::now();
+        if !cfg.enabled {
+            return NodeObs {
+                client_rings: Vec::new(),
+                server_ring: None,
+                anchor,
+                trace_dir: None,
+            };
+        }
+        NodeObs {
+            client_rings: (0..n_clients)
+                .map(|_| TraceRing::new(cfg.ring_capacity))
+                .collect(),
+            server_ring: Some(TraceRing::new(cfg.ring_capacity)),
+            anchor,
+            trace_dir: cfg.trace_dir.as_ref().map(PathBuf::from),
+        }
+    }
+
+    /// Recorder for one client rank (disabled when tracing is off).
+    pub(crate) fn client_recorder(&self, id: u32) -> Recorder {
+        match self.client_rings.get(id as usize) {
+            Some(ring) => Recorder::new(Arc::clone(ring), self.anchor, id, 0),
+            None => Recorder::disabled(),
+        }
+    }
+
+    /// Recorder for the dedicated core.
+    pub(crate) fn server_recorder(&self) -> Recorder {
+        match &self.server_ring {
+            Some(ring) => Recorder::new(
+                Arc::clone(ring),
+                self.anchor,
+                crate::server::SERVER_SOURCE,
+                FLAG_SERVER,
+            ),
+            None => Recorder::disabled(),
+        }
+    }
+
+    /// Every ring of the node, for the dedicated core's between-iteration
+    /// flush (the single consumer of all of them).
+    pub(crate) fn rings(&self) -> impl Iterator<Item = &Arc<TraceRing>> {
+        self.client_rings.iter().chain(self.server_ring.iter())
     }
 }
 
@@ -121,6 +204,12 @@ pub(crate) struct NodeShared {
     /// fault injection ([`damaris_fs::FaultyBackend`]).
     pub backend: Arc<dyn StorageBackend>,
     pub stats: FaultStats,
+    /// Named-metric namespace the [`FaultStats`] counters live in (and
+    /// anything else — e.g. the per-phase histograms the server feeds
+    /// from flushed trace records).
+    pub metrics: Arc<Registry>,
+    /// Trace rings + recorder plumbing (see [`NodeObs`]).
+    pub obs: NodeObs,
     /// Write-ahead journal of every client notification; outlives server
     /// incarnations, driving replay after a crash.
     pub journal: EventJournal,
@@ -129,47 +218,71 @@ pub(crate) struct NodeShared {
 }
 
 /// Final accounting returned by [`NodeRuntime::finish`].
+///
+/// This is a *snapshot view*: every field is either copied from a named
+/// registry counter (its `metric:` tag names it — the same total is live
+/// under [`NodeRuntime::metrics_snapshot`]) or computed by the server
+/// loop / backend at shutdown (`metric: report-only`). New counters go in
+/// the registry, not here as bare fields — `xtask lint` enforces the tag.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NodeReport {
     /// Iterations whose data was persisted.
+    /// metric: report-only (server-loop accumulator)
     pub iterations_persisted: u64,
     /// Write notifications received.
+    /// metric: report-only (server-loop accumulator)
     pub variables_received: u64,
     /// Payload bytes moved through shared memory.
+    /// metric: report-only (server-loop accumulator)
     pub bytes_received: u64,
     /// User events dispatched.
+    /// metric: report-only (server-loop accumulator)
     pub user_events: u64,
     /// SDF files created by this node's backend.
+    /// metric: report-only (backend accounting)
     pub files_created: u64,
     /// Bytes written to storage (post-filter).
+    /// metric: report-only (backend accounting)
     pub bytes_stored: u64,
     /// Peak shared-memory bytes resident in the metadata store — how much
     /// of the buffer the node actually needed (buffer-sizing guidance).
+    /// metric: report-only (server-loop accumulator)
     pub peak_resident_bytes: u64,
     /// Persist attempts retried after a transient storage failure.
+    /// metric: node.persist_retries
     pub persist_retries: u64,
     /// Iterations whose data was dropped because persist exhausted its
     /// retry budget/deadline (the run continued — graceful degradation).
+    /// metric: node.iterations_degraded
     pub iterations_degraded: u64,
     /// Client writes dropped under the `drop` backpressure policy.
+    /// metric: node.writes_dropped
     pub writes_dropped: u64,
     /// Client writes that bypassed shared memory under the `sync-fallback`
     /// backpressure policy (written synchronously by the compute core).
+    /// metric: node.sync_fallback_writes
     pub sync_fallback_writes: u64,
     /// Plugin invocations that failed (error return or caught panic).
+    /// metric: node.plugin_failures
     pub plugin_failures: u64,
     /// Plugins disabled after `plugin_quarantine` consecutive failures.
+    /// metric: node.plugins_quarantined
     pub plugins_quarantined: u64,
     /// Startup recovery actions (orphan `*.tmp` deletions + torn-file
     /// quarantines) taken before serving.
+    /// metric: node.recovery_actions
     pub recovery_actions: u64,
     /// Dedicated-core crashes recovered by the supervisor.
+    /// metric: node.epe_respawns
     pub epe_respawns: u64,
     /// Journal records replayed by respawned server incarnations.
+    /// metric: node.events_replayed
     pub events_replayed: u64,
     /// Stale queue events rejected by claim arbitration after a replay.
+    /// metric: node.stale_events_rejected
     pub stale_events_rejected: u64,
     /// Times a client observed the heartbeat stale and degraded.
+    /// metric: node.heartbeat_stale_observed
     pub heartbeat_stale_observed: u64,
 }
 
@@ -235,7 +348,8 @@ impl NodeRuntime {
         // Built synchronously so configuration errors surface at start, not
         // from inside the supervisor.
         let epe = EventProcessingEngine::build(&config, &extra_plugins)?;
-        let stats = FaultStats::default();
+        let metrics = Arc::new(Registry::new());
+        let stats = FaultStats::new(&metrics);
         if config.resilience.recovery_scan {
             // Crash recovery before serving: anything a previous run (or a
             // previous fault) left half-written is removed or quarantined
@@ -250,13 +364,9 @@ impl NodeRuntime {
                     scan.quarantined.len()
                 );
             }
-            // Relaxed: single-threaded startup — the clients and the
-            // server thread don't exist yet; the spawn below is the
-            // publishing happens-before edge.
-            stats
-                .recovery_actions
-                .store(scan.actions(), Ordering::Relaxed);
+            stats.recovery_actions.add(scan.actions());
         }
+        let obs = NodeObs::new(&config.observability, n_clients);
         let shared = Arc::new(NodeShared {
             config,
             buffer,
@@ -265,6 +375,8 @@ impl NodeRuntime {
             node_id,
             backend,
             stats,
+            metrics,
+            obs,
             journal: EventJournal::new(),
             heartbeat: HeartbeatWord::new(),
         });
@@ -325,6 +437,13 @@ impl NodeRuntime {
     /// The current heartbeat epoch (0 until the first respawn).
     pub fn heartbeat_epoch(&self) -> u32 {
         self.shared.heartbeat.epoch()
+    }
+
+    /// Live snapshot of the node's metrics registry: every `node.*`
+    /// counter backing [`NodeReport`] plus the per-phase `phase.*_ns`
+    /// histograms the dedicated core feeds from flushed trace records.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
     }
 
     /// Times clients have observed the heartbeat stale so far — a live

@@ -15,6 +15,7 @@ use crate::journal::EventJournal;
 use crate::metadata::MetadataStore;
 use crate::node::{BufferManager, FaultStats};
 use damaris_fs::StorageBackend;
+use damaris_obs::Recorder;
 use damaris_shm::Segment;
 
 /// The event being dispatched, as plugins see it.
@@ -49,6 +50,9 @@ pub struct ActionContext<'a> {
     /// flushed by the server after the action completes, in FIFO order per
     /// source (required by the partitioned allocator).
     pub(crate) pending_release: &'a mut Vec<(u32, u64, Segment)>,
+    /// The dedicated core's trace recorder — plugins time their backend
+    /// phases (write / fsync / retry backoff) on the server's timeline.
+    pub(crate) rec: Recorder,
 }
 
 impl ActionContext<'_> {

@@ -22,6 +22,7 @@ use crate::error::DamarisError;
 use crate::node::FaultStats;
 use crate::plugin::{ActionContext, EventInfo, Plugin};
 use damaris_format::DatasetOptions;
+use damaris_obs::EventKind;
 
 /// Writes `/iter-N/rank-S/<variable>` datasets into `node-<id>/iter-N.sdf`.
 pub struct PersistPlugin {
@@ -55,6 +56,8 @@ impl PersistPlugin {
         drained: &[crate::metadata::StoredVariable],
     ) -> Result<u64, DamarisError> {
         let file_name = format!("node-{}/iter-{:06}.sdf", ctx.node_id, iteration);
+        let mut total_bytes = 0u64;
+        let t_write = ctx.rec.begin();
         let mut writer = ctx.backend.begin_sdf(&file_name)?;
         for var in drained {
             let path = format!("/iter-{}/rank-{}/{}", iteration, var.key.source, var.name);
@@ -71,8 +74,17 @@ impl PersistPlugin {
                 opts = opts.with_filter(filter.clone());
             }
             writer.write_dataset_bytes(&path, &var.layout, var.data(), &opts)?;
+            total_bytes += var.segment.len() as u64;
         }
-        Ok(ctx.backend.commit_sdf(writer)?)
+        ctx.rec
+            .end(EventKind::BackendWrite, iteration, total_bytes, t_write);
+        // The commit is where the fsync + atomic rename (and therefore the
+        // storage-side jitter) lives — timed as its own phase.
+        let t_sync = ctx.rec.begin();
+        let stored = ctx.backend.commit_sdf(writer)?;
+        ctx.rec
+            .end(EventKind::BackendFsync, iteration, stored, t_sync);
+        Ok(stored)
     }
 }
 
@@ -129,7 +141,9 @@ impl Plugin for PersistPlugin {
                     }
                     attempt += 1;
                     FaultStats::bump(&ctx.stats.persist_retries);
+                    let t_retry = ctx.rec.begin();
                     clock.sleep(delay);
+                    ctx.rec.end(EventKind::BackendRetry, iteration, 0, t_retry);
                 }
             }
         }

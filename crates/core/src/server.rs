@@ -28,7 +28,10 @@ use crate::journal::{Claim, JournalPayload, RecordState};
 use crate::metadata::{MetadataStore, StoredVariable, VariableKey};
 use crate::node::{FaultStats, NodeReport, NodeShared};
 use crate::plugin::{ActionContext, EventInfo};
-use std::collections::HashMap;
+use damaris_obs::{EventKind, Histogram, TraceRecord, TraceWriter};
+use damaris_shm::Segment;
+use std::collections::{BTreeMap, HashMap};
+use std::io::BufWriter;
 use std::sync::Arc;
 
 /// Marker source id for server-originated events.
@@ -46,11 +49,25 @@ pub(crate) fn run(
     let mut store = MetadataStore::new();
     let mut report = NodeReport::default();
     let mut pending_release = Vec::new();
+    // Segments displaced by a same-(iteration, variable, source) rewrite,
+    // held until that iteration fires. Releasing them on the spot is NOT
+    // safe: the partitioned allocator requires per-client FIFO release,
+    // and a client that ran ahead still has retained segments from
+    // *earlier* iterations that were allocated first. Deferring to the
+    // fire lets `flush_releases`'s (source, seq) sort restore allocation
+    // order. (Found by the obs-overhead gate: the out-of-order release
+    // corrupted a region's tail counter and wedged the client on `Full`.)
+    let mut held_rewrites: BTreeMap<u32, Vec<(u32, u64, Segment)>> = BTreeMap::new();
     // Journal seqnos of the end-notifications counted per iteration; the
     // length is the completion count, and the seqnos are marked applied
     // when the iteration fires.
     let mut end_counts: HashMap<u32, Vec<u64>> = HashMap::new();
     let backend = Arc::clone(&shared.backend);
+    let rec = shared.obs.server_recorder();
+    let mut obs_flush = ObsFlush::new(&shared, node_id, epoch);
+    // Iteration spans run fire-end to fire-end; the first one starts now.
+    let mut last_fire_end = rec.begin();
+    let mut last_fired: u32 = 0;
 
     macro_rules! ctx {
         () => {
@@ -63,6 +80,7 @@ pub(crate) fn run(
                 stats: &shared.stats,
                 journal: &shared.journal,
                 pending_release: &mut pending_release,
+                rec: rec.clone(),
             }
         };
     }
@@ -81,10 +99,35 @@ pub(crate) fn run(
                 iteration: $iteration,
                 source: SERVER_SOURCE,
             };
+            let t_epe = rec.begin();
             let mut ctx = ctx!();
+            // Rewritten duplicates of this iteration join the flush, where
+            // the (source, seq) sort merges them back into FIFO order with
+            // the segments the plugins drain.
+            for (source, seq, segment) in
+                held_rewrites.remove(&$iteration).unwrap_or_default()
+            {
+                ctx.release_segment(source, seq, segment);
+            }
             epe.fire(&mut ctx, &info)?;
             ctx.flush_releases();
+            rec.end(EventKind::EpeDispatch, $iteration, 0, t_epe);
+            // The iteration span covers everything since the previous fire
+            // completed (idle + dispatch), so per-phase sums can be checked
+            // against it for coverage.
+            let now = rec.begin();
+            rec.event(
+                EventKind::Iteration,
+                $iteration,
+                0,
+                now.saturating_sub(last_fire_end),
+            );
+            last_fire_end = now;
+            last_fired = $iteration;
             report.iterations_persisted += 1;
+            // Between-iteration drain: telemetry I/O rides the dedicated
+            // core, never the compute ranks.
+            obs_flush.drain(&shared, node_id);
         }};
     }
 
@@ -145,8 +188,10 @@ pub(crate) fn run(
                                 .peak_resident_bytes
                                 .max(store.bytes_resident() as u64 + var.segment.len() as u64);
                             if let Some(replaced) = store.insert(var) {
-                                shared.journal.mark_applied(replaced.seq);
-                                shared.buffer.release(source, replaced.segment);
+                                held_rewrites
+                                    .entry(iteration)
+                                    .or_default()
+                                    .push((source, replaced.seq, replaced.segment));
                             }
                         }
                         None => {
@@ -215,7 +260,10 @@ pub(crate) fn run(
     shared.heartbeat.begin_epoch(epoch);
 
     loop {
+        let t_idle = rec.begin();
         let event = shared.queue.pop_wait_with(|| shared.heartbeat.beat());
+        // Tagged with the iteration we are presumably waiting to complete.
+        rec.end(EventKind::QueueIdle, last_fired.wrapping_add(1), 0, t_idle);
         // Claim arbitration: an event whose journal record was already
         // processed (by a previous epoch's replay) is dropped. The segment
         // handle in a stale Write is inert — the replay's adopted handle
@@ -260,10 +308,14 @@ pub(crate) fn run(
                     .peak_resident_bytes
                     .max(store.bytes_resident() as u64 + var.segment.len() as u64);
                 if let Some(replaced) = store.insert(var) {
-                    // Duplicate tuple: the older segment is the oldest live
-                    // one for this client, safe to release immediately.
-                    shared.journal.mark_applied(replaced.seq);
-                    shared.buffer.release(source, replaced.segment);
+                    // Duplicate tuple: hold the displaced segment until the
+                    // iteration fires — an immediate release here can jump
+                    // ahead of still-retained older segments and break the
+                    // allocator's per-client FIFO contract.
+                    held_rewrites
+                        .entry(iteration)
+                        .or_default()
+                        .push((source, replaced.seq, replaced.segment));
                 }
             }
             Event::User {
@@ -281,9 +333,11 @@ pub(crate) fn run(
                     iteration,
                     source,
                 };
+                let t_epe = rec.begin();
                 let mut ctx = ctx!();
                 epe.fire(&mut ctx, &info)?;
                 ctx.flush_releases();
+                rec.end(EventKind::EpeDispatch, iteration, 0, t_epe);
             }
             Event::EndIteration {
                 iteration, seq, ..
@@ -312,14 +366,30 @@ pub(crate) fn run(
                 }
                 // Shutdown pass: stateful plugins flush their residuals.
                 let mut ctx = ctx!();
+                // Belt and braces: every held rewrite belongs to an
+                // iteration whose replacement was resident, so the
+                // flush-out above should have drained the map — but never
+                // leak a segment on the way out.
+                for (_, seqs) in std::mem::take(&mut held_rewrites) {
+                    for (source, seq, segment) in seqs {
+                        ctx.release_segment(source, seq, segment);
+                    }
+                }
                 epe.finalize_all(&mut ctx)?;
                 ctx.flush_releases();
+                // The loop exits here, so the trackers' final updates from
+                // the flush-out fires above are intentionally unread.
+                let _ = (last_fired, last_fire_end);
                 break;
             }
         }
         shared.heartbeat.beat();
     }
     shared.journal.compact();
+    // Final drain so records from the tail of the run (and the shutdown
+    // pass itself) reach the histograms and the trace file.
+    obs_flush.drain(&shared, node_id);
+    obs_flush.finish(node_id);
 
     report.files_created = backend.files_created();
     report.bytes_stored = backend.bytes_written();
@@ -336,4 +406,94 @@ pub(crate) fn run(
     report.stale_events_rejected = FaultStats::get(&stats.stale_events_rejected);
     report.heartbeat_stale_observed = FaultStats::get(&stats.heartbeat_stale_observed);
     Ok(report)
+}
+
+/// The dedicated core's between-iteration trace drain: the single
+/// consumer of every ring on the node. Flushed records always feed the
+/// per-phase `phase.<kind>_ns` histograms in the node registry; when a
+/// trace directory is configured they are additionally appended to a
+/// CRC-guarded `node-<id>.dtrc` file (one file per server incarnation, so
+/// a respawn never clobbers the predecessor's records).
+struct ObsFlush {
+    scratch: Vec<TraceRecord>,
+    /// Per-kind histograms, indexed by `EventKind as usize`.
+    hists: Vec<Histogram>,
+    writer: Option<TraceWriter<BufWriter<std::fs::File>>>,
+    /// Ring-drop total already forwarded to the writer.
+    dropped_seen: u64,
+}
+
+impl ObsFlush {
+    fn new(shared: &NodeShared, node_id: u32, epoch: u32) -> ObsFlush {
+        let hists = EventKind::ALL
+            .iter()
+            .map(|k| shared.metrics.histogram(&format!("phase.{}_ns", k.label())))
+            .collect();
+        let writer = shared.obs.trace_dir.as_ref().and_then(|dir| {
+            let name = if epoch == 0 {
+                format!("node-{node_id}.dtrc")
+            } else {
+                format!("node-{node_id}-e{epoch}.dtrc")
+            };
+            let path = dir.join(name);
+            let open = std::fs::create_dir_all(dir)
+                .map_err(damaris_format::SdfError::from)
+                .and_then(|()| {
+                    let file = std::fs::File::create(&path)?;
+                    TraceWriter::new(BufWriter::new(file))
+                });
+            match open {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    // Telemetry must never take down the data path: run on
+                    // without a trace file.
+                    eprintln!(
+                        "[damaris node {node_id}] trace file {} disabled: {e}",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        });
+        ObsFlush {
+            scratch: Vec::new(),
+            hists,
+            writer,
+            dropped_seen: 0,
+        }
+    }
+
+    fn drain(&mut self, shared: &NodeShared, node_id: u32) {
+        self.scratch.clear();
+        let mut dropped = 0;
+        for ring in shared.obs.rings() {
+            ring.flush_into(&mut self.scratch);
+            dropped += ring.dropped();
+        }
+        for r in &self.scratch {
+            if let Some(kind) = r.event_kind() {
+                self.hists[kind as usize].observe(r.dur_ns);
+            }
+        }
+        if let Some(w) = &mut self.writer {
+            if dropped > self.dropped_seen {
+                w.note_dropped(dropped - self.dropped_seen);
+            }
+            if !self.scratch.is_empty() {
+                if let Err(e) = w.write_block(&self.scratch) {
+                    eprintln!("[damaris node {node_id}] trace write failed, disabling: {e}");
+                    self.writer = None;
+                }
+            }
+        }
+        self.dropped_seen = dropped;
+    }
+
+    fn finish(&mut self, node_id: u32) {
+        if let Some(w) = self.writer.take() {
+            if let Err(e) = w.finish() {
+                eprintln!("[damaris node {node_id}] trace file close failed: {e}");
+            }
+        }
+    }
 }

@@ -600,3 +600,46 @@ fn external_tools_can_inject_events() {
     assert_eq!(row, vec![4.0, 4.0, 4.0]);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn rewrites_across_iterations_respect_fifo_release() {
+    // Regression: a same-(iteration, variable, source) rewrite used to
+    // release the displaced segment on the spot. With the partitioned
+    // allocator that is an out-of-order release whenever an *older*
+    // retained segment is still live — here, client 0 runs a full
+    // iteration ahead while client 1 has not ended the iteration yet —
+    // and the broken tail arithmetic wedged the region permanently
+    // "full". Displaced segments are now held until their iteration
+    // fires. (Found by the obs_overhead gate in crates/bench.)
+    let dir = scratch("fifo-rewrite");
+    let runtime = NodeRuntime::start(config("partition"), 2, &dir).unwrap();
+    let clients = runtime.clients();
+    let (fast, slow) = (&clients[0], &clients[1]);
+    let iterations = 8u32;
+    for it in 0..iterations {
+        // Rewrite: the second copy displaces the first server-side while
+        // the previous iteration's retained segment is still resident.
+        fast.write_f64("diag", it, &[0.0; 4]).unwrap();
+        fast.write_f64("diag", it, &[f64::from(it); 4]).unwrap();
+        fast.end_iteration(it).unwrap();
+    }
+    for it in 0..iterations {
+        slow.write_f64("diag", it, &[-f64::from(it); 4]).unwrap();
+        slow.end_iteration(it).unwrap();
+    }
+    let report = runtime.finish().unwrap();
+    assert_eq!(report.iterations_persisted, u64::from(iterations));
+    // The last copy of each rewrite is the one that persisted.
+    for it in 0..iterations {
+        let reader = SdfReader::open(dir.join(format!("node-0/iter-{it:06}.sdf"))).unwrap();
+        assert_eq!(
+            reader.read_f64(&format!("/iter-{it}/rank-0/diag")).unwrap(),
+            [f64::from(it); 4]
+        );
+        assert_eq!(
+            reader.read_f64(&format!("/iter-{it}/rank-1/diag")).unwrap(),
+            [-f64::from(it); 4]
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

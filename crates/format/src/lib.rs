@@ -56,10 +56,11 @@ mod checksum;
 mod header;
 mod reader;
 pub mod shared;
+pub mod trace;
 mod types;
 mod writer;
 
-pub use checksum::crc32;
+pub use checksum::{crc32, crc32_update};
 pub use header::{FOOTER_LEN, MAGIC, SUPERBLOCK_LEN, VERSION};
 pub use reader::{DatasetInfo, SdfReader};
 pub use types::{AttrValue, DataType, Layout};

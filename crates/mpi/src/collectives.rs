@@ -26,6 +26,10 @@ impl Communicator {
 
     /// Fallible [`Communicator::barrier`].
     pub fn try_barrier(&self) -> Result<(), RecvError> {
+        self.collective_span(Self::try_barrier_inner)
+    }
+
+    fn try_barrier_inner(&self) -> Result<(), RecvError> {
         let n = self.size();
         if n == 1 {
             return Ok(());
@@ -66,6 +70,10 @@ impl Communicator {
 
     /// Fallible [`Communicator::broadcast`].
     pub fn try_broadcast(&self, root: usize, data: Option<Bytes>) -> Result<Bytes, RecvError> {
+        self.collective_span(|c| c.try_broadcast_inner(root, data))
+    }
+
+    fn try_broadcast_inner(&self, root: usize, data: Option<Bytes>) -> Result<Bytes, RecvError> {
         assert!(root < self.size());
         let n = self.size();
         let tag = self.next_coll_tag();
@@ -112,6 +120,15 @@ impl Communicator {
 
     /// Fallible [`Communicator::reduce_f64`].
     pub fn try_reduce_f64(
+        &self,
+        root: usize,
+        data: &[f64],
+        op: impl Fn(f64, f64) -> f64,
+    ) -> Result<Option<Vec<f64>>, RecvError> {
+        self.collective_span(|c| c.try_reduce_f64_inner(root, data, op))
+    }
+
+    fn try_reduce_f64_inner(
         &self,
         root: usize,
         data: &[f64],
@@ -174,9 +191,11 @@ impl Communicator {
         data: &[f64],
         op: impl Fn(f64, f64) -> f64 + Copy,
     ) -> Result<Vec<f64>, RecvError> {
-        let reduced = self.try_reduce_f64(0, data, op)?;
-        let bytes = self.try_broadcast(0, reduced.map(|v| encode_f64s(&v)))?;
-        Ok(decode_f64s(&bytes))
+        self.collective_span(|c| {
+            let reduced = c.try_reduce_f64(0, data, op)?;
+            let bytes = c.try_broadcast(0, reduced.map(|v| encode_f64s(&v)))?;
+            Ok(decode_f64s(&bytes))
+        })
     }
 
     /// Gathers every rank's bytes at `root` (rank-indexed). Non-roots get
@@ -189,6 +208,14 @@ impl Communicator {
 
     /// Fallible [`Communicator::gather`].
     pub fn try_gather(&self, root: usize, data: Bytes) -> Result<Option<Vec<Bytes>>, RecvError> {
+        self.collective_span(|c| c.try_gather_inner(root, data))
+    }
+
+    fn try_gather_inner(
+        &self,
+        root: usize,
+        data: Bytes,
+    ) -> Result<Option<Vec<Bytes>>, RecvError> {
         assert!(root < self.size());
         let tag = self.next_coll_tag();
         if self.rank() == root {
@@ -222,6 +249,10 @@ impl Communicator {
 
     /// Fallible [`Communicator::allgather`].
     pub fn try_allgather(&self, data: Bytes) -> Result<Vec<Bytes>, RecvError> {
+        self.collective_span(|c| c.try_allgather_inner(data))
+    }
+
+    fn try_allgather_inner(&self, data: Bytes) -> Result<Vec<Bytes>, RecvError> {
         let gathered = self.try_gather(0, data)?;
         let packed = if self.rank() == 0 {
             // invariant: rank 0 is the gather root and always gets Some.
@@ -263,6 +294,10 @@ impl Communicator {
 
     /// Fallible [`Communicator::alltoallv`].
     pub fn try_alltoallv(&self, chunks: Vec<Bytes>) -> Result<Vec<Bytes>, RecvError> {
+        self.collective_span(|c| c.try_alltoallv_inner(chunks))
+    }
+
+    fn try_alltoallv_inner(&self, chunks: Vec<Bytes>) -> Result<Vec<Bytes>, RecvError> {
         assert_eq!(chunks.len(), self.size(), "need one chunk per rank");
         let n = self.size();
         let tag = self.next_coll_tag();

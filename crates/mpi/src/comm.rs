@@ -5,6 +5,7 @@ use crate::fault::MsgFault;
 use crate::transport::{Envelope, Fabric};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
+use damaris_obs::{EventKind, Recorder};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
@@ -80,6 +81,13 @@ pub struct Communicator {
     /// Deadlock-detection window for blocking receives; inherited by
     /// [`Communicator::split`] children.
     recv_timeout: Cell<Duration>,
+    /// Trace recorder for p2p/collective latencies (disabled by default;
+    /// see [`Communicator::set_recorder`]). Inherited by split children.
+    rec: RefCell<Recorder>,
+    /// True while inside a collective, so composite collectives record one
+    /// outermost [`EventKind::MpiCollective`] span and their internal
+    /// sends/receives are not double-counted as p2p traffic.
+    in_collective: Cell<bool>,
 }
 
 impl Communicator {
@@ -99,7 +107,32 @@ impl Communicator {
             coll_seq: Cell::new(0),
             split_seq: Cell::new(0),
             recv_timeout: Cell::new(RECV_TIMEOUT),
+            rec: RefCell::new(Recorder::disabled()),
+            in_collective: Cell::new(false),
         }
+    }
+
+    /// Attaches a trace recorder: subsequent sends/receives record
+    /// [`EventKind::MpiP2p`] latencies and collectives record
+    /// [`EventKind::MpiCollective`]. Children of later
+    /// [`Communicator::split`] calls inherit it.
+    pub fn set_recorder(&self, rec: Recorder) {
+        *self.rec.borrow_mut() = rec;
+    }
+
+    /// Runs `f` under one [`EventKind::MpiCollective`] span. Reentrant
+    /// calls (composite collectives such as allreduce = reduce +
+    /// broadcast) record only the outermost span.
+    pub(crate) fn collective_span<T>(&self, f: impl FnOnce(&Self) -> T) -> T {
+        if self.in_collective.get() {
+            return f(self);
+        }
+        self.in_collective.set(true);
+        let t = self.rec.borrow().begin();
+        let out = f(self);
+        self.rec.borrow().end(EventKind::MpiCollective, 0, 0, t);
+        self.in_collective.set(false);
+        out
     }
 
     /// This rank's id within the communicator.
@@ -148,6 +181,9 @@ impl Communicator {
     pub fn send(&self, dest: usize, tag: u32, data: Bytes) {
         assert!(dest < self.size(), "dest {dest} out of range");
         assert!(tag != ANY_TAG, "ANY_TAG is reserved for receives");
+        let p2p = !self.in_collective.get();
+        let bytes = data.len() as u64;
+        let t = if p2p { self.rec.borrow().begin() } else { 0 };
         let world_dest = self.group[dest];
         let env = Envelope {
             context: self.context,
@@ -166,6 +202,9 @@ impl Communicator {
             }
         }
         self.deliver(world_dest, env);
+        if p2p {
+            self.rec.borrow().end(EventKind::MpiP2p, 0, bytes, t);
+        }
     }
 
     fn deliver(&self, world_dest: usize, env: Envelope) {
@@ -227,6 +266,17 @@ impl Communicator {
     /// so collectives stalled by a killed rank surface the failure instead
     /// of a generic deadlock report.
     pub fn recv(&self, source: usize, tag: u32) -> Result<Message, RecvError> {
+        let p2p = !self.in_collective.get();
+        let t = if p2p { self.rec.borrow().begin() } else { 0 };
+        let out = self.recv_inner(source, tag);
+        if p2p {
+            let bytes = out.as_ref().map_or(0, |m| m.data.len() as u64);
+            self.rec.borrow().end(EventKind::MpiP2p, 0, bytes, t);
+        }
+        out
+    }
+
+    fn recv_inner(&self, source: usize, tag: u32) -> Result<Message, RecvError> {
         // First scan the pending buffer.
         if let Some(msg) = self.take_pending(source, tag) {
             return Ok(msg);
@@ -306,18 +356,21 @@ impl Communicator {
         ];
         // Simple allgather: everyone sends to everyone (sizes here are the
         // node count at most; fine for a split).
-        let payload = crate::datatypes::encode_u64s(&my_entry);
-        for dest in 0..self.size() {
-            if dest != self.rank {
-                self.send(dest, tag, payload.clone());
+        let entries = self.collective_span(|c| {
+            let payload = crate::datatypes::encode_u64s(&my_entry);
+            for dest in 0..c.size() {
+                if dest != c.rank {
+                    c.send(dest, tag, payload.clone());
+                }
             }
-        }
-        let mut entries: Vec<[u64; 3]> = vec![my_entry];
-        for _ in 0..self.size() - 1 {
-            let msg = self.recv_expect(ANY_SOURCE, tag);
-            let v = msg.as_u64s();
-            entries.push([v[0], v[1], v[2]]);
-        }
+            let mut entries: Vec<[u64; 3]> = vec![my_entry];
+            for _ in 0..c.size() - 1 {
+                let msg = c.recv_expect(ANY_SOURCE, tag);
+                let v = msg.as_u64s();
+                entries.push([v[0], v[1], v[2]]);
+            }
+            entries
+        });
 
         let my_color = color?;
         let mut members: Vec<[u64; 3]> = entries
@@ -351,6 +404,8 @@ impl Communicator {
             coll_seq: Cell::new(0),
             split_seq: Cell::new(0),
             recv_timeout: Cell::new(self.recv_timeout.get()),
+            rec: RefCell::new(self.rec.borrow().clone()),
+            in_collective: Cell::new(false),
         })
     }
 }
@@ -554,6 +609,41 @@ mod tests {
                 assert_eq!(&b.data[..], b"twin");
             }
         });
+    }
+
+    #[test]
+    fn recorder_captures_p2p_and_collective_latencies() {
+        use damaris_obs::{EventKind, Recorder, TraceRing};
+        let rings: Vec<_> = (0..2).map(|_| TraceRing::new(256)).collect();
+        let anchor = Instant::now();
+        World::run(2, |comm| {
+            let rank = comm.rank();
+            comm.set_recorder(Recorder::new(rings[rank].clone(), anchor, rank as u32, 0));
+            if rank == 0 {
+                comm.send(1, 9, Bytes::from_static(b"ping"));
+            } else {
+                assert_eq!(&comm.recv_expect(0, 9).data[..], b"ping");
+            }
+            comm.barrier();
+            comm.allreduce_sum_f64(&[1.0]);
+        });
+        for (rank, ring) in rings.iter().enumerate() {
+            let mut out = Vec::new();
+            ring.flush_into(&mut out);
+            let p2p = out
+                .iter()
+                .filter(|r| r.kind == EventKind::MpiP2p as u16)
+                .count();
+            let coll = out
+                .iter()
+                .filter(|r| r.kind == EventKind::MpiCollective as u16)
+                .count();
+            assert_eq!(p2p, 1, "rank {rank}: one direct send or recv span");
+            // barrier + allreduce: two *outermost* collective spans — the
+            // reduce/broadcast inside allreduce must not add more.
+            assert_eq!(coll, 2, "rank {rank}: outermost collectives only");
+            assert!(out.iter().all(|r| r.rank == rank as u32));
+        }
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! `trace-analyze`: merge DTRC trace files into one timeline and print
+//! per-phase histograms plus the jitter-attribution report.
+//!
+//! ```text
+//! trace_analyze <trace.dtrc | trace-dir> [more paths ...]
+//! ```
+//!
+//! Directory arguments expand to every `*.dtrc` inside. Exit code 2 on
+//! usage errors, 1 on unreadable input.
+
+use damaris_obs::{analyze, load_traces};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: trace_analyze <trace.dtrc | trace-dir> [more paths ...]");
+        std::process::exit(2);
+    }
+    let merged = match load_traces(&args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("trace_analyze: {e}");
+            std::process::exit(1);
+        }
+    };
+    if merged.files == 0 {
+        eprintln!("trace_analyze: no .dtrc files found in the given paths");
+        std::process::exit(1);
+    }
+    for w in &merged.warnings {
+        eprintln!("warning: {w}");
+    }
+    let report = analyze(&merged.records, merged.dropped);
+    println!(
+        "merged {} file(s), {} records",
+        merged.files,
+        merged.records.len()
+    );
+    print!("{}", report.render());
+}

@@ -1,0 +1,45 @@
+//! # damaris-obs — observability for the Damaris I/O path
+//!
+//! Always-on, low-overhead tracing plus a metrics registry and a
+//! jitter-attribution analyzer. The paper claims *jitter-free* I/O; this
+//! crate is how the repo proves it with phase-level evidence instead of
+//! end-to-end timings alone.
+//!
+//! Four pieces:
+//!
+//! * [`TraceRing`] — a lock-free, drop-oldest flight recorder the
+//!   instrumented hot paths append 40-byte [`TraceRecord`]s to. All
+//!   synchronization goes through the `damaris_shm::sync` facade, so the
+//!   `check` feature runs the full protocol under the model checker.
+//! * [`Recorder`] — the cheap handle held by clients, the dedicated
+//!   core, plugins and the MPI layer; spans via `begin()`/`end()`.
+//!   Disabled at runtime (config) it is one branch; with the `noop`
+//!   feature it compiles away entirely.
+//! * [`Registry`] — named [`Counter`]s and log-bucketed [`Histogram`]s;
+//!   `NodeReport` in `damaris-core` is now a snapshot view over it.
+//! * [`analyze`] — merges per-rank DTRC trace files (format lives in
+//!   `damaris_format::trace`) and attributes iteration-duration variance
+//!   to phases. The `trace_analyze` binary is its CLI.
+//!
+//! The dedicated core flushes rings into the DTRC file **between**
+//! iterations, so tracing rides the same compute/I-O overlap the paper
+//! builds everything on — the compute cores never pay for persistence of
+//! their own telemetry.
+
+pub mod analyze;
+pub mod metrics;
+pub mod recorder;
+pub mod ring;
+
+pub use analyze::{
+    analyze, fmt_ns, load_traces, nearest_rank, summarize_phase_samples, Analysis, Attribution,
+    GroupSummary, MergedTrace, PhaseStats,
+};
+pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use recorder::Recorder;
+pub use ring::TraceRing;
+
+// Re-export the wire types so instrumented crates need only this crate.
+pub use damaris_format::trace::{
+    read_trace, read_trace_bytes, EventKind, TraceFile, TraceRecord, TraceWriter, FLAG_SERVER,
+};

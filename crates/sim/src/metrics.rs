@@ -9,7 +9,18 @@ pub struct Stats {
     pub min: f64,
     pub max: f64,
     pub stddev: f64,
+    pub p50: f64,
     pub p95: f64,
+    pub p99: f64,
+}
+
+/// Nearest-rank quantile of an ascending-sorted non-empty slice, with the
+/// rank `⌈q·n⌉` computed in integers (`num`/`den`, e.g. 95/100) — the
+/// float-rounded `(n·0.95).ceil()` form is one ulp away from selecting
+/// the wrong element at some sizes.
+fn nearest_rank(sorted: &[f64], num: usize, den: usize) -> f64 {
+    let rank = (sorted.len() * num).div_ceil(den).max(1);
+    sorted[rank - 1]
 }
 
 impl Stats {
@@ -22,7 +33,9 @@ impl Stats {
                 min: 0.0,
                 max: 0.0,
                 stddev: 0.0,
+                p50: 0.0,
                 p95: 0.0,
+                p99: 0.0,
             };
         }
         let n = samples.len() as f64;
@@ -30,14 +43,15 @@ impl Stats {
         let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
         let mut sorted = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
-        let p95_idx = ((sorted.len() as f64 * 0.95).ceil() as usize).min(sorted.len()) - 1;
         Stats {
             count: samples.len(),
             mean,
             min: sorted[0],
             max: *sorted.last().expect("non-empty"),
             stddev: var.sqrt(),
-            p95: sorted[p95_idx],
+            p50: nearest_rank(&sorted, 50, 100),
+            p95: nearest_rank(&sorted, 95, 100),
+            p99: nearest_rank(&sorted, 99, 100),
         }
     }
 
@@ -104,6 +118,24 @@ mod tests {
         let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         let s = Stats::from(&samples);
         assert_eq!(s.p95, 95.0);
+    }
+
+    #[test]
+    fn quantiles_pinned_nearest_rank() {
+        // Nearest-rank over 1..=n is ⌈q·n⌉ exactly — pin every boundary
+        // the float formulation used to get wrong at unlucky sizes.
+        for n in [1usize, 2, 3, 5, 19, 20, 21, 99, 100, 101, 1000] {
+            let samples: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+            let s = Stats::from(&samples);
+            assert_eq!(s.p50, (n * 50).div_ceil(100).max(1) as f64, "p50 of 1..={n}");
+            assert_eq!(s.p95, (n * 95).div_ceil(100).max(1) as f64, "p95 of 1..={n}");
+            assert_eq!(s.p99, (n * 99).div_ceil(100).max(1) as f64, "p99 of 1..={n}");
+        }
+        // Small sets: quantiles degrade to the extremes, never panic.
+        let s = Stats::from(&[3.0, 9.0]);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p95, 9.0);
+        assert_eq!(s.p99, 9.0);
     }
 
     #[test]

@@ -190,6 +190,10 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
     let mut depth: i64 = 0;
     let mut test_regions: Vec<i64> = Vec::new();
     let mut pending_test_attr = false;
+    // The `struct NodeReport { ... }` brace region: counter fields added
+    // there must carry a `metric:` tag naming their registry counter.
+    let mut pending_report_struct = false;
+    let mut report_region: Option<i64> = None;
     let raw_lines: Vec<String> = src.lines().map(str::to_string).collect();
 
     for (idx, raw) in raw_lines.iter().enumerate() {
@@ -204,6 +208,9 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
 
         if code.contains("cfg(test") || code.contains("cfg(all(test") {
             pending_test_attr = true;
+        }
+        if code.contains("struct NodeReport") {
+            pending_report_struct = true;
         }
         let in_test = test_file || !test_regions.is_empty();
         let tag = |needle: &str| tag_above(&raw_lines, idx, needle);
@@ -268,6 +275,27 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
             });
         }
 
+        if report_region.is_some()
+            && !in_test
+            && code.trim_start().starts_with("pub ")
+            && code.contains(": u64")
+            && !tag("metric:")
+        {
+            out.push(Violation {
+                file: file.to_string(),
+                line: line_no,
+                rule: "untagged-report-counter",
+                message: "counter field on `NodeReport` without a \
+                          `metric:` tag in the doc comment above — counters \
+                          live on the obs registry (`damaris_obs::Registry`); \
+                          NodeReport is a snapshot view. Tag the field with \
+                          the registry counter it snapshots (`metric: \
+                          node.<name>`) or `metric: report-only (...)` for \
+                          values with no live counter"
+                    .to_string(),
+            });
+        }
+
         // Update brace depth and test-region bookkeeping *after* linting
         // the line. A pending test attr binds to the first `{` opened.
         for ch in code.chars() {
@@ -277,12 +305,19 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
                         test_regions.push(depth);
                         pending_test_attr = false;
                     }
+                    if pending_report_struct {
+                        report_region = Some(depth);
+                        pending_report_struct = false;
+                    }
                     depth += 1;
                 }
                 '}' => {
                     depth -= 1;
                     if test_regions.last().is_some_and(|&d| d == depth) {
                         test_regions.pop();
+                    }
+                    if report_region == Some(depth) {
+                        report_region = None;
                     }
                 }
                 _ => {}
@@ -477,6 +512,58 @@ x.store(1, Ordering::SeqCst);
         assert!(rules("crates/check/src/sync.rs", bad).is_empty());
         // Test files are exempt.
         assert!(rules("crates/core/tests/runtime.rs", bad).is_empty());
+    }
+
+    // -- rule 5: untagged NodeReport counters -----------------------------
+
+    #[test]
+    fn untagged_report_counter_flagged_tag_passes() {
+        let bad = "\
+pub struct NodeReport {
+    pub iterations_persisted: u64,
+}
+";
+        let vs = lint_source("crates/core/src/node.rs", bad);
+        assert_eq!(vs.len(), 1);
+        assert_eq!((vs[0].rule, vs[0].line), ("untagged-report-counter", 2));
+        let good = "\
+pub struct NodeReport {
+    /// metric: node.iterations_persisted
+    pub iterations_persisted: u64,
+    /// metric: report-only (derived at shutdown)
+    pub bytes_stored: u64,
+}
+";
+        assert!(rules("crates/core/src/node.rs", good).is_empty());
+    }
+
+    #[test]
+    fn report_counter_rule_scoped_to_the_struct() {
+        // u64 fields on other structs are not this rule's business, and
+        // the region ends at the struct's closing brace.
+        let src = "\
+pub struct Other {
+    pub count: u64,
+}
+pub struct NodeReport {
+    /// metric: node.user_events
+    pub user_events: u64,
+}
+pub struct Later {
+    pub bytes: u64,
+}
+";
+        assert!(rules("crates/core/src/node.rs", src).is_empty());
+    }
+
+    #[test]
+    fn report_counter_non_u64_fields_exempt() {
+        let src = "\
+pub struct NodeReport {
+    pub label: String,
+}
+";
+        assert!(rules("crates/core/src/node.rs", src).is_empty());
     }
 
     // -- aggregate --------------------------------------------------------

@@ -28,6 +28,12 @@
 //!    enough. The memory-ordering audit (DESIGN.md) showed every SeqCst
 //!    in the hot paths was cargo-culted; new ones must argue their case.
 //!    (`crates/check` is exempt: it *implements* ordering semantics.)
+//! 5. **untagged-report-counter** — `pub ...: u64` fields inside the
+//!    `struct NodeReport` region require a `metric:` doc tag naming the
+//!    `damaris_obs::Registry` counter the field snapshots (or
+//!    `metric: report-only (...)` for shutdown-derived values). Keeps
+//!    NodeReport a *view* over the metrics registry rather than a second,
+//!    diverging set of ad-hoc counters.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
