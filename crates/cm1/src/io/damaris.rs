@@ -9,7 +9,7 @@
 
 use super::{IoBackend, IoError, WritePhase, WriteStats};
 use damaris_core::{Config, DamarisClient, NodeReport, NodeRuntime};
-use damaris_mpi::Communicator;
+use damaris_mpi::{ClientKillPhase, Communicator};
 use std::path::Path;
 use std::time::Instant;
 
@@ -24,14 +24,48 @@ impl DamarisBackend {
     pub fn new(client: DamarisClient) -> Self {
         DamarisBackend { client }
     }
+
+    /// Executes a scheduled client kill: leave shared memory exactly as a
+    /// rank dying at that point would (leaked reservation, torn segment,
+    /// or committed-but-unended iteration), then fail the write so the
+    /// rank stops driving the solver. From here on the rank is silent —
+    /// its lease expires and the node's dedicated core fences it.
+    fn die(&mut self, kill: ClientKillPhase, phase: &WritePhase) -> Result<WriteStats, IoError> {
+        match (kill, phase.variables.first()) {
+            (ClientKillPhase::Alloc, Some((var, _))) => {
+                self.client.die_during_alloc(var)?;
+            }
+            (ClientKillPhase::Memcpy, Some((var, data))) => {
+                let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+                self.client.die_during_write(var, phase.iteration, &bytes)?;
+            }
+            (ClientKillPhase::PostCommit, _) => {
+                // Every write lands whole — the rank dies between its last
+                // commit and `end_iteration`.
+                for (var, data) in &phase.variables {
+                    self.client.write_f32(var, phase.iteration, data)?;
+                }
+            }
+            _ => {}
+        }
+        Err(IoError(format!(
+            "rank {} killed at iteration {} ({kill:?} phase)",
+            phase.rank, phase.iteration
+        )))
+    }
 }
 
 impl IoBackend for DamarisBackend {
     fn write_phase(
         &mut self,
-        _comm: &Communicator,
+        comm: &Communicator,
         phase: &WritePhase,
     ) -> Result<WriteStats, IoError> {
+        // Chaos hook: a fault plan may schedule this rank to die inside
+        // this write phase (`FaultPlan::kill_client_at`).
+        if let Some(kill) = comm.client_fail_point(phase.iteration) {
+            return self.die(kill, phase);
+        }
         let t0 = Instant::now();
         for (var, data) in &phase.variables {
             // df_write: one memcpy into shared memory per variable.
@@ -78,6 +112,51 @@ impl DamarisDeployment {
         dir: impl AsRef<Path>,
         events_xml: &str,
     ) -> Result<Self, IoError> {
+        Self::start_full(
+            nprocs,
+            clients_per_node,
+            subdomain,
+            n_variables,
+            dir,
+            events_xml,
+            "",
+        )
+    }
+
+    /// [`DamarisDeployment::start`] with a `<resilience …/>` element in
+    /// every node's configuration — e.g.
+    /// `on_client_failure="partial" client_lease_timeout_ms="250"` turns
+    /// on the lease sweeper so a dead rank is fenced and its shared
+    /// memory reclaimed instead of stalling the node forever.
+    pub fn start_resilient(
+        nprocs: usize,
+        clients_per_node: usize,
+        subdomain: (usize, usize, usize),
+        n_variables: usize,
+        dir: impl AsRef<Path>,
+        resilience_xml: &str,
+    ) -> Result<Self, IoError> {
+        Self::start_full(
+            nprocs,
+            clients_per_node,
+            subdomain,
+            n_variables,
+            dir,
+            "",
+            resilience_xml,
+        )
+    }
+
+    /// The fully general constructor: event bindings and resilience policy.
+    pub fn start_full(
+        nprocs: usize,
+        clients_per_node: usize,
+        subdomain: (usize, usize, usize),
+        n_variables: usize,
+        dir: impl AsRef<Path>,
+        events_xml: &str,
+        resilience_xml: &str,
+    ) -> Result<Self, IoError> {
         if !nprocs.is_multiple_of(clients_per_node) {
             return Err(IoError(format!(
                 "{nprocs} ranks do not form whole nodes of {clients_per_node} clients"
@@ -88,8 +167,8 @@ impl DamarisDeployment {
         // Buffer sized for two in-flight iterations of all clients.
         let bytes_per_iter = nx * ny * nz * 4 * n_variables * clients_per_node;
         let buffer = (bytes_per_iter * 2 + (1 << 20)).next_power_of_two();
-        let xml = crate::variables::damaris_config_xml_with_events(
-            nx, ny, nz, n_variables, buffer, "partition", events_xml,
+        let xml = crate::variables::damaris_config_xml_full(
+            nx, ny, nz, n_variables, buffer, "partition", events_xml, resilience_xml,
         );
         let config = Config::from_xml(&xml)?;
 
@@ -126,6 +205,13 @@ impl DamarisDeployment {
     /// Clients per node.
     pub fn clients_per_node(&self) -> usize {
         self.clients_per_node
+    }
+
+    /// One node's runtime — tests poll its live metrics (e.g.
+    /// `node.client_leases_expired`) to observe the lease sweeper without
+    /// touching the dead rank's client handle.
+    pub fn node_runtime(&self, node: usize) -> &NodeRuntime {
+        &self.runtimes[node]
     }
 
     /// Broadcasts a user event to every node's dedicated core — the
@@ -245,6 +331,109 @@ mod tests {
         );
         std::fs::remove_dir_all(&dir_fpp).ok();
         std::fs::remove_dir_all(&dir_dam).ok();
+    }
+
+    /// The acceptance scenario for client-failure containment: a 4-client
+    /// node under `on_client_failure="partial"`, with the fault plan
+    /// killing rank 1 mid-`memcpy` at iteration 1. The dedicated core
+    /// fences the dead rank within its lease window, quarantines the torn
+    /// segment via the end-to-end CRC, persists the affected iterations
+    /// partially with a presence bitmap the recovery scan reads back,
+    /// reclaims every byte of shared memory, and the three survivors
+    /// complete the whole run without ever blocking on a full buffer.
+    /// The world runs under `run_with_faults` and the closure does no
+    /// collectives — a dead rank would break any barrier.
+    #[test]
+    fn rank_killed_mid_memcpy_is_contained() {
+        use damaris_fs::recover_dir;
+        use damaris_mpi::{ClientKillPhase, FaultPlan};
+        use std::time::{Duration, Instant};
+
+        let dir = scratch("kill");
+        let deployment = DamarisDeployment::start_resilient(
+            4,
+            4,
+            (8, 8, 4),
+            1,
+            &dir,
+            r#"<resilience on_client_failure="partial" client_lease_timeout_ms="250"/>"#,
+        )
+        .unwrap();
+        // Iteration- and rank-distinct payloads: a torn copy into a
+        // recycled slot must not reproduce the previous bytes.
+        let payload =
+            |it: u32, rank: usize| -> Vec<f32> {
+                (0..256).map(|i| (it * 10_000 + rank as u32 * 1000 + i) as f32).collect()
+            };
+
+        let plan = FaultPlan::new().kill_client_at(1, 1, ClientKillPhase::Memcpy);
+        let iterations = 4u32;
+        World::run_with_faults(4, plan, |comm| {
+            let rank = comm.rank();
+            let mut io = deployment.backend_for(rank);
+            for it in 0..iterations {
+                let phase = super::super::WritePhase {
+                    iteration: it,
+                    rank,
+                    nprocs: 4,
+                    extent: (8, 8, 4),
+                    variables: vec![("theta", payload(it, rank))],
+                };
+                match io.write_phase(comm, &phase) {
+                    Ok(_) => {}
+                    // The scheduled kill: this rank goes silent for good.
+                    Err(_) if rank == 1 && it == 1 => return,
+                    Err(e) => panic!("survivor rank {rank} failed at iteration {it}: {e}"),
+                }
+            }
+            // Survivors stay up (renewing, as live ranks do on every API
+            // call) until the sweeper has fenced the dead rank — exiting
+            // earlier would freeze their own leases too.
+            let me = &deployment.clients[rank];
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while deployment
+                .node_runtime(0)
+                .metrics_snapshot()
+                .counter("node.client_leases_expired")
+                == 0
+            {
+                me.renew_lease().unwrap();
+                assert!(Instant::now() < deadline, "sweeper never fenced rank 1");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        // Zero leaked bytes once the node drains: the torn segment and the
+        // dead rank's partition are all back in the allocator.
+        let probe = deployment.clients[0].clone();
+        let reports = deployment.finish().unwrap();
+        assert_eq!(probe.buffer_in_use(), 0, "shared memory leaked past the lease sweep");
+        let report = &reports[0];
+        assert_eq!(report.client_leases_expired, 1);
+        assert_eq!(report.crc_quarantined, 1, "torn memcpy must be quarantined");
+        assert_eq!(report.iterations_persisted, u64::from(iterations));
+        assert!(report.partial_iterations >= 3, "{report:?}");
+
+        // Iteration 0 is complete; iterations 1.. persisted partially
+        // without rank 1's data, stamped with presence bitmap 0b1101.
+        let it0 = SdfReader::open(dir.join("node-0/iter-000000.sdf")).unwrap();
+        assert_eq!(it0.read_f32("/iter-0/rank-1/theta").unwrap(), payload(0, 1));
+        let it1 = SdfReader::open(dir.join("node-0/iter-000001.sdf")).unwrap();
+        assert!(it1.read_f32("/iter-1/rank-1/theta").is_err());
+        assert_eq!(it1.read_f32("/iter-1/rank-2/theta").unwrap(), payload(1, 2));
+
+        let scan = recover_dir(&dir).unwrap();
+        assert!(scan.is_clean());
+        let partial: std::collections::BTreeMap<_, _> = scan.partial.into_iter().collect();
+        assert!(!partial.contains_key(std::path::Path::new("node-0/iter-000000.sdf")));
+        for it in 1..iterations {
+            assert_eq!(
+                partial.get(std::path::Path::new(&format!("node-0/iter-{it:06}.sdf"))),
+                Some(&0b1101),
+                "iteration {it}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

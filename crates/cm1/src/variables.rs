@@ -41,6 +41,24 @@ pub fn damaris_config_xml_with_events(
     allocator: &str,
     events_xml: &str,
 ) -> String {
+    damaris_config_xml_full(nx, ny, nz, count, buffer_size, allocator, events_xml, "")
+}
+
+/// The fully general generator: event bindings plus a `<resilience …/>`
+/// element (e.g. `on_client_failure="partial" client_lease_timeout_ms=…`)
+/// — how a deployment opts its dedicated cores into client-failure
+/// containment.
+#[allow(clippy::too_many_arguments)]
+pub fn damaris_config_xml_full(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    count: usize,
+    buffer_size: usize,
+    allocator: &str,
+    events_xml: &str,
+    resilience_xml: &str,
+) -> String {
     let mut xml = String::new();
     xml.push_str("<damaris>\n");
     xml.push_str(&format!(
@@ -68,6 +86,11 @@ pub fn damaris_config_xml_with_events(
         xml.push_str(events_xml.trim());
         xml.push('\n');
     }
+    if !resilience_xml.trim().is_empty() {
+        xml.push_str("  ");
+        xml.push_str(resilience_xml.trim());
+        xml.push('\n');
+    }
     xml.push_str("</damaris>\n");
     xml
 }
@@ -81,6 +104,29 @@ mod tests {
         assert_eq!(variable_names(3), &["theta", "u", "v"]);
         assert_eq!(variable_names(100).len(), 8);
         assert!(variable_names(0).is_empty());
+    }
+
+    #[test]
+    fn resilient_config_parses() {
+        let xml = damaris_config_xml_full(
+            8,
+            8,
+            4,
+            2,
+            1 << 20,
+            "partition",
+            "",
+            r#"<resilience on_client_failure="partial" client_lease_timeout_ms="250"/>"#,
+        );
+        let config = damaris_core::Config::from_xml(&xml).unwrap();
+        assert_eq!(
+            config.resilience.on_client_failure,
+            damaris_core::OnClientFailure::Partial
+        );
+        assert_eq!(
+            config.resilience.client_lease_timeout,
+            std::time::Duration::from_millis(250)
+        );
     }
 
     #[test]

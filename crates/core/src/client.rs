@@ -104,6 +104,28 @@ impl DamarisClient {
         self.id
     }
 
+    /// Renews this client's liveness lease. Every API entry point and
+    /// every backpressure wait renews automatically; call this directly
+    /// from compute phases that go a long time between Damaris calls, so a
+    /// busy rank is not mistaken for a dead one.
+    ///
+    /// Fails with [`DamarisError::ClientFenced`] once the dedicated core's
+    /// lease sweeper has revoked the lease — the rank was declared dead,
+    /// its resources were reclaimed, and it must stop using the node.
+    pub fn renew_lease(&self) -> Result<(), DamarisError> {
+        match self.shared.leases.lease(self.id as usize) {
+            Some(lease) if lease.renew() => Ok(()),
+            _ => Err(self.fenced_err()),
+        }
+    }
+
+    fn fenced_err(&self) -> DamarisError {
+        DamarisError::ClientFenced {
+            client: self.id,
+            node_id: self.shared.node_id,
+        }
+    }
+
     /// Bytes currently reserved in the node's shared buffer — a leak
     /// detector that stays usable after the runtime handle is consumed
     /// (zero at the end of a leak-free run, crashed-and-replayed or not).
@@ -165,6 +187,9 @@ impl DamarisClient {
         FaultStats::bump(&self.shared.stats.heartbeat_stale_observed);
         let word = self.shared.heartbeat.observe();
         loop {
+            // Keep the lease warm while parked: waiting out a respawn must
+            // not get this rank declared dead in its own right.
+            self.renew_lease()?;
             if self.shared.heartbeat.observe() != word {
                 self.reset_heartbeat_tracking();
                 return Ok(());
@@ -198,6 +223,10 @@ impl DamarisClient {
             match self.shared.buffer.allocate(self.id, len) {
                 Ok(seg) => return Ok(ReserveOutcome::Got(seg)),
                 Err(AllocError::Full) => {
+                    // A rank stuck behind backpressure is alive: renew so
+                    // the sweeper distinguishes "waiting" from "dead", and
+                    // stop waiting the moment we learn we were fenced.
+                    self.renew_lease()?;
                     if self.heartbeat_stale() {
                         return Ok(ReserveOutcome::Stale);
                     }
@@ -336,25 +365,34 @@ impl DamarisClient {
     }
 
     /// Journals a write-notification (before the queue push) and returns
-    /// its sequence number.
+    /// its sequence number. `data_crc` is the CRC-32 over the payload's
+    /// source bytes — the end-to-end checksum the persist plugin verifies
+    /// against the segment before anything reaches a backend. Fails with
+    /// [`DamarisError::ClientFenced`] once the sweeper has fenced this
+    /// client; the caller must abandon the segment without releasing it.
     fn journal_write(
         &self,
         variable_id: u32,
         iteration: u32,
         segment: &Segment,
         dynamic_layout: Option<&damaris_format::Layout>,
-    ) -> u64 {
-        self.shared.journal.append(
-            self.shared.heartbeat.epoch(),
-            JournalPayload::Write {
-                variable_id,
-                iteration,
-                source: self.id,
-                offset: segment.offset(),
-                len: segment.len(),
-                dynamic_layout: dynamic_layout.cloned(),
-            },
-        )
+        data_crc: u32,
+    ) -> Result<u64, DamarisError> {
+        self.shared
+            .journal
+            .append(
+                self.shared.heartbeat.epoch(),
+                JournalPayload::Write {
+                    variable_id,
+                    iteration,
+                    source: self.id,
+                    offset: segment.offset(),
+                    len: segment.len(),
+                    dynamic_layout: dynamic_layout.cloned(),
+                    data_crc,
+                },
+            )
+            .map_err(|_| self.fenced_err())
     }
 
     /// Shared tail of the copy-based write paths — memcpy into the
@@ -370,12 +408,31 @@ impl DamarisClient {
         dynamic_layout: Option<damaris_format::Layout>,
         data: &[u8],
         t: u64,
-    ) -> u64 {
+    ) -> Result<u64, DamarisError> {
+        // CRC the *source* bytes before the copy: if the copy tears (rank
+        // killed mid-`memcpy`), the journaled checksum still describes the
+        // intended payload, so the torn segment can never match it.
+        let data_crc = damaris_format::crc32(data);
         segment.copy_from_slice(data);
         let t = self
             .rec
             .end(EventKind::Memcpy, iteration, data.len() as u64, t);
-        let seq = self.journal_write(variable_id, iteration, &segment, dynamic_layout.as_ref());
+        let seq = match self.journal_write(
+            variable_id,
+            iteration,
+            &segment,
+            dynamic_layout.as_ref(),
+            data_crc,
+        ) {
+            Ok(seq) => seq,
+            Err(e) => {
+                // Fenced mid-write: this client may neither notify nor
+                // release. Dropping the handle leaves the bytes reserved;
+                // the sweeper's `revoke_remaining` reclaims them.
+                drop(segment);
+                return Err(e);
+            }
+        };
         let t = self.rec.end(EventKind::JournalAppend, iteration, 0, t);
         self.shared.queue.push_wait(Event::Write {
             variable_id,
@@ -384,8 +441,9 @@ impl DamarisClient {
             segment,
             dynamic_layout,
             seq,
+            data_crc,
         });
-        self.rec.end(EventKind::QueuePush, iteration, 0, t)
+        Ok(self.rec.end(EventKind::QueuePush, iteration, 0, t))
     }
 
     /// `df_write`: copies `data` into shared memory and notifies the
@@ -396,6 +454,7 @@ impl DamarisClient {
     /// writing it through to storage synchronously — see
     /// [`crate::config::BackpressurePolicy`].
     pub fn write(&self, variable: &str, iteration: u32, data: &[u8]) -> Result<(), DamarisError> {
+        self.renew_lease()?;
         // One timestamp opens both the WriteCall and AllocWait spans (the
         // nanoscale name lookup rides inside AllocWait); the inner spans
         // chain end-to-start from here, so a fully traced write costs six
@@ -431,7 +490,7 @@ impl DamarisClient {
         let t = self
             .rec
             .end(EventKind::AllocWait, iteration, data.len() as u64, t_call);
-        let t_end = self.copy_and_notify(variable_id, iteration, segment, None, data, t);
+        let t_end = self.copy_and_notify(variable_id, iteration, segment, None, data, t)?;
         self.rec
             .span_at(EventKind::WriteCall, iteration, data.len() as u64, t_call, t_end);
         Ok(())
@@ -447,6 +506,7 @@ impl DamarisClient {
         dims: &[u64],
         data: &[u8],
     ) -> Result<(), DamarisError> {
+        self.renew_lease()?;
         let (variable_id, layout_def) = self.lookup_def(variable)?;
         if !layout_def.dynamic {
             return Err(DamarisError::Config(format!(
@@ -474,7 +534,7 @@ impl DamarisClient {
         let t = self
             .rec
             .end(EventKind::AllocWait, iteration, data.len() as u64, t_call);
-        let t_end = self.copy_and_notify(variable_id, iteration, segment, Some(layout), data, t);
+        let t_end = self.copy_and_notify(variable_id, iteration, segment, Some(layout), data, t)?;
         self.rec
             .span_at(EventKind::WriteCall, iteration, data.len() as u64, t_call, t_end);
         Ok(())
@@ -519,6 +579,7 @@ impl DamarisClient {
     /// — the zero-copy path (§III-C). Write into
     /// [`AllocatedRegion::as_mut_slice`], then [`AllocatedRegion::commit`].
     pub fn alloc(&self, variable: &str, iteration: u32) -> Result<AllocatedRegion, DamarisError> {
+        self.renew_lease()?;
         let (variable_id, bytes) = self.lookup(variable)?;
         let t_alloc = self.rec.begin();
         let segment = self.reserve(bytes as usize)?;
@@ -534,17 +595,22 @@ impl DamarisClient {
     /// `df_signal`: sends a user-defined event; the dedicated core runs the
     /// actions bound to it in the configuration.
     pub fn signal(&self, event: &str, iteration: u32) -> Result<(), DamarisError> {
+        self.renew_lease()?;
         if self.shared.config.bindings_for(event).is_empty() {
             return Err(DamarisError::UnknownEvent(event.to_string()));
         }
-        let seq = self.shared.journal.append(
-            self.shared.heartbeat.epoch(),
-            JournalPayload::User {
-                name: event.to_string(),
-                iteration,
-                source: self.id,
-            },
-        );
+        let seq = self
+            .shared
+            .journal
+            .append(
+                self.shared.heartbeat.epoch(),
+                JournalPayload::User {
+                    name: event.to_string(),
+                    iteration,
+                    source: self.id,
+                },
+            )
+            .map_err(|_| self.fenced_err())?;
         self.shared.queue.push_wait(Event::User {
             name: event.to_string(),
             iteration,
@@ -558,17 +624,77 @@ impl DamarisClient {
     /// the node has done so, iteration-scoped actions (persistence by
     /// default) fire on the dedicated core.
     pub fn end_iteration(&self, iteration: u32) -> Result<(), DamarisError> {
-        let seq = self.shared.journal.append(
-            self.shared.heartbeat.epoch(),
-            JournalPayload::EndIteration {
-                iteration,
-                source: self.id,
-            },
-        );
+        self.renew_lease()?;
+        let seq = self
+            .shared
+            .journal
+            .append(
+                self.shared.heartbeat.epoch(),
+                JournalPayload::EndIteration {
+                    iteration,
+                    source: self.id,
+                },
+            )
+            .map_err(|_| self.fenced_err())?;
         self.shared.queue.push_wait(Event::EndIteration {
             iteration,
             source: self.id,
             seq,
+        });
+        Ok(())
+    }
+
+    /// Chaos hook: models this rank dying right after `dc_alloc` — the
+    /// reservation is abandoned *un-journaled*, exactly what a kill
+    /// between the reserve and the first journal append leaves behind. The
+    /// bytes stay reserved until the lease sweeper fences the rank and
+    /// reclaims its partition. Returns the number of bytes leaked, for
+    /// tests to assert against `segments_reclaimed`.
+    pub fn die_during_alloc(&self, variable: &str) -> Result<usize, DamarisError> {
+        let (_variable_id, bytes) = self.lookup(variable)?;
+        let segment = self.reserve(bytes as usize)?;
+        let leaked = segment.len();
+        // A dead process runs no cleanup: dropping the bare handle without
+        // releasing models that (Segment's drop is a no-op by design).
+        drop(segment);
+        Ok(leaked)
+    }
+
+    /// Chaos hook: models this rank dying mid-`memcpy` with the
+    /// write-notification already issued — the journal entry and queue
+    /// event carry the CRC-32 of the *intended* payload, but only the
+    /// first half of the bytes landed in shared memory. However the torn
+    /// window arises (killed DMA, unflushed stores, plain corruption),
+    /// the persist plugin's end-to-end CRC check must quarantine the
+    /// segment instead of writing it to storage.
+    pub fn die_during_write(
+        &self,
+        variable: &str,
+        iteration: u32,
+        data: &[u8],
+    ) -> Result<(), DamarisError> {
+        let (variable_id, expected) = self.lookup(variable)?;
+        if data.len() as u64 != expected {
+            return Err(DamarisError::LayoutMismatch {
+                variable: variable.to_string(),
+                expected,
+                actual: data.len() as u64,
+            });
+        }
+        let mut segment = self.reserve(data.len())?;
+        let data_crc = damaris_format::crc32(data);
+        // Only the first half of the payload lands before the "kill".
+        let torn = data.len() / 2;
+        segment.as_mut_slice()[..torn].copy_from_slice(&data[..torn]);
+        let seq = self.journal_write(variable_id, iteration, &segment, None, data_crc)?;
+        self.shared.queue.push_wait(Event::Write {
+            variable_id,
+            iteration,
+            source: self.id,
+            segment,
+            dynamic_layout: None,
+            seq,
+            data_crc,
         });
         Ok(())
     }
@@ -611,15 +737,35 @@ impl AllocatedRegion {
         }
     }
 
-    /// `dc_commit`: informs the dedicated core that the data is ready.
-    pub fn commit(mut self) {
+    /// `dc_commit`: stamps the region's end-to-end CRC-32 and informs the
+    /// dedicated core that the data is ready.
+    ///
+    /// Fails with [`DamarisError::ClientFenced`] if the lease sweeper
+    /// fenced this client while it was producing; the segment is then
+    /// abandoned for the sweeper to reclaim.
+    pub fn commit(mut self) -> Result<(), DamarisError> {
         // invariant: `commit` consumes self, so the segment is present.
         let segment = self.segment.take().expect("commit called once");
         let rec = &self.client.rec;
         let t = rec.begin();
-        let seq =
-            self.client
-                .journal_write(self.variable_id, self.iteration, &segment, None);
+        // The zero-copy path produced directly in shared memory, so the
+        // segment *is* the source: checksum what was actually committed.
+        let data_crc = damaris_format::crc32(segment.as_slice());
+        let seq = match self.client.journal_write(
+            self.variable_id,
+            self.iteration,
+            &segment,
+            None,
+            data_crc,
+        ) {
+            Ok(seq) => seq,
+            Err(e) => {
+                // Fenced: may neither notify nor release — the sweeper's
+                // `revoke_remaining` reclaims the bytes.
+                drop(segment);
+                return Err(e);
+            }
+        };
         let t = rec.end(EventKind::JournalAppend, self.iteration, 0, t);
         self.client.shared.queue.push_wait(Event::Write {
             variable_id: self.variable_id,
@@ -628,16 +774,44 @@ impl AllocatedRegion {
             segment,
             dynamic_layout: None,
             seq,
+            data_crc,
         });
         rec.end(EventKind::QueuePush, self.iteration, 0, t);
+        Ok(())
     }
 }
 
 impl Drop for AllocatedRegion {
     fn drop(&mut self) {
-        if let Some(segment) = self.segment.take() {
-            // Not committed: hand the reservation back.
-            self.client.shared.buffer.release(self.client.id, segment);
+        let Some(segment) = self.segment.take() else {
+            return;
+        };
+        // Not committed. The client must NOT release the segment itself:
+        // partition-mode reclamation is FIFO in allocation order and owned
+        // by the dedicated core, and an earlier write of this client may
+        // still be server-resident — releasing out of order from this
+        // thread would corrupt the ring. Journal the abandonment and ship
+        // the segment to the server, which releases it in sequence order
+        // at this iteration's flush.
+        let client = &self.client;
+        match client.shared.journal.append(
+            client.shared.heartbeat.epoch(),
+            JournalPayload::Abandon {
+                iteration: self.iteration,
+                source: client.id,
+                offset: segment.offset(),
+                len: segment.len(),
+            },
+        ) {
+            Ok(seq) => client.shared.queue.push_wait(Event::Abandon {
+                iteration: self.iteration,
+                source: client.id,
+                segment,
+                seq,
+            }),
+            // Fenced while holding the region: drop the handle and let the
+            // sweeper's `revoke_remaining` reclaim the bytes.
+            Err(_) => drop(segment),
         }
     }
 }

@@ -86,6 +86,27 @@ impl Default for BackpressurePolicy {
     }
 }
 
+/// What the dedicated core does with an iteration that can never complete
+/// because one of the node's clients died (liveness lease expired) before
+/// sending its end-of-iteration notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnClientFailure {
+    /// Keep waiting for the full client count — the pre-lease behaviour
+    /// and the default. Lease expiry is still *detected* and counted, but
+    /// no reclamation or partial fire happens; a dead client stalls its
+    /// iterations forever (they drain at terminate).
+    #[default]
+    Wait,
+    /// Fire the iteration with the surviving clients' data and persist it
+    /// with a presence bitmap recording which ranks contributed, so the
+    /// recovery scan and downstream readers can tell a partial iteration
+    /// from a complete one. Counted in `NodeReport::partial_iterations`.
+    Partial,
+    /// Discard the whole iteration (all ranks' data released, nothing
+    /// persisted). Counted in `NodeReport::iterations_degraded`.
+    DropIteration,
+}
+
 /// Degradation policies for the whole I/O path, set by the `<resilience>`
 /// configuration element:
 ///
@@ -94,7 +115,8 @@ impl Default for BackpressurePolicy {
 ///             persist_retries="2" retry_base_ms="10"
 ///             persist_deadline_ms="2000"
 ///             plugin_quarantine="3" recovery_scan="true"
-///             epe_respawn="1" heartbeat_timeout_ms="1000"/>
+///             epe_respawn="1" heartbeat_timeout_ms="1000"
+///             on_client_failure="partial" client_lease_timeout_ms="500"/>
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResilienceConfig {
@@ -125,6 +147,16 @@ pub struct ResilienceConfig {
     /// exceed the longest plugin action (the server does not beat while a
     /// plugin runs).
     pub heartbeat_timeout: Duration,
+    /// How the dedicated core completes iterations missing a dead client's
+    /// end-of-iteration notification.
+    pub on_client_failure: OnClientFailure,
+    /// How long a client's lease word may stay unchanged before the
+    /// sweeper revokes it and reclaims the client's shared-memory
+    /// resources. Must exceed the client's longest gap between Damaris API
+    /// calls (compute phases do not renew unless the application ticks
+    /// `renew_lease`). Runs on the backend's `IoClock`, so chaos tests can
+    /// drive it on virtual time.
+    pub client_lease_timeout: Duration,
 }
 
 impl Default for ResilienceConfig {
@@ -138,6 +170,8 @@ impl Default for ResilienceConfig {
             recovery_scan: true,
             epe_respawn: 0,
             heartbeat_timeout: Duration::from_secs(1),
+            on_client_failure: OnClientFailure::Wait,
+            client_lease_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -369,6 +403,30 @@ impl Config {
                         }
                         r.heartbeat_timeout = Duration::from_millis(ms);
                     }
+                    match e.attr("on_client_failure") {
+                        None | Some("wait") => r.on_client_failure = OnClientFailure::Wait,
+                        Some("partial") => r.on_client_failure = OnClientFailure::Partial,
+                        Some("drop-iteration") | Some("drop_iteration") => {
+                            r.on_client_failure = OnClientFailure::DropIteration
+                        }
+                        Some(other) => {
+                            return Err(DamarisError::Config(format!(
+                                "unknown on_client_failure policy '{other}' \
+                                 (expected wait, partial, or drop-iteration)"
+                            )))
+                        }
+                    }
+                    if let Some(ms) = e
+                        .attr_parse::<u64>("client_lease_timeout_ms")
+                        .map_err(DamarisError::Config)?
+                    {
+                        if ms == 0 {
+                            return Err(DamarisError::Config(
+                                "client_lease_timeout_ms must be positive".into(),
+                            ));
+                        }
+                        r.client_lease_timeout = Duration::from_millis(ms);
+                    }
                     match e.attr("recovery_scan") {
                         None => {}
                         Some("true") => r.recovery_scan = true,
@@ -532,6 +590,18 @@ impl Config {
         res.set_attr(
             "heartbeat_timeout_ms",
             r.heartbeat_timeout.as_millis().to_string(),
+        );
+        res.set_attr(
+            "on_client_failure",
+            match r.on_client_failure {
+                OnClientFailure::Wait => "wait",
+                OnClientFailure::Partial => "partial",
+                OnClientFailure::DropIteration => "drop-iteration",
+            },
+        );
+        res.set_attr(
+            "client_lease_timeout_ms",
+            r.client_lease_timeout.as_millis().to_string(),
         );
         root.children.push(damaris_xml::Node::Element(res));
         let o = &self.observability;
@@ -763,12 +833,17 @@ mod tests {
         assert_eq!(c.resilience.plugin_quarantine, 0);
         assert!(c.resilience.recovery_scan);
 
+        assert_eq!(c.resilience.on_client_failure, OnClientFailure::Wait);
+        assert_eq!(c.resilience.client_lease_timeout, Duration::from_secs(5));
+
         let c = Config::from_xml(
             r#"<damaris>
                  <resilience backpressure="drop" persist_retries="5"
                              retry_base_ms="7" persist_deadline_ms="900"
                              plugin_quarantine="3" recovery_scan="false"
-                             epe_respawn="2" heartbeat_timeout_ms="350"/>
+                             epe_respawn="2" heartbeat_timeout_ms="350"
+                             on_client_failure="partial"
+                             client_lease_timeout_ms="450"/>
                </damaris>"#,
         )
         .unwrap();
@@ -780,6 +855,20 @@ mod tests {
         assert!(!c.resilience.recovery_scan);
         assert_eq!(c.resilience.epe_respawn, 2);
         assert_eq!(c.resilience.heartbeat_timeout, Duration::from_millis(350));
+        assert_eq!(c.resilience.on_client_failure, OnClientFailure::Partial);
+        assert_eq!(
+            c.resilience.client_lease_timeout,
+            Duration::from_millis(450)
+        );
+
+        let c = Config::from_xml(
+            r#"<damaris><resilience on_client_failure="drop-iteration"/></damaris>"#,
+        )
+        .unwrap();
+        assert_eq!(
+            c.resilience.on_client_failure,
+            OnClientFailure::DropIteration
+        );
 
         let c = Config::from_xml(
             r#"<damaris><resilience backpressure="block" timeout_ms="250"/></damaris>"#,
@@ -806,6 +895,8 @@ mod tests {
             r#"<damaris><resilience persist_retries="lots"/></damaris>"#,
             r#"<damaris><resilience epe_respawn="forever"/></damaris>"#,
             r#"<damaris><resilience heartbeat_timeout_ms="0"/></damaris>"#,
+            r#"<damaris><resilience on_client_failure="shrug"/></damaris>"#,
+            r#"<damaris><resilience client_lease_timeout_ms="0"/></damaris>"#,
         ] {
             assert!(Config::from_xml(bad).is_err(), "{bad}");
         }
@@ -817,7 +908,9 @@ mod tests {
             r#"<damaris>
                  <resilience backpressure="sync-fallback" persist_retries="4"
                              plugin_quarantine="2" epe_respawn="1"
-                             heartbeat_timeout_ms="1250"/>
+                             heartbeat_timeout_ms="1250"
+                             on_client_failure="partial"
+                             client_lease_timeout_ms="800"/>
                </damaris>"#,
         )
         .unwrap();

@@ -34,6 +34,10 @@ pub enum DamarisError {
     /// The node's dedicated core stopped heartbeating and the respawn
     /// budget (if any) did not produce a new epoch in time.
     EpeUnavailable { node_id: u32, epoch: u32 },
+    /// This client's liveness lease was revoked by the dedicated core's
+    /// sweeper (the client stalled past the lease window and its resources
+    /// were reclaimed); the handle is permanently fenced off the node.
+    ClientFenced { client: u32, node_id: u32 },
 }
 
 impl fmt::Display for DamarisError {
@@ -70,6 +74,11 @@ impl fmt::Display for DamarisError {
                 f,
                 "node {node_id}: dedicated core unavailable (last epoch {epoch}, \
                  heartbeat stale and no respawn observed)"
+            ),
+            DamarisError::ClientFenced { client, node_id } => write!(
+                f,
+                "node {node_id}: client {client} was fenced (liveness lease revoked, \
+                 resources reclaimed)"
             ),
         }
     }
@@ -145,5 +154,11 @@ mod tests {
         }
         .to_string();
         assert!(s.contains("node 2") && s.contains("epoch 1"));
+        let s = DamarisError::ClientFenced {
+            client: 3,
+            node_id: 1,
+        }
+        .to_string();
+        assert!(s.contains("client 3") && s.contains("node 1") && s.contains("fenced"));
     }
 }

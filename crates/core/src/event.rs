@@ -30,6 +30,10 @@ pub enum Event {
         dynamic_layout: Option<damaris_format::Layout>,
         /// Write-ahead journal sequence number.
         seq: u64,
+        /// CRC-32 the client computed over its source bytes before the
+        /// `memcpy`; the persist plugin re-computes it over the segment to
+        /// quarantine torn shm writes end-to-end.
+        data_crc: u32,
     },
     /// A user-defined event (`df_signal`).
     User {
@@ -49,6 +53,17 @@ pub enum Event {
         /// Write-ahead journal sequence number.
         seq: u64,
     },
+    /// A client abandoned an allocated-but-never-committed region: the
+    /// segment travels to the dedicated core, which releases it in FIFO
+    /// order at the owning iteration's flush (clients must never release
+    /// shared memory themselves — partition reclamation is single-consumer).
+    Abandon {
+        iteration: u32,
+        source: u32,
+        segment: Segment,
+        /// Write-ahead journal sequence number.
+        seq: u64,
+    },
     /// The runtime is shutting down; the server drains and exits.
     Terminate,
 }
@@ -59,7 +74,8 @@ impl Event {
         match self {
             Event::Write { seq, .. }
             | Event::User { seq, .. }
-            | Event::EndIteration { seq, .. } => Some(*seq),
+            | Event::EndIteration { seq, .. }
+            | Event::Abandon { seq, .. } => Some(*seq),
             Event::Terminate => None,
         }
     }
@@ -92,6 +108,15 @@ impl std::fmt::Debug for Event {
             } => {
                 write!(f, "EndIteration{{it={iteration}, src={source}, seq={seq}}}")
             }
+            Event::Abandon {
+                iteration,
+                source,
+                segment,
+                seq,
+            } => write!(
+                f,
+                "Abandon{{it={iteration}, src={source}, seq={seq}, {segment:?}}}"
+            ),
             Event::Terminate => write!(f, "Terminate"),
         }
     }
@@ -116,6 +141,7 @@ mod tests {
                 segment: seg,
                 dynamic_layout: None,
                 seq: 0,
+                data_crc: damaris_format::crc32(&[7u8; 16]),
             })
             .ok()
             .unwrap();

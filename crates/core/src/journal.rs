@@ -34,7 +34,7 @@
 
 use damaris_format::Layout;
 use damaris_shm::sync::{AtomicU64, Mutex, Ordering};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// What a journaled notification said, minus the live [`damaris_shm::Segment`]
 /// handle (the journal stores the segment's coordinates so a new server
@@ -42,7 +42,10 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone)]
 pub enum JournalPayload {
     /// A write-notification: `offset`/`len` locate the payload in the
-    /// shared buffer for re-adoption after a crash.
+    /// shared buffer for re-adoption after a crash; `data_crc` is the
+    /// CRC-32 the client computed over its *source* bytes before the
+    /// `memcpy`, verified end-to-end by the persist plugin so a torn shm
+    /// copy (rank dying mid-`memcpy`) is quarantined instead of persisted.
     Write {
         variable_id: u32,
         iteration: u32,
@@ -50,6 +53,7 @@ pub enum JournalPayload {
         offset: usize,
         len: usize,
         dynamic_layout: Option<Layout>,
+        data_crc: u32,
     },
     /// A user-defined event (`df_signal`).
     User {
@@ -59,6 +63,37 @@ pub enum JournalPayload {
     },
     /// A client's end-of-iteration notification.
     EndIteration { iteration: u32, source: u32 },
+    /// A client abandoned an allocated-but-never-committed region
+    /// (`dc_alloc` handle dropped without `commit`). The owning client may
+    /// not release shared memory itself — partition-mode reclamation is
+    /// FIFO and single-consumer — so it journals the segment's coordinates
+    /// and the dedicated core releases it in order at the iteration's
+    /// flush.
+    Abandon {
+        iteration: u32,
+        source: u32,
+        offset: usize,
+        len: usize,
+    },
+}
+
+impl JournalPayload {
+    /// The client that originated this notification.
+    pub fn source(&self) -> u32 {
+        match self {
+            JournalPayload::Write { source, .. }
+            | JournalPayload::User { source, .. }
+            | JournalPayload::EndIteration { source, .. }
+            | JournalPayload::Abandon { source, .. } => *source,
+        }
+    }
+}
+
+/// [`EventJournal::append`] rejected the record: the source has been
+/// fenced by the lease sweeper and may no longer journal notifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fenced {
+    pub source: u32,
 }
 
 /// Lifecycle of a journal record.
@@ -105,12 +140,22 @@ pub struct ReplayEntry {
     pub payload: JournalPayload,
 }
 
+#[derive(Debug, Default)]
+struct JournalInner {
+    records: BTreeMap<u64, JournalRecord>,
+    /// Sources whose leases were revoked: appends from them are rejected.
+    /// Lives under the same lock as the records so fencing and the
+    /// collection of a dead client's pending seqnos are one atomic step —
+    /// no append can slip in between.
+    fenced: BTreeSet<u32>,
+}
+
 /// The write-ahead journal shared by a node's clients and its (current)
 /// dedicated-core thread.
 #[derive(Debug, Default)]
 pub struct EventJournal {
     next_seq: AtomicU64,
-    inner: Mutex<BTreeMap<u64, JournalRecord>>,
+    inner: Mutex<JournalInner>,
 }
 
 /// Encodes the integrity-protected header fields of a record.
@@ -124,6 +169,7 @@ fn encode_header(seq: u64, payload: &JournalPayload) -> Vec<u8> {
             source,
             offset,
             len,
+            data_crc,
             ..
         } => {
             buf.push(0);
@@ -132,6 +178,7 @@ fn encode_header(seq: u64, payload: &JournalPayload) -> Vec<u8> {
             buf.extend_from_slice(&source.to_le_bytes());
             buf.extend_from_slice(&(*offset as u64).to_le_bytes());
             buf.extend_from_slice(&(*len as u64).to_le_bytes());
+            buf.extend_from_slice(&data_crc.to_le_bytes());
         }
         JournalPayload::User {
             name,
@@ -148,6 +195,18 @@ fn encode_header(seq: u64, payload: &JournalPayload) -> Vec<u8> {
             buf.extend_from_slice(&iteration.to_le_bytes());
             buf.extend_from_slice(&source.to_le_bytes());
         }
+        JournalPayload::Abandon {
+            iteration,
+            source,
+            offset,
+            len,
+        } => {
+            buf.push(3);
+            buf.extend_from_slice(&iteration.to_le_bytes());
+            buf.extend_from_slice(&source.to_le_bytes());
+            buf.extend_from_slice(&(*offset as u64).to_le_bytes());
+            buf.extend_from_slice(&(*len as u64).to_le_bytes());
+        }
     }
     buf
 }
@@ -158,8 +217,11 @@ impl EventJournal {
     }
 
     /// Journals a notification and returns its sequence number. Called by
-    /// clients *before* the matching queue push.
-    pub fn append(&self, epoch: u32, payload: JournalPayload) -> u64 {
+    /// clients *before* the matching queue push. Fails if the source has
+    /// been fenced ([`fence`](Self::fence)) — the caller must abandon the
+    /// operation and surface a `ClientFenced` error instead of pushing.
+    pub fn append(&self, epoch: u32, payload: JournalPayload) -> Result<u64, Fenced> {
+        let source = payload.source();
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let crc = damaris_format::crc32(&encode_header(seq, &payload));
         let record = JournalRecord {
@@ -169,8 +231,34 @@ impl EventJournal {
             payload,
             state: RecordState::Pending,
         };
-        self.inner.lock().insert(seq, record);
-        seq
+        let mut inner = self.inner.lock();
+        if inner.fenced.contains(&source) {
+            return Err(Fenced { source });
+        }
+        inner.records.insert(seq, record);
+        Ok(seq)
+    }
+
+    /// Fences `source` — all further appends from it fail — and returns
+    /// the still-`Pending` records of that source, in sequence order, so
+    /// the sweeper can cancel them through the [`claim`](Self::claim)
+    /// lattice (re-adopting `Write`/`Abandon` segments by their journaled
+    /// coordinates). One critical section: no append can land between the
+    /// fence and the collection.
+    pub fn fence(&self, source: u32) -> Vec<(u64, JournalPayload)> {
+        let mut inner = self.inner.lock();
+        inner.fenced.insert(source);
+        inner
+            .records
+            .values()
+            .filter(|rec| rec.state == RecordState::Pending && rec.payload.source() == source)
+            .map(|rec| (rec.seq, rec.payload.clone()))
+            .collect()
+    }
+
+    /// Whether `source` has been fenced.
+    pub fn is_fenced(&self, source: u32) -> bool {
+        self.inner.lock().fenced.contains(&source)
     }
 
     /// Claims a sequence number for processing: `Pending → Resident`,
@@ -179,7 +267,7 @@ impl EventJournal {
     /// discard the event without side effects.
     pub fn claim(&self, seq: u64) -> Claim {
         let mut inner = self.inner.lock();
-        match inner.get_mut(&seq) {
+        match inner.records.get_mut(&seq) {
             Some(rec) if rec.state == RecordState::Pending => {
                 rec.state = RecordState::Resident;
                 Claim::Fresh
@@ -191,7 +279,7 @@ impl EventJournal {
     /// Marks a record's side effects durable. Idempotent; unknown
     /// sequence numbers (already compacted) are ignored.
     pub fn mark_applied(&self, seq: u64) {
-        if let Some(rec) = self.inner.lock().get_mut(&seq) {
+        if let Some(rec) = self.inner.lock().records.get_mut(&seq) {
             rec.state = RecordState::Applied;
         }
     }
@@ -203,7 +291,7 @@ impl EventJournal {
         let inner = self.inner.lock();
         let mut entries = Vec::new();
         let mut corrupt = 0;
-        for rec in inner.values() {
+        for rec in inner.records.values() {
             if rec.state == RecordState::Applied {
                 continue;
             }
@@ -223,24 +311,24 @@ impl EventJournal {
     /// Drops applied records; returns how many were removed.
     pub fn compact(&self) -> usize {
         let mut inner = self.inner.lock();
-        let before = inner.len();
-        inner.retain(|_, rec| rec.state != RecordState::Applied);
-        before - inner.len()
+        let before = inner.records.len();
+        inner.records.retain(|_, rec| rec.state != RecordState::Applied);
+        before - inner.records.len()
     }
 
     /// Records currently retained (any state).
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().records.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().records.is_empty()
     }
 
     /// Test hook: flip a record's stored CRC so replay sees corruption.
     #[cfg(test)]
     fn corrupt_for_test(&self, seq: u64) {
-        if let Some(rec) = self.inner.lock().get_mut(&seq) {
+        if let Some(rec) = self.inner.lock().records.get_mut(&seq) {
             rec.crc ^= 0xdead_beef;
         }
     }
@@ -258,17 +346,20 @@ mod tests {
             offset: 128,
             len: 64,
             dynamic_layout: None,
+            data_crc: 0,
         }
     }
 
     #[test]
     fn seqnos_are_monotonic_and_claims_are_exactly_once() {
         let j = EventJournal::new();
-        let a = j.append(0, write_payload(0));
-        let b = j.append(0, JournalPayload::EndIteration {
-            iteration: 0,
-            source: 0,
-        });
+        let a = j.append(0, write_payload(0)).unwrap();
+        let b = j
+            .append(0, JournalPayload::EndIteration {
+                iteration: 0,
+                source: 0,
+            })
+            .unwrap();
         assert!(b > a);
         assert_eq!(j.claim(a), Claim::Fresh);
         assert_eq!(j.claim(a), Claim::Stale);
@@ -280,13 +371,15 @@ mod tests {
     #[test]
     fn replay_skips_applied_and_orders_by_seq() {
         let j = EventJournal::new();
-        let a = j.append(0, write_payload(0));
-        let b = j.append(0, write_payload(1));
-        let c = j.append(0, JournalPayload::User {
-            name: "snap".into(),
-            iteration: 0,
-            source: 1,
-        });
+        let a = j.append(0, write_payload(0)).unwrap();
+        let b = j.append(0, write_payload(1)).unwrap();
+        let c = j
+            .append(0, JournalPayload::User {
+                name: "snap".into(),
+                iteration: 0,
+                source: 1,
+            })
+            .unwrap();
         j.claim(a);
         j.mark_applied(a);
         j.claim(b); // resident, not applied: must replay
@@ -301,8 +394,8 @@ mod tests {
     #[test]
     fn corrupt_records_are_skipped_not_replayed() {
         let j = EventJournal::new();
-        let a = j.append(0, write_payload(0));
-        let b = j.append(0, write_payload(1));
+        let a = j.append(0, write_payload(0)).unwrap();
+        let b = j.append(0, write_payload(1)).unwrap();
         j.corrupt_for_test(a);
         let (entries, corrupt) = j.replay_snapshot();
         assert_eq!(corrupt, 1);
@@ -313,8 +406,8 @@ mod tests {
     #[test]
     fn compact_drops_only_applied() {
         let j = EventJournal::new();
-        let a = j.append(0, write_payload(0));
-        let b = j.append(0, write_payload(1));
+        let a = j.append(0, write_payload(0)).unwrap();
+        let b = j.append(0, write_payload(1)).unwrap();
         j.claim(a);
         j.mark_applied(a);
         assert_eq!(j.compact(), 1);
@@ -322,5 +415,69 @@ mod tests {
         // The compacted record stays at-most-once.
         assert_eq!(j.claim(a), Claim::Stale);
         assert_eq!(j.claim(b), Claim::Fresh);
+    }
+
+    #[test]
+    fn fence_rejects_appends_and_collects_pending() {
+        let j = EventJournal::new();
+        let a = j.append(0, write_payload(3)).unwrap();
+        let b = j.append(0, write_payload(3)).unwrap();
+        let other = j.append(0, write_payload(1)).unwrap();
+        // One record of the doomed client is already claimed (resident):
+        // the fence only hands back the still-pending ones.
+        assert_eq!(j.claim(a), Claim::Fresh);
+        assert!(!j.is_fenced(3));
+        let pending = j.fence(3);
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].0, b);
+        assert!(matches!(pending[0].1, JournalPayload::Write { source: 3, .. }));
+        assert!(j.is_fenced(3));
+        // Fenced source can no longer journal; others can.
+        assert!(matches!(j.append(0, write_payload(3)), Err(Fenced { source: 3 })));
+        assert!(j.append(0, write_payload(1)).is_ok());
+        // Fencing twice is idempotent (the pending set may have shrunk).
+        assert_eq!(j.claim(b), Claim::Fresh);
+        assert!(j.fence(3).is_empty());
+        // The unrelated client's record is untouched.
+        assert_eq!(j.claim(other), Claim::Fresh);
+    }
+
+    #[test]
+    fn data_crc_is_integrity_protected() {
+        // Two Write payloads differing only in data_crc must have
+        // different header CRCs — the end-to-end checksum is itself
+        // covered by the journal's integrity guard.
+        let j = EventJournal::new();
+        let a = j
+            .append(0, JournalPayload::Write {
+                variable_id: 1,
+                iteration: 0,
+                source: 0,
+                offset: 0,
+                len: 8,
+                dynamic_layout: None,
+                data_crc: 0x1111,
+            })
+            .unwrap();
+        let (entries, _) = j.replay_snapshot();
+        let rec_crc = |seq: u64| {
+            entries
+                .iter()
+                .find(|e| e.seq == seq)
+                .map(|e| damaris_format::crc32(&encode_header(e.seq, &e.payload)))
+                .unwrap()
+        };
+        let crc_a = rec_crc(a);
+        // Same seq, same fields, different data_crc → different header CRC.
+        let altered = JournalPayload::Write {
+            variable_id: 1,
+            iteration: 0,
+            source: 0,
+            offset: 0,
+            len: 8,
+            dynamic_layout: None,
+            data_crc: 0x2222,
+        };
+        assert_ne!(crc_a, damaris_format::crc32(&encode_header(a, &altered)));
     }
 }

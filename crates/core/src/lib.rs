@@ -70,7 +70,7 @@ pub mod server;
 pub use client::{AllocatedRegion, DamarisClient};
 pub use config::{
     ActionBinding, AllocatorKind, BackpressurePolicy, Config, ObservabilityConfig,
-    ResilienceConfig, VariableDef,
+    OnClientFailure, ResilienceConfig, VariableDef,
 };
 pub use error::DamarisError;
 pub use event::Event;

@@ -30,6 +30,9 @@ pub struct StoredVariable {
     /// client (a requirement of the partitioned allocator), and it keys
     /// the journal record to mark applied when the segment is released.
     pub seq: u64,
+    /// End-to-end checksum: CRC-32 of the client's *source* bytes,
+    /// verified against the segment contents at persist time.
+    pub data_crc: u32,
 }
 
 impl StoredVariable {
@@ -125,6 +128,13 @@ impl MetadataStore {
             .collect()
     }
 
+    /// Whether any resident entry came from `source` — the lease sweeper
+    /// must not reclaim a fenced client's partition while its segments are
+    /// still resident here.
+    pub fn has_source(&self, source: u32) -> bool {
+        self.entries.keys().any(|k| k.source == source)
+    }
+
     /// Iterations that currently have resident data, ascending.
     pub fn pending_iterations(&self) -> Vec<u32> {
         let mut its: Vec<u32> = self.entries.keys().map(|k| k.iteration).collect();
@@ -161,6 +171,7 @@ mod tests {
             },
             name: format!("var-{var}"),
             layout: Layout::new(DataType::F64, &[1]),
+            data_crc: damaris_format::crc32(&[fill; 8]),
             segment: seg,
             seq: u64::from(it) * 100 + u64::from(src),
         }

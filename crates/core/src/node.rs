@@ -24,7 +24,7 @@ use damaris_fs::{LocalDirBackend, StorageBackend};
 use damaris_obs::{Counter, MetricsSnapshot, Recorder, Registry, TraceRing, FLAG_SERVER};
 use damaris_shm::sync::Arc;
 use damaris_shm::{
-    AllocError, HeartbeatWord, MpscQueue, MutexAllocator, PartitionAllocator, Segment,
+    AllocError, HeartbeatWord, LeaseTable, MpscQueue, MutexAllocator, PartitionAllocator, Segment,
 };
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -38,7 +38,9 @@ pub(crate) enum BufferManager {
 impl BufferManager {
     pub(crate) fn allocate(&self, client: u32, len: usize) -> Result<Segment, AllocError> {
         match self {
-            BufferManager::Mutex(a) => a.allocate(len),
+            // Owner-tagged so an expired client's reservations can be
+            // swept back (`revoke_client`); the tag drops on release.
+            BufferManager::Mutex(a) => a.allocate_owned(client, len),
             BufferManager::Partition(a) => a.allocate(client as usize, len),
         }
     }
@@ -55,8 +57,21 @@ impl BufferManager {
     /// reissues the handle. `None` if the range is not a live allocation.
     pub(crate) fn adopt(&self, client: u32, offset: usize, len: usize) -> Option<Segment> {
         match self {
-            BufferManager::Mutex(a) => a.adopt(offset, len),
+            BufferManager::Mutex(a) => a.adopt_owned(client, offset, len),
             BufferManager::Partition(a) => a.adopt(client as usize, offset, len),
+        }
+    }
+
+    /// Terminal reclamation for a revoked client: sweeps back everything
+    /// it still has reserved. Partition mode advances the region's tail to
+    /// its head (the region simply goes idle); mutex mode releases every
+    /// still-tagged range back to the global free list. Returns the bytes
+    /// reclaimed. Every *known* segment of the client must have been
+    /// released (FIFO, in partition mode) before this call.
+    pub(crate) fn revoke_remaining(&self, client: u32) -> usize {
+        match self {
+            BufferManager::Mutex(a) => a.revoke_client(client),
+            BufferManager::Partition(a) => a.revoke_remaining(client as usize),
         }
     }
 
@@ -101,6 +116,10 @@ pub(crate) struct FaultStats {
     pub events_replayed: Counter,
     pub stale_events_rejected: Counter,
     pub heartbeat_stale_observed: Counter,
+    pub client_leases_expired: Counter,
+    pub segments_reclaimed: Counter,
+    pub crc_quarantined: Counter,
+    pub partial_iterations: Counter,
 }
 
 impl FaultStats {
@@ -117,6 +136,10 @@ impl FaultStats {
             events_replayed: metrics.counter("node.events_replayed"),
             stale_events_rejected: metrics.counter("node.stale_events_rejected"),
             heartbeat_stale_observed: metrics.counter("node.heartbeat_stale_observed"),
+            client_leases_expired: metrics.counter("node.client_leases_expired"),
+            segments_reclaimed: metrics.counter("node.segments_reclaimed"),
+            crc_quarantined: metrics.counter("node.crc_quarantined"),
+            partial_iterations: metrics.counter("node.partial_iterations"),
         }
     }
 
@@ -215,6 +238,10 @@ pub(crate) struct NodeShared {
     pub journal: EventJournal,
     /// Liveness word the dedicated core beats and clients observe.
     pub heartbeat: HeartbeatWord,
+    /// Per-client liveness leases: each client renews its lease on every
+    /// API call; the dedicated core's sweeper revokes leases that stall
+    /// past `client_lease_timeout` and reclaims the client's resources.
+    pub leases: LeaseTable,
 }
 
 /// Final accounting returned by [`NodeRuntime::finish`].
@@ -284,6 +311,20 @@ pub struct NodeReport {
     /// Times a client observed the heartbeat stale and degraded.
     /// metric: node.heartbeat_stale_observed
     pub heartbeat_stale_observed: u64,
+    /// Client liveness leases revoked by the dedicated core's sweeper.
+    /// metric: node.client_leases_expired
+    pub client_leases_expired: u64,
+    /// Shared-memory bytes reclaimed from fenced clients.
+    /// metric: node.segments_reclaimed
+    pub segments_reclaimed: u64,
+    /// Variables quarantined at persist time because the segment bytes no
+    /// longer matched the client's end-to-end CRC (torn shm write).
+    /// metric: node.crc_quarantined
+    pub crc_quarantined: u64,
+    /// Iterations persisted with a partial presence bitmap (some clients
+    /// fenced before contributing) under the `partial` policy.
+    /// metric: node.partial_iterations
+    pub partial_iterations: u64,
 }
 
 /// One running Damaris node: a supervised dedicated-core server thread
@@ -379,6 +420,7 @@ impl NodeRuntime {
             obs,
             journal: EventJournal::new(),
             heartbeat: HeartbeatWord::new(),
+            leases: LeaseTable::new(n_clients),
         });
 
         let clients = (0..n_clients as u32)
@@ -462,14 +504,20 @@ impl NodeRuntime {
         if self.shared.config.bindings_for(event).is_empty() {
             return Err(DamarisError::UnknownEvent(event.to_string()));
         }
-        let seq = self.shared.journal.append(
-            self.shared.heartbeat.epoch(),
-            JournalPayload::User {
-                name: event.to_string(),
-                iteration,
-                source: crate::server::SERVER_SOURCE,
-            },
-        );
+        let seq = self
+            .shared
+            .journal
+            .append(
+                self.shared.heartbeat.epoch(),
+                JournalPayload::User {
+                    name: event.to_string(),
+                    iteration,
+                    source: crate::server::SERVER_SOURCE,
+                },
+            )
+            // invariant: the sweeper only ever fences client sources; the
+            // server's own source id is never in the fenced set.
+            .expect("server source is never fenced");
         self.shared.queue.push_wait(Event::User {
             name: event.to_string(),
             iteration,

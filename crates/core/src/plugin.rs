@@ -53,6 +53,12 @@ pub struct ActionContext<'a> {
     /// The dedicated core's trace recorder — plugins time their backend
     /// phases (write / fsync / retry backoff) on the server's timeline.
     pub(crate) rec: Recorder,
+    /// Set when the iteration fired *partially* (some clients fenced under
+    /// `on_client_failure="partial"`): bit `r` is set iff client `r`
+    /// completed the iteration. Persisting plugins stamp it on their
+    /// datasets so the recovery scan can tell a partial file from a full
+    /// one. `None` for complete iterations.
+    pub presence: Option<u64>,
 }
 
 impl ActionContext<'_> {

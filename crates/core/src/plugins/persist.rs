@@ -64,6 +64,13 @@ impl PersistPlugin {
             let mut opts = DatasetOptions::plain()
                 .with_attr("iteration", i64::from(iteration))
                 .with_attr("source", i64::from(var.key.source));
+            if let Some(bitmap) = ctx.presence {
+                // Partial iteration (fenced clients): mark every dataset so
+                // the recovery scan can report which ranks are present.
+                opts = opts
+                    .with_attr("partial", 1i64)
+                    .with_attr("presence_bitmap", bitmap as i64);
+            }
             // Static variable attributes from the configuration (unit, …).
             if let Some(def) = ctx.config.variable(var.key.variable_id) {
                 for (k, v) in &def.attrs {
@@ -99,7 +106,28 @@ impl Plugin for PersistPlugin {
         event: &EventInfo,
     ) -> Result<(), DamarisError> {
         let iteration = event.iteration;
-        let drained = ctx.store.drain_iteration(iteration);
+        let all = ctx.store.drain_iteration(iteration);
+        if all.is_empty() {
+            return Ok(());
+        }
+        // End-to-end integrity gate: re-compute each segment's CRC-32 and
+        // compare it against the checksum the client stamped over its
+        // *source* bytes at write time. A mismatch means the shared-memory
+        // copy tore (rank killed mid-`memcpy`) or the segment was
+        // corrupted in flight — quarantine it (skip persisting, count it,
+        // still release the memory) instead of writing garbage to storage.
+        let (drained, torn): (Vec<_>, Vec<_>) = all
+            .into_iter()
+            .partition(|var| damaris_format::crc32(var.data()) == var.data_crc);
+        for var in torn {
+            FaultStats::bump(&ctx.stats.crc_quarantined);
+            eprintln!(
+                "[damaris node {}] iteration {iteration} rank {} variable '{}': \
+                 segment CRC mismatch — quarantined, not persisted",
+                ctx.node_id, var.key.source, var.name
+            );
+            ctx.release_segment(var.key.source, var.seq, var.segment);
+        }
         if drained.is_empty() {
             return Ok(());
         }

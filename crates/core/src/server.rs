@@ -21,6 +21,7 @@
 //! number, and only the first claim wins — a replayed event's stale queue
 //! copy is counted in `stale_events_rejected` and dropped.
 
+use crate::config::OnClientFailure;
 use crate::epe::{EventProcessingEngine, END_OF_ITERATION};
 use crate::error::DamarisError;
 use crate::event::Event;
@@ -29,13 +30,31 @@ use crate::metadata::{MetadataStore, StoredVariable, VariableKey};
 use crate::node::{FaultStats, NodeReport, NodeShared};
 use crate::plugin::{ActionContext, EventInfo};
 use damaris_obs::{EventKind, Histogram, TraceRecord, TraceWriter};
-use damaris_shm::Segment;
-use std::collections::{BTreeMap, HashMap};
+use damaris_shm::{LeaseSnapshot, Segment};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::BufWriter;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Marker source id for server-originated events.
 pub const SERVER_SOURCE: u32 = u32::MAX;
+
+/// True when every client of the node is accounted for on an iteration:
+/// either its end-of-iteration notification was counted, or the lease
+/// sweeper fenced it (a dead rank will never send one).
+fn iteration_complete(counted: &[(u32, u64)], fenced: &BTreeSet<u32>, clients: usize) -> bool {
+    (0..clients as u32).all(|c| fenced.contains(&c) || counted.iter().any(|(s, _)| *s == c))
+}
+
+/// Presence bitmap for a partial fire: bit `r` is set iff client `r` ended
+/// the iteration. Only representable for nodes with ≤ 64 clients; larger
+/// nodes fire partially without the annotation.
+fn presence_bits(counted: &[(u32, u64)], clients: usize) -> Option<u64> {
+    if clients > 64 {
+        return None;
+    }
+    Some(counted.iter().fold(0u64, |bits, (s, _)| bits | (1u64 << s)))
+}
 
 /// The dedicated-core event loop; returns the node's accounting when a
 /// `Terminate` event arrives. `epoch` is this incarnation's heartbeat
@@ -58,16 +77,39 @@ pub(crate) fn run(
     // order. (Found by the obs-overhead gate: the out-of-order release
     // corrupted a region's tail counter and wedged the client on `Full`.)
     let mut held_rewrites: BTreeMap<u32, Vec<(u32, u64, Segment)>> = BTreeMap::new();
-    // Journal seqnos of the end-notifications counted per iteration; the
-    // length is the completion count, and the seqnos are marked applied
-    // when the iteration fires.
-    let mut end_counts: HashMap<u32, Vec<u64>> = HashMap::new();
+    // End-notifications counted per iteration, as `(source, seq)` pairs:
+    // the sources decide completion against the fenced set, and the seqnos
+    // are marked applied when the iteration fires.
+    let mut end_counts: HashMap<u32, Vec<(u32, u64)>> = HashMap::new();
     let backend = Arc::clone(&shared.backend);
     let rec = shared.obs.server_recorder();
     let mut obs_flush = ObsFlush::new(&shared, node_id, epoch);
     // Iteration spans run fire-end to fire-end; the first one starts now.
     let mut last_fire_end = rec.begin();
     let mut last_fired: u32 = 0;
+
+    // === Client-failure containment state ===
+    let policy = shared.config.resilience.on_client_failure;
+    // Under the default `wait` policy the sweeper never runs and the loop
+    // below is byte-for-byte the pre-lease behavior: a silent client
+    // stalls its iterations forever (the original Damaris contract).
+    let sweeper_on = policy != OnClientFailure::Wait && shared.clients > 0;
+    let lease_timeout = shared.config.resilience.client_lease_timeout;
+    // Fencing survives server crashes via the journal: a respawned epoch
+    // starts from its predecessor's fenced set.
+    let mut fenced: BTreeSet<u32> = (0..shared.clients as u32)
+        .filter(|c| shared.journal.is_fenced(*c))
+        .collect();
+    // Per-client `(last observation, expiry deadline)` on the backend's
+    // clock (virtual under test). The deadline refreshes whenever the
+    // observation changes; an unchanged lease past its deadline is swept.
+    let mut lease_track: Vec<(LeaseSnapshot, Duration)> = (0..shared.clients)
+        .map(|c| {
+            // invariant: the lease table is sized for the node's clients.
+            let lease = shared.leases.lease(c).expect("lease table covers every client");
+            (lease.snapshot(), backend.clock().now() + lease_timeout)
+        })
+        .collect();
 
     macro_rules! ctx {
         () => {
@@ -81,6 +123,7 @@ pub(crate) fn run(
                 journal: &shared.journal,
                 pending_release: &mut pending_release,
                 rec: rec.clone(),
+                presence: None,
             }
         };
     }
@@ -90,8 +133,8 @@ pub(crate) fn run(
     // at-most-once across crashes (a crash mid-fire does not re-fire the
     // iteration on replay — its data is still flushed at `Terminate`).
     macro_rules! fire_iteration {
-        ($iteration:expr, $seqs:expr) => {{
-            for seq in $seqs {
+        ($iteration:expr, $counted:expr, $presence:expr) => {{
+            for (_, seq) in $counted {
                 shared.journal.mark_applied(seq);
             }
             let info = EventInfo {
@@ -101,6 +144,13 @@ pub(crate) fn run(
             };
             let t_epe = rec.begin();
             let mut ctx = ctx!();
+            let presence: Option<u64> = $presence;
+            if presence.is_some() {
+                // Firing without every client: the persisted datasets are
+                // stamped with the presence bitmap for the recovery scan.
+                FaultStats::bump(&shared.stats.partial_iterations);
+            }
+            ctx.presence = presence;
             // Rewritten duplicates of this iteration join the flush, where
             // the (source, seq) sort merges them back into FIFO order with
             // the segments the plugins drain.
@@ -131,6 +181,170 @@ pub(crate) fn run(
         }};
     }
 
+    // Under `on_client_failure="drop-iteration"`, an iteration missing a
+    // fenced client is discarded whole: nothing persists, every resident
+    // segment (and held rewrite) releases in FIFO order, and the counted
+    // end records retire. The loss is counted in `iterations_degraded`.
+    macro_rules! drop_iteration {
+        ($iteration:expr, $counted:expr) => {{
+            for (_, seq) in $counted {
+                shared.journal.mark_applied(seq);
+            }
+            let mut ctx = ctx!();
+            let drained = ctx.store.drain_iteration($iteration);
+            ctx.release_all(drained);
+            for (source, seq, segment) in
+                held_rewrites.remove(&$iteration).unwrap_or_default()
+            {
+                ctx.release_segment(source, seq, segment);
+            }
+            ctx.flush_releases();
+            FaultStats::bump(&shared.stats.iterations_degraded);
+            eprintln!(
+                "[damaris node {node_id}] iteration {} dropped: client(s) fenced \
+                 under on_client_failure=\"drop-iteration\"",
+                $iteration
+            );
+        }};
+    }
+
+    // Fires (or drops) every iteration whose clients are all counted or
+    // fenced, in ascending order. Complete iterations fire exactly as
+    // before; incomplete ones only become eligible through fencing, and
+    // the policy decides between a partial fire (presence-stamped) and a
+    // drop.
+    macro_rules! fire_ready {
+        () => {{
+            let mut ready: Vec<u32> = end_counts
+                .iter()
+                .filter(|(_, counted)| iteration_complete(counted, &fenced, shared.clients))
+                .map(|(it, _)| *it)
+                .collect();
+            ready.sort_unstable();
+            for iteration in ready {
+                let counted = end_counts.remove(&iteration).unwrap_or_default();
+                if counted.len() == shared.clients {
+                    fire_iteration!(iteration, counted, None);
+                } else if policy == OnClientFailure::DropIteration {
+                    drop_iteration!(iteration, counted);
+                } else {
+                    let presence = presence_bits(&counted, shared.clients);
+                    fire_iteration!(iteration, counted, presence);
+                }
+            }
+        }};
+    }
+
+    // One sweeper pass: revoke-or-refresh every live client's lease. A
+    // lease unchanged past its deadline is revoked via compare-exchange
+    // against our stale observation — the CAS is the arbiter of the
+    // revoke-vs-late-renew race, so exactly one side wins. A successful
+    // revoke fences the client's journal source and cancels its pending
+    // notifications through the claim lattice; cancelled segments are held
+    // until their iteration's flush so per-client FIFO release survives.
+    macro_rules! sweep_leases {
+        () => {
+            if sweeper_on {
+                let now = backend.clock().now();
+                for c in 0..shared.clients {
+                    let cu = c as u32;
+                    if fenced.contains(&cu) {
+                        continue;
+                    }
+                    // invariant: the lease table is sized for the node's clients.
+                    let lease = shared.leases.lease(c).expect("lease table covers every client");
+                    let snap = lease.snapshot();
+                    if snap != lease_track[c].0 {
+                        // The client renewed since we last looked: refresh.
+                        lease_track[c] = (snap, now + lease_timeout);
+                        continue;
+                    }
+                    if now < lease_track[c].1 {
+                        continue;
+                    }
+                    if !lease.try_revoke(snap) {
+                        // A renew won the race — the client is alive.
+                        lease_track[c] = (lease.snapshot(), now + lease_timeout);
+                        continue;
+                    }
+                    let t_sweep = rec.begin();
+                    FaultStats::bump(&shared.stats.client_leases_expired);
+                    fenced.insert(cu);
+                    for (seq, payload) in shared.journal.fence(cu) {
+                        if shared.journal.claim(seq) != Claim::Fresh {
+                            continue;
+                        }
+                        match payload {
+                            JournalPayload::Write {
+                                iteration,
+                                source,
+                                offset,
+                                len,
+                                ..
+                            }
+                            | JournalPayload::Abandon {
+                                iteration,
+                                source,
+                                offset,
+                                len,
+                            } => {
+                                // Cancelled data never persists, but the
+                                // segment must still release in seq order
+                                // at its iteration's flush.
+                                match shared.buffer.adopt(source, offset, len) {
+                                    Some(segment) => held_rewrites
+                                        .entry(iteration)
+                                        .or_default()
+                                        .push((source, seq, segment)),
+                                    None => shared.journal.mark_applied(seq),
+                                }
+                            }
+                            JournalPayload::User { .. }
+                            | JournalPayload::EndIteration { .. } => {
+                                shared.journal.mark_applied(seq);
+                            }
+                        }
+                    }
+                    eprintln!(
+                        "[damaris node {node_id}] client {cu} lease expired after \
+                         {lease_timeout:?}; fenced and cancelled"
+                    );
+                    rec.end(EventKind::LeaseSweep, last_fired, 0, t_sweep);
+                }
+            }
+        };
+    }
+
+    // Reclaims fenced clients' outstanding shared memory once no live
+    // handle of theirs remains on the server (store, held rewrites,
+    // pending releases): `revoke_remaining` swallows *everything* the
+    // client has outstanding, so a held handle released afterwards would
+    // double-free. Re-run at every opportunity — a zombie (fenced but
+    // still scheduled) client can keep allocating until it observes its
+    // revoked lease.
+    macro_rules! reclaim_fenced {
+        () => {
+            for &cu in fenced.iter() {
+                if store.has_source(cu)
+                    || held_rewrites
+                        .values()
+                        .any(|v| v.iter().any(|(s, _, _)| *s == cu))
+                    || pending_release.iter().any(|(s, _, _)| *s == cu)
+                {
+                    continue;
+                }
+                let reclaimed = shared.buffer.revoke_remaining(cu);
+                if reclaimed > 0 {
+                    shared.stats.segments_reclaimed.add(reclaimed as u64);
+                    eprintln!(
+                        "[damaris node {node_id}] reclaimed {reclaimed}B of abandoned \
+                         shared memory from fenced client {cu}"
+                    );
+                }
+            }
+        };
+    }
+
     if epoch > 0 {
         // === Journal replay: rebuild the dead incarnation's state. ===
         let (entries, corrupt) = shared.journal.replay_snapshot();
@@ -149,11 +363,26 @@ pub(crate) fn run(
                     offset,
                     len,
                     dynamic_layout,
+                    data_crc,
                 } => {
                     // Claim pending records so the stale queue copy is
                     // rejected when it eventually pops.
                     if entry.state == RecordState::Pending {
                         let _ = shared.journal.claim(entry.seq);
+                    }
+                    if fenced.contains(&source) {
+                        // The dead epoch's sweeper fenced this client but
+                        // may have crashed mid-cancel: finish the job. The
+                        // segment is never persisted — it releases at its
+                        // iteration's flush.
+                        match shared.buffer.adopt(source, offset, len) {
+                            Some(segment) => held_rewrites
+                                .entry(iteration)
+                                .or_default()
+                                .push((source, entry.seq, segment)),
+                            None => shared.journal.mark_applied(entry.seq),
+                        }
+                        continue;
                     }
                     let Some(def) = shared.config.variable(variable_id) else {
                         shared.journal.mark_applied(entry.seq);
@@ -183,6 +412,7 @@ pub(crate) fn run(
                                 layout,
                                 segment,
                                 seq: entry.seq,
+                                data_crc,
                             };
                             report.peak_resident_bytes = report
                                 .peak_resident_bytes
@@ -208,12 +438,40 @@ pub(crate) fn run(
                         }
                     }
                 }
-                JournalPayload::EndIteration { iteration, .. } => {
+                JournalPayload::EndIteration { iteration, source } => {
+                    if entry.state == RecordState::Pending {
+                        let _ = shared.journal.claim(entry.seq);
+                    }
+                    if fenced.contains(&source) {
+                        // Cancelled by the fence: completion comes from the
+                        // fenced set, not the count.
+                        shared.journal.mark_applied(entry.seq);
+                        continue;
+                    }
+                    FaultStats::bump(&shared.stats.events_replayed);
+                    end_counts
+                        .entry(iteration)
+                        .or_default()
+                        .push((source, entry.seq));
+                }
+                JournalPayload::Abandon {
+                    iteration,
+                    source,
+                    offset,
+                    len,
+                } => {
                     if entry.state == RecordState::Pending {
                         let _ = shared.journal.claim(entry.seq);
                     }
                     FaultStats::bump(&shared.stats.events_replayed);
-                    end_counts.entry(iteration).or_default().push(entry.seq);
+                    match shared.buffer.adopt(source, offset, len) {
+                        Some(segment) => held_rewrites
+                            .entry(iteration)
+                            .or_default()
+                            .push((source, entry.seq, segment)),
+                        // Already released before the crash: just retire.
+                        None => shared.journal.mark_applied(entry.seq),
+                    }
                 }
                 JournalPayload::User {
                     name,
@@ -228,6 +486,10 @@ pub(crate) fn run(
                     }
                     let _ = shared.journal.claim(entry.seq);
                     shared.journal.mark_applied(entry.seq);
+                    if fenced.contains(&source) {
+                        // A dead client's signal does not fire.
+                        continue;
+                    }
                     FaultStats::bump(&shared.stats.events_replayed);
                     report.user_events += 1;
                     let info = EventInfo {
@@ -241,17 +503,9 @@ pub(crate) fn run(
                 }
             }
         }
-        // Fire iterations the replayed notifications completed.
-        let mut complete: Vec<u32> = end_counts
-            .iter()
-            .filter(|(_, seqs)| seqs.len() == shared.clients)
-            .map(|(it, _)| *it)
-            .collect();
-        complete.sort_unstable();
-        for iteration in complete {
-            let seqs = end_counts.remove(&iteration).unwrap_or_default();
-            fire_iteration!(iteration, seqs);
-        }
+        // Fire iterations the replayed notifications (or pre-crash
+        // fencing) completed.
+        fire_ready!();
         shared.journal.compact();
     }
     // Publish this epoch only after replay: clients parked on a stale
@@ -261,7 +515,26 @@ pub(crate) fn run(
 
     loop {
         let t_idle = rec.begin();
-        let event = shared.queue.pop_wait_with(|| shared.heartbeat.beat());
+        let event = if sweeper_on {
+            // Manual poll instead of `pop_wait_with`: the sweeper must run
+            // precisely when the queue goes quiet — a dead client stops
+            // producing events, which is exactly what starves a blocking
+            // pop.
+            loop {
+                match shared.queue.pop() {
+                    Some(event) => break event,
+                    None => {
+                        shared.heartbeat.beat();
+                        sweep_leases!();
+                        fire_ready!();
+                        reclaim_fenced!();
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                }
+            }
+        } else {
+            shared.queue.pop_wait_with(|| shared.heartbeat.beat())
+        };
         // Tagged with the iteration we are presumably waiting to complete.
         rec.end(EventKind::QueueIdle, last_fired.wrapping_add(1), 0, t_idle);
         // Claim arbitration: an event whose journal record was already
@@ -282,6 +555,7 @@ pub(crate) fn run(
                 segment,
                 dynamic_layout,
                 seq,
+                data_crc,
             } => {
                 let def = shared
                     .config
@@ -303,6 +577,7 @@ pub(crate) fn run(
                     layout,
                     segment,
                     seq,
+                    data_crc,
                 };
                 report.peak_resident_bytes = report
                     .peak_resident_bytes
@@ -340,49 +615,83 @@ pub(crate) fn run(
                 rec.end(EventKind::EpeDispatch, iteration, 0, t_epe);
             }
             Event::EndIteration {
-                iteration, seq, ..
+                iteration,
+                source,
+                seq,
             } => {
-                let counted = end_counts.entry(iteration).or_default();
-                counted.push(seq);
-                if counted.len() == shared.clients {
-                    let seqs = end_counts.remove(&iteration).unwrap_or_default();
-                    fire_iteration!(iteration, seqs);
-                }
+                end_counts
+                    .entry(iteration)
+                    .or_default()
+                    .push((source, seq));
+                // The fire itself happens in the `fire_ready!` pass below,
+                // which also covers iterations completed by fencing.
+            }
+            Event::Abandon {
+                iteration,
+                source,
+                segment,
+                seq,
+            } => {
+                // A client handed back an uncommitted region. It may not
+                // release the segment itself (per-client FIFO, single
+                // consumer) — hold it until the iteration's flush, where
+                // the (source, seq) sort restores allocation order.
+                held_rewrites
+                    .entry(iteration)
+                    .or_default()
+                    .push((source, seq, segment));
             }
             Event::Terminate => {
                 // Flush any iterations that never completed (e.g. a client
                 // crashed between write and end_iteration): persist what we
-                // have rather than lose it.
+                // have rather than lose it. Incomplete flushes get the
+                // presence stamp under the `partial` policy so recovery can
+                // tell which ranks made it.
                 for iteration in store.pending_iterations() {
-                    let seqs = end_counts.remove(&iteration).unwrap_or_default();
-                    fire_iteration!(iteration, seqs);
+                    let counted = end_counts.remove(&iteration).unwrap_or_default();
+                    let presence = if counted.len() == shared.clients
+                        || policy != OnClientFailure::Partial
+                    {
+                        None
+                    } else {
+                        presence_bits(&counted, shared.clients)
+                    };
+                    fire_iteration!(iteration, counted, presence);
                 }
                 // End-notifications for iterations with no resident data
                 // have no further effect; retire their records.
-                for (_, seqs) in end_counts.drain() {
-                    for seq in seqs {
+                for (_, counted) in end_counts.drain() {
+                    for (_, seq) in counted {
                         shared.journal.mark_applied(seq);
                     }
                 }
-                // Shutdown pass: stateful plugins flush their residuals.
-                let mut ctx = ctx!();
-                // Belt and braces: every held rewrite belongs to an
-                // iteration whose replacement was resident, so the
-                // flush-out above should have drained the map — but never
-                // leak a segment on the way out.
-                for (_, seqs) in std::mem::take(&mut held_rewrites) {
-                    for (source, seq, segment) in seqs {
-                        ctx.release_segment(source, seq, segment);
+                {
+                    // Shutdown pass: stateful plugins flush their residuals.
+                    let mut ctx = ctx!();
+                    // Belt and braces: every held rewrite belongs to an
+                    // iteration whose replacement was resident, so the
+                    // flush-out above should have drained the map — but
+                    // never leak a segment on the way out.
+                    for (_, seqs) in std::mem::take(&mut held_rewrites) {
+                        for (source, seq, segment) in seqs {
+                            ctx.release_segment(source, seq, segment);
+                        }
                     }
+                    epe.finalize_all(&mut ctx)?;
+                    ctx.flush_releases();
                 }
-                epe.finalize_all(&mut ctx)?;
-                ctx.flush_releases();
+                // Last zombie reclamation: nothing of the fenced clients'
+                // is held any more, so their partitions drain completely.
+                reclaim_fenced!();
                 // The loop exits here, so the trackers' final updates from
                 // the flush-out fires above are intentionally unread.
                 let _ = (last_fired, last_fire_end);
                 break;
             }
         }
+        sweep_leases!();
+        fire_ready!();
+        reclaim_fenced!();
         shared.heartbeat.beat();
     }
     shared.journal.compact();
@@ -405,6 +714,10 @@ pub(crate) fn run(
     report.events_replayed = FaultStats::get(&stats.events_replayed);
     report.stale_events_rejected = FaultStats::get(&stats.stale_events_rejected);
     report.heartbeat_stale_observed = FaultStats::get(&stats.heartbeat_stale_observed);
+    report.client_leases_expired = FaultStats::get(&stats.client_leases_expired);
+    report.segments_reclaimed = FaultStats::get(&stats.segments_reclaimed);
+    report.crc_quarantined = FaultStats::get(&stats.crc_quarantined);
+    report.partial_iterations = FaultStats::get(&stats.partial_iterations);
     Ok(report)
 }
 

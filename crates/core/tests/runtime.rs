@@ -114,7 +114,7 @@ fn zero_copy_alloc_commit() {
     for (i, v) in region.as_mut_f32().iter_mut().enumerate() {
         *v = i as f32 * 0.5;
     }
-    region.commit();
+    region.commit().unwrap();
     client.end_iteration(3).unwrap();
 
     let report = runtime.finish().unwrap();

@@ -78,11 +78,14 @@ pub enum EventKind {
     MpiCollective = 14,
     /// A simulated/benchmark phase sample (`fig2_jitter` interchange).
     PhaseSample = 15,
+    /// One lease-sweeper pass that revoked a client (fence + cancel +
+    /// reclamation on the dedicated core).
+    LeaseSweep = 16,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order (for analyzer iteration).
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::Iteration,
         EventKind::WriteCall,
         EventKind::AllocWait,
@@ -99,6 +102,7 @@ impl EventKind {
         EventKind::MpiP2p,
         EventKind::MpiCollective,
         EventKind::PhaseSample,
+        EventKind::LeaseSweep,
     ];
 
     /// Short stable label used in analyzer output.
@@ -120,6 +124,7 @@ impl EventKind {
             EventKind::MpiP2p => "mpi_p2p",
             EventKind::MpiCollective => "mpi_collective",
             EventKind::PhaseSample => "phase_sample",
+            EventKind::LeaseSweep => "lease_sweep",
         }
     }
 }

@@ -32,6 +32,14 @@ pub struct RecoveryReport {
     pub quarantined: Vec<PathBuf>,
     /// Orphan `*.tmp` files deleted (relative paths).
     pub removed_tmp: Vec<PathBuf>,
+    /// Valid `*.sdf` files persisted as *partial iterations* — some ranks
+    /// were fenced (client failure) before contributing, and the persist
+    /// plugin stamped the surviving datasets with a `presence_bitmap`
+    /// attribute (bit `r` set = rank `r` completed the iteration). The
+    /// files are sound and stay in place; the bitmap tells downstream
+    /// consumers which ranks' data to expect. Each entry is
+    /// `(relative path, bitmap)`.
+    pub partial: Vec<(PathBuf, u64)>,
     /// Files the scan could not handle (relative path, reason) — e.g. a
     /// corrupt file whose quarantine rename failed because the directory is
     /// read-only. The scan keeps going; callers decide whether partial
@@ -89,8 +97,13 @@ pub fn recover_dir(root: &Path) -> std::io::Result<RecoveryReport> {
                 Err(e) => report.failed.push((rel, format!("remove tmp: {e}"))),
             }
         } else if name.ends_with(".sdf") {
-            match SdfReader::open(&path).and_then(|r| r.validate()) {
-                Ok(()) => report.valid.push(rel),
+            match SdfReader::open(&path).and_then(|r| r.validate().map(|()| r)) {
+                Ok(reader) => {
+                    if let Some(bitmap) = presence_bitmap(&reader) {
+                        report.partial.push((rel.clone(), bitmap));
+                    }
+                    report.valid.push(rel);
+                }
                 Err(_) => {
                     let mut q = path.as_os_str().to_os_string();
                     q.push(QUARANTINE_SUFFIX);
@@ -103,6 +116,18 @@ pub fn recover_dir(root: &Path) -> std::io::Result<RecoveryReport> {
         }
     }
     Ok(report)
+}
+
+/// The file's presence bitmap, if any dataset was stamped with one (the
+/// persist plugin stamps every dataset of a partial iteration, so the
+/// first hit is authoritative).
+fn presence_bitmap(reader: &SdfReader) -> Option<u64> {
+    reader
+        .dataset_names()
+        .iter()
+        .filter_map(|name| reader.info(name))
+        .find_map(|info| info.attr("presence_bitmap").and_then(|v| v.as_i64()))
+        .map(|v| v as u64)
 }
 
 /// [`recover_dir`] over a backend's root.
@@ -169,6 +194,40 @@ mod tests {
 
         // A second scan finds nothing left to do.
         assert!(recover(&b).unwrap().is_clean());
+    }
+
+    #[test]
+    fn partial_iteration_bitmap_round_trips_through_the_scan() {
+        let b = LocalDirBackend::scratch("recover-partial").unwrap();
+        write_valid(&b, "complete.sdf");
+
+        // A partial iteration as the persist plugin writes it: every
+        // dataset stamped with the presence bitmap (ranks 0, 1 and 3
+        // completed; rank 2 was fenced).
+        let bitmap: u64 = 0b1011;
+        let mut w = b.begin_sdf("node-0/iter-000004.sdf").unwrap();
+        let layout = Layout::new(DataType::F32, &[8]);
+        for rank in [0u32, 1, 3] {
+            w.write_dataset_bytes(
+                &format!("/iter-4/rank-{rank}/theta"),
+                &layout,
+                &[0u8; 32],
+                &damaris_format::DatasetOptions::plain()
+                    .with_attr("partial", 1i64)
+                    .with_attr("presence_bitmap", bitmap as i64),
+            )
+            .unwrap();
+        }
+        b.commit_sdf(w).unwrap();
+
+        let report = recover(&b).unwrap();
+        // Partial files are valid data — clean, listed, not quarantined.
+        assert!(report.is_clean());
+        assert_eq!(report.valid.len(), 2);
+        assert_eq!(
+            report.partial,
+            vec![(PathBuf::from("node-0/iter-000004.sdf"), bitmap)]
+        );
     }
 
     #[test]

@@ -176,6 +176,26 @@ impl Communicator {
         }
     }
 
+    /// Cooperative *client* kill: returns the planned
+    /// [`crate::ClientKillPhase`] once the fault plan schedules this rank
+    /// to die inside its Damaris client operation at or before
+    /// `iteration`. Like [`Communicator::fail_point`], the firing marks
+    /// the rank dead on the fabric; the caller performs the
+    /// phase-appropriate partial damage against its Damaris client and
+    /// then stops driving it.
+    pub fn client_fail_point(&self, iteration: u32) -> Option<crate::ClientKillPhase> {
+        let me = self.group[self.rank];
+        match self.fabric.plan.client_kill_at(me) {
+            Some((at, phase)) if iteration >= at => {
+                // Release for the same reason as `fail_point`: peers that
+                // observe the death also observe every prior send.
+                self.fabric.alive[me].store(false, Ordering::Release);
+                Some(phase)
+            }
+            _ => None,
+        }
+    }
+
     /// Sends `data` with `tag` to local rank `dest`. Never blocks (beyond
     /// an injected delay fault).
     pub fn send(&self, dest: usize, tag: u32, data: Bytes) {
@@ -535,6 +555,27 @@ mod tests {
             let err = comm.recv(ANY_SOURCE, ANY_TAG).unwrap_err();
             assert_eq!(err, RecvError::Timeout);
             assert!(start.elapsed() < Duration::from_secs(5));
+        });
+    }
+
+    #[test]
+    fn client_fail_point_fires_at_scheduled_iteration_and_marks_dead() {
+        let plan = FaultPlan::new().kill_client_at(1, 2, crate::ClientKillPhase::Memcpy);
+        World::run_with_faults(2, plan, |comm| {
+            if comm.rank() == 1 {
+                assert_eq!(comm.client_fail_point(1), None);
+                assert_eq!(
+                    comm.client_fail_point(2),
+                    Some(crate::ClientKillPhase::Memcpy)
+                );
+                return;
+            }
+            // Unscheduled ranks never fire.
+            assert_eq!(comm.client_fail_point(100), None);
+            comm.set_recv_timeout(Duration::from_secs(30));
+            // Rank 1 is dead on the fabric once its client kill fired.
+            let err = comm.recv(1, 7).unwrap_err();
+            assert_eq!(err, RecvError::PeerFailed { rank: 1 });
         });
     }
 

@@ -28,6 +28,25 @@ pub enum MsgFault {
     Duplicate,
 }
 
+/// Where inside a Damaris client operation a planned client kill strikes.
+///
+/// A whole-rank [`FaultPlan::kill_rank`] dies *between* iterations; a
+/// client kill dies *inside* the shared-memory write path, which is what
+/// exercises the node's abandoned-resource reclamation and end-to-end
+/// integrity checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientKillPhase {
+    /// Dies after reserving a shared-memory segment, before writing or
+    /// notifying — the reservation is abandoned un-journaled.
+    Alloc,
+    /// Dies mid-`memcpy`: the write-notification is visible but the
+    /// segment holds a torn prefix (the persist-side CRC must catch it).
+    Memcpy,
+    /// Dies after a complete, valid write but before ending the iteration
+    /// — the iteration stays open until the lease sweeper fences the rank.
+    PostCommit,
+}
+
 /// A deterministic schedule of transport faults.
 ///
 /// Built with the chained constructors and handed to
@@ -46,6 +65,9 @@ pub struct FaultPlan {
     /// World ranks scheduled to die, with the iteration at which their
     /// `fail_point` call fires.
     kills: HashMap<usize, u32>,
+    /// World ranks scheduled to die *inside* a Damaris client operation,
+    /// honored by `Communicator::client_fail_point`.
+    client_kills: HashMap<usize, (u32, ClientKillPhase)>,
 }
 
 impl FaultPlan {
@@ -82,6 +104,15 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules world rank `rank` to die inside its Damaris client
+    /// operation at iteration `at_iteration`, in the given phase: its next
+    /// `Communicator::client_fail_point(i)` call with `i >= at_iteration`
+    /// returns the phase and marks the rank dead on the fabric.
+    pub fn kill_client_at(mut self, rank: usize, at_iteration: u32, phase: ClientKillPhase) -> Self {
+        self.client_kills.insert(rank, (at_iteration, phase));
+        self
+    }
+
     /// The fault, if any, planned for this exact message.
     pub(crate) fn message_fault(&self, src: usize, dst: usize, ordinal: u64) -> Option<MsgFault> {
         self.messages.get(&(src, dst, ordinal)).copied()
@@ -92,9 +123,14 @@ impl FaultPlan {
         self.kills.get(&rank).copied()
     }
 
+    /// The client-kill schedule for `rank`, if any.
+    pub(crate) fn client_kill_at(&self, rank: usize) -> Option<(u32, ClientKillPhase)> {
+        self.client_kills.get(&rank).copied()
+    }
+
     /// True when the plan injects nothing (the `World::run` fast path).
     pub(crate) fn is_empty(&self) -> bool {
-        self.messages.is_empty() && self.kills.is_empty()
+        self.messages.is_empty() && self.kills.is_empty() && self.client_kills.is_empty()
     }
 }
 
@@ -131,6 +167,19 @@ mod tests {
         let plan = FaultPlan::new().kill_rank(2, 3).kill_rank(0, 10);
         assert_eq!(plan.kill_at(2), Some(3));
         assert_eq!(plan.kill_at(0), Some(10));
+        assert_eq!(plan.kill_at(1), None);
+    }
+
+    #[test]
+    fn client_kill_schedule_carries_phase() {
+        let plan = FaultPlan::new()
+            .kill_client_at(1, 2, ClientKillPhase::Memcpy)
+            .kill_client_at(3, 0, ClientKillPhase::Alloc);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.client_kill_at(1), Some((2, ClientKillPhase::Memcpy)));
+        assert_eq!(plan.client_kill_at(3), Some((0, ClientKillPhase::Alloc)));
+        assert_eq!(plan.client_kill_at(0), None);
+        // Independent of the whole-rank schedule.
         assert_eq!(plan.kill_at(1), None);
     }
 }

@@ -42,7 +42,7 @@ mod transport;
 
 pub use comm::{Communicator, RecvError, ANY_SOURCE, ANY_TAG};
 pub use datatypes::Message;
-pub use fault::{FaultPlan, MsgFault};
+pub use fault::{ClientKillPhase, FaultPlan, MsgFault};
 pub use transport::World;
 
 /// Message payload type, re-exported so callers need no direct `bytes`

@@ -26,11 +26,23 @@ struct FreeRange {
     len: usize,
 }
 
+/// A live range tagged with the client that reserved it, so an expired
+/// client's reservations can be swept back (`revoke_client`). Only ranges
+/// allocated through [`MutexAllocator::allocate_owned`] are tagged.
+#[derive(Debug, Clone, Copy)]
+struct OwnedRange {
+    offset: usize,
+    len: usize,
+    client: u32,
+}
+
 #[derive(Debug)]
 struct FreeList {
     /// Sorted by offset; no two ranges adjacent (always coalesced).
     ranges: Vec<FreeRange>,
     in_use: usize,
+    /// Live owner tags, unsorted (live offsets are unique).
+    owners: Vec<OwnedRange>,
 }
 
 /// Mutex-guarded first-fit allocator over a [`SharedBuffer`].
@@ -55,6 +67,7 @@ impl MutexAllocator {
                     Vec::new()
                 },
                 in_use: 0,
+                owners: Vec::new(),
             }),
         }
     }
@@ -86,6 +99,18 @@ impl MutexAllocator {
     /// Reserves `len` bytes; the returned segment has exactly `len`
     /// visible bytes (internal rounding is hidden).
     pub fn allocate(&self, len: usize) -> Result<Segment, AllocError> {
+        self.allocate_inner(len, None)
+    }
+
+    /// Like [`allocate`](Self::allocate), but tags the range with the
+    /// reserving client so [`revoke_client`](Self::revoke_client) can
+    /// sweep it back if the client's lease expires. The tag is dropped on
+    /// release.
+    pub fn allocate_owned(&self, client: u32, len: usize) -> Result<Segment, AllocError> {
+        self.allocate_inner(len, Some(client))
+    }
+
+    fn allocate_inner(&self, len: usize, owner: Option<u32>) -> Result<Segment, AllocError> {
         let need = Self::rounded(len);
         if need > self.buffer.capacity() {
             return Err(AllocError::TooLarge);
@@ -107,6 +132,13 @@ impl MutexAllocator {
             };
         }
         state.in_use += need;
+        if let Some(client) = owner {
+            state.owners.push(OwnedRange {
+                offset: seg_offset,
+                len,
+                client,
+            });
+        }
         drop(state);
         Ok(self.buffer.segment(seg_offset, len))
     }
@@ -157,6 +189,9 @@ impl MutexAllocator {
                 next.offset + next.len
             );
         }
+        // The range is dead: drop its owner tag (live offsets are unique,
+        // so matching on offset is unambiguous). No-op for untagged ranges.
+        state.owners.retain(|o| o.offset != offset);
         // invariant: in_use counts exactly the rounded bytes of live
         // segments; the canary above guarantees this range is live.
         debug_assert!(state.in_use >= len, "in_use underflow on release");
@@ -205,6 +240,58 @@ impl MutexAllocator {
         }
         drop(state);
         Some(self.buffer.segment(offset, len))
+    }
+
+    /// [`adopt`](Self::adopt) that also restores the owner tag — used by
+    /// journal replay after an EPE respawn so a later lease expiry of the
+    /// same client can still sweep the re-adopted range.
+    pub fn adopt_owned(&self, client: u32, offset: usize, len: usize) -> Option<Segment> {
+        let seg = self.adopt(offset, len)?;
+        let mut state = self.state.lock();
+        if !state.owners.iter().any(|o| o.offset == offset) {
+            state.owners.push(OwnedRange {
+                offset,
+                len,
+                client,
+            });
+        }
+        Some(seg)
+    }
+
+    /// Sweeps back every range still tagged as owned by `client`,
+    /// returning the rounded bytes reclaimed. Ranges whose handles were
+    /// already released are untagged and unaffected; ranges whose handles
+    /// are still live elsewhere (e.g. resident in the metadata store) must
+    /// be released through those handles *before* this sweep, or the later
+    /// release will trip the double-free canary.
+    ///
+    /// Known limit (deliberate, documented in DESIGN.md): unlike the
+    /// partitioned allocator — where a revoked client's region simply goes
+    /// idle — bytes reclaimed here return to the *global* free list, so a
+    /// zombie client stalled mid-`memcpy` past its lease could scribble on
+    /// a range that has been handed to another client. The CRC stamped at
+    /// commit is the backstop: the scribbled-over segment fails
+    /// verification at persist time instead of reaching storage.
+    pub fn revoke_client(&self, client: u32) -> usize {
+        let mut state = self.state.lock();
+        let mut dead = Vec::new();
+        state.owners.retain(|o| {
+            if o.client == client {
+                dead.push((o.offset, o.len));
+                false
+            } else {
+                true
+            }
+        });
+        drop(state);
+        let mut reclaimed = 0;
+        for (offset, len) in dead {
+            reclaimed += Self::rounded(len);
+            // Re-forge the dead client's handle; the canary in `release`
+            // still guards against the range somehow being free already.
+            self.release(self.buffer.segment(offset, len));
+        }
+        reclaimed
     }
 
     /// Largest single allocation that could currently succeed.
@@ -350,6 +437,50 @@ mod tests {
         let off2 = s2.offset();
         assert!(a.adopt(off2, 128).is_none());
         a.release(s2);
+    }
+
+    #[test]
+    fn revoke_client_sweeps_only_tagged_live_ranges() {
+        let a = MutexAllocator::with_capacity(1024);
+        let mine = a.allocate_owned(7, 64).unwrap();
+        let released = a.allocate_owned(7, 64).unwrap();
+        let other = a.allocate_owned(3, 64).unwrap();
+        let untagged = a.allocate(64).unwrap();
+        // A normal release drops the tag: revoke must not touch it again.
+        a.release(released);
+        drop(mine); // handle dies, reservation stays — the leak to sweep
+        assert_eq!(a.revoke_client(7), 64);
+        assert_eq!(a.in_use(), 128); // other + untagged still live
+        // Idempotent.
+        assert_eq!(a.revoke_client(7), 0);
+        a.release(other);
+        a.release(untagged);
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.largest_free(), 1024);
+    }
+
+    #[test]
+    fn adopt_owned_restores_the_tag() {
+        let a = MutexAllocator::with_capacity(256);
+        // An untagged live range (as if the tag state had been lost).
+        let s = a.allocate(64).unwrap();
+        let (off, len) = (s.offset(), s.len());
+        drop(s);
+        assert_eq!(a.revoke_client(2), 0); // nothing tagged yet
+        // Replay re-adopts the range under its owner, then the owner's
+        // lease expires before the segment is ever released.
+        let adopted = a.adopt_owned(2, off, len).expect("range is live");
+        drop(adopted);
+        assert_eq!(a.revoke_client(2), 64);
+        assert_eq!(a.in_use(), 0);
+        // Re-adopting twice must not duplicate the tag.
+        let s = a.allocate_owned(5, 64).unwrap();
+        let (off, len) = (s.offset(), s.len());
+        drop(s);
+        let adopted = a.adopt_owned(5, off, len).expect("range is live");
+        drop(adopted);
+        assert_eq!(a.revoke_client(5), 64);
+        assert_eq!(a.in_use(), 0);
     }
 
     #[test]

@@ -230,6 +230,44 @@ impl PartitionAllocator {
         // segment data before the client's next overwrite.
         region.tail.store(tail + pad + need, Ordering::Release);
     }
+
+    /// Reclaims **everything** still reserved in `client`'s region by
+    /// advancing `tail` to `head`. Returns the number of bytes reclaimed
+    /// (including wrap padding); 0 means the region was already empty.
+    ///
+    /// This is the sweeper's terminal reclamation step for a client whose
+    /// lease has been revoked. Contract:
+    ///
+    /// * called by the single consumer thread only (it owns `tail`);
+    /// * every *known* segment of the client (journaled, resident in the
+    ///   metadata store, or held for deferred release) must have been
+    ///   released in FIFO order first — this call then swallows whatever
+    ///   untracked remainder the dead client reserved but never committed;
+    /// * the client's lease must already be revoked so it cannot *begin*
+    ///   new reservations. A reservation already in flight at revoke time
+    ///   may still store `head` once after this sweep (the lease grace
+    ///   window) — which is safe (head and tail never share a writer, and
+    ///   a fenced client can never commit the bytes) but leaves them
+    ///   unreclaimed, so the sweeper calls this again on later fires until
+    ///   it returns 0 with `in_use` agreeing.
+    pub fn revoke_remaining(&self, client: usize) -> usize {
+        let Some(region) = self.regions.get(client) else {
+            return 0;
+        };
+        // Acquire: pairs with the client's Release store of `head` in
+        // `allocate` — the bytes below `head` we are about to recycle were
+        // fully reserved before we read it.
+        let head = region.head.load(Ordering::Acquire);
+        // Relaxed: only this (consumer) thread writes `tail`.
+        let tail = region.tail.load(Ordering::Relaxed);
+        if head == tail {
+            return 0;
+        }
+        // Release: same pairing as `release` — hands the recycled bytes
+        // back to any future reservation over this region.
+        region.tail.store(head, Ordering::Release);
+        head - tail
+    }
 }
 
 impl std::fmt::Debug for PartitionAllocator {
@@ -344,6 +382,50 @@ mod tests {
         a.release(0, s);
         // Released: the reservation is gone.
         assert!(a.adopt(0, off, len).is_none());
+    }
+
+    #[test]
+    fn revoke_remaining_reclaims_uncommitted_reservation() {
+        let a = PartitionAllocator::with_capacity(512, 2);
+        // The dead client reserved twice; the first segment was committed
+        // and the consumer releases it FIFO, the second was abandoned
+        // mid-write (its handle is gone, the reservation is not).
+        let committed = a.allocate(0, 64).unwrap();
+        let abandoned = a.allocate(0, 100).unwrap(); // rounds to 104
+        drop(abandoned);
+        a.release(0, committed);
+        assert_eq!(a.in_use(0), 104);
+        assert_eq!(a.revoke_remaining(0), 104);
+        assert_eq!(a.in_use(0), 0);
+        // Idempotent: an empty region reclaims nothing.
+        assert_eq!(a.revoke_remaining(0), 0);
+        // Other clients unaffected; out-of-range client is a no-op.
+        let s = a.allocate(1, 32).unwrap();
+        assert_eq!(a.revoke_remaining(7), 0);
+        assert_eq!(a.in_use(1), 32);
+        a.release(1, s);
+    }
+
+    #[test]
+    fn revoke_remaining_reclaims_wrap_padding() {
+        let a = PartitionAllocator::with_capacity(256, 1);
+        let s1 = a.allocate(0, 100).unwrap(); // 104 @ 0
+        let _abandoned = a.allocate(0, 100).unwrap(); // 104 @ 104
+        a.release(0, s1);
+        // pos 208: a 104-byte reservation pads 48 and wraps to 0.
+        let _abandoned2 = a.allocate(0, 100).unwrap();
+        assert_eq!(a.revoke_remaining(0), 104 + 48 + 104);
+        assert_eq!(a.in_use(0), 0);
+        // The region is fully usable again: ring position is 104, so the
+        // 152 bytes up to the end fit exactly...
+        let s = a.allocate(0, 150).unwrap();
+        assert_eq!(s.offset(), 104);
+        // ...and a wrapped allocation behind the tail works too.
+        let s2 = a.allocate(0, 96).unwrap();
+        assert_eq!(s2.offset(), 0);
+        a.release(0, s);
+        a.release(0, s2);
+        assert_eq!(a.in_use(0), 0);
     }
 
     #[test]

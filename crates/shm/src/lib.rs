@@ -44,6 +44,7 @@ mod alloc_mutex;
 mod alloc_partition;
 mod buffer;
 mod heartbeat;
+mod lease;
 mod queue;
 pub mod sync;
 
@@ -51,6 +52,7 @@ pub use alloc_mutex::MutexAllocator;
 pub use alloc_partition::PartitionAllocator;
 pub use buffer::{Segment, SharedBuffer};
 pub use heartbeat::HeartbeatWord;
+pub use lease::{ClientLease, LeaseSnapshot, LeaseTable};
 pub use queue::{MpscQueue, PushError};
 
 use std::fmt;

@@ -26,7 +26,9 @@
 use damaris_check::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use damaris_check::{model, thread, Builder, FailureKind};
 use damaris_shm::sync::{Arc, ShmCell};
-use damaris_shm::{AllocError, HeartbeatWord, MpscQueue, MutexAllocator, PartitionAllocator};
+use damaris_shm::{
+    AllocError, ClientLease, HeartbeatWord, MpscQueue, MutexAllocator, PartitionAllocator,
+};
 
 // ---------------------------------------------------------------------------
 // MPMC queue
@@ -482,6 +484,224 @@ fn seeded_load_store_claim_double_processes() {
     assert_eq!(failure.kind, FailureKind::Panic);
     assert!(
         failure.message.contains("double-processed"),
+        "unexpected message: {}",
+        failure.message
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Client liveness leases (renew/revoke arbitration)
+// ---------------------------------------------------------------------------
+
+/// The client-side publish pair: work written before `renew` is visible to
+/// a sweeper whose Acquire snapshot observes the advanced beat — the lease
+/// twin of `heartbeat_epoch_publishes_rebuilt_state`.
+#[test]
+fn lease_renew_publishes_client_writes() {
+    model(|| {
+        let lease = Arc::new(ClientLease::new());
+        let data = Arc::new(ShmCell::new(0usize));
+        let (l2, d2) = (Arc::clone(&lease), Arc::clone(&data));
+        let client = thread::spawn(move || {
+            // SAFETY: written before renew; the Release half of renew's
+            // CAS publishes it to the sweeper's Acquire observation.
+            d2.with_mut(|p| unsafe { *p = 0xC11E });
+            assert!(l2.renew(), "nobody revokes in this scenario");
+        });
+        // Sweeper: poll for the beat to advance, then trust the state it
+        // covers.
+        loop {
+            let (_, beat) = lease.observe();
+            if beat == 1 {
+                break;
+            }
+            thread::yield_now();
+        }
+        // SAFETY: ordered after the client's write via the Acquire
+        // snapshot of the beat it Release-published.
+        assert_eq!(data.with(|p| unsafe { *p }), 0xC11E);
+        client.join();
+    });
+}
+
+/// Seeded bug: a replica of `renew` with the publication weakened to a
+/// `Relaxed` store (no CAS, no Release). The checker must report the data
+/// race on the client state the beat is supposed to cover.
+#[test]
+fn seeded_relaxed_lease_renew_is_a_data_race() {
+    let failure = Builder::new()
+        .check_result(|| {
+            let word = Arc::new(AtomicU64::new(0));
+            let data = Arc::new(ShmCell::new(0usize));
+            let (w2, d2) = (Arc::clone(&word), Arc::clone(&data));
+            let client = thread::spawn(move || {
+                // SAFETY: deliberately unsound replica — the Relaxed store
+                // below publishes nothing; the model must object.
+                d2.with_mut(|p| unsafe { *p = 0xC11E });
+                w2.store(1, Ordering::Relaxed); // seeded bug: was AcqRel CAS
+            });
+            while word.load(Ordering::Acquire) == 0 {
+                thread::yield_now();
+            }
+            // SAFETY: intentionally racy — no release pairs with the
+            // Acquire above.
+            let _ = data.with(|p| unsafe { *p });
+            client.join();
+        })
+        .expect_err("weakened renew must be reported");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+}
+
+/// The arbitration itself: a client `renew` racing the sweeper's
+/// `try_revoke` from a stale snapshot. In every schedule exactly one side
+/// wins, and when the revoke wins the fenced client (failed renew) must
+/// see the fencing state the sweeper published before revoking.
+#[test]
+fn lease_revoke_vs_renew_exactly_one_wins() {
+    model(|| {
+        let lease = Arc::new(ClientLease::new());
+        let fence = Arc::new(ShmCell::new(0usize));
+        // The sweeper observed this beat a full lease window ago.
+        let stale = lease.snapshot();
+        let (l2, f2) = (Arc::clone(&lease), Arc::clone(&fence));
+        let client = thread::spawn(move || {
+            let renewed = l2.renew();
+            if !renewed {
+                // SAFETY: a failed renew Acquires the sweeper's Release
+                // revoke, ordering this read after the fence write.
+                assert_eq!(f2.with(|p| unsafe { *p }), 0xFE);
+            }
+            renewed
+        });
+        // Sweeper: set up the fencing state, then try to revoke.
+        // SAFETY: written before try_revoke; its Release half publishes
+        // this to the fenced client's failed renew.
+        fence.with_mut(|p| unsafe { *p = 0xFE });
+        let revoked = lease.try_revoke(stale);
+        let renewed = client.join();
+        assert!(
+            renewed != revoked,
+            "exactly one of renew/revoke may win (renewed={renewed}, revoked={revoked})"
+        );
+        assert_eq!(lease.is_revoked(), revoked);
+    });
+}
+
+/// The acceptance-criterion race: the sweeper cancelling a dead client's
+/// `Pending` journal record races a stale queue pop claiming the same
+/// record (late commit). The claim CAS arbitrates exactly-once: whoever
+/// wins disposes of the segment, the loser walks away, and the region
+/// always drains to empty with no double release.
+#[test]
+fn revoke_vs_late_commit_claims_exactly_once() {
+    model(|| {
+        let alloc = Arc::new(PartitionAllocator::with_capacity(8, 1));
+        let lease = Arc::new(ClientLease::new());
+        let record = Arc::new(AtomicUsize::new(0)); // 0 Pending, 1 claimed
+        let published = Arc::new(AtomicUsize::new(0));
+        let wins = Arc::new(AtomicUsize::new(0));
+
+        // Dying client: reserve, write, publish the journal record, die
+        // without ever renewing again. The handle dies with it; the
+        // reservation stays.
+        let (a2, p2) = (Arc::clone(&alloc), Arc::clone(&published));
+        let client = thread::spawn(move || {
+            let mut seg = a2.allocate(0, 8).expect("region is empty");
+            seg.as_mut_slice().fill(0xAB);
+            drop(seg);
+            p2.store(1, Ordering::Release);
+        });
+
+        // Late pop path: the stale queue event claims the record; if it
+        // wins it adopts and releases the segment (the normal commit).
+        let (a3, r3, p3, w3) = (
+            Arc::clone(&alloc),
+            Arc::clone(&record),
+            Arc::clone(&published),
+            Arc::clone(&wins),
+        );
+        let pop = thread::spawn(move || {
+            while p3.load(Ordering::Acquire) == 0 {
+                thread::yield_now();
+            }
+            if r3
+                .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let seg = a3.adopt(0, 0, 8).expect("range is reserved");
+                assert!(seg.as_slice().iter().all(|&b| b == 0xAB));
+                a3.release(0, seg);
+                w3.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+
+        // Sweeper path: revoke the lease (uncontended: the client is
+        // dead), then cancel the Pending record; only if the cancel wins
+        // may it sweep the region. (In the real system both claimers run
+        // on the one EPE thread; the model splits them to explore the
+        // claim race itself, so the losing sweeper must not also sweep.)
+        while published.load(Ordering::Acquire) == 0 {
+            thread::yield_now();
+        }
+        assert!(lease.try_revoke(lease.snapshot()), "client never renews");
+        if record
+            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            assert_eq!(alloc.revoke_remaining(0), 8);
+            wins.fetch_add(1, Ordering::Relaxed);
+        }
+        client.join();
+        pop.join();
+        assert_eq!(
+            wins.load(Ordering::Relaxed),
+            1,
+            "exactly one of sweep/late-commit may dispose of the record"
+        );
+        assert_eq!(alloc.in_use(0), 0);
+    });
+}
+
+/// Seeded bug: a sweeper that skips the claim arbitration and blindly
+/// sweeps the region while the late commit is still in flight. The
+/// checker must find the schedule where the pop releases a segment the
+/// sweep already reclaimed — the FIFO-release violation the claim CAS
+/// exists to prevent.
+#[test]
+fn seeded_blind_sweep_double_releases() {
+    let failure = Builder::new()
+        .check_result(|| {
+            let alloc = Arc::new(PartitionAllocator::with_capacity(8, 1));
+            let published = Arc::new(AtomicUsize::new(0));
+            let (a2, p2) = (Arc::clone(&alloc), Arc::clone(&published));
+            let client = thread::spawn(move || {
+                let mut seg = a2.allocate(0, 8).expect("region is empty");
+                seg.as_mut_slice().fill(0xAB);
+                drop(seg);
+                p2.store(1, Ordering::Release);
+            });
+            // seeded bug: the sweeper reclaims without claiming first...
+            let (a3, p3) = (Arc::clone(&alloc), Arc::clone(&published));
+            let sweeper = thread::spawn(move || {
+                while p3.load(Ordering::Acquire) == 0 {
+                    thread::yield_now();
+                }
+                a3.revoke_remaining(0);
+            });
+            // ...while the late commit also disposes of the segment.
+            while published.load(Ordering::Acquire) == 0 {
+                thread::yield_now();
+            }
+            if let Some(seg) = alloc.adopt(0, 0, 8) {
+                alloc.release(0, seg);
+            }
+            client.join();
+            sweeper.join();
+        })
+        .expect_err("blind sweep must double-release in some schedule");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("FIFO release violated"),
         "unexpected message: {}",
         failure.message
     );

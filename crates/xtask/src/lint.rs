@@ -175,10 +175,12 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
         file.starts_with("crates/shm/src") || file.starts_with("crates/core/src");
     let is_facade = file == "crates/shm/src/sync.rs";
     // The untagged-expect gate covers the crates whose panics take down
-    // supervised threads: core (the dedicated-core server) and mpi (the
-    // rank substrate, where an unwrap kills a "rank").
-    let in_core_src =
-        file.starts_with("crates/core/src") || file.starts_with("crates/mpi/src");
+    // supervised threads: core (the dedicated-core server), mpi (the rank
+    // substrate, where an unwrap kills a "rank"), and shm (the lease /
+    // allocator layer both sides of the boundary call into).
+    let in_core_src = file.starts_with("crates/core/src")
+        || file.starts_with("crates/mpi/src")
+        || file.starts_with("crates/shm/src");
     let in_check = file.starts_with("crates/check/");
     let in_xtask = file.starts_with("crates/xtask/");
     // Integration tests, benches, and examples are test code wholesale.
@@ -472,6 +474,20 @@ let v = maybe.unwrap();
         assert!(rules("crates/mpi/src/comm.rs", tagged).is_empty());
         // mpi test files stay exempt like everyone else's.
         assert!(rules("crates/mpi/tests/faults.rs", src).is_empty());
+    }
+
+    #[test]
+    fn untagged_expect_in_shm_flagged() {
+        // The shm layer (leases, allocators) runs on both sides of the
+        // client/server boundary: an unwrap there can take down either.
+        let src = "let v = maybe.unwrap();\n";
+        assert_eq!(rules("crates/shm/src/lease.rs", src), ["untagged-expect"]);
+        let tagged = "\
+// invariant: the lease table covers every client id by construction.
+let v = maybe.unwrap();
+";
+        assert!(rules("crates/shm/src/lease.rs", tagged).is_empty());
+        assert!(rules("crates/shm/tests/model.rs", src).is_empty());
     }
 
     #[test]
