@@ -1,0 +1,109 @@
+//! The seeded-violation corpus (`tests/fixtures/`) and the repo-level
+//! accounting pins.
+//!
+//! Each fixture file contains exactly one class of violation and is fed
+//! to the analyzer under a synthetic in-scope path; if a rule ever stops
+//! firing on its fixture, the rule is broken, not the code. The repo
+//! pins then freeze the *actual* waiver population: adding a waiver to
+//! shipped code means updating the count here, in review.
+
+use damaris_analyze::analyze_sources;
+use std::path::Path;
+
+fn fixture(path: &str, file: &str) -> damaris_analyze::Report {
+    let src = match file {
+        "hidden_alloc" => include_str!("fixtures/hidden_alloc.rs"),
+        "lock_cycle" => include_str!("fixtures/lock_cycle.rs"),
+        "unpaired_release" => include_str!("fixtures/unpaired_release.rs"),
+        "bogus_waiver" => include_str!("fixtures/bogus_waiver.rs"),
+        other => panic!("unknown fixture {other}"),
+    };
+    analyze_sources(&[(path.to_string(), src.to_string())])
+}
+
+#[test]
+fn hidden_alloc_two_hops_fires_with_full_path() {
+    let r = fixture("crates/core/src/fixture_hidden_alloc.rs", "hidden_alloc");
+    let f: Vec<_> = r.findings.iter().filter(|f| f.rule == "hot-alloc").collect();
+    assert_eq!(f.len(), 1, "findings: {:?}", r.findings);
+    assert_eq!(f[0].path, vec!["hot_root", "first_hop", "second_hop"]);
+}
+
+#[test]
+fn lock_order_cycle_fires() {
+    let r = fixture("crates/shm/src/fixture_lock_cycle.rs", "lock_cycle");
+    assert!(
+        r.findings.iter().any(|f| f.rule == "lock-order"),
+        "findings: {:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn unpaired_release_store_fires() {
+    let r = fixture(
+        "crates/shm/src/fixture_unpaired_release.rs",
+        "unpaired_release",
+    );
+    let f: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == "atomic-pairing")
+        .collect();
+    assert_eq!(f.len(), 1, "findings: {:?}", r.findings);
+    assert!(f[0].message.contains("ready"));
+}
+
+#[test]
+fn bogus_and_unused_waivers_fire() {
+    let r = fixture("crates/core/src/fixture_bogus_waiver.rs", "bogus_waiver");
+    let bogus = r.findings.iter().filter(|f| f.rule == "bogus-waiver").count();
+    let unused = r.findings.iter().filter(|f| f.rule == "unused-waiver").count();
+    assert_eq!(
+        (bogus, unused),
+        (2, 1),
+        "findings: {:?}",
+        r.findings
+    );
+}
+
+fn repo_report() -> damaris_analyze::Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    damaris_analyze::analyze_root(&root).expect("scan repo")
+}
+
+/// The repo-wide waiver population, pinned exactly. A new waiver in
+/// shipped code must bump this number in the same change — that is the
+/// review speed bump the waiver policy (DESIGN.md §11) wants.
+#[test]
+fn repo_waiver_count_is_pinned() {
+    let r = repo_report();
+    assert_eq!(
+        r.waivers.len(),
+        0,
+        "waiver population changed; update this pin only with a justified waiver: {:?}",
+        r.waivers
+    );
+    assert!(r.is_clean(), "repo has findings: {:?}", r.findings);
+}
+
+/// The paper's claim lives or dies on `write()`: its transitive closure
+/// must be strict (no waivers tolerated) and waiver-free.
+#[test]
+fn client_write_closure_is_strict_and_waiver_free() {
+    let r = repo_report();
+    let c = r
+        .closure("DamarisClient::write")
+        .expect("DamarisClient::write is a hot root");
+    assert!(c.strict, "write must be annotated hot(strict)");
+    assert_eq!(c.waived, 0, "no waivers tolerated in the write closure");
+    assert!(
+        c.fns > 10,
+        "closure suspiciously small ({} fns) — call resolution regressed?",
+        c.fns
+    );
+}

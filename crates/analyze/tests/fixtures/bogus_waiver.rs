@@ -1,0 +1,16 @@
+//! Seeded violation: waivers the accounting rules must reject — one
+//! naming a rule the analyzer does not know, one missing its
+//! justification, and one justified but suppressing nothing.
+
+// ANALYZE: hot
+pub fn hot_root() {
+    // ANALYZE: allow(made-up-rule) — this rule name does not exist
+    helper();
+}
+
+fn helper() {
+    // ANALYZE: allow(hot-alloc)
+    let x = 1 + 1;
+    // ANALYZE: allow(hot-alloc) — suppresses nothing on this line
+    let _ = x;
+}

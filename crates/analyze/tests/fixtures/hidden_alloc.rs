@@ -1,0 +1,17 @@
+//! Seeded violation: a hot root whose heap allocation hides two call
+//! hops away. The analyzer must carry the Alloc fact back up the call
+//! graph and report it against the root with the full path.
+
+// ANALYZE: hot
+pub fn hot_root(n: usize) -> usize {
+    first_hop(n)
+}
+
+fn first_hop(n: usize) -> usize {
+    second_hop(n)
+}
+
+fn second_hop(n: usize) -> usize {
+    let b = Box::new(n);
+    *b + 1
+}

@@ -1,0 +1,22 @@
+//! Seeded violation: two mutexes taken in opposite orders by two
+//! functions of the same struct — the classic AB/BA deadlock shape the
+//! lock-order rule exists to catch.
+
+pub struct TwoLocks {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl TwoLocks {
+    pub fn a_then_b(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn b_then_a(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *gb - *ga
+    }
+}

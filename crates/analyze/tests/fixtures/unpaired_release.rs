@@ -1,0 +1,18 @@
+//! Seeded violation: a field published with a Release store that no
+//! reader ever loads with Acquire — the write-side half of a broken
+//! message-passing pattern (readers using Relaxed would see the flag
+//! without the payload it guards).
+
+pub struct Flag {
+    ready: AtomicU64,
+}
+
+impl Flag {
+    pub fn publish(&self) {
+        self.ready.store(1, Ordering::Release);
+    }
+
+    pub fn check(&self) -> bool {
+        self.ready.load(Ordering::Relaxed) == 1
+    }
+}

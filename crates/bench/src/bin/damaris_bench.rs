@@ -1,0 +1,174 @@
+//! Hot-path microbenchmark companion to `cargo run -p xtask -- analyze`:
+//! the analyzer proves the write path *cannot* allocate, lock, or panic;
+//! this binary measures what that discipline buys, and pins the numbers
+//! where a reviewer can see them.
+//!
+//! Writes `BENCH_7.json` at the repository root with schema
+//! `damaris-bench/v1`:
+//!
+//! ```json
+//! {
+//!   "schema": "damaris-bench/v1",
+//!   "write_latency_ns": { "p50": ..., "p99": ..., "samples": ... },
+//!   "allocator": { "ops_per_sec": ..., "bytes_per_sec": ... },
+//!   "queue": { "ops_per_sec": ... },
+//!   "config": { "clients": ..., "payload_bytes": ..., "iterations": ... }
+//! }
+//! ```
+//!
+//! * `write_latency_ns` — per-call `DamarisClient::write` latency over a
+//!   partition-allocator, tracing-on, never-backpressured workload (the
+//!   same sizing rationale as `obs_overhead`): p50 is the typical
+//!   jitter-free call, p99 the tail the paper's Fig. 2 cares about.
+//! * `allocator` — `PartitionAllocator` allocate+release round-trips per
+//!   second from one client (ops and bytes).
+//! * `queue` — `MpscQueue` push+pop pairs per second, single producer
+//!   (the per-rank MPSC configuration of the event queue).
+//!
+//! CI runs this advisory (never a hard gate): absolute numbers depend on
+//! the runner; the JSON exists so regressions show up in review diffs.
+
+use damaris_core::{Config, NodeRuntime};
+use damaris_shm::{MpscQueue, PartitionAllocator};
+use serde_json::json;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const CLIENTS: usize = 4;
+const ITERATIONS: u32 = 100;
+const WRITES_PER_ITER: u32 = 4;
+const PAYLOAD_F64: usize = 8192; // 64 KiB per write: memcpy-dominated
+
+fn repo_root() -> PathBuf {
+    // crates/bench/../.. = repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+/// Per-call write latencies (ns) for a workload sized so no client ever
+/// waits on the dedicated core — the client path, not server throughput.
+fn write_latencies() -> Vec<u64> {
+    let dir = std::env::temp_dir().join(format!("damaris-bench7-{}", std::process::id()));
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="268435456" allocator="partition" queue="4096"/>
+             <observability enabled="true" ring_capacity="8192"/>
+             <layout name="block" type="double" dimensions="8192"/>
+             <variable name="field" layout="block"/>
+           </damaris>"#,
+    )
+    .expect("valid config");
+    let runtime = NodeRuntime::start(cfg, CLIENTS, &dir).expect("start node");
+    let clients = runtime.clients();
+    let data = vec![1.0f64; PAYLOAD_F64];
+    let samples = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for client in clients {
+            let samples = &samples;
+            let data = &data;
+            s.spawn(move || {
+                let mut local = Vec::with_capacity((ITERATIONS * WRITES_PER_ITER) as usize);
+                for it in 0..ITERATIONS {
+                    for _ in 0..WRITES_PER_ITER {
+                        let t = Instant::now();
+                        client.write_f64("field", it, data).expect("write");
+                        local.push(t.elapsed().as_nanos() as u64);
+                    }
+                    client.end_iteration(it).expect("end iteration");
+                }
+                samples.lock().expect("samples lock").append(&mut local);
+            });
+        }
+    });
+    runtime.finish().expect("clean shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+    samples.into_inner().expect("samples lock")
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Partition-allocator allocate+release round-trips from one client.
+fn allocator_throughput() -> (f64, f64) {
+    const LEN: usize = 4096;
+    const ROUNDS: u32 = 200_000;
+    let alloc = PartitionAllocator::with_capacity(64 << 20, 1);
+    // Warmup: fault in the region bookkeeping.
+    for _ in 0..1000 {
+        let seg = alloc.allocate(0, LEN).expect("allocate");
+        alloc.release(0, seg);
+    }
+    let t = Instant::now();
+    for _ in 0..ROUNDS {
+        let seg = alloc.allocate(0, LEN).expect("allocate");
+        alloc.release(0, seg);
+    }
+    let secs = t.elapsed().as_secs_f64();
+    (
+        f64::from(ROUNDS) / secs,
+        f64::from(ROUNDS) * LEN as f64 / secs,
+    )
+}
+
+/// Event-queue push+pop pairs per second, single producer (the per-rank
+/// MPSC configuration).
+fn queue_throughput() -> f64 {
+    const OPS: u32 = 1_000_000;
+    let q: MpscQueue<u64> = MpscQueue::new(1024);
+    // Warmup.
+    for i in 0..1024u64 {
+        q.push(i).expect("push");
+    }
+    while q.pop().is_some() {}
+    let t = Instant::now();
+    for i in 0..OPS {
+        q.push(u64::from(i)).expect("push");
+        q.pop().expect("pop");
+    }
+    let secs = t.elapsed().as_secs_f64();
+    f64::from(OPS) / secs
+}
+
+fn main() {
+    // Warmup run: page in the binary and the temp dir.
+    write_latencies();
+
+    let mut lat = write_latencies();
+    lat.sort_unstable();
+    let p50 = percentile(&lat, 0.50);
+    let p99 = percentile(&lat, 0.99);
+    let (alloc_ops, alloc_bytes) = allocator_throughput();
+    let queue_ops = queue_throughput();
+
+    println!(
+        "write latency: p50 {p50} ns, p99 {p99} ns ({} samples, {CLIENTS} clients x \
+         {ITERATIONS} iters x {WRITES_PER_ITER} writes of {} B)",
+        lat.len(),
+        PAYLOAD_F64 * 8
+    );
+    println!("allocator: {alloc_ops:.0} alloc+release/s ({alloc_bytes:.3e} B/s)");
+    println!("queue: {queue_ops:.0} push+pop/s");
+
+    let record = json!({
+        "schema": "damaris-bench/v1",
+        "write_latency_ns": { "p50": p50, "p99": p99, "samples": lat.len() },
+        "allocator": { "ops_per_sec": alloc_ops, "bytes_per_sec": alloc_bytes },
+        "queue": { "ops_per_sec": queue_ops },
+        "config": {
+            "clients": CLIENTS,
+            "payload_bytes": PAYLOAD_F64 * 8,
+            "iterations": ITERATIONS,
+        },
+    });
+    let path = repo_root().join("BENCH_7.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&record).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_7.json");
+    println!("(saved {})", path.display());
+}

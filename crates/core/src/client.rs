@@ -136,22 +136,16 @@ impl DamarisClient {
     fn lookup(&self, variable: &str) -> Result<(u32, u64), DamarisError> {
         let (id, layout) = self.lookup_def(variable)?;
         if layout.dynamic {
-            return Err(DamarisError::Config(format!(
-                "variable '{variable}' has a dynamic layout; use write_dynamic"
-            )));
+            return Err(DamarisError::wrong_layout_kind(variable, true));
         }
         Ok((id, layout.byte_size()))
     }
 
     fn lookup_def(&self, variable: &str) -> Result<(u32, &crate::LayoutDef), DamarisError> {
-        let id = self
-            .shared
-            .config
-            .variable_id(variable)
-            .ok_or_else(|| DamarisError::UnknownVariable(variable.to_string()))?;
-        // invariant: `variable_id` returned this id one line above.
-        let def = self.shared.config.variable(id).expect("id just resolved");
-        Ok((id, self.shared.config.layout_of(def)))
+        match self.shared.config.variable_by_name(variable) {
+            Some((id, def)) => Ok((id, self.shared.config.layout_of(def))),
+            None => Err(DamarisError::unknown_variable(variable)),
+        }
     }
 
     /// Samples the heartbeat word; true once it has been unchanged for the
@@ -183,6 +177,8 @@ impl DamarisClient {
     /// respawned the server) or a resumed beat (false alarm: the old
     /// server was busy, not dead). Fails with `EpeUnavailable` at
     /// `deadline`.
+    // ANALYZE: cold — parked waiting out a server respawn; the stall is the failure mode, not jitter
+    #[cold]
     fn await_heartbeat(&self, deadline: Instant) -> Result<(), DamarisError> {
         FaultStats::bump(&self.shared.stats.heartbeat_stale_observed);
         let word = self.shared.heartbeat.observe();
@@ -240,13 +236,21 @@ impl DamarisClient {
                         spins += 1;
                         std::thread::yield_now();
                     } else {
-                        let remaining = deadline - now;
-                        std::thread::sleep(backoff.delay().min(remaining));
+                        self.backpressure_pause(&mut backoff, deadline - now);
                     }
                 }
                 Err(e) => return Err(e.into()),
             }
         }
+    }
+
+    /// One bounded backoff sleep while the buffer is full. Out-of-line:
+    /// a client that reaches this is already stalled on backpressure, so
+    /// the sleep is accounted to the wait, not to the write fast path.
+    // ANALYZE: cold — backpressure wait; the client is already stalled on a full buffer
+    #[cold]
+    fn backpressure_pause(&self, backoff: &mut Backoff, remaining: Duration) {
+        std::thread::sleep(backoff.delay().min(remaining));
     }
 
     /// Blocking reservation under the `block` policy: timeout surfaces as
@@ -276,12 +280,15 @@ impl DamarisClient {
 
     /// Policy-aware reservation for the write paths. `Ok(None)` means the
     /// payload was consumed by the policy (dropped or written through) and
-    /// the write is complete.
+    /// the write is complete. `layout` is only needed for dynamic-shape
+    /// writes (whose shape exists per write); static writes pass `None`
+    /// and [`write_through`](Self::write_through) re-derives the layout
+    /// off the fast path in the rare case it diverts.
     fn reserve_or_divert(
         &self,
         variable: &str,
         iteration: u32,
-        layout: &damaris_format::Layout,
+        layout: Option<&damaris_format::Layout>,
         data: &[u8],
     ) -> Result<Option<Segment>, DamarisError> {
         match self.shared.config.resilience.backpressure {
@@ -335,14 +342,26 @@ impl DamarisClient {
     /// The `sync-fallback` escape hatch: the compute core writes the
     /// payload to storage itself, through the crash-consistent path. This
     /// pays the I/O jitter Damaris exists to hide — but loses no data and
-    /// needs no shared-memory space.
+    /// needs no shared-memory space. `layout: None` (static write)
+    /// re-derives the storage layout from the configuration here, off the
+    /// fast path.
+    // ANALYZE: cold — the sync-fallback escape hatch pays I/O jitter by design
+    #[cold]
     fn write_through(
         &self,
         variable: &str,
         iteration: u32,
-        layout: &damaris_format::Layout,
+        layout: Option<&damaris_format::Layout>,
         data: &[u8],
     ) -> Result<(), DamarisError> {
+        let derived;
+        let layout = match layout {
+            Some(l) => l,
+            None => {
+                derived = self.lookup_def(variable)?.1.storage_layout();
+                &derived
+            }
+        };
         let name = format!(
             "sync-fallback/rank-{}/iter-{:06}-{variable}.sdf",
             self.id, iteration
@@ -395,17 +414,18 @@ impl DamarisClient {
             .map_err(|_| self.fenced_err())
     }
 
-    /// Shared tail of the copy-based write paths — memcpy into the
-    /// segment, journal append, queue notification — each under its trace
-    /// span. The spans chain: `t` is the previous span's end timestamp,
-    /// and the return value is the last span's end, so the whole tail
-    /// costs three clock reads instead of six.
-    fn copy_and_notify(
+    /// Tail of the static-layout write path — memcpy into the segment,
+    /// lock-free journal append ([`crate::journal::EventJournal::append_write`]),
+    /// queue notification — each under its trace span. The spans chain:
+    /// `t` is the previous span's end timestamp, and the return value is
+    /// the last span's end, so the whole tail costs three clock reads
+    /// instead of six.
+    // ANALYZE: hot
+    fn copy_and_notify_static(
         &self,
         variable_id: u32,
         iteration: u32,
         mut segment: Segment,
-        dynamic_layout: Option<damaris_format::Layout>,
         data: &[u8],
         t: u64,
     ) -> Result<u64, DamarisError> {
@@ -417,18 +437,66 @@ impl DamarisClient {
         let t = self
             .rec
             .end(EventKind::Memcpy, iteration, data.len() as u64, t);
+        let seq = match self.shared.journal.append_write(
+            self.shared.heartbeat.epoch(),
+            variable_id,
+            iteration,
+            self.id,
+            segment.offset(),
+            segment.len(),
+            data_crc,
+        ) {
+            Ok(seq) => seq,
+            Err(_) => {
+                // Fenced mid-write: this client may neither notify nor
+                // release. Dropping the handle leaves the bytes reserved;
+                // the sweeper's `revoke_remaining` reclaims them.
+                drop(segment);
+                return Err(self.fenced_err());
+            }
+        };
+        let t = self.rec.end(EventKind::JournalAppend, iteration, 0, t);
+        self.shared.queue.push_wait(Event::Write {
+            variable_id,
+            iteration,
+            source: self.id,
+            segment,
+            dynamic_layout: None,
+            seq,
+            data_crc,
+        });
+        Ok(self.rec.end(EventKind::QueuePush, iteration, 0, t))
+    }
+
+    /// Tail of the dynamic-shape write path: same steps as
+    /// [`copy_and_notify_static`](Self::copy_and_notify_static), but the
+    /// per-write layout travels with the record, which makes the journal
+    /// append take the mutex path (it allocates regardless).
+    fn copy_and_notify_dynamic(
+        &self,
+        variable_id: u32,
+        iteration: u32,
+        mut segment: Segment,
+        dynamic_layout: damaris_format::Layout,
+        data: &[u8],
+        t: u64,
+    ) -> Result<u64, DamarisError> {
+        // See copy_and_notify_static: checksum the source, then copy.
+        let data_crc = damaris_format::crc32(data);
+        segment.copy_from_slice(data);
+        let t = self
+            .rec
+            .end(EventKind::Memcpy, iteration, data.len() as u64, t);
         let seq = match self.journal_write(
             variable_id,
             iteration,
             &segment,
-            dynamic_layout.as_ref(),
+            Some(&dynamic_layout),
             data_crc,
         ) {
             Ok(seq) => seq,
             Err(e) => {
-                // Fenced mid-write: this client may neither notify nor
-                // release. Dropping the handle leaves the bytes reserved;
-                // the sweeper's `revoke_remaining` reclaims them.
+                // Fenced mid-write: abandon the segment for the sweeper.
                 drop(segment);
                 return Err(e);
             }
@@ -439,7 +507,7 @@ impl DamarisClient {
             iteration,
             source: self.id,
             segment,
-            dynamic_layout,
+            dynamic_layout: Some(dynamic_layout),
             seq,
             data_crc,
         });
@@ -453,6 +521,7 @@ impl DamarisClient {
     /// between blocking (bounded, the default), dropping the payload, or
     /// writing it through to storage synchronously — see
     /// [`crate::config::BackpressurePolicy`].
+    // ANALYZE: hot(strict)
     pub fn write(&self, variable: &str, iteration: u32, data: &[u8]) -> Result<(), DamarisError> {
         self.renew_lease()?;
         // One timestamp opens both the WriteCall and AllocWait spans (the
@@ -462,22 +531,13 @@ impl DamarisClient {
         let t_call = self.rec.begin();
         let (variable_id, expected) = self.lookup(variable)?;
         if data.len() as u64 != expected {
-            return Err(DamarisError::LayoutMismatch {
-                variable: variable.to_string(),
+            return Err(DamarisError::layout_mismatch(
+                variable,
                 expected,
-                actual: data.len() as u64,
-            });
+                data.len() as u64,
+            ));
         }
-        let layout = {
-            let def = self
-                .shared
-                .config
-                .variable(variable_id)
-                // invariant: id came from `lookup` on the same config.
-                .expect("id just resolved");
-            self.shared.config.layout_of(def).storage_layout()
-        };
-        let segment = match self.reserve_or_divert(variable, iteration, &layout, data)? {
+        let segment = match self.reserve_or_divert(variable, iteration, None, data)? {
             Some(segment) => segment,
             None => {
                 // Policy consumed the payload (dropped or written through):
@@ -490,7 +550,7 @@ impl DamarisClient {
         let t = self
             .rec
             .end(EventKind::AllocWait, iteration, data.len() as u64, t_call);
-        let t_end = self.copy_and_notify(variable_id, iteration, segment, None, data, t)?;
+        let t_end = self.copy_and_notify_static(variable_id, iteration, segment, data, t)?;
         self.rec
             .span_at(EventKind::WriteCall, iteration, data.len() as u64, t_call, t_end);
         Ok(())
@@ -509,20 +569,18 @@ impl DamarisClient {
         self.renew_lease()?;
         let (variable_id, layout_def) = self.lookup_def(variable)?;
         if !layout_def.dynamic {
-            return Err(DamarisError::Config(format!(
-                "variable '{variable}' has a static layout; use write"
-            )));
+            return Err(DamarisError::wrong_layout_kind(variable, false));
         }
         let layout = damaris_format::Layout::new(layout_def.dtype, dims);
         if data.len() as u64 != layout.byte_size() {
-            return Err(DamarisError::LayoutMismatch {
-                variable: variable.to_string(),
-                expected: layout.byte_size(),
-                actual: data.len() as u64,
-            });
+            return Err(DamarisError::layout_mismatch(
+                variable,
+                layout.byte_size(),
+                data.len() as u64,
+            ));
         }
         let t_call = self.rec.begin();
-        let segment = match self.reserve_or_divert(variable, iteration, &layout, data)? {
+        let segment = match self.reserve_or_divert(variable, iteration, Some(&layout), data)? {
             Some(segment) => segment,
             None => {
                 // Policy consumed the payload (dropped or written through).
@@ -534,7 +592,7 @@ impl DamarisClient {
         let t = self
             .rec
             .end(EventKind::AllocWait, iteration, data.len() as u64, t_call);
-        let t_end = self.copy_and_notify(variable_id, iteration, segment, Some(layout), data, t)?;
+        let t_end = self.copy_and_notify_dynamic(variable_id, iteration, segment, layout, data, t)?;
         self.rec
             .span_at(EventKind::WriteCall, iteration, data.len() as u64, t_call, t_end);
         Ok(())
@@ -751,19 +809,23 @@ impl AllocatedRegion {
         // The zero-copy path produced directly in shared memory, so the
         // segment *is* the source: checksum what was actually committed.
         let data_crc = damaris_format::crc32(segment.as_slice());
-        let seq = match self.client.journal_write(
+        // Zero-copy commits are static-layout by construction: take the
+        // same lock-free journal path as `write`.
+        let seq = match self.client.shared.journal.append_write(
+            self.client.shared.heartbeat.epoch(),
             self.variable_id,
             self.iteration,
-            &segment,
-            None,
+            self.client.id,
+            segment.offset(),
+            segment.len(),
             data_crc,
         ) {
             Ok(seq) => seq,
-            Err(e) => {
+            Err(_) => {
                 // Fenced: may neither notify nor release — the sweeper's
                 // `revoke_remaining` reclaims the bytes.
                 drop(segment);
-                return Err(e);
+                return Err(self.client.fenced_err());
             }
         };
         let t = rec.end(EventKind::JournalAppend, self.iteration, 0, t);

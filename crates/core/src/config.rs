@@ -503,12 +503,23 @@ impl Config {
         self.variables.get(id as usize)
     }
 
+    /// Variable id and definition in one scan — the `write()` fast path's
+    /// single name lookup (no id → definition round trip).
+    pub fn variable_by_name(&self, name: &str) -> Option<(u32, &VariableDef)> {
+        self.variables
+            .iter()
+            .enumerate()
+            .find(|(_, v)| v.name == name)
+            .map(|(i, v)| (i as u32, v))
+    }
+
     /// The layout definition backing a variable.
     pub fn layout_of(&self, var: &VariableDef) -> &LayoutDef {
         self.layouts
             .get(&var.layout)
             // invariant: parse-time validation rejects configs whose
             // variables reference undefined layouts.
+            // ANALYZE: in-bounds(parse-time validation rejects configs whose variables reference undefined layouts)
             .expect("validated at parse time")
     }
 

@@ -40,6 +40,43 @@ pub enum DamarisError {
     ClientFenced { client: u32, node_id: u32 },
 }
 
+/// Out-of-line constructors for the variants raised on hot paths. The
+/// `String` allocation happens only once the call has already failed,
+/// behind a `#[cold]` boundary, so `write()`'s fast path stays free of
+/// heap operations (enforced by `cargo run -p xtask -- analyze`).
+impl DamarisError {
+    // ANALYZE: cold — error construction; the call has already failed
+    #[cold]
+    pub(crate) fn unknown_variable(name: &str) -> Self {
+        DamarisError::UnknownVariable(name.to_string())
+    }
+
+    // ANALYZE: cold — error construction; the call has already failed
+    #[cold]
+    pub(crate) fn layout_mismatch(variable: &str, expected: u64, actual: u64) -> Self {
+        DamarisError::LayoutMismatch {
+            variable: variable.to_string(),
+            expected,
+            actual,
+        }
+    }
+
+    /// The caller used `write` on a dynamic variable or `write_dynamic`
+    /// on a static one.
+    // ANALYZE: cold — error construction; the call has already failed
+    #[cold]
+    pub(crate) fn wrong_layout_kind(variable: &str, has_dynamic: bool) -> Self {
+        let (has, use_instead) = if has_dynamic {
+            ("dynamic", "write_dynamic")
+        } else {
+            ("static", "write")
+        };
+        DamarisError::Config(format!(
+            "variable '{variable}' has a {has} layout; use {use_instead}"
+        ))
+    }
+}
+
 impl fmt::Display for DamarisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

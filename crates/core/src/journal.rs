@@ -32,8 +32,20 @@
 //! * `Applied` records are dead weight; [`EventJournal::compact`] drops
 //!   them (a missing record claims as `Stale`, preserving at-most-once).
 
+//! # Fast path
+//!
+//! The overwhelmingly common record — a static-layout `Write` from a
+//! low-numbered source — never touches the mutex or the heap on append:
+//! it is staged as a fixed-size [`FixedWriteRecord`] in a lock-free slab
+//! and folded into the `BTreeMap` by whichever mutex entry point runs
+//! next (`claim` on the dedicated core's pop, `fence`, `replay_snapshot`,
+//! …). Appends and fences race by design; the slab's publish/recheck
+//! protocol (see [`EventJournal::append_write`]) guarantees a fenced
+//! source's staged record is either collected by the fence or cancelled
+//! by the appender — never silently retained.
+
 use damaris_format::Layout;
-use damaris_shm::sync::{AtomicU64, Mutex, Ordering};
+use damaris_shm::sync::{AtomicU64, Mutex, Ordering, ShmCell};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What a journaled notification said, minus the live [`damaris_shm::Segment`]
@@ -150,12 +162,113 @@ struct JournalInner {
     fenced: BTreeSet<u32>,
 }
 
+/// Slot states, packed into the low 2 bits of the state word; the upper
+/// 62 bits carry the staged record's sequence number, which makes every
+/// state transition ABA-proof (a recycled slot never matches a stale
+/// compare-exchange expectation).
+const SLOT_FREE: u64 = 0;
+const SLOT_CLAIMED: u64 = 1;
+const SLOT_READY: u64 = 2;
+const SLOT_DRAINING: u64 = 3;
+const STATE_TAG_MASK: u64 = 0b11;
+
+/// Sources `0..FAST_SOURCES` get a fence bit in `fenced_mask` and may use
+/// the lock-free append path; higher sources fall back to the mutex.
+const FAST_SOURCES: u32 = 64;
+
+/// Staging capacity shared by all fast-path appenders. Exhaustion is not
+/// an error — appends overflow to the mutex path — but it only happens
+/// when the dedicated core has not popped (and therefore not drained) for
+/// a full slab of writes.
+const STAGING_SLOTS: usize = 64;
+
+fn pack(tag: u64, seq: u64) -> u64 {
+    (seq << 2) | tag
+}
+
+/// The fixed-size, heap-free image of a static-layout `Write` record —
+/// everything [`JournalPayload::Write`] carries except `dynamic_layout`
+/// (dynamic writes take the mutex path; they allocate regardless).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FixedWriteRecord {
+    pub variable_id: u32,
+    pub iteration: u32,
+    pub source: u32,
+    pub data_crc: u32,
+    pub offset: u64,
+    pub len: u64,
+    pub epoch: u32,
+    /// Header CRC, computed at append over [`encode_fixed_write_header`].
+    pub crc: u32,
+}
+
+/// One lock-free staging slot.
+struct StagingSlot {
+    state: AtomicU64,
+    rec: ShmCell<FixedWriteRecord>,
+}
+
 /// The write-ahead journal shared by a node's clients and its (current)
 /// dedicated-core thread.
-#[derive(Debug, Default)]
 pub struct EventJournal {
     next_seq: AtomicU64,
     inner: Mutex<JournalInner>,
+    staging: Box<[StagingSlot]>,
+    /// One fence bit per fast-path source; the lock-free counterpart of
+    /// `JournalInner::fenced` (which remains authoritative for all
+    /// sources). Written only by [`fence`](Self::fence).
+    fenced_mask: AtomicU64,
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        let staging: Vec<StagingSlot> = (0..STAGING_SLOTS)
+            .map(|_| StagingSlot {
+                state: AtomicU64::new(pack(SLOT_FREE, 0)),
+                rec: ShmCell::new(FixedWriteRecord::default()),
+            })
+            .collect();
+        EventJournal {
+            next_seq: AtomicU64::new(0),
+            inner: Mutex::default(),
+            staging: staging.into_boxed_slice(),
+            fenced_mask: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for EventJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EventJournal(next_seq={})",
+            self.next_seq.load(Ordering::Relaxed)
+        )
+    }
+}
+
+/// Byte-identical to [`encode_header`] for a static-layout `Write`
+/// payload (asserted by test): 8 seq + 1 tag + 4 variable_id +
+/// 4 iteration + 4 source + 8 offset + 8 len + 4 data_crc.
+pub fn encode_fixed_write_header(seq: u64, r: &FixedWriteRecord) -> [u8; 41] {
+    // Cursor-style fill: no slice indexing, so the encoder itself stays
+    // panic-free on the hot path.
+    fn put(buf: &mut [u8; 41], at: usize, bytes: &[u8]) {
+        for (d, s) in buf.iter_mut().skip(at).zip(bytes) {
+            *d = *s;
+        }
+    }
+    let mut buf = [0u8; 41];
+    put(&mut buf, 0, &seq.to_le_bytes());
+    put(&mut buf, 8, &[0]); // tag: Write
+    put(&mut buf, 9, &r.variable_id.to_le_bytes());
+    put(&mut buf, 13, &r.iteration.to_le_bytes());
+    put(&mut buf, 17, &r.source.to_le_bytes());
+    put(&mut buf, 21, &r.offset.to_le_bytes());
+    put(&mut buf, 29, &r.len.to_le_bytes());
+    put(&mut buf, 37, &r.data_crc.to_le_bytes());
+    buf
 }
 
 /// Encodes the integrity-protected header fields of a record.
@@ -220,9 +333,18 @@ impl EventJournal {
     /// clients *before* the matching queue push. Fails if the source has
     /// been fenced ([`fence`](Self::fence)) — the caller must abandon the
     /// operation and surface a `ClientFenced` error instead of pushing.
+    ///
+    /// This is the mutex path, for control-plane record kinds and
+    /// dynamic-layout writes; static writes go through
+    /// [`append_write`](Self::append_write).
+    // ANALYZE: cold — control-plane record kinds (User/EndIteration/Abandon, dynamic Write) take the mutex by design
     pub fn append(&self, epoch: u32, payload: JournalPayload) -> Result<u64, Fenced> {
-        let source = payload.source();
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.append_with_seq(seq, epoch, payload)
+    }
+
+    fn append_with_seq(&self, seq: u64, epoch: u32, payload: JournalPayload) -> Result<u64, Fenced> {
+        let source = payload.source();
         let crc = damaris_format::crc32(&encode_header(seq, &payload));
         let record = JournalRecord {
             seq,
@@ -232,11 +354,202 @@ impl EventJournal {
             state: RecordState::Pending,
         };
         let mut inner = self.inner.lock();
+        self.drain_staged(&mut inner);
         if inner.fenced.contains(&source) {
             return Err(Fenced { source });
         }
         inner.records.insert(seq, record);
         Ok(seq)
+    }
+
+    /// Journals a static-layout write **without locking or allocating** —
+    /// the jitter-free counterpart of [`append`](Self::append) on the
+    /// client `write()` path.
+    ///
+    /// Protocol (the fence race is the whole game):
+    ///
+    /// 1. check the fence bit — cheap early out;
+    /// 2. claim a `FREE` staging slot by seq-tagged compare-exchange;
+    /// 3. fill the record, publish `READY` with a SeqCst store;
+    /// 4. re-check the fence bit with a SeqCst load. [`fence`] sets the
+    ///    bit (SeqCst RMW) *before* scanning the slab, so in the SeqCst
+    ///    total order either our `READY` precedes the scan (the fence
+    ///    collects the record and hands it to the sweeper) or the scan
+    ///    precedes our re-check (we see the bit). If we see the bit we
+    ///    try to cancel `READY → FREE`; losing that race means the fence
+    ///    collected it — both outcomes return `Err(Fenced)` and the
+    ///    record is cancelled through the claim lattice, exactly like a
+    ///    mutex-path append that lost to the fence.
+    ///
+    /// Slab exhaustion and sources above the fence-bit range fall back to
+    /// the mutex path — correctness is identical, only latency differs.
+    // ANALYZE: hot
+    #[allow(clippy::too_many_arguments)]
+    pub fn append_write(
+        &self,
+        epoch: u32,
+        variable_id: u32,
+        iteration: u32,
+        source: u32,
+        offset: usize,
+        len: usize,
+        data_crc: u32,
+    ) -> Result<u64, Fenced> {
+        // Relaxed: the counter only hands out unique tickets; record
+        // visibility is ordered by the slot state below (or the mutex).
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        if source >= FAST_SOURCES {
+            return self.append_write_slow(seq, epoch, variable_id, iteration, source, offset, len, data_crc);
+        }
+        let bit = 1u64 << source;
+        // seqcst: fence-vs-append is a store-buffering (Dekker) pattern —
+        // this early check only saves work; the re-check after publish is
+        // the one the argument rests on, and both must be in the same
+        // total order as fence()'s fetch_or + slab scan.
+        if self.fenced_mask.load(Ordering::SeqCst) & bit != 0 {
+            return Err(Fenced { source });
+        }
+        let mut rec = FixedWriteRecord {
+            variable_id,
+            iteration,
+            source,
+            data_crc,
+            offset: offset as u64,
+            len: len as u64,
+            epoch,
+            crc: 0,
+        };
+        rec.crc = damaris_format::crc32(&encode_fixed_write_header(seq, &rec));
+        for slot in self.staging.iter() {
+            // Relaxed probe: the claim CAS below re-validates the word.
+            let cur = slot.state.load(Ordering::Relaxed);
+            if cur & STATE_TAG_MASK != SLOT_FREE {
+                continue;
+            }
+            // Acquire: pairs with the drainer's Release store of FREE so
+            // our overwrite of the cell happens-after its copy-out.
+            if slot
+                .state
+                .compare_exchange(cur, pack(SLOT_CLAIMED, seq), Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            // SAFETY: the CAS above made us the slot's unique owner; no
+            // other thread touches the cell until we publish READY.
+            slot.rec.with_mut(|p| unsafe { *p = rec });
+            // seqcst: publish half of the Dekker pattern — must be
+            // ordered before the fence-bit re-check below in the global
+            // SeqCst order so a racing fence() either sees READY in its
+            // scan or its bit is seen by our re-check. Release is not
+            // enough: store-buffering allows both sides to miss.
+            slot.state.store(pack(SLOT_READY, seq), Ordering::SeqCst);
+            // seqcst: re-check half of the Dekker pattern (see above).
+            if self.fenced_mask.load(Ordering::SeqCst) & bit != 0 {
+                // Cancel if the fence's drain has not collected the slot;
+                // if the CAS fails the fence owns the record and will
+                // cancel it through the claim lattice. AcqRel success:
+                // release our cell write, acquire nothing in particular.
+                let _ = slot.state.compare_exchange(
+                    pack(SLOT_READY, seq),
+                    pack(SLOT_FREE, seq),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+                return Err(Fenced { source });
+            }
+            return Ok(seq);
+        }
+        self.append_write_slow(seq, epoch, variable_id, iteration, source, offset, len, data_crc)
+    }
+
+    /// Mutex fallback for [`append_write`](Self::append_write): slab full
+    /// or source outside the fence-bit range.
+    // ANALYZE: cold — overflow fallback takes the mutex by design; bounded jitter, correctness identical
+    #[cold]
+    #[allow(clippy::too_many_arguments)]
+    fn append_write_slow(
+        &self,
+        seq: u64,
+        epoch: u32,
+        variable_id: u32,
+        iteration: u32,
+        source: u32,
+        offset: usize,
+        len: usize,
+        data_crc: u32,
+    ) -> Result<u64, Fenced> {
+        self.append_with_seq(seq, epoch, JournalPayload::Write {
+            variable_id,
+            iteration,
+            source,
+            offset,
+            len,
+            dynamic_layout: None,
+            data_crc,
+        })
+    }
+
+    /// Folds every `READY` staging slot into the record map. Called with
+    /// the journal lock held by **every** mutex entry point, so staged
+    /// records are visible to any observer that could act on them.
+    fn drain_staged(&self, inner: &mut JournalInner) {
+        for slot in self.staging.iter() {
+            let cur = slot.state.load(Ordering::Relaxed);
+            if cur & STATE_TAG_MASK != SLOT_READY {
+                continue;
+            }
+            // Acquire: pairs with the appender's READY publish so the
+            // record bytes are visible; the CAS also arbitrates against
+            // the appender's own cancel (exactly one of us wins).
+            if slot
+                .state
+                .compare_exchange(
+                    cur,
+                    (cur & !STATE_TAG_MASK) | SLOT_DRAINING,
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            let seq = cur >> 2;
+            // SAFETY: DRAINING excludes both slot reuse and the
+            // appender's cancel CAS; the cell is ours to read.
+            let rec = slot.rec.with(|p| unsafe { *p });
+            if inner.fenced.contains(&rec.source) {
+                // The source was fenced *before* this drain. fence() sets
+                // its bit and scans the slab in one critical section
+                // before marking the source fenced here, so any record it
+                // could collect, it did; a staged record still visible
+                // from an already-fenced source was published by an
+                // appender that observed the fence bit at its re-check
+                // and returned `Err` — we won its cancel race, so we
+                // complete the cancellation by dropping the record
+                // instead of inserting a ghost nobody would ever claim.
+                slot.state.store(pack(SLOT_FREE, seq), Ordering::Release);
+                continue;
+            }
+            inner.records.insert(seq, JournalRecord {
+                seq,
+                epoch: rec.epoch,
+                crc: rec.crc,
+                payload: JournalPayload::Write {
+                    variable_id: rec.variable_id,
+                    iteration: rec.iteration,
+                    source: rec.source,
+                    offset: rec.offset as usize,
+                    len: rec.len as usize,
+                    dynamic_layout: None,
+                    data_crc: rec.data_crc,
+                },
+                state: RecordState::Pending,
+            });
+            // Release: hands the slot back; pairs with a future
+            // appender's Acquire claim CAS.
+            slot.state.store(pack(SLOT_FREE, seq), Ordering::Release);
+        }
     }
 
     /// Fences `source` — all further appends from it fail — and returns
@@ -246,7 +559,16 @@ impl EventJournal {
     /// coordinates). One critical section: no append can land between the
     /// fence and the collection.
     pub fn fence(&self, source: u32) -> Vec<(u64, JournalPayload)> {
+        if source < FAST_SOURCES {
+            // seqcst: fence half of the Dekker pattern — the bit must be
+            // set in the global SeqCst order *before* the slab scan below
+            // (inside drain_staged) so a racing append_write either gets
+            // its READY collected here or observes the bit at its
+            // re-check. See append_write for the full argument.
+            self.fenced_mask.fetch_or(1u64 << source, Ordering::SeqCst);
+        }
         let mut inner = self.inner.lock();
+        self.drain_staged(&mut inner);
         inner.fenced.insert(source);
         inner
             .records
@@ -267,6 +589,7 @@ impl EventJournal {
     /// discard the event without side effects.
     pub fn claim(&self, seq: u64) -> Claim {
         let mut inner = self.inner.lock();
+        self.drain_staged(&mut inner);
         match inner.records.get_mut(&seq) {
             Some(rec) if rec.state == RecordState::Pending => {
                 rec.state = RecordState::Resident;
@@ -279,7 +602,9 @@ impl EventJournal {
     /// Marks a record's side effects durable. Idempotent; unknown
     /// sequence numbers (already compacted) are ignored.
     pub fn mark_applied(&self, seq: u64) {
-        if let Some(rec) = self.inner.lock().records.get_mut(&seq) {
+        let mut inner = self.inner.lock();
+        self.drain_staged(&mut inner);
+        if let Some(rec) = inner.records.get_mut(&seq) {
             rec.state = RecordState::Applied;
         }
     }
@@ -288,7 +613,8 @@ impl EventJournal {
     /// respawned server to replay. CRC-corrupted records are skipped; the
     /// second element counts them.
     pub fn replay_snapshot(&self) -> (Vec<ReplayEntry>, usize) {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
+        self.drain_staged(&mut inner);
         let mut entries = Vec::new();
         let mut corrupt = 0;
         for rec in inner.records.values() {
@@ -311,24 +637,29 @@ impl EventJournal {
     /// Drops applied records; returns how many were removed.
     pub fn compact(&self) -> usize {
         let mut inner = self.inner.lock();
+        self.drain_staged(&mut inner);
         let before = inner.records.len();
         inner.records.retain(|_, rec| rec.state != RecordState::Applied);
         before - inner.records.len()
     }
 
-    /// Records currently retained (any state).
+    /// Records currently retained (any state), staged ones included.
     pub fn len(&self) -> usize {
-        self.inner.lock().records.len()
+        let mut inner = self.inner.lock();
+        self.drain_staged(&mut inner);
+        inner.records.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().records.is_empty()
+        self.len() == 0
     }
 
     /// Test hook: flip a record's stored CRC so replay sees corruption.
     #[cfg(test)]
     fn corrupt_for_test(&self, seq: u64) {
-        if let Some(rec) = self.inner.lock().records.get_mut(&seq) {
+        let mut inner = self.inner.lock();
+        self.drain_staged(&mut inner);
+        if let Some(rec) = inner.records.get_mut(&seq) {
             rec.crc ^= 0xdead_beef;
         }
     }
@@ -440,6 +771,147 @@ mod tests {
         assert!(j.fence(3).is_empty());
         // The unrelated client's record is untouched.
         assert_eq!(j.claim(other), Claim::Fresh);
+    }
+
+    #[test]
+    fn fixed_header_is_byte_identical_to_dynamic_encoding() {
+        let rec = FixedWriteRecord {
+            variable_id: 7,
+            iteration: 3,
+            source: 42,
+            data_crc: 0xdead_beef,
+            offset: 4096,
+            len: 1024,
+            epoch: 9,
+            crc: 0,
+        };
+        let payload = JournalPayload::Write {
+            variable_id: 7,
+            iteration: 3,
+            source: 42,
+            offset: 4096,
+            len: 1024,
+            dynamic_layout: None,
+            data_crc: 0xdead_beef,
+        };
+        let fixed = encode_fixed_write_header(0x0123_4567_89ab, &rec);
+        let dynamic = encode_header(0x0123_4567_89ab, &payload);
+        assert_eq!(&fixed[..], &dynamic[..]);
+    }
+
+    #[test]
+    fn fast_append_is_visible_claimable_and_crc_clean() {
+        let j = EventJournal::new();
+        let seq = j.append_write(5, 7, 3, 2, 4096, 1024, 0xabcd).unwrap();
+        // Any mutex entry point folds the staged record in.
+        assert_eq!(j.len(), 1);
+        let (entries, corrupt) = j.replay_snapshot();
+        assert_eq!(corrupt, 0, "staged record must replay with a valid CRC");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].seq, seq);
+        assert!(matches!(
+            entries[0].payload,
+            JournalPayload::Write {
+                variable_id: 7,
+                iteration: 3,
+                source: 2,
+                offset: 4096,
+                len: 1024,
+                dynamic_layout: None,
+                data_crc: 0xabcd,
+            }
+        ));
+        assert_eq!(j.claim(seq), Claim::Fresh);
+        assert_eq!(j.claim(seq), Claim::Stale);
+    }
+
+    #[test]
+    fn fast_append_after_fence_is_rejected_without_leaking() {
+        let j = EventJournal::new();
+        j.fence(2);
+        assert!(matches!(j.append_write(0, 1, 0, 2, 0, 8, 0), Err(Fenced { source: 2 })));
+        // No record leaked into the map, and no staging slot is stuck.
+        assert!(j.is_empty());
+        // Other sources still append lock-free.
+        assert!(j.append_write(0, 1, 0, 3, 0, 8, 0).is_ok());
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn high_source_overflow_path_works_and_respects_fence() {
+        let j = EventJournal::new();
+        let seq = j.append_write(0, 1, 0, 200, 0, 8, 0).unwrap();
+        assert_eq!(j.claim(seq), Claim::Fresh);
+        j.fence(200);
+        assert!(matches!(
+            j.append_write(0, 1, 0, 200, 0, 8, 0),
+            Err(Fenced { source: 200 })
+        ));
+    }
+
+    #[test]
+    fn slab_exhaustion_overflows_to_the_mutex_without_loss() {
+        let j = EventJournal::new();
+        // One more append than staging slots, with no intervening drain:
+        // the last one must take the mutex path, and none may be lost.
+        let seqs: Vec<u64> = (0..65)
+            .map(|i| j.append_write(0, 1, 0, i % 8, 0, 8, 0).unwrap())
+            .collect();
+        assert_eq!(j.len(), 65);
+        for seq in seqs {
+            assert_eq!(j.claim(seq), Claim::Fresh);
+        }
+    }
+
+    #[test]
+    fn concurrent_fast_appends_and_fences_never_lose_or_leak_records() {
+        use std::sync::atomic::{AtomicBool, Ordering as StdOrdering};
+        let j = std::sync::Arc::new(EventJournal::new());
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0u32..4)
+            .map(|source| {
+                let j = std::sync::Arc::clone(&j);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut ok = Vec::new();
+                    while !stop.load(StdOrdering::Relaxed) {
+                        match j.append_write(0, 1, 0, source, 0, 8, 0) {
+                            Ok(seq) => ok.push(seq),
+                            Err(Fenced { .. }) => break,
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        // Let the writers run, then fence two of them mid-flight.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let pending_of_fenced: Vec<(u64, JournalPayload)> =
+            [0u32, 1].iter().flat_map(|&s| j.fence(s)).collect();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        stop.store(true, StdOrdering::Relaxed);
+        let ok_seqs: Vec<Vec<u64>> = writers.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every seq whose append returned Ok must be claimable exactly once
+        // — a fence may not have eaten an acknowledged record.
+        for seq in ok_seqs.iter().flatten() {
+            assert_eq!(j.claim(*seq), Claim::Fresh, "acknowledged seq {seq} lost");
+        }
+        // Conversely, every still-pending record in the journal is either
+        // acknowledged or was handed to the fence for cancellation: a
+        // cancelled fast append may not linger as a claimable ghost.
+        let acknowledged: std::collections::BTreeSet<u64> =
+            ok_seqs.iter().flatten().copied().collect();
+        let fenced_pending: std::collections::BTreeSet<u64> =
+            pending_of_fenced.iter().map(|(s, _)| *s).collect();
+        let (entries, corrupt) = j.replay_snapshot();
+        assert_eq!(corrupt, 0);
+        for e in &entries {
+            assert!(
+                acknowledged.contains(&e.seq) || fenced_pending.contains(&e.seq),
+                "seq {} in journal but neither acknowledged nor fence-collected",
+                e.seq
+            );
+        }
     }
 
     #[test]

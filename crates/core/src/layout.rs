@@ -84,9 +84,13 @@ impl LayoutDef {
         Layout::new(self.dtype, &dims)
     }
 
-    /// Total byte size of one instance of this layout.
+    /// Total byte size of one instance of this layout, computed without
+    /// materializing the storage [`Layout`] — this sits on the `write()`
+    /// fast path (dimension order does not affect the product, so the
+    /// Fortran reversal is irrelevant here; empty dims = scalar = one
+    /// element, matching [`Layout::byte_size`]).
     pub fn byte_size(&self) -> u64 {
-        self.storage_layout().byte_size()
+        self.declared_dims.iter().product::<u64>() * self.dtype.size() as u64
     }
 }
 

@@ -167,6 +167,8 @@ impl Analysis {
                 durs.len(),
                 fmt_ns(nearest_rank(&durs, 50, 100)),
                 fmt_ns(nearest_rank(&durs, 99, 100)),
+                // invariant: `durs` mirrors `self.iterations`, guarded
+                // non-empty by the branch above.
                 fmt_ns(*durs.last().expect("non-empty")),
             );
         }
@@ -231,6 +233,8 @@ pub fn analyze(records: &[TraceRecord], dropped: u64) -> Analysis {
     let phases: BTreeMap<u16, PhaseStats> = durs
         .into_iter()
         .map(|(k, d)| {
+            // invariant: `durs` keys come from records whose
+            // `event_kind()` decoded, so `k` round-trips.
             let kind = EventKind::try_from(k).expect("filtered above");
             let b = bytes.get(&k).copied().unwrap_or(0);
             (k, PhaseStats::from_durations(kind, d, b))
@@ -247,6 +251,8 @@ pub fn analyze(records: &[TraceRecord], dropped: u64) -> Analysis {
         let var = d.iter().map(|x| (x - d_mean).powi(2)).sum::<f64>() / n;
         if var > 0.0 {
             for (&k, by_iter) in &per_iter {
+                // invariant: `per_iter` keys come from records whose
+                // `event_kind()` decoded, so `k` round-trips.
                 let kind = EventKind::try_from(k).expect("filtered above");
                 if kind == EventKind::PhaseSample {
                     continue; // interchange records, not a pipeline phase

@@ -77,6 +77,7 @@ impl Recorder {
     }
 
     /// Nanoseconds since the shared anchor; 0 when disabled.
+    // ANALYZE: hot
     #[inline]
     pub fn begin(&self) -> u64 {
         match &self.inner {
@@ -89,6 +90,7 @@ impl Recorder {
     /// whose duration is now minus `start_ns`. Returns the end timestamp
     /// (0 when disabled) so back-to-back spans can chain — the next span's
     /// start — halving the clock reads on instrumented hot paths.
+    // ANALYZE: hot
     #[inline]
     pub fn end(&self, kind: EventKind, iteration: u32, bytes: u64, start_ns: u64) -> u64 {
         match &self.inner {
@@ -113,6 +115,7 @@ impl Recorder {
     /// Records a span from explicit start and end timestamps — no clock
     /// read. For enclosing spans whose boundaries were already stamped by
     /// inner chained spans (e.g. a write call wrapping alloc/copy/push).
+    // ANALYZE: hot
     #[inline]
     pub fn span_at(&self, kind: EventKind, iteration: u32, bytes: u64, start_ns: u64, end_ns: u64) {
         if let Some(i) = &self.inner {
@@ -131,6 +134,7 @@ impl Recorder {
 
     /// Records an event with an externally-measured duration, stamped at
     /// the current time minus that duration.
+    // ANALYZE: hot
     #[inline]
     pub fn event(&self, kind: EventKind, iteration: u32, bytes: u64, dur_ns: u64) {
         if let Some(i) = &self.inner {

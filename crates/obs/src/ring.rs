@@ -119,11 +119,13 @@ impl TraceRing {
     /// Appends a record, overwriting the oldest unread one if the ring is
     /// full. Never blocks on the flusher beyond the length of one record
     /// copy (the claimed-slot window).
+    // ANALYZE: hot
     pub fn push(&self, record: TraceRecord) {
         let cap = self.slots.len();
         // Relaxed ticket claim: position ownership is exclusive by the
         // fetch_add itself; ordering comes from `seq` below.
         let p = self.head.fetch_add(1, Ordering::Relaxed);
+        // ANALYZE: in-bounds(slots.len() is a power of two and mask = len - 1)
         let slot = &self.slots[p & self.mask];
         let lap_behind_full = p.wrapping_sub(cap).wrapping_add(1);
         loop {

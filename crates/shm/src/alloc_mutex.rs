@@ -106,6 +106,7 @@ impl MutexAllocator {
     /// reserving client so [`revoke_client`](Self::revoke_client) can
     /// sweep it back if the client's lease expires. The tag is dropped on
     /// release.
+    // ANALYZE: cold — the paper's mutex-allocator comparison baseline locks by design; the partition allocator is the jitter-free path
     pub fn allocate_owned(&self, client: u32, len: usize) -> Result<Segment, AllocError> {
         self.allocate_inner(len, Some(client))
     }

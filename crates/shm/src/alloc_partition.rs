@@ -139,6 +139,7 @@ impl PartitionAllocator {
     ///
     /// Lock-free: two atomic loads + one store on success. Must only be
     /// called by the single thread owning `client`.
+    // ANALYZE: hot
     pub fn allocate(&self, client: usize, len: usize) -> Result<Segment, AllocError> {
         let region = self.regions.get(client).ok_or(AllocError::BadClient)?;
         let need = rounded(len);

@@ -68,6 +68,7 @@ impl SharedBuffer {
     /// Builds a segment view. Callers must come through an allocator that
     /// guarantees disjointness; hence the crate-private visibility.
     pub(crate) fn segment(self: &Arc<Self>, offset: usize, len: usize) -> Segment {
+        // ANALYZE: in-bounds(callers are allocators handing out ranges inside their region, which sits inside capacity; the assert is the contract check)
         assert!(
             offset.checked_add(len).is_some_and(|end| end <= self.capacity),
             "segment [{offset}, {offset}+{len}) out of bounds for capacity {}",
@@ -126,6 +127,7 @@ impl Segment {
     ///
     /// Panics if `src.len() != self.len()`; reserve exactly what you write.
     pub fn copy_from_slice(&mut self, src: &[u8]) {
+        // ANALYZE: in-bounds(the write path reserves exactly data.len() bytes, so src.len() == self.len by construction)
         assert_eq!(
             src.len(),
             self.len,

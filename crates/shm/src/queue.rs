@@ -98,11 +98,13 @@ impl<T> MpscQueue<T> {
     }
 
     /// Attempts to enqueue; lock-free, callable from any number of threads.
+    // ANALYZE: hot
     pub fn push(&self, value: T) -> Result<(), PushError<T>> {
         // Relaxed: the ticket only picks a slot to try; slot ownership is
         // decided by the CAS and data ordering by `seq`.
         let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
         loop {
+            // ANALYZE: in-bounds(slots.len() is a power of two and mask = len - 1)
             let slot = &self.slots[pos & self.mask];
             // Acquire: pairs with the consumer's Release store when it
             // recycles this slot, so we see the slot truly vacated (and
@@ -142,10 +144,12 @@ impl<T> MpscQueue<T> {
     }
 
     /// Attempts to dequeue.
+    // ANALYZE: hot
     pub fn pop(&self) -> Option<T> {
         // Relaxed: ticket selection only (see `push`).
         let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
         loop {
+            // ANALYZE: in-bounds(slots.len() is a power of two and mask = len - 1)
             let slot = &self.slots[pos & self.mask];
             // Acquire: pairs with the producer's Release store of
             // `pos + 1`, ordering its value write before our read.

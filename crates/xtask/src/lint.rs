@@ -176,11 +176,14 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
     let is_facade = file == "crates/shm/src/sync.rs";
     // The untagged-expect gate covers the crates whose panics take down
     // supervised threads: core (the dedicated-core server), mpi (the rank
-    // substrate, where an unwrap kills a "rank"), and shm (the lease /
-    // allocator layer both sides of the boundary call into).
+    // substrate, where an unwrap kills a "rank"), shm (the lease /
+    // allocator layer both sides of the boundary call into), and obs (the
+    // recorder rides inside every client write call — a panic there *is*
+    // a client crash).
     let in_core_src = file.starts_with("crates/core/src")
         || file.starts_with("crates/mpi/src")
-        || file.starts_with("crates/shm/src");
+        || file.starts_with("crates/shm/src")
+        || file.starts_with("crates/obs/src");
     let in_check = file.starts_with("crates/check/");
     let in_xtask = file.starts_with("crates/xtask/");
     // Integration tests, benches, and examples are test code wholesale.
@@ -488,6 +491,20 @@ let v = maybe.unwrap();
 ";
         assert!(rules("crates/shm/src/lease.rs", tagged).is_empty());
         assert!(rules("crates/shm/tests/model.rs", src).is_empty());
+    }
+
+    #[test]
+    fn untagged_expect_in_obs_flagged() {
+        // The recorder rides inside every client write call: a panic in
+        // obs *is* a client crash, so it gets the same gate.
+        let src = "let v = maybe.unwrap();\n";
+        assert_eq!(rules("crates/obs/src/ring.rs", src), ["untagged-expect"]);
+        let tagged = "\
+// invariant: the ring mask is a power of two by construction.
+let v = maybe.unwrap();
+";
+        assert!(rules("crates/obs/src/ring.rs", tagged).is_empty());
+        assert!(rules("crates/obs/tests/overhead.rs", src).is_empty());
     }
 
     #[test]

@@ -45,14 +45,70 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
+        Some("analyze") => run_analyze(),
         Some(other) => {
-            eprintln!("unknown task `{other}`; available: lint");
+            eprintln!("unknown task `{other}`; available: lint, analyze");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- <lint|analyze>");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The call-graph static analysis (hot-path purity, lock-order cycles,
+/// atomic pairing — see `crates/analyze` and DESIGN.md §11). Hard CI
+/// gate; writes the machine-readable report to
+/// `target/analyze-report.json` either way.
+fn run_analyze() -> ExitCode {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf();
+    let report = match damaris_analyze::analyze_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask analyze: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = root.join("target").join("analyze-report.json");
+    if let Err(e) = std::fs::create_dir_all(root.join("target"))
+        .and_then(|()| std::fs::write(&out, report.to_json()))
+    {
+        eprintln!("xtask analyze: could not write {}: {e}", out.display());
+    }
+    let waived: usize = report.waivers.iter().filter(|w| w.used).count();
+    println!(
+        "xtask analyze: {} files, {} fns, {} hot roots, {} waiver(s) in effect, \
+         {} cold boundar(ies), {} unresolved call(s)",
+        report.files_scanned,
+        report.fns_indexed,
+        report.hot_roots.len(),
+        waived,
+        report.cold_boundaries.len(),
+        report.unresolved_calls
+    );
+    for c in &report.closures {
+        println!(
+            "  closure {}{}: {} fns, {} waived",
+            c.root,
+            if c.strict { " [strict]" } else { "" },
+            c.fns,
+            c.waived
+        );
+    }
+    if report.is_clean() {
+        println!("xtask analyze: clean (report: {})", out.display());
+        ExitCode::SUCCESS
+    } else {
+        for line in report.render_findings() {
+            eprintln!("{line}");
+        }
+        eprintln!("xtask analyze: {} finding(s)", report.findings.len());
+        ExitCode::FAILURE
     }
 }
 
