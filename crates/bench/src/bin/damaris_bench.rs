@@ -3,15 +3,19 @@
 //! this binary measures what that discipline buys, and pins the numbers
 //! where a reviewer can see them.
 //!
-//! Writes `BENCH_7.json` at the repository root with schema
-//! `damaris-bench/v1`:
+//! Writes `BENCH_8.json` at the repository root with schema
+//! `damaris-bench/v2`:
 //!
 //! ```json
 //! {
-//!   "schema": "damaris-bench/v1",
+//!   "schema": "damaris-bench/v2",
 //!   "write_latency_ns": { "p50": ..., "p99": ..., "samples": ... },
 //!   "allocator": { "ops_per_sec": ..., "bytes_per_sec": ... },
 //!   "queue": { "ops_per_sec": ... },
+//!   "backing": {
+//!     "heap": { "ops_per_sec": ..., "bytes_per_sec": ... },
+//!     "file": { "ops_per_sec": ..., "bytes_per_sec": ... }
+//!   },
 //!   "config": { "clients": ..., "payload_bytes": ..., "iterations": ... }
 //! }
 //! ```
@@ -24,12 +28,19 @@
 //!   second from one client (ops and bytes).
 //! * `queue` — `MpscQueue` push+pop pairs per second, single producer
 //!   (the per-rank MPSC configuration of the event queue).
+//! * `backing` — the same ring reserve→memcpy→release round-trip over
+//!   the two buffer placements: a heap `SharedBuffer` (the threaded
+//!   node) and a file-backed mapping under `/dev/shm` (the
+//!   cross-process node). The protocol and the code are identical —
+//!   [`damaris_shm::ring`] over facade words — only the placement
+//!   differs, so the delta is the true cost of going multi-process.
 //!
 //! CI runs this advisory (never a hard gate): absolute numbers depend on
 //! the runner; the JSON exists so regressions show up in review diffs.
 
 use damaris_core::{Config, NodeRuntime};
-use damaris_shm::{MpscQueue, PartitionAllocator};
+use damaris_shm::sync::AtomicU64;
+use damaris_shm::{ring, MpscQueue, PartitionAllocator, SharedBuffer};
 use serde_json::json;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -133,6 +144,90 @@ fn queue_throughput() -> f64 {
     f64::from(OPS) / secs
 }
 
+/// One ring round-trip benchmark body: reserve a segment, memcpy the
+/// payload into it, release it. `reserve` hands back a start offset.
+fn ring_round_trips(
+    rounds: u32,
+    payload: &[u8],
+    mut reserve: impl FnMut(usize) -> usize,
+    mut write_release: impl FnMut(usize, &[u8]),
+) -> (f64, f64) {
+    // Warmup: fault pages in and settle the counters.
+    for _ in 0..64 {
+        let pos = reserve(payload.len());
+        write_release(pos, payload);
+    }
+    let t = Instant::now();
+    for _ in 0..rounds {
+        let pos = reserve(payload.len());
+        write_release(pos, payload);
+    }
+    let secs = t.elapsed().as_secs_f64();
+    (
+        f64::from(rounds) / secs,
+        f64::from(rounds) * payload.len() as f64 / secs,
+    )
+}
+
+const BACKING_SEG: usize = 65_536;
+const BACKING_CAP: usize = 1 << 20;
+const BACKING_ROUNDS: u32 = 50_000;
+
+/// Heap placement: the threaded node's buffer, ring words on the heap.
+fn backing_heap() -> (f64, f64) {
+    let buffer = SharedBuffer::new(BACKING_CAP);
+    let head = AtomicU64::new(0);
+    let tail = AtomicU64::new(0);
+    let payload = vec![0xA5u8; BACKING_SEG];
+    ring_round_trips(
+        BACKING_ROUNDS,
+        &payload,
+        |len| {
+            ring::ring_reserve(&head, &tail, BACKING_CAP as u64, len as u64).expect("reserve")
+                as usize
+        },
+        |pos, data| {
+            let mut seg = buffer.adopt_segment(pos, data.len());
+            seg.copy_from_slice(data);
+            ring::ring_release(&head, &tail, BACKING_CAP as u64, pos as u64, data.len() as u64);
+        },
+    )
+}
+
+/// File placement: the cross-process node's mapping — same ring protocol,
+/// but every word and every byte lives in a `/dev/shm`-backed file.
+#[cfg(unix)]
+fn backing_file() -> (f64, f64) {
+    let dir = if std::path::Path::new("/dev/shm").is_dir() {
+        PathBuf::from("/dev/shm")
+    } else {
+        std::env::temp_dir()
+    };
+    let path = dir.join(format!("damaris-bench8-{}.shm", std::process::id()));
+    let node = damaris_shm::MappedNode::create(&path, 1, BACKING_CAP).expect("create mapping");
+    let buffer = node.buffer();
+    let payload = vec![0xA5u8; BACKING_SEG];
+    let out = ring_round_trips(
+        BACKING_ROUNDS,
+        &payload,
+        |len| node.reserve(&buffer, 0, len).expect("reserve").offset(),
+        |pos, data| {
+            let mut seg = buffer.adopt_segment(pos, data.len());
+            seg.copy_from_slice(data);
+            node.release(0, pos, data.len());
+        },
+    );
+    drop(buffer);
+    drop(node);
+    std::fs::remove_file(&path).ok();
+    out
+}
+
+#[cfg(not(unix))]
+fn backing_file() -> (f64, f64) {
+    (0.0, 0.0)
+}
+
 fn main() {
     // Warmup run: page in the binary and the temp dir.
     write_latencies();
@@ -143,6 +238,8 @@ fn main() {
     let p99 = percentile(&lat, 0.99);
     let (alloc_ops, alloc_bytes) = allocator_throughput();
     let queue_ops = queue_throughput();
+    let (heap_ops, heap_bytes) = backing_heap();
+    let (file_ops, file_bytes) = backing_file();
 
     println!(
         "write latency: p50 {p50} ns, p99 {p99} ns ({} samples, {CLIENTS} clients x \
@@ -152,23 +249,31 @@ fn main() {
     );
     println!("allocator: {alloc_ops:.0} alloc+release/s ({alloc_bytes:.3e} B/s)");
     println!("queue: {queue_ops:.0} push+pop/s");
+    println!(
+        "backing: heap {heap_ops:.0} ring round-trips/s ({heap_bytes:.3e} B/s), \
+         file {file_ops:.0}/s ({file_bytes:.3e} B/s)"
+    );
 
     let record = json!({
-        "schema": "damaris-bench/v1",
+        "schema": "damaris-bench/v2",
         "write_latency_ns": { "p50": p50, "p99": p99, "samples": lat.len() },
         "allocator": { "ops_per_sec": alloc_ops, "bytes_per_sec": alloc_bytes },
         "queue": { "ops_per_sec": queue_ops },
+        "backing": {
+            "heap": { "ops_per_sec": heap_ops, "bytes_per_sec": heap_bytes },
+            "file": { "ops_per_sec": file_ops, "bytes_per_sec": file_bytes },
+        },
         "config": {
             "clients": CLIENTS,
             "payload_bytes": PAYLOAD_F64 * 8,
             "iterations": ITERATIONS,
         },
     });
-    let path = repo_root().join("BENCH_7.json");
+    let path = repo_root().join("BENCH_8.json");
     std::fs::write(
         &path,
         serde_json::to_string_pretty(&record).expect("serialize") + "\n",
     )
-    .expect("write BENCH_7.json");
+    .expect("write BENCH_8.json");
     println!("(saved {})", path.display());
 }

@@ -1,0 +1,248 @@
+//! The kill matrix, run for real: CM1 as 4+ OS processes over a
+//! file-backed shared mapping, with `kill -9` delivered at every
+//! interesting protocol phase.
+//!
+//! Every test drives [`damaris_core::proc::launch`] with the
+//! `cm1_proc` binary as the child executable, then asserts the three
+//! acceptance properties of the cross-process design:
+//!
+//! 1. **Containment** — the dead party is fenced (client) or
+//!    respawned-and-replayed (EPE) within the lease window.
+//! 2. **Zero leaks** — after every process has exited, the mapping's
+//!    rings hold 0 reserved bytes.
+//! 3. **Output integrity** — persisted SDF files validate, contain
+//!    exactly the data the policy promises, and never contain a
+//!    CRC-invalid segment.
+
+#![cfg(unix)]
+
+use damaris_core::config::OnClientFailure;
+use damaris_core::proc::client::payload_for;
+use damaris_core::proc::{ClientKillSpec, LaunchPlan, LaunchReport};
+use damaris_format::SdfReader;
+use damaris_mpi::ClientKillPhase;
+use std::path::{Path, PathBuf};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "damaris-proc-chaos-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn plan(name: &str) -> LaunchPlan {
+    LaunchPlan::new(
+        PathBuf::from(env!("CARGO_BIN_EXE_cm1_proc")),
+        tmpdir(name),
+        4,
+    )
+}
+
+/// Checks every `/rank<r>/var<v>` dataset in `file` against the
+/// deterministic payload the client generated — end-to-end: what the
+/// client memcpy'd into shared memory is byte-identical to what the EPE
+/// persisted, across process boundaries, kills, and respawns.
+fn assert_sdf_contents(file: &Path, it: u32, present: &[u32], absent: &[u32], p: &LaunchPlan) {
+    let reader = SdfReader::open(file).unwrap();
+    reader.validate().unwrap();
+    let names = reader.dataset_names();
+    for &rank in present {
+        for var in 0..p.variables {
+            let path = format!("/rank{rank}/var{var}");
+            let bytes = reader.read_bytes(&path).unwrap();
+            assert_eq!(
+                bytes,
+                payload_for(rank, it, var, p.payload_len),
+                "{path} in {file:?} does not match the client payload"
+            );
+        }
+    }
+    for &rank in absent {
+        assert!(
+            !names.iter().any(|n| n.starts_with(&format!("/rank{rank}/"))),
+            "fenced rank {rank} leaked data into {file:?}"
+        );
+    }
+}
+
+fn assert_core_invariants(report: &LaunchReport) {
+    assert!(report.epe_ok, "EPE did not finish cleanly: {report:?}");
+    assert_eq!(report.leaked_bytes, 0, "ring bytes leaked: {report:?}");
+    assert!(
+        report.failed_ranks.is_empty(),
+        "ranks failed (not killed): {report:?}"
+    );
+}
+
+#[test]
+fn clean_run_four_processes_persist_every_iteration() {
+    let p = plan("clean");
+    let report = damaris_core::proc::launch(&p).unwrap();
+
+    assert_core_invariants(&report);
+    assert_eq!(report.epe_respawns, 0);
+    assert!(report.killed_ranks.is_empty());
+    assert_eq!(report.total(|r| r.iterations_persisted), 3);
+    assert_eq!(report.total(|r| r.partial_iterations), 0);
+    assert_eq!(report.sdf_files.len(), 3);
+    for (it, file) in report.sdf_files.iter().enumerate() {
+        assert_sdf_contents(file, it as u32, &[0, 1, 2, 3], &[], &p);
+        // A full iteration carries no presence bitmap.
+        let reader = SdfReader::open(file).unwrap();
+        assert!(!reader.dataset_names().iter().any(|n| n == "/presence"));
+    }
+    let _ = std::fs::remove_dir_all(&p.dir);
+}
+
+#[test]
+fn killed_client_is_fenced_at_every_phase() {
+    for phase in [
+        ClientKillPhase::Alloc,
+        ClientKillPhase::Memcpy,
+        ClientKillPhase::PostCommit,
+    ] {
+        let mut p = plan(&format!("client-kill-{}", ClientKillSpec::phase_str(phase)));
+        p.policy = OnClientFailure::Partial;
+        p.client_kill = Some(ClientKillSpec {
+            rank: 1,
+            phase,
+            iteration: 1,
+        });
+        let report = damaris_core::proc::launch(&p).unwrap();
+
+        assert_core_invariants(&report);
+        assert_eq!(report.killed_ranks, vec![1], "phase {phase:?}");
+        assert!(
+            report.total(|r| r.leases_revoked) >= 1,
+            "rank 1 was not fenced at phase {phase:?}: {report:?}"
+        );
+        // Partial policy: every iteration still persists; the ones the
+        // victim missed carry a presence bitmap instead of its data.
+        assert_eq!(report.total(|r| r.iterations_persisted), 3);
+        assert_eq!(report.total(|r| r.partial_iterations), 2);
+        assert_eq!(report.total(|r| r.crc_rejected), 0);
+        assert_eq!(report.sdf_files.len(), 3);
+        assert_sdf_contents(&report.sdf_files[0], 0, &[0, 1, 2, 3], &[], &p);
+        for it in [1u32, 2] {
+            let file = &report.sdf_files[it as usize];
+            assert_sdf_contents(file, it, &[0, 2, 3], &[1], &p);
+            let reader = SdfReader::open(file).unwrap();
+            let presence = reader.read_bytes("/presence").unwrap();
+            assert_eq!(presence, vec![1, 0, 1, 1], "presence bitmap at {it}");
+        }
+        let _ = std::fs::remove_dir_all(&p.dir);
+    }
+}
+
+#[test]
+fn killed_epe_respawns_replays_the_wal_and_finishes() {
+    let mut p = plan("epe-kill");
+    // Die right after the 5th commit's pending record is durable —
+    // mid-drain, with journalled-but-unapplied state to recover.
+    p.epe_kill_after = Some(5);
+    let report = damaris_core::proc::launch(&p).unwrap();
+
+    assert_core_invariants(&report);
+    assert_eq!(report.epe_respawns, 1);
+    assert!(report.killed_ranks.is_empty());
+    assert_eq!(report.epe_reports.len(), 2, "one report per incarnation");
+    let second = &report.epe_reports[1];
+    assert!(
+        second.events_replayed >= 1,
+        "respawn recovered nothing from the WAL: {report:?}"
+    );
+    assert!(
+        second.stale_commits_rejected >= 1,
+        "client re-sends were not deduplicated: {report:?}"
+    );
+    // No client died, so after recovery nothing may be partial and
+    // every byte of every rank must come out intact.
+    assert_eq!(report.total(|r| r.iterations_persisted), 3);
+    assert_eq!(report.total(|r| r.partial_iterations), 0);
+    assert_eq!(report.total(|r| r.crc_rejected), 0);
+    assert_eq!(report.sdf_files.len(), 3);
+    for (it, file) in report.sdf_files.iter().enumerate() {
+        assert_sdf_contents(file, it as u32, &[0, 1, 2, 3], &[], &p);
+    }
+    let _ = std::fs::remove_dir_all(&p.dir);
+}
+
+#[test]
+fn drop_iteration_policy_discards_the_whole_iteration() {
+    let mut p = plan("drop-iter");
+    p.policy = OnClientFailure::DropIteration;
+    p.client_kill = Some(ClientKillSpec {
+        rank: 2,
+        phase: ClientKillPhase::Alloc,
+        iteration: 1,
+    });
+    let report = damaris_core::proc::launch(&p).unwrap();
+
+    assert_core_invariants(&report);
+    assert_eq!(report.killed_ranks, vec![2]);
+    assert_eq!(report.total(|r| r.iterations_persisted), 1);
+    assert_eq!(report.total(|r| r.iterations_dropped), 2);
+    // Only the pre-kill iteration reached disk, and it is complete.
+    assert_eq!(report.sdf_files.len(), 1);
+    assert_sdf_contents(&report.sdf_files[0], 0, &[0, 1, 2, 3], &[], &p);
+    let _ = std::fs::remove_dir_all(&p.dir);
+}
+
+#[test]
+fn wait_policy_never_publishes_partial_data() {
+    let mut p = plan("wait");
+    p.policy = OnClientFailure::Wait;
+    p.client_kill = Some(ClientKillSpec {
+        rank: 0,
+        phase: ClientKillPhase::PostCommit,
+        iteration: 1,
+    });
+    let report = damaris_core::proc::launch(&p).unwrap();
+
+    assert_core_invariants(&report);
+    assert_eq!(report.killed_ranks, vec![0]);
+    // `wait` refuses partial output: the affected iterations degrade
+    // (nothing published) once the victim's death is proven by fencing.
+    assert_eq!(report.total(|r| r.iterations_persisted), 1);
+    assert_eq!(report.total(|r| r.partial_iterations), 0);
+    assert_eq!(report.total(|r| r.iterations_degraded), 2);
+    assert_eq!(report.sdf_files.len(), 1);
+    assert_sdf_contents(&report.sdf_files[0], 0, &[0, 1, 2, 3], &[], &p);
+    let _ = std::fs::remove_dir_all(&p.dir);
+}
+
+#[test]
+fn orphaned_mappings_are_swept_and_counted_at_startup() {
+    let p = plan("orphan-gc");
+
+    // A leftover mapping from a "previous run" whose creator is dead:
+    // a valid header stamped with a pid beyond Linux's pid_max.
+    let stale = p.dir.join("damaris-node-stale.shm");
+    {
+        let node = damaris_shm::MappedNode::create(&stale, 2, 4096).unwrap();
+        drop(node);
+        let mut bytes = std::fs::read(&stale).unwrap();
+        bytes[40..48].copy_from_slice(&(i32::MAX as u64).to_ne_bytes());
+        std::fs::write(&stale, bytes).unwrap();
+    }
+    // And something wearing the prefix that is not a mapping at all.
+    let junk = p.dir.join("damaris-node-junk.shm");
+    std::fs::write(&junk, vec![0xA5u8; 4096]).unwrap();
+
+    let report = damaris_core::proc::launch(&p).unwrap();
+
+    assert_core_invariants(&report);
+    assert_eq!(report.total(|r| r.orphans_removed), 1, "{report:?}");
+    assert_eq!(report.total(|r| r.orphans_quarantined), 1, "{report:?}");
+    assert!(!stale.exists(), "dead-pid orphan was not unlinked");
+    assert!(
+        p.dir.join("damaris-node-junk.shm.quarantine").exists(),
+        "unrecognizable file was not quarantined"
+    );
+    // The sweep never touches the run that is starting: output intact.
+    assert_eq!(report.total(|r| r.iterations_persisted), 3);
+    let _ = std::fs::remove_dir_all(&p.dir);
+}

@@ -64,6 +64,8 @@ pub mod multinode;
 pub mod node;
 pub mod plugin;
 pub mod plugins;
+#[cfg(unix)]
+pub mod proc;
 pub(crate) mod retry;
 pub mod server;
 

@@ -120,6 +120,8 @@ pub(crate) struct FaultStats {
     pub segments_reclaimed: Counter,
     pub crc_quarantined: Counter,
     pub partial_iterations: Counter,
+    pub shm_orphans_removed: Counter,
+    pub shm_orphans_quarantined: Counter,
 }
 
 impl FaultStats {
@@ -140,6 +142,8 @@ impl FaultStats {
             segments_reclaimed: metrics.counter("node.segments_reclaimed"),
             crc_quarantined: metrics.counter("node.crc_quarantined"),
             partial_iterations: metrics.counter("node.partial_iterations"),
+            shm_orphans_removed: metrics.counter("node.shm_orphans_removed"),
+            shm_orphans_quarantined: metrics.counter("node.shm_orphans_quarantined"),
         }
     }
 
@@ -325,6 +329,14 @@ pub struct NodeReport {
     /// fenced before contributing) under the `partial` policy.
     /// metric: node.partial_iterations
     pub partial_iterations: u64,
+    /// Orphaned `/dev/shm` mapping files from dead prior runs unlinked by
+    /// the startup sweep (file-backed topology only).
+    /// metric: node.shm_orphans_removed
+    pub shm_orphans_removed: u64,
+    /// Mapping files with an unrecognizable header quarantined (renamed,
+    /// never silently deleted) by the startup sweep.
+    /// metric: node.shm_orphans_quarantined
+    pub shm_orphans_quarantined: u64,
 }
 
 /// One running Damaris node: a supervised dedicated-core server thread

@@ -1,0 +1,378 @@
+//! A compute-core process: the paper's client API run against the
+//! file-backed mapping and the UDS control plane.
+//!
+//! Per iteration the client reserves a ring segment per variable (the
+//! lock-free partitioned scheme — a handful of atomics on mapped words),
+//! memcpys its data, stamps a CRC, sends `Commit` (shm coordinates only:
+//! the data plane never touches the socket), then fences the iteration
+//! with `EndIteration` and waits for the EPE's `Ack`.
+//!
+//! ## Surviving the EPE
+//!
+//! The EPE can be `kill -9`'d at any moment. The client notices through
+//! two signals — the socket erroring and the mapped heartbeat's
+//! `beat_at_ns` going stale on the machine-wide monotonic clock — then
+//! reconnects to the respawned incarnation (same socket path, bumped
+//! epoch in the `Welcome`) and re-sends every commit of the
+//! unacknowledged iteration plus its `EndIteration`. The respawned EPE
+//! deduplicates against its WAL, so re-sends are safe.
+//!
+//! ## Dying itself
+//!
+//! The kill matrix runs *in* the victim: [`super::ClientKillSpec`] makes
+//! this process raise `SIGKILL` on itself right after a reserve
+//! (`alloc`), halfway through the memcpy (`memcpy`), or right after the
+//! commit frame is written (`postcommit`) — a real uncatchable death at
+//! a deterministic protocol point, whose cleanup burden falls entirely
+//! on the EPE's lease sweep.
+
+use super::ClientKillSpec;
+use damaris_mpi::{connect_client, ClientKillPhase, CtrlMsg, FaultPlan, UdsConn};
+use damaris_shm::sync::Ordering;
+use damaris_shm::{monotonic_now_ns, AllocError, MappedNode};
+use std::io;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Everything one client process needs to run.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Run directory (mapping + socket live here).
+    pub dir: PathBuf,
+    /// This client's rank.
+    pub rank: u32,
+    /// Total client count (the EPE's control-plane rank is `n_clients`).
+    pub n_clients: usize,
+    /// Iterations to run.
+    pub iterations: u32,
+    /// Variables written per iteration.
+    pub variables: u32,
+    /// Payload bytes per variable.
+    pub payload_len: usize,
+    /// Lease/heartbeat staleness bound (same value the EPE sweeps with).
+    pub lease_timeout: Duration,
+    /// Chaos: die at a configured phase (only fires on the matching rank).
+    pub kill: Option<ClientKillSpec>,
+}
+
+impl ClientOptions {
+    /// Rebuilds the options a launcher exported into the environment.
+    pub fn from_env() -> io::Result<ClientOptions> {
+        let dir = std::env::var_os(super::ENV_DIR)
+            .ok_or_else(|| io::Error::other("DAMARIS_PROC_DIR not set"))?;
+        Ok(ClientOptions {
+            dir: PathBuf::from(dir),
+            rank: super::env_parse(super::ENV_RANK)?,
+            n_clients: super::env_parse(super::ENV_CLIENTS)?,
+            iterations: super::env_parse(super::ENV_ITERS)?,
+            variables: super::env_parse(super::ENV_VARS)?,
+            payload_len: super::env_parse(super::ENV_PAYLOAD)?,
+            lease_timeout: Duration::from_millis(super::env_parse(super::ENV_LEASE_MS)?),
+            kill: ClientKillSpec::from_env(),
+        })
+    }
+}
+
+/// What the client process accomplished (written to its exit status and
+/// useful in in-process tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientReport {
+    /// Iterations acknowledged by the EPE.
+    pub iterations_acked: u64,
+    /// Commits re-sent after an EPE respawn.
+    pub commits_resent: u64,
+    /// EPE epochs this client talked to (≥2 means it survived a respawn).
+    pub epochs_seen: Vec<u32>,
+}
+
+/// Deterministic payload so the EPE side (and tests reading the SDF
+/// output) can verify bytes end-to-end without a side channel.
+pub fn payload_for(rank: u32, iteration: u32, variable: u32, len: usize) -> Vec<u8> {
+    let seed = rank
+        .wrapping_mul(31)
+        .wrapping_add(iteration.wrapping_mul(7))
+        .wrapping_add(variable.wrapping_mul(131)) as u8;
+    (0..len).map(|i| seed.wrapping_add(i as u8)).collect()
+}
+
+/// One in-flight commit, kept client-side until its iteration is acked
+/// so it can be re-sent to a respawned EPE.
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    variable: u32,
+    offset: u64,
+    len: u64,
+    crc: u32,
+}
+
+struct Ctl {
+    conn: UdsConn,
+    epoch: u32,
+}
+
+fn connect(opts: &ClientOptions, deadline: Duration) -> io::Result<Ctl> {
+    let (conn, epoch) = connect_client(
+        &opts.dir.join(super::SOCKET_FILE),
+        opts.rank as usize,
+        damaris_shm::this_pid(),
+        opts.n_clients,
+        &FaultPlan::new(),
+        deadline,
+    )?;
+    conn.set_recv_timeout(Some(Duration::from_millis(20)))?;
+    Ok(Ctl { conn, epoch })
+}
+
+/// True when the EPE's heartbeat stamp is stale on the machine-wide
+/// clock — the cross-process liveness check (no process-private anchor).
+fn heartbeat_stale(node: &MappedNode, timeout: Duration) -> bool {
+    // Acquire pairs with the EPE's Release stamp after each beat.
+    let beat_at = node.beat_at_ns().load(Ordering::Acquire);
+    monotonic_now_ns().saturating_sub(beat_at) > timeout.as_nanos() as u64
+}
+
+/// Runs one client process to completion.
+pub fn run_client(opts: &ClientOptions) -> io::Result<ClientReport> {
+    let mut report = ClientReport::default();
+    let mapping_path = opts.dir.join(super::MAPPING_FILE);
+
+    // The EPE creates the mapping; wait for a valid header to appear.
+    let start = Instant::now();
+    let node = loop {
+        match MappedNode::open(&mapping_path) {
+            Ok(n) => break n,
+            Err(_) if start.elapsed() < Duration::from_secs(20) => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    let buffer = node.buffer();
+    let rank = opts.rank as usize;
+    let mut ctl = connect(opts, Duration::from_secs(20))?;
+    report.epochs_seen.push(ctl.epoch);
+
+    for it in 0..opts.iterations {
+        let mut inflight: Vec<Inflight> = Vec::new();
+        for var in 0..opts.variables {
+            renew(opts, &node)?;
+            let payload = payload_for(opts.rank, it, var, opts.payload_len);
+
+            // Reserve, spinning on Full like the paper's clients block on
+            // a full buffer. The EPE frees space as it persists.
+            let reserve_start = Instant::now();
+            let mut seg = loop {
+                match node.reserve(&buffer, rank, payload.len()) {
+                    Ok(seg) => break seg,
+                    Err(AllocError::Full) => {
+                        renew(opts, &node)?;
+                        if heartbeat_stale(&node, opts.lease_timeout)
+                            && reserve_start.elapsed() > Duration::from_secs(20)
+                        {
+                            return Err(io::Error::other("buffer full and EPE dead"));
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => return Err(io::Error::other(format!("reserve: {e}"))),
+                }
+            };
+
+            let kill = opts
+                .kill
+                .filter(|k| var == 0 && k.fires(opts.rank, it, k.phase));
+            if kill.is_some_and(|k| k.phase == ClientKillPhase::Alloc) {
+                // Die owning a reservation nobody will ever commit: the
+                // lease sweep must reclaim it.
+                damaris_shm::kill_self_hard();
+            }
+
+            if kill.is_some_and(|k| k.phase == ClientKillPhase::Memcpy) {
+                // Die mid-copy: the ring holds a half-written segment.
+                seg.as_mut_slice()[..payload.len() / 2]
+                    .copy_from_slice(&payload[..payload.len() / 2]);
+                damaris_shm::kill_self_hard();
+            }
+            seg.copy_from_slice(&payload);
+            let crc = damaris_format::crc32(&payload);
+            let commit = Inflight {
+                variable: var,
+                offset: seg.offset() as u64,
+                len: seg.len() as u64,
+                crc,
+            };
+            // The client-side mirror of the segment can go now — ring
+            // accounting lives in the mapping and is released by the EPE.
+            drop(seg);
+
+            send_with_reconnect(
+                opts,
+                &node,
+                &mut ctl,
+                &mut report,
+                &inflight,
+                it,
+                &CtrlMsg::Commit {
+                    rank: opts.rank,
+                    iteration: it,
+                    variable: commit.variable,
+                    offset: commit.offset,
+                    len: commit.len,
+                    crc: commit.crc,
+                },
+            )?;
+            inflight.push(commit);
+
+            if kill.is_some_and(|k| k.phase == ClientKillPhase::PostCommit) {
+                // Die with the commit on the wire (or in the dead EPE's
+                // socket buffer): journal + lease must sort it out.
+                damaris_shm::kill_self_hard();
+            }
+        }
+
+        send_with_reconnect(
+            opts,
+            &node,
+            &mut ctl,
+            &mut report,
+            &inflight,
+            it,
+            &CtrlMsg::EndIteration {
+                rank: opts.rank,
+                iteration: it,
+            },
+        )?;
+        if wait_for_ack(opts, &node, &mut ctl, &mut report, &inflight, it)? {
+            report.iterations_acked += 1;
+        } else {
+            break; // Shutdown before the Ack (e.g. wait-policy drain)
+        }
+    }
+    Ok(report)
+}
+
+/// Sends `msg`, transparently reconnecting to a respawned EPE (and
+/// re-sending this iteration's in-flight state) on failure.
+fn send_with_reconnect(
+    opts: &ClientOptions,
+    node: &MappedNode,
+    ctl: &mut Ctl,
+    report: &mut ClientReport,
+    inflight: &[Inflight],
+    it: u32,
+    msg: &CtrlMsg,
+) -> io::Result<()> {
+    if ctl.conn.send(msg).is_ok() {
+        return Ok(());
+    }
+    reconnect_and_resend(opts, node, ctl, report, inflight, it)?;
+    ctl.conn.send(msg)
+}
+
+/// Reconnects after an EPE death and re-sends every unacknowledged
+/// commit of iteration `it` (the WAL dedups on the other side).
+fn reconnect_and_resend(
+    opts: &ClientOptions,
+    node: &MappedNode,
+    ctl: &mut Ctl,
+    report: &mut ClientReport,
+    inflight: &[Inflight],
+    it: u32,
+) -> io::Result<()> {
+    // Reconnect budget: generous, because the supervisor needs to notice
+    // the death and respawn, and the new EPE replays its WAL first.
+    let mut fresh = connect(opts, Duration::from_secs(20))?;
+    if fresh.epoch != ctl.epoch {
+        report.epochs_seen.push(fresh.epoch);
+    }
+    for c in inflight {
+        fresh.conn.send(&CtrlMsg::Commit {
+            rank: opts.rank,
+            iteration: it,
+            variable: c.variable,
+            offset: c.offset,
+            len: c.len,
+            crc: c.crc,
+        })?;
+        report.commits_resent += 1;
+    }
+    let _ = node; // liveness is implied by the successful reconnect
+    *ctl = fresh;
+    Ok(())
+}
+
+/// Waits for `Ack { it }`, riding out EPE deaths. Returns `false` if the
+/// EPE shut down without acknowledging (wait-policy drain).
+fn wait_for_ack(
+    opts: &ClientOptions,
+    node: &MappedNode,
+    ctl: &mut Ctl,
+    report: &mut ClientReport,
+    inflight: &[Inflight],
+    it: u32,
+) -> io::Result<bool> {
+    let start = Instant::now();
+    loop {
+        match ctl.conn.recv() {
+            Ok(CtrlMsg::Ack { iteration }) if iteration == it => return Ok(true),
+            Ok(CtrlMsg::Shutdown) => return Ok(false),
+            // Older acks, epoch announcements, anything else: keep waiting.
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                renew(opts, node)?;
+                if heartbeat_stale(node, opts.lease_timeout) {
+                    // EPE looks dead: reconnect (blocks until the
+                    // supervisor respawns it) and re-send the iteration.
+                    reconnect_and_resend(opts, node, ctl, report, inflight, it)?;
+                    ctl.conn.send(&CtrlMsg::EndIteration {
+                        rank: opts.rank,
+                        iteration: it,
+                    })?;
+                }
+                if start.elapsed() > Duration::from_secs(60) {
+                    return Err(io::Error::other(format!("no ack for iteration {it}")));
+                }
+            }
+            Err(_) => {
+                // Socket died under us: same recovery as staleness.
+                reconnect_and_resend(opts, node, ctl, report, inflight, it)?;
+                ctl.conn.send(&CtrlMsg::EndIteration {
+                    rank: opts.rank,
+                    iteration: it,
+                })?;
+            }
+        }
+    }
+}
+
+/// Lease renew + stamp: every client API touchpoint renews, and the
+/// stamp is on the machine-wide clock the sweeper reads.
+fn renew(opts: &ClientOptions, node: &MappedNode) -> io::Result<()> {
+    let rank = opts.rank as usize;
+    if !node.lease(rank).renew() {
+        // Revoked: the sweeper fenced us (a false positive on a very
+        // slow rank). Per protocol we must stop touching the buffer.
+        return Err(io::Error::other("lease revoked: this rank is fenced"));
+    }
+    // Release pairs with the sweeper's Acquire staleness load.
+    node.renewed_at_ns(rank)
+        .store(monotonic_now_ns(), Ordering::Release);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payloads_are_deterministic_and_distinct() {
+        let a = payload_for(0, 1, 2, 64);
+        let b = payload_for(0, 1, 2, 64);
+        assert_eq!(a, b);
+        assert_ne!(a, payload_for(1, 1, 2, 64));
+        assert_ne!(a, payload_for(0, 2, 2, 64));
+        assert_ne!(a, payload_for(0, 1, 3, 64));
+    }
+}

@@ -1,0 +1,173 @@
+//! The cross-process Damaris node: real OS processes over a file-backed
+//! shared mapping.
+//!
+//! The threaded node ([`crate::NodeRuntime`]) simulates the paper's
+//! dedicated core as a thread; this module runs it the way the original
+//! Damaris did — as **separate processes** sharing POSIX shared memory:
+//!
+//! * [`run_epe`] — the dedicated-core process: creates (or, respawned,
+//!   re-adopts) the `/dev/shm` mapping, sweeps orphans, binds the UDS
+//!   control plane, drains commits through a file-backed WAL, verifies
+//!   end-to-end CRCs, persists SDF iterations, sweeps client leases on
+//!   the machine-wide monotonic clock, and releases ring segments.
+//! * [`run_client`] — a compute-core process: maps the file, reserves
+//!   ring segments, memcpys, commits over the socket, and survives EPE
+//!   death by reconnecting to the respawned incarnation and re-sending
+//!   its unacknowledged state.
+//! * [`launcher`] — the supervisor: spawns both as children of one
+//!   launcher binary, delivers `kill -9` chaos at configured phases,
+//!   respawns a dead EPE with a bumped epoch, and audits the mapping for
+//!   leaked bytes after the run.
+//!
+//! The kill matrix is configured through environment variables so the
+//! *victim process itself* raises `SIGKILL` at the exact protocol phase
+//! under test (after reserve, mid-memcpy, after commit) — a real
+//! uncatchable kill, placed deterministically. `DAMARIS_KILL_RANK`,
+//! `DAMARIS_KILL_PHASE` (`alloc|memcpy|postcommit`), `DAMARIS_KILL_ITER`
+//! select the client kill; `DAMARIS_KILL_EPE_AFTER` kills the EPE after
+//! draining that many commits (mid-drain).
+
+pub mod client;
+pub mod epe;
+pub mod launcher;
+pub mod wal;
+
+pub use client::{run_client, ClientOptions, ClientReport};
+pub use epe::{run_epe, EpeOptions, EpeReport};
+pub use launcher::{launch, LaunchPlan, LaunchReport};
+pub use wal::{ProcWal, WalRecord};
+
+use damaris_mpi::ClientKillPhase;
+use std::io;
+
+/// Environment variable selecting a process role when the launcher
+/// re-execs itself (`epe` or `client`).
+pub const ENV_ROLE: &str = "DAMARIS_PROC_ROLE";
+/// Client rank (role `client`).
+pub const ENV_RANK: &str = "DAMARIS_PROC_RANK";
+/// Rank to `kill -9` (client kill matrix).
+pub const ENV_KILL_RANK: &str = "DAMARIS_KILL_RANK";
+/// Phase at which the victim rank kills itself.
+pub const ENV_KILL_PHASE: &str = "DAMARIS_KILL_PHASE";
+/// Iteration at which the victim rank kills itself.
+pub const ENV_KILL_ITER: &str = "DAMARIS_KILL_ITER";
+/// Commits the EPE drains before killing itself mid-drain.
+pub const ENV_KILL_EPE_AFTER: &str = "DAMARIS_KILL_EPE_AFTER";
+/// Run directory shared by every process of a supervised run.
+pub const ENV_DIR: &str = "DAMARIS_PROC_DIR";
+/// Client process count.
+pub const ENV_CLIENTS: &str = "DAMARIS_PROC_CLIENTS";
+/// Iterations to run.
+pub const ENV_ITERS: &str = "DAMARIS_PROC_ITERS";
+/// Variables per iteration per client.
+pub const ENV_VARS: &str = "DAMARIS_PROC_VARS";
+/// Payload bytes per variable.
+pub const ENV_PAYLOAD: &str = "DAMARIS_PROC_PAYLOAD";
+/// Mapping data-window bytes.
+pub const ENV_CAPACITY: &str = "DAMARIS_PROC_CAPACITY";
+/// Client-failure policy (`wait|partial|drop-iteration`).
+pub const ENV_POLICY: &str = "DAMARIS_PROC_POLICY";
+/// Lease staleness bound in milliseconds.
+pub const ENV_LEASE_MS: &str = "DAMARIS_PROC_LEASE_MS";
+/// EPE incarnation number (0 = first boot, >0 = respawn).
+pub const ENV_EPOCH: &str = "DAMARIS_PROC_EPOCH";
+
+fn env_parse<T: std::str::FromStr>(key: &str) -> io::Result<T> {
+    std::env::var(key)
+        .map_err(|_| io::Error::other(format!("{key} not set")))?
+        .parse()
+        .map_err(|_| io::Error::other(format!("{key} malformed")))
+}
+
+/// A client-side hard-kill instruction: `rank` raises `SIGKILL` on
+/// itself at `phase` of `iteration`. Parsed from the environment the
+/// launcher set up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientKillSpec {
+    /// The victim rank.
+    pub rank: u32,
+    /// Protocol phase at which to die.
+    pub phase: ClientKillPhase,
+    /// Iteration at which to die.
+    pub iteration: u32,
+}
+
+impl ClientKillSpec {
+    /// Reads the kill spec from the environment; `None` when no kill is
+    /// configured (or the spec is malformed — chaos config errors must
+    /// not take down a production client).
+    pub fn from_env() -> Option<ClientKillSpec> {
+        let rank: u32 = std::env::var(ENV_KILL_RANK).ok()?.parse().ok()?;
+        let phase = match std::env::var(ENV_KILL_PHASE).ok()?.as_str() {
+            "alloc" => ClientKillPhase::Alloc,
+            "memcpy" => ClientKillPhase::Memcpy,
+            "postcommit" => ClientKillPhase::PostCommit,
+            _ => return None,
+        };
+        let iteration: u32 = std::env::var(ENV_KILL_ITER).ok()?.parse().ok()?;
+        Some(ClientKillSpec {
+            rank,
+            phase,
+            iteration,
+        })
+    }
+
+    /// True when this process (`rank`) should die at `phase` of
+    /// `iteration`.
+    pub fn fires(&self, rank: u32, iteration: u32, phase: ClientKillPhase) -> bool {
+        self.rank == rank && self.iteration == iteration && self.phase == phase
+    }
+
+    /// The `DAMARIS_KILL_PHASE` value for `phase` (launcher side).
+    pub fn phase_str(phase: ClientKillPhase) -> &'static str {
+        match phase {
+            ClientKillPhase::Alloc => "alloc",
+            ClientKillPhase::Memcpy => "memcpy",
+            ClientKillPhase::PostCommit => "postcommit",
+        }
+    }
+}
+
+/// Reads the EPE mid-drain kill counter from the environment.
+pub fn epe_kill_after_from_env() -> Option<u64> {
+    std::env::var(ENV_KILL_EPE_AFTER).ok()?.parse().ok()
+}
+
+/// Name of the node's mapping file inside the run directory. The GC
+/// sweep matches on the `damaris-node` prefix.
+pub const MAPPING_FILE: &str = "damaris-node.shm";
+/// Name of the control-plane socket inside the run directory.
+pub const SOCKET_FILE: &str = "damaris-ctrl.sock";
+/// Name of the EPE's write-ahead journal inside the run directory.
+pub const WAL_FILE: &str = "epe.wal";
+/// Subdirectory SDF output lands in.
+pub const OUT_DIR: &str = "out";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_spec_fires_only_on_exact_match() {
+        let spec = ClientKillSpec {
+            rank: 1,
+            phase: ClientKillPhase::Memcpy,
+            iteration: 2,
+        };
+        assert!(spec.fires(1, 2, ClientKillPhase::Memcpy));
+        assert!(!spec.fires(0, 2, ClientKillPhase::Memcpy));
+        assert!(!spec.fires(1, 1, ClientKillPhase::Memcpy));
+        assert!(!spec.fires(1, 2, ClientKillPhase::Alloc));
+    }
+
+    #[test]
+    fn phase_strings_cover_every_phase() {
+        for (phase, s) in [
+            (ClientKillPhase::Alloc, "alloc"),
+            (ClientKillPhase::Memcpy, "memcpy"),
+            (ClientKillPhase::PostCommit, "postcommit"),
+        ] {
+            assert_eq!(ClientKillSpec::phase_str(phase), s);
+        }
+    }
+}

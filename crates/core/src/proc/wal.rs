@@ -1,0 +1,400 @@
+//! File-backed write-ahead log for the cross-process EPE.
+//!
+//! The in-process node journals client notifications in memory
+//! ([`crate::journal::EventJournal`]) because a respawned server *thread*
+//! shares the dying thread's address space. A respawned EPE *process*
+//! shares nothing but the filesystem and the shm mapping, so its journal
+//! must live in a file. Every `Commit` moves through three durable
+//! states, each its own appended record:
+//!
+//! 1. **pending** — appended before the EPE acts on the commit,
+//! 2. **applied** — the segment's bytes have been persisted (or
+//!    quarantined/dropped by policy),
+//! 3. **released** — the segment's ring bytes have been returned.
+//!
+//! Splitting *applied* from *released* is what makes `kill -9` recovery
+//! unambiguous: a record that is pending still owns its segment (safe to
+//! re-verify, re-persist, and release); a record that is applied but not
+//! released owns ring bytes that were persisted but never returned (safe
+//! to release, must not re-persist); a released record is fully done.
+//! Without the split, a crash between persist and release could lead a
+//! replayer to double-release a ring position — corrupting the ring
+//! accounting — or to leak the bytes forever.
+//!
+//! A fourth record kind, **iteration-done**, marks an iteration fully
+//! resolved (persisted, partial-persisted, or dropped by policy), so a
+//! respawned EPE can re-acknowledge clients that never saw the `Ack`.
+//!
+//! ## Record format
+//!
+//! `[u32 len][u32 crc][payload]`, little-endian, `crc` over the payload:
+//!
+//! ```text
+//! u64 seq, u8 kind,
+//! kind 0 (pending):   u32 rank, u32 iteration, u32 variable,
+//!                     u64 offset, u64 len, u32 data_crc
+//! kind 1 (applied):   —
+//! kind 2 (released):  —
+//! kind 3 (iter done): u32 iteration
+//! ```
+//!
+//! A torn tail (partial record from a crash mid-append) fails the length
+//! or CRC check and ends the scan — everything before it is intact, which
+//! is all crash consistency requires.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const KIND_PENDING: u8 = 0;
+const KIND_APPLIED: u8 = 1;
+const KIND_RELEASED: u8 = 2;
+const KIND_ITER_DONE: u8 = 3;
+/// Payload bytes for a pending record: seq + kind + commit fields.
+const PENDING_PAYLOAD: usize = 8 + 1 + 4 + 4 + 4 + 8 + 8 + 4;
+/// Payload bytes for an applied/released marker: seq + kind.
+const MARKER_PAYLOAD: usize = 8 + 1;
+/// Payload bytes for an iteration-done record: seq + kind + iteration.
+const ITER_DONE_PAYLOAD: usize = 8 + 1 + 4;
+
+/// One journalled commit: the shm coordinates and CRC of a client write,
+/// exactly what a respawned EPE needs to re-verify and re-persist it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Journal sequence number (assigned at append, monotonic per file).
+    pub seq: u64,
+    /// Client rank that committed the write.
+    pub rank: u32,
+    /// Simulation iteration the write belongs to.
+    pub iteration: u32,
+    /// Variable index within the iteration.
+    pub variable: u32,
+    /// Segment offset within the mapping's data window.
+    pub offset: u64,
+    /// Segment length in bytes.
+    pub len: u64,
+    /// Client-computed CRC-32 of the segment bytes.
+    pub data_crc: u32,
+}
+
+/// Where an incomplete record stopped in the pending → applied →
+/// released progression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalState {
+    /// Appended, never acted on: the segment is still owned and intact.
+    Pending,
+    /// Persisted but its ring bytes were never released.
+    Applied,
+}
+
+/// Everything a respawned EPE learns from scanning the journal.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Incomplete records in append (= per-client FIFO) order.
+    pub records: Vec<(WalRecord, WalState)>,
+    /// Iterations marked fully resolved — re-acknowledge, never redo.
+    pub done_iterations: Vec<u32>,
+    /// Every `(rank, iteration, variable)` ever logged, for deduplicating
+    /// commits clients re-send after reconnecting to a new incarnation.
+    pub seen_commits: Vec<(u32, u32, u32)>,
+}
+
+fn encode_pending(rec: &WalRecord) -> [u8; PENDING_PAYLOAD] {
+    let mut p = [0u8; PENDING_PAYLOAD];
+    p[0..8].copy_from_slice(&rec.seq.to_le_bytes());
+    p[8] = KIND_PENDING;
+    p[9..13].copy_from_slice(&rec.rank.to_le_bytes());
+    p[13..17].copy_from_slice(&rec.iteration.to_le_bytes());
+    p[17..21].copy_from_slice(&rec.variable.to_le_bytes());
+    p[21..29].copy_from_slice(&rec.offset.to_le_bytes());
+    p[29..37].copy_from_slice(&rec.len.to_le_bytes());
+    p[37..41].copy_from_slice(&rec.data_crc.to_le_bytes());
+    p
+}
+
+fn u32_at(buf: &[u8], at: usize) -> u32 {
+    // invariant: callers slice within a length-checked payload.
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn u64_at(buf: &[u8], at: usize) -> u64 {
+    // invariant: callers slice within a length-checked payload.
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// The EPE's on-disk journal. One per node directory; survives any number
+/// of EPE incarnations and is replayed on open.
+#[derive(Debug)]
+pub struct ProcWal {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+    /// Incomplete (not yet released) records by seq.
+    live: BTreeMap<u64, (WalRecord, WalState)>,
+}
+
+impl ProcWal {
+    /// Opens (creating if absent) the journal at `path` and scans it.
+    pub fn open(path: &Path) -> io::Result<(ProcWal, WalReplay)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut bytes)?;
+
+        let mut live: BTreeMap<u64, (WalRecord, WalState)> = BTreeMap::new();
+        let mut replay = WalReplay::default();
+        let mut next_seq = 0u64;
+        let mut at = 0usize;
+        let mut intact_end = 0usize;
+        while at + 8 <= bytes.len() {
+            let len = u32_at(&bytes, at) as usize;
+            let crc = u32_at(&bytes, at + 4);
+            let body_at = at + 8;
+            if !(MARKER_PAYLOAD..=PENDING_PAYLOAD).contains(&len) || body_at + len > bytes.len() {
+                break; // torn tail: a crash interrupted the last append
+            }
+            let payload = &bytes[body_at..body_at + len];
+            if damaris_format::crc32(payload) != crc {
+                break; // torn tail (partial write of the last record)
+            }
+            let seq = u64_at(payload, 0);
+            match payload[8] {
+                KIND_PENDING if len == PENDING_PAYLOAD => {
+                    let rec = WalRecord {
+                        seq,
+                        rank: u32_at(payload, 9),
+                        iteration: u32_at(payload, 13),
+                        variable: u32_at(payload, 17),
+                        offset: u64_at(payload, 21),
+                        len: u64_at(payload, 29),
+                        data_crc: u32_at(payload, 37),
+                    };
+                    replay.seen_commits.push((rec.rank, rec.iteration, rec.variable));
+                    live.insert(seq, (rec, WalState::Pending));
+                }
+                KIND_APPLIED if len == MARKER_PAYLOAD => {
+                    if let Some(entry) = live.get_mut(&seq) {
+                        entry.1 = WalState::Applied;
+                    }
+                }
+                KIND_RELEASED if len == MARKER_PAYLOAD => {
+                    live.remove(&seq);
+                }
+                KIND_ITER_DONE if len == ITER_DONE_PAYLOAD => {
+                    replay.done_iterations.push(u32_at(payload, 9));
+                }
+                // An unknown kind with a valid CRC is version skew, not a
+                // torn tail; skip the record but keep scanning.
+                _ => {}
+            }
+            next_seq = next_seq.max(seq + 1);
+            at = body_at + len;
+            intact_end = at;
+        }
+        // Drop the torn tail so the next append starts on a record
+        // boundary (append mode writes at EOF).
+        if intact_end < bytes.len() {
+            file.set_len(intact_end as u64)?;
+            file.seek(SeekFrom::End(0))?;
+        }
+
+        replay.records = live.values().copied().collect();
+        Ok((
+            ProcWal {
+                file,
+                path: path.to_path_buf(),
+                next_seq,
+                live,
+            },
+            replay,
+        ))
+    }
+
+    fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&damaris_format::crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()
+    }
+
+    fn append_marker(&mut self, seq: u64, kind: u8) -> io::Result<()> {
+        let mut p = [0u8; MARKER_PAYLOAD];
+        p[0..8].copy_from_slice(&seq.to_le_bytes());
+        p[8] = kind;
+        self.append(&p)
+    }
+
+    /// Appends a pending commit record, durably, before the EPE acts on
+    /// it. Returns the assigned seq.
+    pub fn append_pending(&mut self, mut rec: WalRecord) -> io::Result<u64> {
+        rec.seq = self.next_seq;
+        self.next_seq += 1;
+        self.append(&encode_pending(&rec))?;
+        self.live.insert(rec.seq, (rec, WalState::Pending));
+        Ok(rec.seq)
+    }
+
+    /// Marks `seq` applied: its bytes were persisted (or dropped by
+    /// policy/quarantine), but its ring bytes are still held.
+    pub fn mark_applied(&mut self, seq: u64) -> io::Result<()> {
+        self.append_marker(seq, KIND_APPLIED)?;
+        if let Some(entry) = self.live.get_mut(&seq) {
+            entry.1 = WalState::Applied;
+        }
+        Ok(())
+    }
+
+    /// Marks `seq` released: its ring bytes were returned (by FIFO
+    /// release or by a fence-time reclaim). The record is complete.
+    pub fn mark_released(&mut self, seq: u64) -> io::Result<()> {
+        self.append_marker(seq, KIND_RELEASED)?;
+        self.live.remove(&seq);
+        Ok(())
+    }
+
+    /// Marks `iteration` fully resolved, so a future incarnation can
+    /// re-acknowledge it instead of redoing it.
+    pub fn mark_iteration_done(&mut self, iteration: u32) -> io::Result<()> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut p = [0u8; ITER_DONE_PAYLOAD];
+        p[0..8].copy_from_slice(&seq.to_le_bytes());
+        p[8] = KIND_ITER_DONE;
+        p[9..13].copy_from_slice(&iteration.to_le_bytes());
+        self.append(&p)
+    }
+
+    /// Records currently incomplete (pending or applied).
+    pub fn live_len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("damaris-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn rec(rank: u32, iteration: u32, variable: u32) -> WalRecord {
+        WalRecord {
+            seq: 0,
+            rank,
+            iteration,
+            variable,
+            offset: 4096 + u64::from(rank) * 128,
+            len: 96,
+            data_crc: 0xABCD_0000 | rank,
+        }
+    }
+
+    #[test]
+    fn state_progression_round_trips_across_reopens() {
+        let path = tmp("roundtrip");
+        let (mut wal, replay) = ProcWal::open(&path).unwrap();
+        assert!(replay.records.is_empty());
+        let a = wal.append_pending(rec(0, 1, 0)).unwrap();
+        let b = wal.append_pending(rec(1, 1, 0)).unwrap();
+        let c = wal.append_pending(rec(2, 1, 0)).unwrap();
+        // a: fully done. b: persisted, crash before release. c: untouched.
+        wal.mark_applied(a).unwrap();
+        wal.mark_released(a).unwrap();
+        wal.mark_applied(b).unwrap();
+        wal.mark_iteration_done(0).unwrap();
+        assert_eq!(wal.live_len(), 2);
+        drop(wal);
+
+        let (mut wal, replay) = ProcWal::open(&path).unwrap();
+        assert_eq!(
+            replay
+                .records
+                .iter()
+                .map(|(r, s)| (r.seq, *s))
+                .collect::<Vec<_>>(),
+            vec![(b, WalState::Applied), (c, WalState::Pending)]
+        );
+        assert_eq!(replay.done_iterations, vec![0]);
+        // Dedup info covers every commit ever logged, even released ones.
+        assert_eq!(
+            replay.seen_commits,
+            vec![(0, 1, 0), (1, 1, 0), (2, 1, 0)]
+        );
+        wal.mark_released(b).unwrap();
+        wal.mark_applied(c).unwrap();
+        wal.mark_released(c).unwrap();
+        drop(wal);
+
+        let (wal, replay) = ProcWal::open(&path).unwrap();
+        assert!(replay.records.is_empty());
+        // Seqs keep rising across incarnations — replayed commits never
+        // collide with new ones.
+        assert!(wal.next_seq >= 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_not_fatal() {
+        let path = tmp("torn");
+        let (mut wal, _) = ProcWal::open(&path).unwrap();
+        wal.append_pending(rec(0, 0, 0)).unwrap();
+        wal.append_pending(rec(1, 0, 0)).unwrap();
+        drop(wal);
+
+        // Simulate a crash mid-append: truncate into the last record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let (mut wal, replay) = ProcWal::open(&path).unwrap();
+        assert_eq!(replay.records.len(), 1, "intact prefix survives");
+        assert_eq!(replay.records[0].0.rank, 0);
+        // The file is usable again: appends land on a record boundary.
+        let c = wal.append_pending(rec(2, 0, 0)).unwrap();
+        drop(wal);
+        let (_, replay) = ProcWal::open(&path).unwrap();
+        let ranks: Vec<u32> = replay.records.iter().map(|(r, _)| r.rank).collect();
+        assert_eq!(ranks, vec![0, 2]);
+        assert_eq!(replay.records[1].0.seq, c);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_ends_the_scan() {
+        let path = tmp("corrupt");
+        let (mut wal, _) = ProcWal::open(&path).unwrap();
+        wal.append_pending(rec(0, 0, 0)).unwrap();
+        let boundary = std::fs::metadata(&path).unwrap().len();
+        wal.append_pending(rec(1, 0, 0)).unwrap();
+        drop(wal);
+
+        // Flip a payload byte of the second record: its CRC now fails.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = boundary as usize + 12;
+        bytes[idx] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, replay) = ProcWal::open(&path).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].0.rank, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

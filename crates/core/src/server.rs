@@ -718,6 +718,8 @@ pub(crate) fn run(
     report.segments_reclaimed = FaultStats::get(&stats.segments_reclaimed);
     report.crc_quarantined = FaultStats::get(&stats.crc_quarantined);
     report.partial_iterations = FaultStats::get(&stats.partial_iterations);
+    report.shm_orphans_removed = FaultStats::get(&stats.shm_orphans_removed);
+    report.shm_orphans_quarantined = FaultStats::get(&stats.shm_orphans_quarantined);
     Ok(report)
 }
 

@@ -22,14 +22,34 @@
 use crate::sync::{Arc, RangeTracker};
 use std::cell::UnsafeCell;
 
+/// Where a [`SharedBuffer`]'s bytes live.
+///
+/// * `Heap` — one process-private allocation shared through `Arc`, the
+///   threads-as-cores topology every existing test uses.
+/// * `Mapped` — a window of a file-backed `MAP_SHARED` region
+///   ([`crate::MapRegion`]), the cross-process topology of the original
+///   Damaris: separate OS processes map the same file, and the bytes
+///   survive any one process being `kill -9`'d.
+enum Backing {
+    /// Backing store in 8-byte units so that segments handed out by the
+    /// (8-byte-aligning) allocators can be viewed as f32/f64 slices.
+    Heap(Box<[UnsafeCell<u64>]>),
+    /// `data_offset` is where the buffer's byte 0 sits inside the region
+    /// (past the mapping header) — an offset, never a pointer, per the
+    /// offset-only invariant.
+    #[cfg(all(unix, not(feature = "check")))]
+    Mapped {
+        region: Arc<crate::backing::MapRegion>,
+        data_offset: usize,
+    },
+}
+
 /// A fixed-size byte buffer shared by all cores of one simulated SMP node.
 ///
 /// Created once by the dedicated core with a user-chosen size ("the user has
 /// full control over the resources allocated to Damaris", §III-B).
 pub struct SharedBuffer {
-    /// Backing store in 8-byte units so that segments handed out by the
-    /// (8-byte-aligning) allocators can be viewed as f32/f64 slices.
-    data: Box<[UnsafeCell<u64>]>,
+    backing: Backing,
     capacity: usize,
     /// Race detector for segment accesses; no-op unless `check`.
     tracker: RangeTracker,
@@ -45,12 +65,37 @@ unsafe impl Sync for SharedBuffer {}
 unsafe impl Send for SharedBuffer {}
 
 impl SharedBuffer {
-    /// Allocates a zero-initialized buffer of `capacity` bytes.
+    /// Allocates a zero-initialized heap buffer of `capacity` bytes.
     pub fn new(capacity: usize) -> Arc<Self> {
         let words = capacity.div_ceil(8);
         let data: Box<[UnsafeCell<u64>]> = (0..words).map(|_| UnsafeCell::new(0)).collect();
         Arc::new(SharedBuffer {
-            data,
+            backing: Backing::Heap(data),
+            capacity,
+            tracker: RangeTracker::new(),
+        })
+    }
+
+    /// Views `capacity` bytes of a file-backed mapping, starting at
+    /// `data_offset`, as a shared buffer. `data_offset` must be 8-byte
+    /// aligned (the allocators hand out f64-viewable segments) and the
+    /// window must fit inside the region.
+    #[cfg(all(unix, not(feature = "check")))]
+    pub fn from_region(
+        region: Arc<crate::backing::MapRegion>,
+        data_offset: usize,
+        capacity: usize,
+    ) -> Arc<Self> {
+        assert_eq!(data_offset % 8, 0, "data_offset must be 8-byte aligned");
+        assert!(
+            data_offset
+                .checked_add(capacity)
+                .is_some_and(|end| end <= region.len()),
+            "buffer window [{data_offset}, {data_offset}+{capacity}) exceeds region of {} bytes",
+            region.len()
+        );
+        Arc::new(SharedBuffer {
+            backing: Backing::Mapped { region, data_offset },
             capacity,
             tracker: RangeTracker::new(),
         })
@@ -62,7 +107,15 @@ impl SharedBuffer {
     }
 
     fn base(&self) -> *mut u8 {
-        self.data.as_ptr() as *mut u8
+        match &self.backing {
+            Backing::Heap(data) => data.as_ptr() as *mut u8,
+            #[cfg(all(unix, not(feature = "check")))]
+            Backing::Mapped { region, data_offset } => {
+                // SAFETY: `from_region` checked data_offset + capacity fits
+                // inside the mapping, so the offset stays in bounds.
+                unsafe { region.base().add(*data_offset) }
+            }
+        }
     }
 
     /// Builds a segment view. Callers must come through an allocator that
@@ -80,11 +133,29 @@ impl SharedBuffer {
             len,
         }
     }
+
+    /// Re-adopts a segment whose reservation is recorded *outside* this
+    /// process — in a file-backed ring header plus a write-ahead journal —
+    /// after the owning process died or restarted. The caller vouches that
+    /// `[offset, offset+len)` is still reserved in that external record;
+    /// disjointness comes from the original allocator, not from this call.
+    pub fn adopt_segment(self: &Arc<Self>, offset: usize, len: usize) -> Segment {
+        self.segment(offset, len)
+    }
 }
 
 impl std::fmt::Debug for SharedBuffer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SharedBuffer({} bytes)", self.data.len())
+        match &self.backing {
+            Backing::Heap(_) => write!(f, "SharedBuffer({} bytes, heap)", self.capacity),
+            #[cfg(all(unix, not(feature = "check")))]
+            Backing::Mapped { region, .. } => write!(
+                f,
+                "SharedBuffer({} bytes, mapped at {})",
+                self.capacity,
+                region.path().display()
+            ),
+        }
     }
 }
 
@@ -249,6 +320,43 @@ mod tests {
         let buf = SharedBuffer::new(8);
         let mut seg = buf.segment(0, 4);
         seg.copy_from_slice(&[0; 5]);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mapped_backing_round_trips_through_the_file() {
+        let dir = std::env::temp_dir().join("damaris-buffer-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("mapped-{}", crate::backing::this_pid()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let region = Arc::new(crate::backing::MapRegion::create(&path, 4096).unwrap());
+            let buf = SharedBuffer::from_region(Arc::clone(&region), 64, 1024);
+            assert_eq!(buf.capacity(), 1024);
+            let mut seg = buf.segment(8, 4);
+            seg.copy_from_slice(&[9, 8, 7, 6]);
+            assert_eq!(seg.as_slice(), &[9, 8, 7, 6]);
+        }
+        // The write landed in the file at data_offset + segment offset and
+        // survived the unmap — the property kill -9 recovery relies on.
+        let region = Arc::new(crate::backing::MapRegion::open(&path).unwrap());
+        let buf = SharedBuffer::from_region(region, 64, 1024);
+        let seg = buf.segment(8, 4);
+        assert_eq!(seg.as_slice(), &[9, 8, 7, 6]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    #[should_panic(expected = "exceeds region")]
+    fn mapped_backing_window_must_fit() {
+        let dir = std::env::temp_dir().join("damaris-buffer-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("overflow-{}", crate::backing::this_pid()));
+        let _ = std::fs::remove_file(&path);
+        let region = Arc::new(crate::backing::MapRegion::create(&path, 1024).unwrap());
+        let _ = std::fs::remove_file(&path);
+        let _ = SharedBuffer::from_region(region, 512, 1024);
     }
 
     #[test]

@@ -29,7 +29,14 @@ fn pack(epoch: u32, beat: u32) -> u64 {
 }
 
 /// The epoch + liveness word published by the dedicated core.
+///
+/// `repr(transparent)` over one facade atomic so the word can live
+/// *anywhere* an `AtomicU64` fits — a heap struct in the threaded node,
+/// or a slot of a file-backed mapping in the cross-process node (see
+/// [`HeartbeatWord::from_word`]). Either way the protocol code here is
+/// the same, and the same code is what the model tests check.
 #[derive(Debug)]
+#[repr(transparent)]
 pub struct HeartbeatWord {
     word: AtomicU64,
 }
@@ -46,6 +53,17 @@ impl HeartbeatWord {
         HeartbeatWord {
             word: AtomicU64::new(0),
         }
+    }
+
+    /// Views an existing atomic word — e.g. a slot of a shared mapping —
+    /// as a heartbeat word. The caller must uphold the single-writer
+    /// contract (exactly one server beats the word at a time) exactly as
+    /// for an owned `HeartbeatWord`.
+    pub fn from_word(word: &AtomicU64) -> &Self {
+        // SAFETY: `HeartbeatWord` is `repr(transparent)` over `AtomicU64`,
+        // so the reference cast is layout-sound; the returned borrow
+        // keeps the underlying word alive.
+        unsafe { &*(word as *const AtomicU64 as *const HeartbeatWord) }
     }
 
     /// Announces a (re)started server: epoch `epoch`, beat reset to 0.

@@ -78,7 +78,13 @@ impl LeaseSnapshot {
 }
 
 /// One client's liveness lease word.
+///
+/// `repr(transparent)` over one facade atomic so the word can live in a
+/// heap [`LeaseTable`] (threaded node) or in a slot of a file-backed
+/// mapping (cross-process node, via [`ClientLease::from_word`]) while
+/// running exactly the model-checked protocol below.
 #[derive(Debug)]
+#[repr(transparent)]
 pub struct ClientLease {
     word: AtomicU64,
 }
@@ -95,6 +101,16 @@ impl ClientLease {
         ClientLease {
             word: AtomicU64::new(0),
         }
+    }
+
+    /// Views an existing atomic word — e.g. a slot of a shared mapping —
+    /// as a lease word. The caller must uphold the one-renewer /
+    /// one-revoker contract exactly as for an owned `ClientLease`.
+    pub fn from_word(word: &AtomicU64) -> &Self {
+        // SAFETY: `ClientLease` is `repr(transparent)` over `AtomicU64`,
+        // so the reference cast is layout-sound; the returned borrow
+        // keeps the underlying word alive.
+        unsafe { &*(word as *const AtomicU64 as *const ClientLease) }
     }
 
     /// Announces a (re)registered client: epoch `epoch`, beat reset, the

@@ -18,9 +18,12 @@
 //!   reservation is a handful of atomic operations.
 //!
 //! In the original, the buffer lives in a POSIX shared-memory region mapped
-//! by separate MPI processes on the node. This reproduction runs "cores" as
-//! threads of one process, so the buffer is one heap allocation shared
-//! through [`std::sync::Arc`] — the data path (reserve → memcpy → notify →
+//! by separate MPI processes on the node. This reproduction supports both
+//! topologies: "cores" as threads of one process over a heap allocation
+//! shared through `Arc` (the default, and what the model checker explores),
+//! and — on unix — real separate processes over a file-backed `MAP_SHARED`
+//! mapping ([`MapRegion`]/[`MappedNode`]) whose bytes survive any one
+//! process being `kill -9`'d. The data path (reserve → memcpy → notify →
 //! process → release) and all of its concurrency hazards are identical.
 //!
 //! ## Safety model
@@ -42,17 +45,30 @@
 
 mod alloc_mutex;
 mod alloc_partition;
+#[cfg(all(unix, not(feature = "check")))]
+pub mod backing;
 mod buffer;
+#[cfg(all(unix, not(feature = "check")))]
+pub mod gc;
 mod heartbeat;
 mod lease;
+#[cfg(all(unix, not(feature = "check")))]
+pub mod mapped;
 mod queue;
+pub mod ring;
 pub mod sync;
 
 pub use alloc_mutex::MutexAllocator;
 pub use alloc_partition::PartitionAllocator;
+#[cfg(all(unix, not(feature = "check")))]
+pub use backing::{kill_hard, kill_self_hard, monotonic_now_ns, pid_alive, this_pid, MapRegion};
 pub use buffer::{Segment, SharedBuffer};
+#[cfg(all(unix, not(feature = "check")))]
+pub use gc::{scan_orphans, GcReport};
 pub use heartbeat::HeartbeatWord;
 pub use lease::{ClientLease, LeaseSnapshot, LeaseTable};
+#[cfg(all(unix, not(feature = "check")))]
+pub use mapped::MappedNode;
 pub use queue::{MpscQueue, PushError};
 
 use std::fmt;

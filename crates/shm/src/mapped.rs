@@ -1,0 +1,459 @@
+//! The cross-process node layout: one file-backed mapping holding every
+//! word two processes must agree on.
+//!
+//! ## Layout (all slots 8-byte, offsets from the region base)
+//!
+//! ```text
+//! 0    magic        "DAMRSHM1" (0x44414D52_53484D31)
+//! 8    version      layout version (1)
+//! 16   n_clients
+//! 24   data_capacity    bytes of buffer data after the header
+//! 32   data_offset      where the data starts (from the region base)
+//! 40   creator_pid      pid of the EPE incarnation owning the mapping
+//! 48   heartbeat        a `HeartbeatWord` (epoch<<32 | beat)
+//! 56   beat_at_ns       CLOCK_MONOTONIC stamp of the last beat
+//! 64   region_capacity  per-client ring capacity in bytes
+//! 128  client slots, 32 bytes each:
+//!        +0  lease          a `ClientLease` word
+//!        +8  renewed_at_ns  CLOCK_MONOTONIC stamp of the last renew
+//!        +16 ring head      monotonic reserved-bytes counter
+//!        +24 ring tail      monotonic released-bytes counter
+//! data_offset  buffer data, n_clients × region_capacity bytes
+//! ```
+//!
+//! ## The offset-only invariant
+//!
+//! The mapping lands at a different virtual address in every process, so
+//! **nothing in it may be a pointer** — only offsets, counters, and
+//! packed protocol words. Process-private state (the `Arc`s, journal
+//! handles, socket fds, the base address itself) lives in per-process
+//! mirrors like [`MappedNode`]. `xtask lint`'s `offset-only` rule guards
+//! the `#[repr(C)]` structs that describe mapped memory.
+//!
+//! ## Why the protocol is still the model-checked one
+//!
+//! Every stateful word above is operated on through the same facade
+//! types the threaded node uses: the heartbeat slot is viewed as
+//! [`HeartbeatWord`] via `from_word` (repr(transparent) cast), the lease
+//! slots as [`ClientLease`], and the ring counters run the free-function
+//! protocol in [`crate::ring`] whose interleavings `tests/model.rs`
+//! explores under `--features check`. This module adds *placement*, not
+//! new concurrency.
+
+use crate::backing::MapRegion;
+use crate::buffer::SharedBuffer;
+use crate::ring;
+use crate::sync::{Arc, AtomicU64, Ordering};
+use crate::{AllocError, ClientLease, HeartbeatWord, Segment};
+use std::io;
+use std::path::Path;
+
+/// "DAMRSHM1" in big-endian bytes — identifies a Damaris node mapping.
+pub const MAGIC: u64 = 0x44414D52_53484D31;
+/// Bump on any layout change; `open` rejects mismatches.
+pub const VERSION: u64 = 1;
+
+const OFF_MAGIC: usize = 0;
+const OFF_VERSION: usize = 8;
+const OFF_N_CLIENTS: usize = 16;
+const OFF_DATA_CAPACITY: usize = 24;
+const OFF_DATA_OFFSET: usize = 32;
+const OFF_CREATOR_PID: usize = 40;
+const OFF_HEARTBEAT: usize = 48;
+const OFF_BEAT_AT_NS: usize = 56;
+const OFF_REGION_CAPACITY: usize = 64;
+/// First per-client slot; the gap up to here is reserved for growth.
+const CLIENT_BASE: usize = 128;
+/// Bytes per client slot (lease, renewed_at, head, tail).
+const CLIENT_SLOT: usize = 32;
+
+const SLOT_LEASE: usize = 0;
+const SLOT_RENEWED_AT: usize = 8;
+const SLOT_HEAD: usize = 16;
+const SLOT_TAIL: usize = 24;
+
+/// Size of the header region GC needs to inspect (see [`crate::gc`]).
+pub const HEADER_BYTES: usize = CLIENT_BASE;
+
+/// One process's view of the shared node mapping — the per-process
+/// mirror: the `Arc`s and cached immutable geometry live here (private
+/// to this process); every mutable protocol word lives in the mapping.
+pub struct MappedNode {
+    region: Arc<MapRegion>,
+    n_clients: usize,
+    data_capacity: usize,
+    data_offset: usize,
+    region_capacity: usize,
+}
+
+impl MappedNode {
+    /// Creates the mapping file (EPE only — creation is exclusive),
+    /// writes the header, and stamps this process as the creator.
+    /// The per-client ring capacity is `data_capacity / n_clients`
+    /// rounded down to the ring alignment, like `PartitionAllocator`.
+    pub fn create(path: &Path, n_clients: usize, data_capacity: usize) -> io::Result<MappedNode> {
+        assert!(n_clients > 0, "need at least one client");
+        let align = ring::RING_ALIGN as usize;
+        let region_capacity = (data_capacity / n_clients) / align * align;
+        if region_capacity == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "data capacity too small for the client count",
+            ));
+        }
+        let data_offset = (CLIENT_BASE + n_clients * CLIENT_SLOT).div_ceil(64) * 64;
+        let total = data_offset + data_capacity;
+        let region = Arc::new(MapRegion::create(path, total)?);
+        let node = MappedNode {
+            region,
+            n_clients,
+            data_capacity,
+            data_offset,
+            region_capacity,
+        };
+        // A fresh mapping is all zeroes (ftruncate guarantees it), so the
+        // leases, heartbeat, and ring counters start in their natural
+        // initial state; only the geometry needs writing. Relaxed stores:
+        // nobody else can map the file yet (create_new is exclusive and
+        // the magic is published last).
+        node.word(OFF_VERSION).store(VERSION, Ordering::Relaxed);
+        node.word(OFF_N_CLIENTS).store(n_clients as u64, Ordering::Relaxed);
+        node.word(OFF_DATA_CAPACITY).store(data_capacity as u64, Ordering::Relaxed);
+        node.word(OFF_DATA_OFFSET).store(data_offset as u64, Ordering::Relaxed);
+        node.word(OFF_REGION_CAPACITY).store(region_capacity as u64, Ordering::Relaxed);
+        node.word(OFF_CREATOR_PID)
+            .store(u64::from(crate::backing::this_pid()), Ordering::Relaxed);
+        node.word(OFF_BEAT_AT_NS)
+            .store(crate::backing::monotonic_now_ns(), Ordering::Relaxed);
+        // Release: publishes the geometry above to any `open` that
+        // Acquire-loads a valid magic.
+        node.word(OFF_MAGIC).store(MAGIC, Ordering::Release);
+        Ok(node)
+    }
+
+    /// Maps an existing node file (clients; a respawned EPE). Validates
+    /// magic + version and reads the geometry.
+    pub fn open(path: &Path) -> io::Result<MappedNode> {
+        let region = Arc::new(MapRegion::open(path)?);
+        if region.len() < CLIENT_BASE {
+            return Err(bad_mapping("mapping shorter than the header"));
+        }
+        // Acquire: pairs with the creator's Release store of the magic,
+        // ordering our geometry reads after its writes.
+        let magic = word_at(&region, OFF_MAGIC).load(Ordering::Acquire);
+        if magic != MAGIC {
+            return Err(bad_mapping("bad magic (not a Damaris node mapping)"));
+        }
+        let version = word_at(&region, OFF_VERSION).load(Ordering::Relaxed);
+        if version != VERSION {
+            return Err(bad_mapping("unsupported mapping layout version"));
+        }
+        let n_clients = word_at(&region, OFF_N_CLIENTS).load(Ordering::Relaxed) as usize;
+        let data_capacity = word_at(&region, OFF_DATA_CAPACITY).load(Ordering::Relaxed) as usize;
+        let data_offset = word_at(&region, OFF_DATA_OFFSET).load(Ordering::Relaxed) as usize;
+        let region_capacity = word_at(&region, OFF_REGION_CAPACITY).load(Ordering::Relaxed) as usize;
+        let slots_end = CLIENT_BASE + n_clients * CLIENT_SLOT;
+        if n_clients == 0
+            || region_capacity == 0
+            || slots_end > data_offset
+            || !data_offset.is_multiple_of(8)
+            || data_offset + data_capacity > region.len()
+            || n_clients * region_capacity > data_capacity
+        {
+            return Err(bad_mapping("inconsistent mapping geometry"));
+        }
+        Ok(MappedNode {
+            region,
+            n_clients,
+            data_capacity,
+            data_offset,
+            region_capacity,
+        })
+    }
+
+    fn word(&self, off: usize) -> &AtomicU64 {
+        word_at(&self.region, off)
+    }
+
+    fn client_word(&self, client: usize, slot: usize) -> &AtomicU64 {
+        assert!(client < self.n_clients, "client {client} out of range");
+        self.word(CLIENT_BASE + client * CLIENT_SLOT + slot)
+    }
+
+    /// Number of client slots.
+    pub fn n_clients(&self) -> usize {
+        self.n_clients
+    }
+
+    /// Total buffer data bytes past the header.
+    pub fn data_capacity(&self) -> usize {
+        self.data_capacity
+    }
+
+    /// Per-client ring capacity in bytes.
+    pub fn region_capacity(&self) -> usize {
+        self.region_capacity
+    }
+
+    /// The underlying mapping.
+    pub fn region(&self) -> &Arc<MapRegion> {
+        &self.region
+    }
+
+    /// Pid of the EPE incarnation owning the mapping.
+    pub fn creator_pid(&self) -> u32 {
+        // Relaxed: advisory diagnostic/GC value; staleness is handled by
+        // the pid-liveness probe, not by ordering.
+        self.word(OFF_CREATOR_PID).load(Ordering::Relaxed) as u32
+    }
+
+    /// A respawned EPE adopting the mapping stamps itself as the owner
+    /// (so GC in *other* runs dates the mapping against the live pid).
+    pub fn restamp_creator(&self) {
+        self.word(OFF_CREATOR_PID)
+            .store(u64::from(crate::backing::this_pid()), Ordering::Relaxed);
+    }
+
+    /// The node heartbeat word — the model-checked [`HeartbeatWord`]
+    /// protocol running over the mapped slot.
+    pub fn heartbeat(&self) -> &HeartbeatWord {
+        HeartbeatWord::from_word(self.word(OFF_HEARTBEAT))
+    }
+
+    /// CLOCK_MONOTONIC stamp of the EPE's last beat. The EPE stores it
+    /// (Release) right after each `heartbeat().beat()`; clients load it
+    /// (Acquire) to date the beat on the machine-wide clock — this is the
+    /// cross-process replacement for a process-private `Instant` anchor.
+    pub fn beat_at_ns(&self) -> &AtomicU64 {
+        self.word(OFF_BEAT_AT_NS)
+    }
+
+    /// One client's lease word — the model-checked [`ClientLease`]
+    /// renew/revoke arbitration running over the mapped slot.
+    pub fn lease(&self, client: usize) -> &ClientLease {
+        ClientLease::from_word(self.client_word(client, SLOT_LEASE))
+    }
+
+    /// CLOCK_MONOTONIC stamp of the client's last renew (client stores
+    /// Release after renewing; the sweeper loads Acquire to compute
+    /// staleness on the shared clock).
+    pub fn renewed_at_ns(&self, client: usize) -> &AtomicU64 {
+        self.client_word(client, SLOT_RENEWED_AT)
+    }
+
+    /// The client's ring `head` (reserved-bytes) counter.
+    pub fn ring_head(&self, client: usize) -> &AtomicU64 {
+        self.client_word(client, SLOT_HEAD)
+    }
+
+    /// The client's ring `tail` (released-bytes) counter.
+    pub fn ring_tail(&self, client: usize) -> &AtomicU64 {
+        self.client_word(client, SLOT_TAIL)
+    }
+
+    /// Views the data window as a [`SharedBuffer`] so the existing
+    /// `Segment` machinery (range tracking, split, CRC-able slices) works
+    /// unchanged over the mapping.
+    pub fn buffer(&self) -> Arc<SharedBuffer> {
+        SharedBuffer::from_region(
+            Arc::clone(&self.region),
+            self.data_offset,
+            self.data_capacity,
+        )
+    }
+
+    /// Reserves `len` bytes in `client`'s ring ([`ring::ring_reserve`]
+    /// over the mapped counters) and returns the segment over the shared
+    /// buffer `buffer` (which must come from [`MappedNode::buffer`] of
+    /// the same mapping). Client-side, single reserver per client.
+    pub fn reserve(
+        &self,
+        buffer: &Arc<SharedBuffer>,
+        client: usize,
+        len: usize,
+    ) -> Result<Segment, AllocError> {
+        if client >= self.n_clients {
+            return Err(AllocError::BadClient);
+        }
+        let pos = ring::ring_reserve(
+            self.ring_head(client),
+            self.ring_tail(client),
+            self.region_capacity as u64,
+            len as u64,
+        )?;
+        Ok(buffer.segment(client * self.region_capacity + pos as usize, len))
+    }
+
+    /// Releases the oldest live reservation of `client` (EPE side, FIFO;
+    /// [`ring::ring_release`] over the mapped counters). `offset` is the
+    /// segment's offset within the shared buffer.
+    pub fn release(&self, client: usize, offset: usize, len: usize) {
+        assert!(client < self.n_clients, "client {client} out of range");
+        let base = client * self.region_capacity;
+        let pos = offset
+            .checked_sub(base)
+            .filter(|&p| p < self.region_capacity)
+            // invariant: offsets come from `reserve`, which places them
+            // inside the client's ring; a mismatch is caller misuse.
+            .expect("segment does not belong to this client's ring");
+        ring::ring_release(
+            self.ring_head(client),
+            self.ring_tail(client),
+            self.region_capacity as u64,
+            pos as u64,
+            len as u64,
+        );
+    }
+
+    /// Reclaims everything still reserved in `client`'s ring (the
+    /// sweeper's terminal step for a fenced client). Returns bytes
+    /// reclaimed including padding.
+    pub fn revoke_remaining(&self, client: usize) -> u64 {
+        assert!(client < self.n_clients, "client {client} out of range");
+        ring::ring_reclaim(self.ring_head(client), self.ring_tail(client))
+    }
+
+    /// Bytes currently reserved in `client`'s ring, from any process.
+    pub fn in_use(&self, client: usize) -> u64 {
+        assert!(client < self.n_clients, "client {client} out of range");
+        ring::ring_in_use(self.ring_head(client), self.ring_tail(client))
+    }
+
+    /// Sum of [`MappedNode::in_use`] over all clients — the leak check
+    /// the kill-matrix tests assert drains to 0.
+    pub fn total_in_use(&self) -> u64 {
+        (0..self.n_clients).map(|c| self.in_use(c)).sum()
+    }
+}
+
+impl std::fmt::Debug for MappedNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MappedNode({} clients × {} bytes at {})",
+            self.n_clients,
+            self.region_capacity,
+            self.region.path().display()
+        )
+    }
+}
+
+fn word_at(region: &MapRegion, off: usize) -> &AtomicU64 {
+    debug_assert_eq!(off % 8, 0);
+    debug_assert!(off + 8 <= region.len());
+    // SAFETY: the facade `AtomicU64` is the std atomic in this (non-check)
+    // build — size 8, align 8, valid for any bit pattern — and `off` is an
+    // 8-aligned in-bounds slot of a MAP_SHARED mapping whose lifetime the
+    // returned borrow cannot outlive. Concurrent access from other
+    // processes is exactly what the atomic type makes defined.
+    unsafe { &*(region.base().add(off) as *const AtomicU64) }
+}
+
+fn bad_mapping(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("damaris-mapped-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}", crate::backing::this_pid()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn create_then_open_sees_same_geometry() {
+        let path = tmp("geometry");
+        let created = MappedNode::create(&path, 4, 4096).unwrap();
+        assert_eq!(created.n_clients(), 4);
+        assert_eq!(created.region_capacity(), 1024);
+        assert_eq!(created.creator_pid(), crate::backing::this_pid());
+        let opened = MappedNode::open(&path).unwrap();
+        assert_eq!(opened.n_clients(), 4);
+        assert_eq!(opened.data_capacity(), 4096);
+        assert_eq!(opened.region_capacity(), 1024);
+        created.region().unlink().unwrap();
+    }
+
+    #[test]
+    fn protocol_words_are_shared_between_views() {
+        // Two `MappedNode`s over the same file stand in for two
+        // processes: every protocol word written through one view must
+        // be visible through the other.
+        let path = tmp("words");
+        let epe = MappedNode::create(&path, 2, 2048).unwrap();
+        let client = MappedNode::open(&path).unwrap();
+
+        epe.heartbeat().begin_epoch(3);
+        epe.heartbeat().beat();
+        assert_eq!(client.heartbeat().observe(), (3, 1));
+
+        assert!(client.lease(1).renew());
+        assert_eq!(epe.lease(1).observe(), (0, 1));
+        let snap = epe.lease(1).snapshot();
+        assert!(epe.lease(1).try_revoke(snap));
+        assert!(!client.lease(1).renew());
+
+        client.renewed_at_ns(0).store(42, Ordering::Release);
+        assert_eq!(epe.renewed_at_ns(0).load(Ordering::Acquire), 42);
+        epe.region().unlink().unwrap();
+    }
+
+    #[test]
+    fn reserve_copy_release_across_views() {
+        let path = tmp("data");
+        let epe = MappedNode::create(&path, 2, 2048).unwrap();
+        let client = MappedNode::open(&path).unwrap();
+
+        let client_buf = client.buffer();
+        let mut seg = client.reserve(&client_buf, 1, 100).unwrap();
+        seg.copy_from_slice(&[0xEE; 100]);
+        let (off, len) = (seg.offset(), seg.len());
+        assert_eq!(off, client.region_capacity()); // client 1's ring base
+        drop(seg);
+
+        // The EPE view reads the same bytes through its own mapping.
+        let epe_buf = epe.buffer();
+        let view = epe_buf.segment(off, len);
+        assert!(view.as_slice().iter().all(|&b| b == 0xEE));
+        drop(view);
+        assert_eq!(epe.in_use(1), 104); // rounded
+        epe.release(1, off, len);
+        assert_eq!(epe.total_in_use(), 0);
+        epe.region().unlink().unwrap();
+    }
+
+    #[test]
+    fn reclaim_fences_a_dead_clients_ring() {
+        let path = tmp("reclaim");
+        let node = MappedNode::create(&path, 1, 1024).unwrap();
+        let buf = node.buffer();
+        let _abandoned = node.reserve(&buf, 0, 200).unwrap();
+        assert_eq!(node.in_use(0), 200);
+        assert_eq!(node.revoke_remaining(0), 200);
+        assert_eq!(node.total_in_use(), 0);
+        node.region().unlink().unwrap();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, vec![0u8; 4096]).unwrap();
+        assert!(MappedNode::open(&path).is_err());
+        std::fs::write(&path, b"short").unwrap();
+        assert!(MappedNode::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_rejects_tiny_capacity() {
+        let path = tmp("tiny");
+        assert!(MappedNode::create(&path, 64, 8).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -766,3 +766,83 @@ fn backpressure_block_policy_unblocks_on_release() {
         assert_eq!(alloc.in_use(0), 0);
     });
 }
+
+// ---------------------------------------------------------------------------
+// Mapped-ring protocol (crate::ring) — the cross-process partition ring
+// ---------------------------------------------------------------------------
+
+/// The bare-word ring protocol that backs the cross-process node
+/// (`MappedNode`): one client reserving, one consumer releasing FIFO,
+/// over two plain `AtomicU64` counters. Exactly the allocator scenario
+/// above, but through the free functions the mapped node calls on words
+/// living in a file mapping — verifying here verifies those.
+#[test]
+fn mapped_ring_reserve_release_cycle() {
+    use damaris_shm::ring::{ring_in_use, ring_release, ring_reserve};
+    model(|| {
+        let head = Arc::new(AtomicU64::new(0));
+        let tail = Arc::new(AtomicU64::new(0));
+        let q = Arc::new(MpscQueue::new(2));
+        const CAP: u64 = 16;
+
+        let (h2, t2, q2) = (Arc::clone(&head), Arc::clone(&tail), Arc::clone(&q));
+        let client = thread::spawn(move || {
+            // Two 8-byte reservations through a 16-byte ring: the second
+            // may have to wait for the consumer's release.
+            for i in 0..2u64 {
+                let pos = loop {
+                    match ring_reserve(&h2, &t2, CAP, 8) {
+                        Ok(pos) => break pos,
+                        Err(AllocError::Full) => thread::yield_now(),
+                        Err(e) => panic!("unexpected {e}"),
+                    }
+                };
+                q2.push((i, pos)).expect("ring cannot be full");
+            }
+        });
+
+        for want in 0..2u64 {
+            let (i, pos) = loop {
+                if let Some(ev) = q.pop() {
+                    break ev;
+                }
+                thread::yield_now();
+            };
+            assert_eq!(i, want, "FIFO order preserved");
+            ring_release(&head, &tail, CAP, pos, 8);
+        }
+        client.join();
+        assert_eq!(ring_in_use(&head, &tail), 0);
+    });
+}
+
+/// The fenced-client sweep: a reservation already in flight when the
+/// sweeper reclaims (the lease grace window) may land its `head` store
+/// after the reclaim. The protocol guarantee is exactly the allocator's:
+/// counters never corrupt, `in_use` stays within the ring, and one more
+/// reclaim pass drains whatever the late store left behind.
+#[test]
+fn mapped_ring_reclaim_vs_inflight_reserve() {
+    use damaris_shm::ring::{ring_in_use, ring_reclaim, ring_reserve};
+    model(|| {
+        let head = Arc::new(AtomicU64::new(0));
+        let tail = Arc::new(AtomicU64::new(0));
+        const CAP: u64 = 32;
+
+        let (h2, t2) = (Arc::clone(&head), Arc::clone(&tail));
+        let dying_client = thread::spawn(move || {
+            // The client raced past its entry renew before the revoke; its
+            // reserve may interleave anywhere around the sweep.
+            let _ = ring_reserve(&h2, &t2, CAP, 8);
+        });
+
+        let _ = ring_reclaim(&head, &tail);
+        let used = ring_in_use(&head, &tail);
+        assert!(used <= CAP, "in_use {used} exceeds ring capacity");
+        dying_client.join();
+        // The sweeper's repeated fire: after the client is gone, one more
+        // pass always leaves the ring empty for re-registration.
+        let _ = ring_reclaim(&head, &tail);
+        assert_eq!(ring_in_use(&head, &tail), 0);
+    });
+}

@@ -199,6 +199,11 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
     // there must carry a `metric:` tag naming their registry counter.
     let mut pending_report_struct = false;
     let mut report_region: Option<i64> = None;
+    // `#[repr(C)]` struct regions in the substrate: these describe bytes
+    // that may live in a file-backed mapping shared across processes, so
+    // nothing address-bearing or process-private may be a field.
+    let mut pending_repr_c = false;
+    let mut repr_c_region: Option<i64> = None;
     let raw_lines: Vec<String> = src.lines().map(str::to_string).collect();
 
     for (idx, raw) in raw_lines.iter().enumerate() {
@@ -216,6 +221,12 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
         }
         if code.contains("struct NodeReport") {
             pending_report_struct = true;
+        }
+        // `repr(C)` and `repr(C, align…)` arm the offset-only gate for
+        // the next struct block; `repr(transparent)` wrappers do not
+        // (they are facade views, not mapped layouts).
+        if in_shm_or_core && code.contains("repr(C") {
+            pending_repr_c = true;
         }
         let in_test = test_file || !test_regions.is_empty();
         let tag = |needle: &str| tag_above(&raw_lines, idx, needle);
@@ -301,6 +312,31 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
             });
         }
 
+        if repr_c_region.is_some() && !in_test {
+            let forbidden = ["*const", "*mut", "Box<", "Vec<", "String", "Arc<", "Rc<"];
+            let pointy = forbidden.iter().any(|t| code.contains(t))
+                || contains_word(&code, "Mutex")
+                || contains_word(&code, "RwLock")
+                || contains_word(&code, "Instant")
+                || contains_word(&code, "PathBuf")
+                || code.contains('&');
+            if pointy && !tag("offset-only:") {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: line_no,
+                    rule: "pointer-in-shm-struct",
+                    message: "address-bearing or process-private field in a \
+                              `#[repr(C)]` substrate struct — a file-backed \
+                              mapping lands at a different virtual address in \
+                              every process, so mapped layouts may hold only \
+                              plain words and offsets (keep handles in a \
+                              per-process mirror), or justify with an \
+                              `// offset-only:` comment above the field"
+                        .to_string(),
+                });
+            }
+        }
+
         // Update brace depth and test-region bookkeeping *after* linting
         // the line. A pending test attr binds to the first `{` opened.
         for ch in code.chars() {
@@ -314,6 +350,10 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
                         report_region = Some(depth);
                         pending_report_struct = false;
                     }
+                    if pending_repr_c {
+                        repr_c_region = Some(depth);
+                        pending_repr_c = false;
+                    }
                     depth += 1;
                 }
                 '}' => {
@@ -323,6 +363,9 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
                     }
                     if report_region == Some(depth) {
                         report_region = None;
+                    }
+                    if repr_c_region == Some(depth) {
+                        repr_c_region = None;
                     }
                 }
                 _ => {}
@@ -597,6 +640,85 @@ pub struct NodeReport {
 }
 ";
         assert!(rules("crates/core/src/node.rs", src).is_empty());
+    }
+
+    // -- rule 6: offset-only repr(C) structs ------------------------------
+
+    #[test]
+    fn pointer_in_repr_c_struct_flagged() {
+        for field in [
+            "pub head: *mut u8,",
+            "pub owner: Box<Owner>,",
+            "pub names: Vec<String>,",
+            "pub guard: Mutex<u64>,",
+            "pub stamp: Instant,",
+            "pub path: PathBuf,",
+            "pub view: &'static [u8],",
+        ] {
+            let src = format!("#[repr(C)]\npub struct Slot {{\n    {field}\n}}\n");
+            let vs = lint_source("crates/shm/src/mapped.rs", &src);
+            assert_eq!(
+                vs.iter().map(|v| v.rule).collect::<Vec<_>>(),
+                ["pointer-in-shm-struct"],
+                "field {field:?} escaped the gate"
+            );
+            assert_eq!(vs[0].line, 3);
+        }
+    }
+
+    #[test]
+    fn plain_words_in_repr_c_struct_pass() {
+        let src = "\
+#[repr(C)]
+pub struct Header {
+    pub magic: u64,
+    pub version: u64,
+    pub n_clients: u64,
+    pub data_offset: u64,
+}
+";
+        assert!(rules("crates/shm/src/mapped.rs", src).is_empty());
+    }
+
+    #[test]
+    fn offset_only_tag_and_scope_limits() {
+        // A justified field passes.
+        let tagged = "\
+#[repr(C)]
+pub struct Slot {
+    // offset-only: stored as a self-relative offset, never dereferenced
+    // as an address; accessors rebase against the mapping each call.
+    pub next: *const u8,
+}
+";
+        assert!(rules("crates/shm/src/mapped.rs", tagged).is_empty());
+        // The region ends at the struct's closing brace.
+        let after = "\
+#[repr(C)]
+pub struct Header {
+    pub magic: u64,
+}
+pub struct Mirror {
+    pub region: Vec<u8>,
+}
+";
+        assert!(rules("crates/shm/src/mapped.rs", after).is_empty());
+        // repr(transparent) facade views are exempt.
+        let transparent = "\
+#[repr(transparent)]
+pub struct WordView {
+    pub inner: &'static AtomicU64,
+}
+";
+        assert!(rules("crates/shm/src/mapped.rs", transparent).is_empty());
+        // Other crates are out of scope.
+        let elsewhere = "\
+#[repr(C)]
+pub struct Ffi {
+    pub p: *mut u8,
+}
+";
+        assert!(rules("crates/fs/src/local.rs", elsewhere).is_empty());
     }
 
     // -- aggregate --------------------------------------------------------

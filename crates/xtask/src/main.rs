@@ -34,6 +34,14 @@
 //!    `metric: report-only (...)` for shutdown-derived values). Keeps
 //!    NodeReport a *view* over the metrics registry rather than a second,
 //!    diverging set of ad-hoc counters.
+//! 6. **pointer-in-shm-struct** — fields of `#[repr(C)]` structs in
+//!    `crates/shm`/`crates/core` must be plain words and offsets: these
+//!    layouts can describe a file-backed mapping that lands at a
+//!    different virtual address in every process, so raw pointers,
+//!    references, owning containers (`Box`/`Vec`/`String`/`Arc`), and
+//!    process-private sync/time types (`Mutex`, `Instant`) are banned
+//!    unless an `// offset-only:` comment argues the representation.
+//!    Handles and geometry belong in per-process mirror structs.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
