@@ -3,18 +3,22 @@
 //! this binary measures what that discipline buys, and pins the numbers
 //! where a reviewer can see them.
 //!
-//! Writes `BENCH_8.json` at the repository root with schema
-//! `damaris-bench/v2`:
+//! Writes `BENCH_9.json` at the repository root with schema
+//! `damaris-bench/v3`:
 //!
 //! ```json
 //! {
-//!   "schema": "damaris-bench/v2",
+//!   "schema": "damaris-bench/v3",
 //!   "write_latency_ns": { "p50": ..., "p99": ..., "samples": ... },
 //!   "allocator": { "ops_per_sec": ..., "bytes_per_sec": ... },
 //!   "queue": { "ops_per_sec": ... },
 //!   "backing": {
 //!     "heap": { "ops_per_sec": ..., "bytes_per_sec": ... },
 //!     "file": { "ops_per_sec": ..., "bytes_per_sec": ... }
+//!   },
+//!   "query": {
+//!     "qps": ..., "p99_latency_ns": ..., "cache_hit_rate": ...,
+//!     "pruned_fraction": ..., "readers": ..., "queries": ...
 //!   },
 //!   "config": { "clients": ..., "payload_bytes": ..., "iterations": ... }
 //! }
@@ -34,6 +38,12 @@
 //!   cross-process node). The protocol and the code are identical —
 //!   [`damaris_shm::ring`] over facade words — only the placement
 //!   differs, so the delta is the true cost of going multi-process.
+//! * `query` — the mixed-load read tier (ISSUE 9): 4 clients append
+//!   through the EPE while reader threads run point queries against the
+//!   same directory through `damaris_query::QueryEngine`. Reported:
+//!   sustained queries/s and p99 query latency *during the write phase*,
+//!   the block-cache hit rate, and the fraction of absent-key probes the
+//!   bloom + sparse index answered without a payload read.
 //!
 //! CI runs this advisory (never a hard gate): absolute numbers depend on
 //! the runner; the JSON exists so regressions show up in review diffs.
@@ -169,6 +179,141 @@ fn ring_round_trips(
     )
 }
 
+/// What the mixed read/write phase measured.
+struct QueryPhase {
+    qps: f64,
+    p99_latency_ns: u64,
+    cache_hit_rate: f64,
+    pruned_fraction: f64,
+    readers: usize,
+    queries: u64,
+}
+
+/// Mixed-load read tier: 4 clients append `QUERY_ITERS` iterations while
+/// `QUERY_READERS` threads run point queries over the manifest snapshots.
+/// QPS and latency cover only queries issued while the writer was live.
+fn query_mixed_load() -> QueryPhase {
+    use damaris_query::{QueryConfig, QueryEngine};
+    const QUERY_ITERS: u32 = 50;
+    const QUERY_READERS: usize = 4;
+    const ABSENT_PROBES: u64 = 2000;
+
+    let dir = std::env::temp_dir().join(format!("damaris-bench9-q-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="67108864" allocator="partition" queue="1024"/>
+             <layout name="block" type="double" dimensions="4096"/>
+             <variable name="field" layout="block"/>
+           </damaris>"#,
+    )
+    .expect("valid config");
+    let runtime = NodeRuntime::start(cfg, CLIENTS, &dir).expect("start node");
+    let engine = std::sync::Arc::new(
+        QueryEngine::open(&dir, QueryConfig { cache_bytes: 32 << 20 }).expect("engine"),
+    );
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let data = vec![2.5f64; 4096];
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let t_mixed = Instant::now();
+    std::thread::scope(|s| {
+        let mut readers = Vec::new();
+        for reader_id in 0..QUERY_READERS {
+            let engine = std::sync::Arc::clone(&engine);
+            let stop = std::sync::Arc::clone(&stop);
+            readers.push(s.spawn(move || {
+                let mut local: Vec<u64> = Vec::new();
+                let mut round = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    round += 1;
+                    let Ok(snap) = engine.refresh() else { continue };
+                    let Some(max) = snap.max_iteration() else { continue };
+                    // A burst of point probes over published data.
+                    for k in 0..16u32 {
+                        let it = (round + k + reader_id as u32) % (max + 1);
+                        let src = (round + k) % CLIENTS as u32;
+                        let t = Instant::now();
+                        let got = engine.lookup(&snap, "field", it, src).expect("lookup");
+                        local.push(t.elapsed().as_nanos() as u64);
+                        assert!(got.is_some(), "published block present");
+                    }
+                }
+                local
+            }));
+        }
+
+        // The write side: the same client→shm→EPE→persist path as the
+        // latency phase, paced so readers see many manifest generations.
+        let clients = runtime.clients();
+        for it in 0..QUERY_ITERS {
+            for client in &clients {
+                client.write_f64("field", it, &data).expect("write");
+            }
+            for client in &clients {
+                client.end_iteration(it).expect("end iteration");
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        // Let readers drain against the final generation briefly, then
+        // close the mixed window.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        for handle in readers {
+            latencies.append(&mut handle.join().expect("reader"));
+        }
+    });
+    let mixed_secs = t_mixed.elapsed().as_secs_f64();
+    runtime.finish().expect("clean shutdown");
+
+    // Pruning measurement on the sealed directory: absent-key probes
+    // against covered iterations; the bloom + sparse index should answer
+    // nearly all of them without touching payload bytes.
+    let snap = engine.refresh().expect("refresh");
+    let block_reads = engine.registry().counter("query.block_reads");
+    let before = block_reads.get();
+    for probe in 0..ABSENT_PROBES {
+        let ghost = format!("ghost-{probe}");
+        let it = (probe as u32) % QUERY_ITERS;
+        assert!(engine
+            .lookup(&snap, &ghost, it, 0)
+            .expect("lookup")
+            .is_none());
+    }
+    let wasted = block_reads.get() - before;
+    let pruned_fraction = 1.0 - wasted as f64 / ABSENT_PROBES as f64;
+
+    let stats = engine.cache_stats();
+    let cache_hit_rate = if stats.hits + stats.misses == 0 {
+        0.0
+    } else {
+        stats.hits as f64 / (stats.hits + stats.misses) as f64
+    };
+    latencies.sort_unstable();
+    let queries = latencies.len() as u64;
+    // Sustained aggregate rate over the whole mixed window (including
+    // refresh overhead between bursts — what a consumer experiences).
+    let qps = if mixed_secs > 0.0 {
+        queries as f64 / mixed_secs
+    } else {
+        0.0
+    };
+    let p99_latency_ns = if latencies.is_empty() {
+        0
+    } else {
+        percentile(&latencies, 0.99)
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    QueryPhase {
+        qps,
+        p99_latency_ns,
+        cache_hit_rate,
+        pruned_fraction,
+        readers: QUERY_READERS,
+        queries,
+    }
+}
+
 const BACKING_SEG: usize = 65_536;
 const BACKING_CAP: usize = 1 << 20;
 const BACKING_ROUNDS: u32 = 50_000;
@@ -240,6 +385,7 @@ fn main() {
     let queue_ops = queue_throughput();
     let (heap_ops, heap_bytes) = backing_heap();
     let (file_ops, file_bytes) = backing_file();
+    let query = query_mixed_load();
 
     println!(
         "write latency: p50 {p50} ns, p99 {p99} ns ({} samples, {CLIENTS} clients x \
@@ -253,9 +399,19 @@ fn main() {
         "backing: heap {heap_ops:.0} ring round-trips/s ({heap_bytes:.3e} B/s), \
          file {file_ops:.0}/s ({file_bytes:.3e} B/s)"
     );
+    println!(
+        "query (mixed load, {} readers): {:.0} q/s, p99 {} ns, cache hit rate {:.3}, \
+         pruned {:.3} of absent probes ({} queries)",
+        query.readers,
+        query.qps,
+        query.p99_latency_ns,
+        query.cache_hit_rate,
+        query.pruned_fraction,
+        query.queries
+    );
 
     let record = json!({
-        "schema": "damaris-bench/v2",
+        "schema": "damaris-bench/v3",
         "write_latency_ns": { "p50": p50, "p99": p99, "samples": lat.len() },
         "allocator": { "ops_per_sec": alloc_ops, "bytes_per_sec": alloc_bytes },
         "queue": { "ops_per_sec": queue_ops },
@@ -263,17 +419,25 @@ fn main() {
             "heap": { "ops_per_sec": heap_ops, "bytes_per_sec": heap_bytes },
             "file": { "ops_per_sec": file_ops, "bytes_per_sec": file_bytes },
         },
+        "query": {
+            "qps": query.qps,
+            "p99_latency_ns": query.p99_latency_ns,
+            "cache_hit_rate": query.cache_hit_rate,
+            "pruned_fraction": query.pruned_fraction,
+            "readers": query.readers,
+            "queries": query.queries,
+        },
         "config": {
             "clients": CLIENTS,
             "payload_bytes": PAYLOAD_F64 * 8,
             "iterations": ITERATIONS,
         },
     });
-    let path = repo_root().join("BENCH_8.json");
+    let path = repo_root().join("BENCH_9.json");
     std::fs::write(
         &path,
         serde_json::to_string_pretty(&record).expect("serialize") + "\n",
     )
-    .expect("write BENCH_8.json");
+    .expect("write BENCH_9.json");
     println!("(saved {})", path.display());
 }

@@ -91,6 +91,24 @@ impl PersistPlugin {
         let stored = ctx.backend.commit_sdf(writer)?;
         ctx.rec
             .end(EventKind::BackendFsync, iteration, stored, t_sync);
+        // Seal/publish hook for the read tier: announce the committed file
+        // in the output manifest so concurrent QueryEngine readers can
+        // snapshot it. Best-effort — the data itself is already durable,
+        // and a missed publish is healed by the recovery scan's adoption
+        // pass, so a manifest hiccup must not degrade the iteration.
+        if let Err(e) = damaris_fs::manifest::publish_iteration(
+            ctx.backend.root(),
+            ctx.node_id,
+            iteration,
+            &file_name,
+            stored,
+        ) {
+            eprintln!(
+                "[damaris node {}] iteration {iteration}: manifest publish failed \
+                 (readers lag until recovery adopts the file): {e}",
+                ctx.node_id
+            );
+        }
         Ok(stored)
     }
 }

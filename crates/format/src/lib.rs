@@ -16,22 +16,28 @@
 //!   `damaris-compress` codecs (`"lzss"`, `"rle"`, `"precision16|lzss"`, …),
 //!   the analogue of HDF5's gzip filter that the file-per-process approach
 //!   enables and pHDF5 cannot (paper §II-B).
-//! * **Integrity** — CRC32 on every dataset payload and on the index.
+//! * **Integrity** — CRC32 on every dataset payload, on the index, and on
+//!   the query section.
 //! * **Shared-file mode** ([`shared`]) — multiple writers, pre-reserved byte
 //!   ranges, one index: the collective-I/O analogue.
+//! * **Query section** ([`query`]) — a bloom filter + sparse index over
+//!   ⟨variable, iteration, source⟩ keys, written at seal time so the read
+//!   tier (`damaris-query`) can answer point probes without scanning.
 //!
 //! ## On-disk layout
 //!
 //! ```text
-//! [superblock][record][record]…[index][footer]
+//! [superblock][record][record]…[index][query section][footer]
 //! ```
 //!
 //! Records are appended as datasets are written (streaming friendly — no
 //! seeks during data writes). `finish()` appends the index (a table of every
-//! object with its offset, layout, attributes and filter spec) and a
-//! fixed-size footer pointing back at it. Readers locate the footer at
-//! `len-24`, then read the index; individual dataset payloads are read
-//! lazily.
+//! object with its offset, layout, attributes and filter spec), the query
+//! section, and a fixed-size footer pointing back at the index. Readers
+//! locate the footer at `len-24`, then read the index; the query section's
+//! range is derived as `[index_end, footer_start)` — empty for files
+//! written before it existed, ignored by older readers — and individual
+//! dataset payloads are read lazily.
 //!
 //! ## Example
 //!
@@ -53,7 +59,8 @@
 //! ```
 
 mod checksum;
-mod header;
+pub mod header;
+pub mod query;
 mod reader;
 pub mod shared;
 pub mod trace;
@@ -62,6 +69,7 @@ mod writer;
 
 pub use checksum::{crc32, crc32_update};
 pub use header::{FOOTER_LEN, MAGIC, SUPERBLOCK_LEN, VERSION};
+pub use query::{key_hash, BloomFilter, QueryIndexEntry, QuerySection, NO_COORD};
 pub use reader::{DatasetInfo, SdfReader};
 pub use types::{AttrValue, DataType, Layout};
 pub use writer::{DatasetOptions, SdfWriter};

@@ -1,0 +1,640 @@
+//! The query section: a versioned, CRC-guarded sparse block index plus a
+//! per-file bloom filter, keyed on `⟨variable, iteration, source⟩`.
+//!
+//! Written by [`SdfWriter`](crate::SdfWriter) at seal time between the
+//! main index and the footer; the footer does not reference it. An old
+//! reader's bounds check (`index_offset + index_len <= file_len - 24`)
+//! tolerates the extra bytes, and a new reader derives the section range
+//! as `[index end, footer start)` — an empty range means an old file and
+//! queries fall back to the linear scan.
+//!
+//! ```text
+//! [superblock][records…][index][query section][footer]
+//!                                └ "SDQ1" ver flags payload_len payload crc32
+//! ```
+//!
+//! The payload holds, in order: the bloom filter over key hashes, a
+//! string table (variable names and filter specs, deduplicated), and the
+//! sparse entries sorted by `(key_hash, ordinal)` so a point lookup is a
+//! binary search touching O(1) blocks instead of scanning every dataset.
+//! Every length field is clamped against the bytes actually present
+//! before any allocation, so a corrupt section costs bounded memory and
+//! fails with a typed error.
+
+use crate::checksum::crc32;
+use crate::header::IndexEntry;
+use crate::types::{DataType, Layout};
+use crate::{Result, SdfError};
+use damaris_compress::varint;
+
+/// Query-section magic, distinct from the file magic.
+pub const QUERY_MAGIC: &[u8; 4] = b"SDQ1";
+/// Query-section format version.
+pub const QUERY_VERSION: u16 = 1;
+/// Sentinel for "this dataset has no iteration/source coordinate".
+pub const NO_COORD: u32 = u32::MAX;
+
+/// Fixed part of the section: magic (4) + version (2) + flags (2) +
+/// payload_len (8).
+const SECTION_HEADER_LEN: usize = 16;
+/// Bloom filter size cap: 2^27 bits = 16 MiB of words. A file indexes at
+/// most a few thousand keys; anything near the cap is corruption.
+const MAX_BLOOM_BITS: u64 = 1 << 27;
+/// String table caps.
+const MAX_STRINGS: u64 = 1 << 16;
+const MAX_STRING_LEN: u64 = 4096;
+/// Entry count cap (also clamped against remaining payload bytes).
+const MAX_ENTRIES: u64 = 1 << 22;
+/// Rank cap, matching the main index.
+const MAX_RANK: u64 = 32;
+
+/// FNV-1a over the lookup key. Allocation-free: the hot cache path calls
+/// this on every probe.
+// ANALYZE: hot
+#[inline]
+pub fn key_hash(variable: &str, iteration: u32, source: u32) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in variable.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h = (h ^ 0xff).wrapping_mul(PRIME);
+    for b in iteration.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    for b in source.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// A fixed-size bloom filter over 64-bit key hashes, using double
+/// hashing (Kirsch–Mitzenmacher) with `k` probes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BloomFilter {
+    n_bits: u64,
+    k: u32,
+    words: Vec<u64>,
+}
+
+impl BloomFilter {
+    /// Sized for `n_keys` at ~10 bits/key (k = 7 ≈ ln2 · 10), which puts
+    /// the false-positive rate under 1%.
+    pub fn with_capacity(n_keys: usize) -> Self {
+        let n_bits = ((n_keys as u64).saturating_mul(10)).next_multiple_of(64).max(64);
+        let n_bits = n_bits.min(MAX_BLOOM_BITS);
+        BloomFilter {
+            n_bits,
+            k: 7,
+            words: vec![0u64; (n_bits / 64) as usize],
+        }
+    }
+
+    /// Number of bits in the filter.
+    pub fn n_bits(&self) -> u64 {
+        self.n_bits
+    }
+
+    fn probes(&self, hash: u64) -> (u64, u64) {
+        // h2 forced odd so the probe sequence cycles through all bits.
+        (hash, hash.rotate_left(32) | 1)
+    }
+
+    /// Inserts a key hash.
+    pub fn insert(&mut self, hash: u64) {
+        let (h1, h2) = self.probes(hash);
+        for i in 0..u64::from(self.k) {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.n_bits;
+            if let Some(w) = self.words.get_mut((bit / 64) as usize) {
+                *w |= 1u64 << (bit % 64);
+            }
+        }
+    }
+
+    /// True when the key hash *may* be present (false positives possible,
+    /// false negatives not). Allocation-free.
+    // ANALYZE: hot
+    #[inline]
+    pub fn contains(&self, hash: u64) -> bool {
+        let (h1, h2) = self.probes(hash);
+        let mut i = 0u64;
+        while i < u64::from(self.k) {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.n_bits;
+            let word = match self.words.get((bit / 64) as usize) {
+                Some(w) => *w,
+                None => return false,
+            };
+            if word & (1u64 << (bit % 64)) == 0 {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.n_bits.to_le_bytes());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    fn decode(bytes: &[u8], off: &mut usize) -> Result<Self> {
+        let n_bits = read_u64_le(bytes, off, "bloom n_bits")?;
+        let k = read_u32_le(bytes, off, "bloom k")?;
+        if n_bits == 0 || n_bits % 64 != 0 || n_bits > MAX_BLOOM_BITS {
+            return Err(SdfError::Format(format!("implausible bloom size {n_bits} bits")));
+        }
+        if k == 0 || k > 64 {
+            return Err(SdfError::Format(format!("implausible bloom k {k}")));
+        }
+        let n_words = (n_bits / 64) as usize;
+        // Bound the allocation by the bytes actually present.
+        if bytes.len().saturating_sub(*off) < n_words * 8 {
+            return Err(SdfError::Format("truncated bloom words".into()));
+        }
+        let mut words = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            words.push(read_u64_le(bytes, off, "bloom word")?);
+        }
+        Ok(BloomFilter { n_bits, k, words })
+    }
+}
+
+/// One sparse-index entry: everything a reader needs to locate and decode
+/// a block without consulting the main index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryIndexEntry {
+    /// [`key_hash`] of `⟨variable, iteration, source⟩`.
+    pub key_hash: u64,
+    /// Variable name (last path segment), resolved from the string table.
+    pub variable: String,
+    /// Iteration coordinate ([`NO_COORD`] when absent).
+    pub iteration: u32,
+    /// Source (client rank) coordinate ([`NO_COORD`] when absent).
+    pub source: u32,
+    /// Position of the dataset in the main index (and in write order).
+    pub ordinal: u32,
+    /// Byte offset of the stored payload within the file.
+    pub offset: u64,
+    /// Stored payload length in bytes.
+    pub stored_len: u64,
+    /// Logical layout of the decoded block.
+    pub layout: Layout,
+    /// Filter pipeline spec (`""` = none).
+    pub filter: String,
+    /// Chunk extent along dimension 0 (0 = contiguous).
+    pub chunk_dim0: u64,
+}
+
+/// Parsed query section: bloom + sorted sparse entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySection {
+    /// Bloom filter over every entry's key hash.
+    pub bloom: BloomFilter,
+    /// Entries sorted by `(key_hash, ordinal)`.
+    pub entries: Vec<QueryIndexEntry>,
+}
+
+/// Derives the lookup key for a main-index entry: the variable is the
+/// last path segment; iteration and source come from the `iteration` /
+/// `source` attributes (stamped by the persist plugin), falling back to
+/// `iter-N` / `rank-N` path components, then [`NO_COORD`].
+pub fn derive_key(entry: &IndexEntry) -> (String, u32, u32) {
+    let variable = entry
+        .path
+        .rsplit('/')
+        .next()
+        .filter(|s| !s.is_empty())
+        .unwrap_or(entry.path.as_str())
+        .to_string();
+    let from_attr = |name: &str| {
+        entry
+            .attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_i64())
+            .and_then(|v| u32::try_from(v).ok())
+    };
+    let from_path = |prefix: &str| {
+        entry
+            .path
+            .split('/')
+            .find_map(|seg| seg.strip_prefix(prefix))
+            .and_then(|n| n.parse::<u32>().ok())
+    };
+    let iteration = from_attr("iteration")
+        .or_else(|| from_path("iter-"))
+        .unwrap_or(NO_COORD);
+    let source = from_attr("source")
+        .or_else(|| from_path("rank-"))
+        .unwrap_or(NO_COORD);
+    (variable, iteration, source)
+}
+
+impl QuerySection {
+    /// Builds the section for a finished file's main index.
+    pub fn build(index: &[IndexEntry]) -> QuerySection {
+        let mut bloom = BloomFilter::with_capacity(index.len());
+        let mut entries: Vec<QueryIndexEntry> = index
+            .iter()
+            .enumerate()
+            .map(|(ordinal, e)| {
+                let (variable, iteration, source) = derive_key(e);
+                let hash = key_hash(&variable, iteration, source);
+                bloom.insert(hash);
+                QueryIndexEntry {
+                    key_hash: hash,
+                    variable,
+                    iteration,
+                    source,
+                    ordinal: ordinal as u32,
+                    offset: e.offset,
+                    stored_len: e.stored_len,
+                    layout: e.layout.clone(),
+                    filter: e.filter.clone(),
+                    chunk_dim0: e.chunk_dim0,
+                }
+            })
+            .collect();
+        entries.sort_by_key(|e| (e.key_hash, e.ordinal));
+        QuerySection { bloom, entries }
+    }
+
+    /// All entries whose key hash equals `hash` (usually 0 or 1; more on
+    /// a 64-bit collision). Allocation-free: returns a sub-slice.
+    // ANALYZE: hot
+    pub fn candidates(&self, hash: u64) -> &[QueryIndexEntry] {
+        let start = self.entries.partition_point(|e| e.key_hash < hash);
+        let end = self.entries.partition_point(|e| e.key_hash <= hash);
+        match self.entries.get(start..end) {
+            Some(s) => s,
+            None => &[],
+        }
+    }
+
+    /// Serializes the whole section (header + payload + CRC).
+    pub fn encode(&self) -> Vec<u8> {
+        // String table: dedup variable names and filter specs. The table
+        // is tiny (a handful of names per file), so a linear scan interns.
+        let mut table: Vec<String> = Vec::new();
+        let index_of = |table: &mut Vec<String>, s: &str| -> u64 {
+            match table.iter().position(|t| t == s) {
+                Some(i) => i as u64,
+                None => {
+                    table.push(s.to_string());
+                    (table.len() - 1) as u64
+                }
+            }
+        };
+        let mut body = Vec::new();
+        self.bloom.encode(&mut body);
+        let mut entry_bytes = Vec::new();
+        for e in &self.entries {
+            entry_bytes.extend_from_slice(&e.key_hash.to_le_bytes());
+            varint::write_u64(index_of(&mut table, &e.variable), &mut entry_bytes);
+            varint::write_u64(u64::from(e.iteration), &mut entry_bytes);
+            varint::write_u64(u64::from(e.source), &mut entry_bytes);
+            varint::write_u64(u64::from(e.ordinal), &mut entry_bytes);
+            varint::write_u64(e.offset, &mut entry_bytes);
+            varint::write_u64(e.stored_len, &mut entry_bytes);
+            entry_bytes.push(e.layout.dtype.tag());
+            varint::write_u64(e.layout.dims.len() as u64, &mut entry_bytes);
+            for &d in &e.layout.dims {
+                varint::write_u64(d, &mut entry_bytes);
+            }
+            let filter_id = match e.filter.as_str() {
+                "" => 0,
+                f => index_of(&mut table, f) + 1,
+            };
+            varint::write_u64(filter_id, &mut entry_bytes);
+            varint::write_u64(e.chunk_dim0, &mut entry_bytes);
+        }
+        varint::write_u64(table.len() as u64, &mut body);
+        for s in &table {
+            varint::write_u64(s.len() as u64, &mut body);
+            body.extend_from_slice(s.as_bytes());
+        }
+        varint::write_u64(self.entries.len() as u64, &mut body);
+        body.extend_from_slice(&entry_bytes);
+
+        let mut out = Vec::with_capacity(SECTION_HEADER_LEN + body.len() + 4);
+        out.extend_from_slice(QUERY_MAGIC);
+        out.extend_from_slice(&QUERY_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // flags, reserved
+        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out
+    }
+
+    /// Parses a section from its full byte range. Every length is clamped
+    /// against the bytes present before allocating, so corrupt input
+    /// costs bounded memory and a typed error, never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<QuerySection> {
+        if bytes.len() < SECTION_HEADER_LEN + 4 {
+            return Err(SdfError::Format("query section shorter than header".into()));
+        }
+        if &bytes[0..4] != QUERY_MAGIC {
+            return Err(SdfError::Format("bad query section magic".into()));
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != QUERY_VERSION {
+            return Err(SdfError::Format(format!(
+                "unsupported query section version {version}"
+            )));
+        }
+        let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
+        if flags != 0 {
+            return Err(SdfError::Format(format!(
+                "unknown query section flags {flags:#06x}"
+            )));
+        }
+        let payload_len =
+            u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        let avail = bytes.len() - SECTION_HEADER_LEN - 4;
+        if payload_len != avail {
+            return Err(SdfError::Format(format!(
+                "query section payload length {payload_len} does not match region ({avail})"
+            )));
+        }
+        let body = &bytes[SECTION_HEADER_LEN..SECTION_HEADER_LEN + payload_len];
+        let crc_bytes = &bytes[SECTION_HEADER_LEN + payload_len..];
+        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(body) != stored_crc {
+            return Err(SdfError::Corrupt("query section checksum mismatch".into()));
+        }
+
+        let mut off = 0usize;
+        let bloom = BloomFilter::decode(body, &mut off)?;
+
+        let n_strings = read_varint(body, &mut off, "string count")?;
+        if n_strings > MAX_STRINGS {
+            return Err(SdfError::Format(format!("implausible string count {n_strings}")));
+        }
+        let mut table = Vec::with_capacity(n_strings as usize);
+        for _ in 0..n_strings {
+            let len = read_varint(body, &mut off, "string length")?;
+            if len > MAX_STRING_LEN {
+                return Err(SdfError::Format(format!("implausible string length {len}")));
+            }
+            let end = off
+                .checked_add(len as usize)
+                .filter(|&e| e <= body.len())
+                .ok_or_else(|| SdfError::Format("truncated string body".into()))?;
+            let s = std::str::from_utf8(&body[off..end])
+                .map_err(|_| SdfError::Format("invalid UTF-8 in string table".into()))?;
+            table.push(s.to_string());
+            off = end;
+        }
+
+        let n_entries = read_varint(body, &mut off, "entry count")?;
+        // Each entry occupies at least key_hash (8) + 7 varint bytes.
+        let floor = (body.len().saturating_sub(off) / 8) as u64;
+        if n_entries > MAX_ENTRIES || n_entries > floor {
+            return Err(SdfError::Format(format!(
+                "implausible entry count {n_entries} for {} payload bytes",
+                body.len().saturating_sub(off)
+            )));
+        }
+        let mut entries = Vec::with_capacity(n_entries as usize);
+        let mut prev: Option<(u64, u32)> = None;
+        for _ in 0..n_entries {
+            if off + 8 > body.len() {
+                return Err(SdfError::Format("truncated key hash".into()));
+            }
+            let hash = u64::from_le_bytes(body[off..off + 8].try_into().expect("8 bytes"));
+            off += 8;
+            let name_id = read_varint(body, &mut off, "name id")?;
+            let variable = table
+                .get(name_id as usize)
+                .ok_or_else(|| SdfError::Format(format!("name id {name_id} out of table")))?
+                .clone();
+            let iteration = read_coord(body, &mut off, "iteration")?;
+            let source = read_coord(body, &mut off, "source")?;
+            let ordinal = read_coord(body, &mut off, "ordinal")?;
+            let offset = read_varint(body, &mut off, "offset")?;
+            let stored_len = read_varint(body, &mut off, "stored_len")?;
+            let dtype_tag = *body
+                .get(off)
+                .ok_or_else(|| SdfError::Format("truncated dtype".into()))?;
+            off += 1;
+            let dtype = DataType::from_tag(dtype_tag)
+                .ok_or_else(|| SdfError::Format(format!("unknown dtype tag {dtype_tag}")))?;
+            let rank = read_varint(body, &mut off, "rank")?;
+            if rank > MAX_RANK {
+                return Err(SdfError::Format(format!("implausible rank {rank}")));
+            }
+            let mut dims = Vec::with_capacity(rank as usize);
+            for _ in 0..rank {
+                dims.push(read_varint(body, &mut off, "dims")?);
+            }
+            let filter_id = read_varint(body, &mut off, "filter id")?;
+            let filter = match filter_id {
+                0 => String::new(),
+                id => table
+                    .get(id as usize - 1)
+                    .ok_or_else(|| {
+                        SdfError::Format(format!("filter id {id} out of table"))
+                    })?
+                    .clone(),
+            };
+            let chunk_dim0 = read_varint(body, &mut off, "chunk info")?;
+            // Sorted order is load-bearing for the binary search.
+            if let Some(p) = prev {
+                if p > (hash, ordinal) {
+                    return Err(SdfError::Format("query entries out of order".into()));
+                }
+            }
+            prev = Some((hash, ordinal));
+            entries.push(QueryIndexEntry {
+                key_hash: hash,
+                variable,
+                iteration,
+                source,
+                ordinal,
+                offset,
+                stored_len,
+                layout: Layout { dtype, dims },
+                filter,
+                chunk_dim0,
+            });
+        }
+        if off != body.len() {
+            return Err(SdfError::Format("trailing garbage in query section".into()));
+        }
+        Ok(QuerySection { bloom, entries })
+    }
+}
+
+fn read_varint(bytes: &[u8], off: &mut usize, what: &str) -> Result<u64> {
+    varint::read_u64(bytes, off)
+        .ok_or_else(|| SdfError::Format(format!("truncated {what}")))
+}
+
+fn read_coord(bytes: &[u8], off: &mut usize, what: &str) -> Result<u32> {
+    let v = read_varint(bytes, off, what)?;
+    u32::try_from(v).map_err(|_| SdfError::Format(format!("{what} {v} exceeds u32")))
+}
+
+fn read_u64_le(bytes: &[u8], off: &mut usize, what: &str) -> Result<u64> {
+    let end = off
+        .checked_add(8)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| SdfError::Format(format!("truncated {what}")))?;
+    let v = u64::from_le_bytes(bytes[*off..end].try_into().expect("8 bytes"));
+    *off = end;
+    Ok(v)
+}
+
+fn read_u32_le(bytes: &[u8], off: &mut usize, what: &str) -> Result<u32> {
+    let end = off
+        .checked_add(4)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| SdfError::Format(format!("truncated {what}")))?;
+    let v = u32::from_le_bytes(bytes[*off..end].try_into().expect("4 bytes"));
+    *off = end;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AttrValue;
+    use proptest::prelude::*;
+
+    fn sample_index() -> Vec<IndexEntry> {
+        (0..6u32)
+            .map(|i| IndexEntry {
+                path: format!("/iter-{}/rank-{}/theta", i / 2, i % 2),
+                layout: Layout::new(DataType::F32, &[16, 8]),
+                offset: 8 + u64::from(i) * 512,
+                stored_len: 512,
+                crc: 0x1234_5678 ^ i,
+                filter: if i % 2 == 0 { String::new() } else { "lzss".into() },
+                chunk_dim0: 0,
+                attrs: vec![
+                    ("iteration".into(), AttrValue::I64(i64::from(i / 2))),
+                    ("source".into(), AttrValue::I64(i64::from(i % 2))),
+                ],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn section_roundtrip() {
+        let index = sample_index();
+        let section = QuerySection::build(&index);
+        let bytes = section.encode();
+        let back = QuerySection::decode(&bytes).unwrap();
+        assert_eq!(back, section);
+    }
+
+    #[test]
+    fn lookup_finds_every_key() {
+        let index = sample_index();
+        let section = QuerySection::build(&index);
+        for it in 0..3u32 {
+            for src in 0..2u32 {
+                let h = key_hash("theta", it, src);
+                assert!(section.bloom.contains(h));
+                let cands = section.candidates(h);
+                assert!(
+                    cands
+                        .iter()
+                        .any(|e| e.variable == "theta" && e.iteration == it && e.source == src),
+                    "missing ⟨theta, {it}, {src}⟩"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bloom_prunes_absent_keys() {
+        let index = sample_index();
+        let section = QuerySection::build(&index);
+        let mut hits = 0u32;
+        let probes = 10_000u32;
+        for i in 0..probes {
+            if section.bloom.contains(key_hash("nope", i, i)) {
+                hits += 1;
+            }
+        }
+        // 6 keys at 10 bits/key: false-positive rate ≈ 1%; allow 5%.
+        assert!(hits < probes / 20, "bloom passed {hits}/{probes} absent keys");
+    }
+
+    #[test]
+    fn derive_key_prefers_attrs_over_path() {
+        let mut e = sample_index().remove(0);
+        e.attrs = vec![
+            ("iteration".into(), AttrValue::I64(42)),
+            ("source".into(), AttrValue::I64(7)),
+        ];
+        assert_eq!(derive_key(&e), ("theta".into(), 42, 7));
+        e.attrs.clear();
+        // Falls back to the /iter-0/rank-0/ path components.
+        assert_eq!(derive_key(&e), ("theta".into(), 0, 0));
+        e.path = "/just/a/name".into();
+        assert_eq!(derive_key(&e), ("name".into(), NO_COORD, NO_COORD));
+    }
+
+    #[test]
+    fn flipped_byte_is_typed_error() {
+        let section = QuerySection::build(&sample_index());
+        let good = section.encode();
+        for pos in 0..good.len() {
+            let mut bad = good.clone();
+            bad[pos] ^= 0xff;
+            if bad == good {
+                continue;
+            }
+            assert!(
+                QuerySection::decode(&bad).is_err(),
+                "flip at {pos} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_section_roundtrip() {
+        let section = QuerySection::build(&[]);
+        let back = QuerySection::decode(&section.encode()).unwrap();
+        assert!(back.entries.is_empty());
+        // Probing an empty filter must not panic; the verdict itself is
+        // unspecified (blooms may false-positive).
+        let _ = back.bloom.contains(key_hash("x", 0, 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        // Truncations and random byte flips must fail typed, never panic,
+        // and never allocate unboundedly (caps are asserted by running at
+        // all — an unbounded Vec::with_capacity would abort the test).
+        #[test]
+        fn corrupt_section_never_panics(
+            cut in 0usize..512,
+            flip_pos in 0usize..512,
+            flip_mask in 1u8..255,
+        ) {
+            let section = QuerySection::build(&sample_index());
+            let good = section.encode();
+            let cut = cut.min(good.len());
+            let _ = QuerySection::decode(&good[..cut]);
+            let mut flipped = good.clone();
+            let pos = flip_pos % flipped.len();
+            flipped[pos] ^= flip_mask;
+            if flipped != good {
+                prop_assert!(QuerySection::decode(&flipped).is_err());
+            }
+        }
+
+        #[test]
+        fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = QuerySection::decode(&bytes);
+        }
+    }
+}

@@ -4,12 +4,14 @@
 
 use crate::checksum::crc32;
 use crate::header::{self, IndexEntry, FOOTER_LEN, SUPERBLOCK_LEN};
+use crate::query::QuerySection;
 use crate::types::{AttrValue, DataType, Layout};
 use crate::{Result, SdfError};
 use damaris_compress::{varint, Pipeline};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Public, read-only view of a dataset's index entry.
 #[derive(Debug, Clone)]
@@ -35,11 +37,21 @@ impl DatasetInfo {
 }
 
 /// Reader over a finished SDF file.
+///
+/// `Sync`: the file handle sits behind a mutex so many query threads can
+/// share one reader (reads on the same file serialize; different files
+/// proceed in parallel).
 #[derive(Debug)]
 pub struct SdfReader {
-    file: std::cell::RefCell<File>,
+    file: Mutex<File>,
     path: PathBuf,
     entries: Vec<IndexEntry>,
+    /// Start of the index — the exclusive upper bound of the data region
+    /// every payload read is clamped against.
+    index_offset: u64,
+    /// Byte range of the query section, `[start, end)`; empty for files
+    /// written before the section existed.
+    query_range: (u64, u64),
 }
 
 impl SdfReader {
@@ -90,10 +102,31 @@ impl SdfReader {
         }
 
         Ok(SdfReader {
-            file: std::cell::RefCell::new(file),
+            file: Mutex::new(file),
             path,
             entries,
+            index_offset,
+            query_range: (index_offset + index_len, file_len - FOOTER_LEN),
         })
+    }
+
+    /// Parses the query section (sparse block index + bloom filter), if
+    /// the file carries one. `Ok(None)` for files written before the
+    /// section existed; a typed error if the section bytes are corrupt
+    /// (the datasets themselves stay readable through the scan path).
+    pub fn query_section(&self) -> Result<Option<QuerySection>> {
+        let (start, end) = self.query_range;
+        if start >= end {
+            return Ok(None);
+        }
+        let len = (end - start) as usize;
+        let mut bytes = vec![0u8; len];
+        {
+            let mut file = lock_file(&self.file);
+            file.seek(SeekFrom::Start(start))?;
+            file.read_exact(&mut bytes)?;
+        }
+        QuerySection::decode(&bytes).map(Some)
     }
 
     /// Path of the underlying file.
@@ -152,7 +185,21 @@ impl SdfReader {
     }
 
     fn read_stored(&self, entry: &IndexEntry) -> Result<Vec<u8>> {
-        let mut file = self.file.borrow_mut();
+        // The index is CRC-guarded but still untrusted input: clamp the
+        // payload range against the data region before sizing the buffer,
+        // so a corrupt stored_len cannot demand an unbounded allocation.
+        let in_bounds = entry.offset >= SUPERBLOCK_LEN
+            && entry
+                .offset
+                .checked_add(entry.stored_len)
+                .is_some_and(|end| end <= self.index_offset);
+        if !in_bounds {
+            return Err(SdfError::Corrupt(format!(
+                "payload range [{}, +{}) for '{}' escapes the data region",
+                entry.offset, entry.stored_len, entry.path
+            )));
+        }
+        let mut file = lock_file(&self.file);
         file.seek(SeekFrom::Start(entry.offset))?;
         let mut stored = vec![0u8; entry.stored_len as usize];
         file.read_exact(&mut stored)?;
@@ -176,9 +223,7 @@ impl SdfReader {
         };
         let logical = if entry.chunk_dim0 > 0 {
             let mut off = 0usize;
-            let n_chunks = varint::read_u64(stored, &mut off)
-                .ok_or_else(|| SdfError::Format("truncated chunk count".into()))?
-                as usize;
+            let n_chunks = read_chunk_count(stored, &mut off)?;
             let mut lens = Vec::with_capacity(n_chunks);
             for _ in 0..n_chunks {
                 lens.push(
@@ -226,13 +271,15 @@ impl SdfReader {
     }
 
     /// Verifies the stored checksum of *every* dataset payload (the index
-    /// and footer were already verified at open). Decoding/filters are not
-    /// exercised — this is the cheap integrity pass a recovery scan runs
-    /// over files found after a crash.
+    /// and footer were already verified at open) and of the query section
+    /// if one is present. Decoding/filters are not exercised — this is
+    /// the cheap integrity pass a recovery scan runs over files found
+    /// after a crash.
     pub fn validate(&self) -> Result<()> {
         for entry in &self.entries {
             self.read_stored(entry)?;
         }
+        self.query_section()?;
         Ok(())
     }
 
@@ -241,6 +288,29 @@ impl SdfReader {
         let entry = self.entry(path)?;
         let stored = self.read_stored(entry)?;
         Self::decode_payload(entry, &stored)
+    }
+
+    /// Reads and decodes the dataset at position `ordinal` in the index —
+    /// the block-read path the query tier takes after a sparse-index hit,
+    /// skipping the by-path lookup.
+    pub fn read_bytes_at(&self, ordinal: usize) -> Result<Vec<u8>> {
+        let entry = self.entries.get(ordinal).ok_or_else(|| {
+            SdfError::Usage(format!("ordinal {ordinal} out of range"))
+        })?;
+        let stored = self.read_stored(entry)?;
+        Self::decode_payload(entry, &stored)
+    }
+
+    /// Metadata for the dataset at position `ordinal` in the index.
+    pub fn info_at(&self, ordinal: usize) -> Option<DatasetInfo> {
+        self.entries.get(ordinal).map(|e| DatasetInfo {
+            path: e.path.clone(),
+            layout: e.layout.clone(),
+            stored_len: e.stored_len,
+            filter: e.filter.clone(),
+            chunk_dim0: e.chunk_dim0,
+            attrs: e.attrs.clone(),
+        })
     }
 
     /// Reads rows `[first, first + count)` along dimension 0 of a *chunked*
@@ -274,9 +344,7 @@ impl SdfReader {
         // Parse the chunk table without decoding anything.
         let stored = self.read_stored(entry)?;
         let mut off = 0usize;
-        let n_chunks = varint::read_u64(&stored, &mut off)
-            .ok_or_else(|| SdfError::Format("truncated chunk count".into()))?
-            as usize;
+        let n_chunks = read_chunk_count(&stored, &mut off)?;
         let mut lens = Vec::with_capacity(n_chunks);
         for _ in 0..n_chunks {
             lens.push(
@@ -380,6 +448,31 @@ impl SdfReader {
             .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
             .collect())
     }
+}
+
+/// Locks the reader's file handle. A poisoned mutex only means another
+/// thread panicked mid-read; the `File` itself holds no invariant beyond
+/// its seek position, which every user re-seeks, so recover the guard.
+fn lock_file(file: &Mutex<File>) -> std::sync::MutexGuard<'_, File> {
+    match file.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Reads and clamps a chunk-table count: each chunk length takes at least
+/// one varint byte, so a count exceeding the remaining payload bytes is
+/// corruption — reject it before `Vec::with_capacity` can amplify it.
+fn read_chunk_count(stored: &[u8], off: &mut usize) -> Result<usize> {
+    let n_chunks = varint::read_u64(stored, off)
+        .ok_or_else(|| SdfError::Format("truncated chunk count".into()))?;
+    let floor = stored.len().saturating_sub(*off) as u64;
+    if n_chunks > floor {
+        return Err(SdfError::Corrupt(format!(
+            "chunk count {n_chunks} exceeds {floor} remaining payload bytes"
+        )));
+    }
+    Ok(n_chunks as usize)
 }
 
 #[cfg(test)]
@@ -514,7 +607,9 @@ mod tests {
         write_sample(&path, None, 0);
         let mut bytes = std::fs::read(&path).unwrap();
         let n = bytes.len();
-        bytes[n - 30] ^= 0xff; // inside the index region
+        let (index_offset, _, _) =
+            header::read_footer(&bytes[n - FOOTER_LEN as usize..]).unwrap();
+        bytes[index_offset as usize + 10] ^= 0xff; // inside the index region
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(
             SdfReader::open(&path).unwrap_err(),
@@ -592,5 +687,160 @@ mod tests {
         let r = SdfReader::open(&path).unwrap();
         assert!(r.is_empty());
         assert!(r.dataset_names().is_empty());
+    }
+
+    /// Builds a raw SDF file from hand-forged index entries (bypassing
+    /// the writer's invariants) so corrupt-but-CRC-consistent indexes can
+    /// be exercised.
+    fn forge_file(path: &Path, payload: &[u8], mut entry: IndexEntry) -> u64 {
+        let mut bytes = Vec::new();
+        header::write_superblock(&mut bytes);
+        entry.offset = bytes.len() as u64;
+        bytes.extend_from_slice(payload);
+        let index_offset = bytes.len() as u64;
+        let mut index_bytes = Vec::new();
+        varint::write_u64(1, &mut index_bytes);
+        entry.encode(&mut index_bytes);
+        let crc = crc32(&index_bytes);
+        bytes.extend_from_slice(&index_bytes);
+        header::write_footer(index_offset, index_bytes.len() as u64, crc, &mut bytes);
+        std::fs::write(path, &bytes).unwrap();
+        index_offset
+    }
+
+    fn forged_entry(stored: &[u8]) -> IndexEntry {
+        IndexEntry {
+            path: "/v".into(),
+            layout: Layout::new(DataType::U8, &[stored.len() as u64]),
+            offset: 0,
+            stored_len: stored.len() as u64,
+            crc: crc32(stored),
+            filter: String::new(),
+            chunk_dim0: 0,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn forged_stored_len_is_bounded_corruption_error() {
+        // A CRC-consistent index whose entry claims a payload far larger
+        // than the file: the reader must fail typed *before* allocating.
+        let path = temp_path("hugelen");
+        let payload = [7u8; 16];
+        let mut entry = forged_entry(&payload);
+        entry.stored_len = u64::MAX / 2;
+        forge_file(&path, &payload, entry);
+        let r = SdfReader::open(&path).unwrap();
+        assert!(matches!(r.read_bytes("/v").unwrap_err(), SdfError::Corrupt(_)));
+
+        // Same for an offset pointing past the data region.
+        let path2 = temp_path("hugeoff");
+        let mut entry2 = forged_entry(&payload);
+        entry2.offset = u64::MAX - 8;
+        let mut bytes = Vec::new();
+        header::write_superblock(&mut bytes);
+        bytes.extend_from_slice(&payload);
+        let index_offset = bytes.len() as u64;
+        let mut index_bytes = Vec::new();
+        varint::write_u64(1, &mut index_bytes);
+        entry2.encode(&mut index_bytes);
+        let crc = crc32(&index_bytes);
+        bytes.extend_from_slice(&index_bytes);
+        header::write_footer(index_offset, index_bytes.len() as u64, crc, &mut bytes);
+        std::fs::write(&path2, &bytes).unwrap();
+        let r2 = SdfReader::open(&path2).unwrap();
+        assert!(matches!(r2.read_bytes("/v").unwrap_err(), SdfError::Corrupt(_)));
+    }
+
+    #[test]
+    fn forged_chunk_count_is_bounded_corruption_error() {
+        // Payload is just a varint claiming ~2^40 chunks, with a matching
+        // CRC: both chunked read paths must clamp the count against the
+        // payload size instead of reserving a table for it.
+        let path = temp_path("hugechunks");
+        let mut payload = Vec::new();
+        varint::write_u64(1 << 40, &mut payload);
+        let mut entry = forged_entry(&payload);
+        entry.layout = Layout::new(DataType::U8, &[64]);
+        entry.chunk_dim0 = 4;
+        forge_file(&path, &payload, entry);
+        let r = SdfReader::open(&path).unwrap();
+        assert!(matches!(r.read_bytes("/v").unwrap_err(), SdfError::Corrupt(_)));
+        assert!(matches!(
+            r.read_rows_bytes("/v", 0, 2).unwrap_err(),
+            SdfError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn query_section_roundtrips_through_file() {
+        let path = temp_path("qsec");
+        write_sample(&path, Some("lzss"), 4);
+        let r = SdfReader::open(&path).unwrap();
+        let section = r.query_section().unwrap().expect("new files carry a section");
+        assert_eq!(section.entries.len(), r.len());
+        let h = crate::query::key_hash("theta", 3, crate::query::NO_COORD);
+        assert!(section.bloom.contains(h));
+        let cands = section.candidates(h);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].variable, "theta");
+        assert_eq!(cands[0].iteration, 3);
+        // The ordinal round-trips to the same bytes as the by-path read.
+        let via_ordinal = r.read_bytes_at(cands[0].ordinal as usize).unwrap();
+        assert_eq!(via_ordinal, r.read_bytes("/iter-3/theta").unwrap());
+    }
+
+    #[test]
+    fn file_without_query_section_reads_fine() {
+        // Emulate an old-format file: rewrite a fresh file with the query
+        // region dropped (index moved flush against the footer).
+        let path = temp_path("noqsec");
+        let data = write_sample(&path, None, 0);
+        let bytes = std::fs::read(&path).unwrap();
+        let flen = bytes.len() as u64;
+        let (index_offset, index_len, index_crc) =
+            header::read_footer(&bytes[(flen - FOOTER_LEN) as usize..]).unwrap();
+        let mut old = bytes[..(index_offset + index_len) as usize].to_vec();
+        header::write_footer(index_offset, index_len, index_crc, &mut old);
+        std::fs::write(&path, &old).unwrap();
+        let r = SdfReader::open(&path).unwrap();
+        assert_eq!(r.read_f32("/iter-3/theta").unwrap(), data);
+        assert!(r.query_section().unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_query_section_is_typed_and_leaves_data_readable() {
+        let path = temp_path("badqsec");
+        let data = write_sample(&path, None, 0);
+        let bytes = std::fs::read(&path).unwrap();
+        let flen = bytes.len() as u64;
+        let (index_offset, index_len, _) =
+            header::read_footer(&bytes[(flen - FOOTER_LEN) as usize..]).unwrap();
+        let qstart = (index_offset + index_len) as usize;
+        let mut bad = bytes.clone();
+        bad[qstart + 20] ^= 0xff; // inside the section payload
+        std::fs::write(&path, &bad).unwrap();
+        let r = SdfReader::open(&path).unwrap();
+        assert!(r.query_section().is_err());
+        // Datasets stay readable through the scan path.
+        assert_eq!(r.read_f32("/iter-3/theta").unwrap(), data);
+    }
+
+    #[test]
+    fn readers_are_shareable_across_threads() {
+        let path = temp_path("sync");
+        let data = write_sample(&path, Some("lzss"), 4);
+        let r = SdfReader::open(&path).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = &r;
+                let data = &data;
+                s.spawn(move || {
+                    for _ in 0..16 {
+                        assert_eq!(&r.read_f32("/iter-3/theta").unwrap(), data);
+                    }
+                });
+            }
+        });
     }
 }

@@ -81,11 +81,18 @@ pub enum EventKind {
     /// One lease-sweeper pass that revoked a client (fence + cancel +
     /// reclamation on the dedicated core).
     LeaseSweep = 16,
+    /// One point lookup in the query tier, end-to-end (bloom + sparse
+    /// index + cache, and the block read on a miss).
+    QueryLookup = 17,
+    /// One block fetched from an SDF file on a query-cache miss.
+    BlockRead = 18,
+    /// A query served straight from the block cache.
+    CacheHit = 19,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order (for analyzer iteration).
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::Iteration,
         EventKind::WriteCall,
         EventKind::AllocWait,
@@ -103,6 +110,9 @@ impl EventKind {
         EventKind::MpiCollective,
         EventKind::PhaseSample,
         EventKind::LeaseSweep,
+        EventKind::QueryLookup,
+        EventKind::BlockRead,
+        EventKind::CacheHit,
     ];
 
     /// Short stable label used in analyzer output.
@@ -125,6 +135,9 @@ impl EventKind {
             EventKind::MpiCollective => "mpi_collective",
             EventKind::PhaseSample => "phase_sample",
             EventKind::LeaseSweep => "lease_sweep",
+            EventKind::QueryLookup => "query_lookup",
+            EventKind::BlockRead => "block_read",
+            EventKind::CacheHit => "cache_hit",
         }
     }
 }

@@ -209,6 +209,17 @@ impl SdfWriter {
 
     /// Writes an `f64` dataset with default options.
     pub fn write_dataset_f64(&mut self, path: &str, layout: &Layout, data: &[f64]) -> Result<()> {
+        self.write_dataset_f64_opts(path, layout, data, &DatasetOptions::plain())
+    }
+
+    /// Writes an `f64` dataset with options.
+    pub fn write_dataset_f64_opts(
+        &mut self,
+        path: &str,
+        layout: &Layout,
+        data: &[f64],
+        options: &DatasetOptions,
+    ) -> Result<()> {
         if layout.dtype != DataType::F64 {
             return Err(SdfError::Usage(format!(
                 "layout dtype {:?} does not match f64 data",
@@ -216,7 +227,7 @@ impl SdfWriter {
             )));
         }
         let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
-        self.write_dataset_bytes(path, layout, &bytes, &DatasetOptions::plain())
+        self.write_dataset_bytes(path, layout, &bytes, options)
     }
 
     /// Bytes written so far (including the superblock).
@@ -257,6 +268,12 @@ impl SdfWriter {
         let index_crc = crc32(&index_bytes);
         let index_len = index_bytes.len() as u64;
         self.raw_write(&index_bytes)?;
+        // The query section (sparse block index + bloom filter) sits
+        // between the index and the footer. The footer does not point at
+        // it: old readers tolerate the extra bytes, new readers derive
+        // its range as [index end, footer start).
+        let query_bytes = crate::query::QuerySection::build(&self.index).encode();
+        self.raw_write(&query_bytes)?;
         let mut footer = Vec::new();
         header::write_footer(index_offset, index_len, index_crc, &mut footer);
         self.raw_write(&footer)?;

@@ -32,13 +32,19 @@
 //! * [`clock`] — the [`IoClock`] time source behind retry backoff and
 //!   injected stalls ([`WallClock`] in production, [`VirtualClock`] in
 //!   tests so waits advance simulated time instead of blocking);
+//! * [`manifest`] — the `MANIFEST` snapshot protocol the read tier rides
+//!   on: the EPE publishes sealed files via atomic rename, readers load a
+//!   consistent set without locking, the compactor swaps entries at its
+//!   commit point;
 //! * [`recovery`] — the startup scan that deletes orphan `*.tmp` files and
-//!   quarantines torn `*.sdf` files.
+//!   quarantines torn `*.sdf` files, then reconciles the manifest against
+//!   what actually survived.
 
 pub mod backend;
 pub mod clock;
 pub mod faulty;
 pub mod local;
+pub mod manifest;
 pub mod model;
 pub mod recovery;
 pub mod striping;
@@ -47,6 +53,7 @@ pub use backend::StorageBackend;
 pub use clock::{IoClock, VirtualClock, WallClock};
 pub use faulty::{FaultKind, FaultOp, FaultPlan, FaultyBackend};
 pub use local::LocalDirBackend;
+pub use manifest::{EntryKind, Manifest, ManifestEntry, ManifestError, ManifestLock};
 pub use model::{FsSpec, LockMode};
 pub use recovery::{recover, recover_dir, RecoveryReport};
 pub use striping::{stripes_for, StripeSlice};

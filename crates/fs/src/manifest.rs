@@ -1,0 +1,577 @@
+//! The output manifest: the read tier's snapshot protocol.
+//!
+//! The EPE appends SDF files with the PR-1 crash-consistency discipline
+//! (tmp + fsync + atomic rename), but a reader listing the directory can
+//! still race a rename or observe a file the writer is about to replace
+//! with a compacted run. The manifest closes that gap: a single
+//! `MANIFEST` file at the output root lists every *sealed* file, and is
+//! itself replaced atomically (tmp + fsync + rename), so a reader that
+//! loads it sees a consistent set of fully-published files — never a
+//! half-written one.
+//!
+//! Writers (EPE persist hooks, the compactor, recovery) serialize through
+//! a `MANIFEST.lock` file created with `O_EXCL`; stale locks (holder died)
+//! are broken by age. Readers never lock: they just read the current
+//! `MANIFEST`, which the atomic rename keeps internally consistent.
+//!
+//! Format (text, CRC-guarded, one entry per line):
+//!
+//! ```text
+//! damaris-manifest v1
+//! generation 7
+//! iter 0 12 40968 node-0/iter-000012.sdf
+//! span 0 0 11 491616 node-0/compact-000000-000011.sdf
+//! crc 1a2b3c4d
+//! ```
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Manifest file name at the output root.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+/// Lock file guarding manifest writers.
+pub const MANIFEST_LOCK: &str = "MANIFEST.lock";
+/// First line of every manifest.
+const HEADER: &str = "damaris-manifest v1";
+/// A lock older than this is considered abandoned (holder crashed
+/// between create and remove) and is broken.
+const LOCK_STALE: Duration = Duration::from_secs(5);
+/// How long a writer waits for the lock before giving up.
+const LOCK_WAIT: Duration = Duration::from_secs(10);
+
+/// Errors from manifest operations.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural or checksum problem in the manifest bytes.
+    Corrupt(String),
+    /// Could not acquire the writer lock within the deadline.
+    Locked(String),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Io(e) => write!(f, "manifest: io error: {e}"),
+            ManifestError::Corrupt(m) => write!(f, "manifest: corrupt: {m}"),
+            ManifestError::Locked(m) => write!(f, "manifest: lock: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ManifestError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ManifestError {
+    fn from(e: io::Error) -> Self {
+        ManifestError::Io(e)
+    }
+}
+
+/// Result alias for manifest operations.
+pub type Result<T> = std::result::Result<T, ManifestError>;
+
+/// What a manifest entry describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// One sealed iteration file (`iter <node> <iteration>`).
+    Iteration(u32),
+    /// A compacted run covering iterations `lo..=hi` (`span <node> <lo> <hi>`).
+    Compacted { lo: u32, hi: u32 },
+}
+
+impl EntryKind {
+    /// True when this entry covers `iteration`.
+    pub fn covers(&self, iteration: u32) -> bool {
+        match *self {
+            EntryKind::Iteration(it) => it == iteration,
+            EntryKind::Compacted { lo, hi } => (lo..=hi).contains(&iteration),
+        }
+    }
+
+    /// Inclusive iteration range this entry covers.
+    pub fn range(&self) -> (u32, u32) {
+        match *self {
+            EntryKind::Iteration(it) => (it, it),
+            EntryKind::Compacted { lo, hi } => (lo, hi),
+        }
+    }
+}
+
+/// One sealed file the manifest references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Path relative to the output root, `/`-separated.
+    pub file: String,
+    /// Node (dedicated core) that produced the file.
+    pub node: u32,
+    /// What the file holds.
+    pub kind: EntryKind,
+    /// File size in bytes at seal time (advisory, 0 = unknown).
+    pub bytes: u64,
+}
+
+/// A parsed manifest: generation counter + sealed-file entries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotonic, bumped on every store. Readers use it to cheaply detect
+    /// "nothing changed since my last snapshot".
+    pub generation: u64,
+    /// Sealed files, in publish order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Loads the manifest at `root`, or an empty generation-0 manifest if
+    /// none exists yet. Corrupt bytes fail typed; allocation is bounded
+    /// by the actual file size.
+    pub fn load(root: &Path) -> Result<Manifest> {
+        let path = root.join(MANIFEST_NAME);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Manifest::default()),
+            Err(e) => return Err(e.into()),
+        };
+        Self::parse(&text)
+    }
+
+    /// Parses manifest text (exposed for corruption tests).
+    pub fn parse(text: &str) -> Result<Manifest> {
+        let corrupt = |m: String| ManifestError::Corrupt(m);
+        let crc_at = text
+            .rfind("crc ")
+            .ok_or_else(|| corrupt("missing crc line (torn write?)".into()))?;
+        // The CRC guards every byte before its own line.
+        let (body, crc_line) = text.split_at(crc_at);
+        let stored = crc_line
+            .trim_end()
+            .strip_prefix("crc ")
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| corrupt("malformed crc line".into()))?;
+        let actual = damaris_format::crc32(body.as_bytes());
+        if stored != actual {
+            return Err(corrupt(format!(
+                "checksum mismatch (stored {stored:08x}, computed {actual:08x})"
+            )));
+        }
+        let mut lines = body.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(corrupt("bad header".into()));
+        }
+        let generation = lines
+            .next()
+            .and_then(|l| l.strip_prefix("generation "))
+            .and_then(|g| g.parse::<u64>().ok())
+            .ok_or_else(|| corrupt("malformed generation line".into()))?;
+        let mut entries = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split(' ');
+            let tag = fields.next().unwrap_or("");
+            let mut num = |what: &str| -> Result<u32> {
+                fields
+                    .next()
+                    .and_then(|f| f.parse::<u32>().ok())
+                    .ok_or_else(|| ManifestError::Corrupt(format!("malformed {what} in '{line}'")))
+            };
+            let (node, kind) = match tag {
+                "iter" => {
+                    let node = num("node")?;
+                    let it = num("iteration")?;
+                    (node, EntryKind::Iteration(it))
+                }
+                "span" => {
+                    let node = num("node")?;
+                    let lo = num("lo")?;
+                    let hi = num("hi")?;
+                    if lo > hi {
+                        return Err(corrupt(format!("inverted span {lo}..{hi}")));
+                    }
+                    (node, EntryKind::Compacted { lo, hi })
+                }
+                other => return Err(corrupt(format!("unknown entry tag '{other}'"))),
+            };
+            let bytes = fields
+                .next()
+                .and_then(|f| f.parse::<u64>().ok())
+                .ok_or_else(|| corrupt(format!("malformed byte count in '{line}'")))?;
+            let file: String = fields.collect::<Vec<_>>().join(" ");
+            if file.is_empty() || file.contains("..") || file.starts_with('/') {
+                return Err(corrupt(format!("implausible file path '{file}'")));
+            }
+            entries.push(ManifestEntry { file, node, kind, bytes });
+        }
+        Ok(Manifest { generation, entries })
+    }
+
+    /// Serializes to the text format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("generation {}\n", self.generation));
+        for e in &self.entries {
+            match e.kind {
+                EntryKind::Iteration(it) => {
+                    out.push_str(&format!("iter {} {} {} {}\n", e.node, it, e.bytes, e.file));
+                }
+                EntryKind::Compacted { lo, hi } => {
+                    out.push_str(&format!(
+                        "span {} {} {} {} {}\n",
+                        e.node, lo, hi, e.bytes, e.file
+                    ));
+                }
+            }
+        }
+        let crc = damaris_format::crc32(out.as_bytes());
+        out.push_str(&format!("crc {crc:08x}\n"));
+        out
+    }
+
+    /// Atomically replaces the manifest at `root`: write `MANIFEST.tmp`,
+    /// fsync, rename into place, best-effort sync the directory — the
+    /// same discipline the SDF commit path uses. Callers must hold the
+    /// [`ManifestLock`] (readers are lock-free; this serializes writers).
+    pub fn store(&self, root: &Path) -> Result<()> {
+        let tmp = root.join(format!("{MANIFEST_NAME}.tmp"));
+        let final_path = root.join(MANIFEST_NAME);
+        std::fs::create_dir_all(root)?;
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.render().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &final_path)?;
+        if let Ok(dir) = std::fs::File::open(root) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    }
+
+    /// True when some entry references `file`.
+    pub fn references(&self, file: &str) -> bool {
+        self.entries.iter().any(|e| e.file == file)
+    }
+
+    /// True when `(node, iteration)` is reachable through some entry.
+    pub fn covers(&self, node: u32, iteration: u32) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.node == node && e.kind.covers(iteration))
+    }
+
+    /// Highest iteration published for `node`, if any.
+    pub fn max_iteration(&self, node: u32) -> Option<u32> {
+        self.entries
+            .iter()
+            .filter(|e| e.node == node)
+            .map(|e| e.kind.range().1)
+            .max()
+    }
+
+    /// Adds or replaces (same `file`) an entry and bumps the generation.
+    pub fn upsert(&mut self, entry: ManifestEntry) {
+        match self.entries.iter_mut().find(|e| e.file == entry.file) {
+            Some(slot) => *slot = entry,
+            None => self.entries.push(entry),
+        }
+        self.generation += 1;
+    }
+}
+
+/// Exclusive writer lock on a root's manifest. Created with `O_EXCL`;
+/// stale locks are broken by mtime age so a crashed holder cannot wedge
+/// the EPE or the compactor forever. Dropped = released.
+#[derive(Debug)]
+pub struct ManifestLock {
+    path: PathBuf,
+}
+
+impl ManifestLock {
+    /// Acquires the lock at `root`, waiting up to ~10 s.
+    pub fn acquire(root: &Path) -> Result<ManifestLock> {
+        std::fs::create_dir_all(root)?;
+        let path = root.join(MANIFEST_LOCK);
+        let deadline = Instant::now() + LOCK_WAIT;
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    use std::io::Write;
+                    let _ = writeln!(f, "{}", std::process::id());
+                    return Ok(ManifestLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    // Stale? Break locks whose holder stopped refreshing.
+                    let stale = std::fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|m| SystemTime::now().duration_since(m).ok())
+                        .is_some_and(|age| age > LOCK_STALE);
+                    if stale {
+                        // Racing breakers are fine: remove is idempotent
+                        // and the next create_new decides one winner.
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(ManifestError::Locked(format!(
+                            "timed out waiting for {}",
+                            path.display()
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+impl Drop for ManifestLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Publishes one sealed iteration file: lock, load, upsert, store. The
+/// EPE calls this right after `commit_sdf` renames the file into place.
+pub fn publish_iteration(
+    root: &Path,
+    node: u32,
+    iteration: u32,
+    file: &str,
+    bytes: u64,
+) -> Result<u64> {
+    let _lock = ManifestLock::acquire(root)?;
+    let mut m = Manifest::load(root)?;
+    m.upsert(ManifestEntry {
+        file: file.to_string(),
+        node,
+        kind: EntryKind::Iteration(iteration),
+        bytes,
+    });
+    m.store(root)?;
+    Ok(m.generation)
+}
+
+/// Atomically swaps `superseded` entries for `replacement` — the
+/// compactor's commit point. Idempotent: re-running after a crash (some
+/// entries already gone, replacement already present) converges to the
+/// same manifest.
+pub fn replace_entries(
+    root: &Path,
+    superseded: &[String],
+    replacement: ManifestEntry,
+) -> Result<u64> {
+    let _lock = ManifestLock::acquire(root)?;
+    let mut m = Manifest::load(root)?;
+    m.entries.retain(|e| !superseded.contains(&e.file));
+    if !m.references(&replacement.file) {
+        m.entries.push(replacement);
+    }
+    m.generation += 1;
+    m.store(root)?;
+    Ok(m.generation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "damaris-manifest-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn sample() -> Manifest {
+        Manifest {
+            generation: 7,
+            entries: vec![
+                ManifestEntry {
+                    file: "node-0/iter-000012.sdf".into(),
+                    node: 0,
+                    kind: EntryKind::Iteration(12),
+                    bytes: 40968,
+                },
+                ManifestEntry {
+                    file: "node-0/compact-000000-000011.sdf".into(),
+                    node: 0,
+                    kind: EntryKind::Compacted { lo: 0, hi: 11 },
+                    bytes: 491616,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let m = sample();
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let root = temp_root("roundtrip");
+        assert_eq!(Manifest::load(&root).unwrap(), Manifest::default());
+        let m = sample();
+        m.store(&root).unwrap();
+        assert_eq!(Manifest::load(&root).unwrap(), m);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn covers_and_max_iteration() {
+        let m = sample();
+        assert!(m.covers(0, 5)); // via the span
+        assert!(m.covers(0, 12)); // via the iter entry
+        assert!(!m.covers(0, 13));
+        assert!(!m.covers(1, 5));
+        assert_eq!(m.max_iteration(0), Some(12));
+        assert_eq!(m.max_iteration(1), None);
+    }
+
+    #[test]
+    fn publish_and_replace() {
+        let root = temp_root("publish");
+        publish_iteration(&root, 0, 0, "node-0/iter-000000.sdf", 100).unwrap();
+        publish_iteration(&root, 0, 1, "node-0/iter-000001.sdf", 100).unwrap();
+        let m = Manifest::load(&root).unwrap();
+        assert_eq!(m.entries.len(), 2);
+        assert_eq!(m.generation, 2);
+
+        let superseded: Vec<String> = m.entries.iter().map(|e| e.file.clone()).collect();
+        replace_entries(
+            &root,
+            &superseded,
+            ManifestEntry {
+                file: "node-0/compact-000000-000001.sdf".into(),
+                node: 0,
+                kind: EntryKind::Compacted { lo: 0, hi: 1 },
+                bytes: 200,
+            },
+        )
+        .unwrap();
+        let m2 = Manifest::load(&root).unwrap();
+        assert_eq!(m2.entries.len(), 1);
+        assert!(m2.covers(0, 0) && m2.covers(0, 1));
+        // Idempotent re-run (crash between store and cleanup).
+        replace_entries(
+            &root,
+            &superseded,
+            ManifestEntry {
+                file: "node-0/compact-000000-000001.sdf".into(),
+                node: 0,
+                kind: EntryKind::Compacted { lo: 0, hi: 1 },
+                bytes: 200,
+            },
+        )
+        .unwrap();
+        assert_eq!(Manifest::load(&root).unwrap().entries.len(), 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn lock_excludes_and_breaks_stale() {
+        let root = temp_root("lock");
+        let lock = ManifestLock::acquire(&root).unwrap();
+        // A second writer sees the fresh lock and cannot enter; instead of
+        // waiting out the 10 s deadline, assert the O_EXCL create fails.
+        assert!(std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(root.join(MANIFEST_LOCK))
+            .is_err());
+        drop(lock);
+        // A stale lock (old mtime) is broken.
+        std::fs::write(root.join(MANIFEST_LOCK), "dead").unwrap();
+        let old = SystemTime::now() - Duration::from_secs(60);
+        let f = std::fs::File::options()
+            .write(true)
+            .open(root.join(MANIFEST_LOCK))
+            .unwrap();
+        f.set_modified(old).unwrap();
+        drop(f);
+        let lock2 = ManifestLock::acquire(&root).unwrap();
+        drop(lock2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn truncation_is_typed_corruption() {
+        let text = sample().render();
+        // Every cut that removes more than the trailing newline must fail
+        // typed (losing only the final '\n' is cosmetically fine).
+        for cut in 0..text.len() - 1 {
+            let t = &text[..cut];
+            match Manifest::parse(t) {
+                Err(ManifestError::Corrupt(_)) => {}
+                other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        // Byte flips must never panic, and anything still accepted must
+        // parse to the *same* manifest (CRC32 catches every single-byte
+        // change to the guarded body; only cosmetic whitespace after the
+        // crc value can differ).
+        #[test]
+        fn corrupt_manifest_never_panics(
+            flip_pos in 0usize..4096,
+            flip_mask in 1u8..255,
+        ) {
+            let text = sample().render();
+            let mut bytes = text.clone().into_bytes();
+            let pos = flip_pos % bytes.len();
+            bytes[pos] ^= flip_mask;
+            if let Ok(s) = String::from_utf8(bytes) {
+                if let Ok(m) = Manifest::parse(&s) {
+                    prop_assert_eq!(m, sample());
+                }
+            }
+        }
+
+        #[test]
+        fn random_text_never_panics(
+            s in "[ -~]{0,256}",
+            breaks in proptest::collection::vec(0usize..256, 0..8),
+        ) {
+            // The pattern class cannot emit newlines; splice them in so the
+            // line-oriented parser sees multi-line garbage too.
+            let mut t: Vec<u8> = s.into_bytes();
+            for b in breaks {
+                if !t.is_empty() {
+                    let pos = b % t.len();
+                    t[pos] = b'\n';
+                }
+            }
+            let _ = Manifest::parse(std::str::from_utf8(&t).expect("ascii"));
+        }
+    }
+}

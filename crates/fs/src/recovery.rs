@@ -45,6 +45,14 @@ pub struct RecoveryReport {
     /// read-only. The scan keeps going; callers decide whether partial
     /// recovery is acceptable.
     pub failed: Vec<(PathBuf, String)>,
+    /// Manifest entries dropped because the file they referenced is gone
+    /// or was quarantined this pass (the reader tier must not be pointed
+    /// at data that no longer verifies).
+    pub manifest_pruned: Vec<PathBuf>,
+    /// Valid `node-*/iter-*.sdf` files adopted *into* the manifest: the
+    /// EPE crashed in the window between the commit rename and the
+    /// manifest publish, so the file was sealed but unpublished.
+    pub manifest_adopted: Vec<PathBuf>,
 }
 
 impl RecoveryReport {
@@ -115,7 +123,112 @@ pub fn recover_dir(root: &Path) -> std::io::Result<RecoveryReport> {
             }
         }
     }
+    reconcile_manifest(root, &mut report);
     Ok(report)
+}
+
+/// Brings the manifest (if one exists) back in line with what the scan
+/// found on disk: entries whose file vanished or was quarantined are
+/// dropped, and sealed-but-unpublished iteration files (crash between the
+/// commit rename and the manifest publish) are adopted. A corrupt
+/// manifest is quarantined like a torn SDF file — readers then start from
+/// an empty manifest and adoption repopulates it.
+fn reconcile_manifest(root: &Path, report: &mut RecoveryReport) {
+    use crate::manifest::{self, EntryKind, Manifest, ManifestEntry, ManifestError};
+
+    let manifest_path = root.join(manifest::MANIFEST_NAME);
+    let had_manifest = manifest_path.exists();
+    if !had_manifest {
+        return; // directory never used the read tier; nothing to reconcile
+    }
+    // Serialize against concurrent recoveries / publishers sharing the root.
+    let _lock = match manifest::ManifestLock::acquire(root) {
+        Ok(l) => l,
+        Err(e) => {
+            report
+                .failed
+                .push((PathBuf::from(manifest::MANIFEST_NAME), format!("lock: {e}")));
+            return;
+        }
+    };
+    let mut m = match Manifest::load(root) {
+        Ok(m) => m,
+        Err(ManifestError::Corrupt(_)) => {
+            let mut q = manifest_path.as_os_str().to_os_string();
+            q.push(QUARANTINE_SUFFIX);
+            match std::fs::rename(&manifest_path, PathBuf::from(q)) {
+                Ok(()) => report.quarantined.push(PathBuf::from(manifest::MANIFEST_NAME)),
+                Err(e) => report
+                    .failed
+                    .push((PathBuf::from(manifest::MANIFEST_NAME), format!("quarantine: {e}"))),
+            }
+            Manifest::default()
+        }
+        Err(e) => {
+            report
+                .failed
+                .push((PathBuf::from(manifest::MANIFEST_NAME), format!("load: {e}")));
+            return;
+        }
+    };
+
+    let mut changed = false;
+    // Drop entries pointing at files that no longer verify.
+    let valid: std::collections::HashSet<&Path> =
+        report.valid.iter().map(PathBuf::as_path).collect();
+    m.entries.retain(|e| {
+        let keep = valid.contains(Path::new(&e.file));
+        if !keep {
+            report.manifest_pruned.push(PathBuf::from(&e.file));
+            changed = true;
+        }
+        keep
+    });
+    // Adopt sealed-but-unpublished iteration files (the reconcile only
+    // runs when a manifest already exists, so directories that never used
+    // the read tier don't sprout one from a recovery scan).
+    for rel in &report.valid {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if m.references(&rel_str) {
+            continue;
+        }
+        let Some((node, iteration)) = parse_iteration_file(&rel_str) else {
+            continue;
+        };
+        if m.covers(node, iteration) {
+            continue; // already reachable through a compacted span
+        }
+        let bytes = std::fs::metadata(root.join(rel)).map(|md| md.len()).unwrap_or(0);
+        m.entries.push(ManifestEntry {
+            file: rel_str,
+            node,
+            kind: EntryKind::Iteration(iteration),
+            bytes,
+        });
+        report.manifest_adopted.push(rel.clone());
+        changed = true;
+    }
+    if changed {
+        m.generation += 1;
+        if let Err(e) = m.store(root) {
+            report
+                .failed
+                .push((PathBuf::from(manifest::MANIFEST_NAME), format!("store: {e}")));
+        }
+    }
+}
+
+/// Parses `node-<n>/iter-<k>.sdf` (the persist plugin's naming scheme)
+/// into `(node, iteration)`.
+fn parse_iteration_file(rel: &str) -> Option<(u32, u32)> {
+    let (dir, file) = rel.split_once('/')?;
+    let node = dir.strip_prefix("node-")?.parse::<u32>().ok()?;
+    let iteration = file
+        .strip_prefix("iter-")?
+        .strip_suffix(".sdf")?
+        .parse::<u32>()
+        .ok()?;
+    Some((node, iteration))
 }
 
 /// The file's presence bitmap, if any dataset was stamped with one (the
@@ -321,5 +434,76 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let report = recover(&b).unwrap();
         assert_eq!(report.quarantined, vec![PathBuf::from("flip.sdf")]);
+    }
+
+    #[test]
+    fn manifest_entries_for_lost_files_are_pruned() {
+        let b = LocalDirBackend::scratch("recover-manifest-prune").unwrap();
+        write_valid(&b, "node-0/iter-000000.sdf");
+        write_valid(&b, "node-0/iter-000001.sdf");
+        crate::manifest::publish_iteration(b.root(), 0, 0, "node-0/iter-000000.sdf", 1).unwrap();
+        crate::manifest::publish_iteration(b.root(), 0, 1, "node-0/iter-000001.sdf", 1).unwrap();
+        // Tear the second file behind the protocol's back.
+        let torn = b.path_of("node-0/iter-000001.sdf");
+        let len = std::fs::metadata(&torn).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&torn)
+            .unwrap()
+            .set_len(len / 3)
+            .unwrap();
+        let report = recover(&b).unwrap();
+        assert_eq!(
+            report.manifest_pruned,
+            vec![PathBuf::from("node-0/iter-000001.sdf")]
+        );
+        let m = crate::manifest::Manifest::load(b.root()).unwrap();
+        assert!(m.references("node-0/iter-000000.sdf"));
+        assert!(!m.references("node-0/iter-000001.sdf"));
+    }
+
+    #[test]
+    fn sealed_but_unpublished_files_are_adopted() {
+        // Crash window: commit_sdf renamed the file into place but the
+        // EPE died before publish_iteration ran.
+        let b = LocalDirBackend::scratch("recover-manifest-adopt").unwrap();
+        write_valid(&b, "node-0/iter-000000.sdf");
+        crate::manifest::publish_iteration(b.root(), 0, 0, "node-0/iter-000000.sdf", 1).unwrap();
+        write_valid(&b, "node-0/iter-000001.sdf"); // sealed, never published
+        let report = recover(&b).unwrap();
+        assert_eq!(
+            report.manifest_adopted,
+            vec![PathBuf::from("node-0/iter-000001.sdf")]
+        );
+        let m = crate::manifest::Manifest::load(b.root()).unwrap();
+        assert!(m.covers(0, 0) && m.covers(0, 1));
+        // Idempotent: a second scan adopts nothing.
+        assert!(recover(&b).unwrap().manifest_adopted.is_empty());
+    }
+
+    #[test]
+    fn directories_without_manifest_stay_manifest_free() {
+        let b = LocalDirBackend::scratch("recover-no-manifest").unwrap();
+        write_valid(&b, "node-0/iter-000000.sdf");
+        let report = recover(&b).unwrap();
+        assert!(report.manifest_adopted.is_empty());
+        assert!(!b.root().join(crate::manifest::MANIFEST_NAME).exists());
+    }
+
+    #[test]
+    fn corrupt_manifest_is_quarantined_and_rebuilt() {
+        let b = LocalDirBackend::scratch("recover-manifest-corrupt").unwrap();
+        write_valid(&b, "node-0/iter-000000.sdf");
+        crate::manifest::publish_iteration(b.root(), 0, 0, "node-0/iter-000000.sdf", 1).unwrap();
+        // Scribble over the manifest.
+        let mpath = b.root().join(crate::manifest::MANIFEST_NAME);
+        std::fs::write(&mpath, "not a manifest").unwrap();
+        let report = recover(&b).unwrap();
+        assert!(report
+            .quarantined
+            .contains(&PathBuf::from(crate::manifest::MANIFEST_NAME)));
+        // Adoption rebuilt it from the surviving sealed files.
+        let m = crate::manifest::Manifest::load(b.root()).unwrap();
+        assert!(m.covers(0, 0));
     }
 }

@@ -1,0 +1,761 @@
+//! The query engine: manifest snapshots, indexed point lookups, range
+//! queries.
+//!
+//! # Snapshot protocol
+//!
+//! The EPE publishes each sealed iteration file into `MANIFEST` with an
+//! atomic rename ([`damaris_fs::manifest::publish_iteration`]); the
+//! compactor swaps batches the same way. [`QueryEngine::refresh`] reads
+//! the manifest (never taking the writers' lock), opens any files it has
+//! not seen, and freezes the result into an immutable [`Snapshot`]. A
+//! reader holds its `Arc<Snapshot>` for as long as it likes: files are
+//! immutable once published, so every answer computed against a snapshot
+//! stays byte-exact even while the EPE keeps appending and the compactor
+//! keeps merging behind it.
+//!
+//! # Lookup path
+//!
+//! [`QueryEngine::lookup`] is the hot path (`// ANALYZE: hot`, verified
+//! by `cargo run -p xtask -- analyze`): hash the ⟨variable, iteration,
+//! source⟩ key, consult each candidate file's bloom filter, binary-search
+//! its sparse index, and probe the [`BlockCache`]. On a cache hit nothing
+//! allocates and nothing blocks. Misses, legacy files without a query
+//! section, and every error constructor live behind `#[cold]`.
+
+use crate::cache::{Block, BlockCache, BlockId};
+use crate::QueryError;
+use damaris_format::{key_hash, AttrValue, DatasetInfo, Layout, QuerySection, SdfReader, NO_COORD};
+use damaris_fs::Manifest;
+use damaris_obs::{Counter, EventKind, Recorder, Registry};
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Tuning knobs for [`QueryEngine::open`].
+#[derive(Debug, Clone)]
+pub struct QueryConfig {
+    /// Total byte budget of the block cache.
+    pub cache_bytes: u64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        // 64 MiB: a few hundred typical blocks; the chaos and bench
+        // workloads fit comfortably, big runs should size explicitly.
+        QueryConfig { cache_bytes: 64 << 20 }
+    }
+}
+
+/// One open, immutable SDF file: its reader, its parsed query section
+/// (absent for files written before the section existed), and the
+/// iteration range the manifest says it covers.
+pub struct FileHandle {
+    /// Engine-assigned id, stable per relative path — the cache key.
+    id: u64,
+    /// Path relative to the output root (manifest spelling).
+    rel: String,
+    /// Owning node.
+    node: u32,
+    /// Inclusive iteration range covered (single iteration ⇒ lo == hi).
+    range: (u32, u32),
+    reader: SdfReader,
+    section: Option<QuerySection>,
+}
+
+impl FileHandle {
+    /// Path relative to the output root.
+    pub fn rel(&self) -> &str {
+        &self.rel
+    }
+
+    /// Owning node id.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Inclusive iteration range the manifest attributes to this file.
+    pub fn range(&self) -> (u32, u32) {
+        self.range
+    }
+}
+
+/// An immutable view of the output at one manifest generation.
+pub struct Snapshot {
+    generation: u64,
+    files: Vec<Arc<FileHandle>>,
+    by_iter: BTreeMap<u32, Vec<Arc<FileHandle>>>,
+}
+
+impl Snapshot {
+    /// Manifest generation this snapshot was built from.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Every file in the snapshot.
+    pub fn files(&self) -> &[Arc<FileHandle>] {
+        &self.files
+    }
+
+    /// Files whose manifest range covers `iteration`.
+    // ANALYZE: hot
+    pub fn files_for(&self, iteration: u32) -> &[Arc<FileHandle>] {
+        match self.by_iter.get(&iteration) {
+            Some(v) => v.as_slice(),
+            None => &[],
+        }
+    }
+
+    /// Highest iteration any file covers, if any data exists.
+    pub fn max_iteration(&self) -> Option<u32> {
+        self.by_iter.keys().next_back().copied()
+    }
+
+    /// Iterations with at least one covering file, ascending.
+    pub fn iterations(&self) -> Vec<u32> {
+        self.by_iter.keys().copied().collect()
+    }
+}
+
+/// A subdomain × iteration-window query: one variable, an inclusive
+/// iteration window, optionally restricted to specific sources and to a
+/// row range along dimension 0.
+#[derive(Debug, Clone)]
+pub struct RangeQuery<'a> {
+    /// Variable name (the dataset path's last segment).
+    pub variable: &'a str,
+    /// Inclusive iteration window `[lo, hi]`.
+    pub iterations: (u32, u32),
+    /// Restrict to these sources (client ranks); `None` = all.
+    pub sources: Option<&'a [u32]>,
+    /// Restrict to rows `[first, first + count)` along dimension 0;
+    /// `None` = whole blocks.
+    pub rows: Option<(u64, u64)>,
+}
+
+/// One block matched by a [`RangeQuery`].
+#[derive(Debug, Clone)]
+pub struct RangeHit {
+    pub iteration: u32,
+    pub source: u32,
+    /// Layout of `data` (row-sliced queries shrink dimension 0).
+    pub layout: Layout,
+    /// Decoded payload bytes.
+    pub data: Block,
+}
+
+/// Mutable engine state behind one mutex: the open-file table and the
+/// current snapshot. Lookups never touch this — they work off an
+/// `Arc<Snapshot>` the caller already holds.
+struct EngineState {
+    snapshot: Arc<Snapshot>,
+    /// Open files by relative path, reused across refreshes.
+    handles: HashMap<String, Arc<FileHandle>>,
+    next_id: u64,
+}
+
+/// The read tier's front door. Shareable across threads.
+pub struct QueryEngine {
+    root: PathBuf,
+    cache: BlockCache,
+    registry: Arc<Registry>,
+    rec: Recorder,
+    state: Mutex<EngineState>,
+    lookups: Counter,
+    block_reads: Counter,
+}
+
+/// Recovers a poisoned state lock: the state is a table of `Arc`s and is
+/// structurally valid after any panic point.
+fn lock_state(m: &Mutex<EngineState>) -> MutexGuard<'_, EngineState> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl QueryEngine {
+    /// Opens the engine over `root` (the EPE's output directory) and
+    /// loads the current manifest. A directory with no `MANIFEST` yet is
+    /// an empty — not an erroneous — snapshot.
+    pub fn open(root: impl AsRef<Path>, config: QueryConfig) -> Result<QueryEngine, QueryError> {
+        let registry = Arc::new(Registry::new());
+        Self::open_with(root, config, registry, Recorder::disabled())
+    }
+
+    /// [`open`](QueryEngine::open) with a caller-supplied metric registry
+    /// and trace recorder (the bench harness shares one registry between
+    /// the engine and its own phase counters).
+    pub fn open_with(
+        root: impl AsRef<Path>,
+        config: QueryConfig,
+        registry: Arc<Registry>,
+        rec: Recorder,
+    ) -> Result<QueryEngine, QueryError> {
+        let engine = QueryEngine {
+            root: root.as_ref().to_path_buf(),
+            cache: BlockCache::new(config.cache_bytes, &registry),
+            lookups: registry.counter("query.lookups"),
+            block_reads: registry.counter("query.block_reads"),
+            registry,
+            rec,
+            state: Mutex::new(EngineState {
+                snapshot: Arc::new(Snapshot {
+                    generation: 0,
+                    files: Vec::new(),
+                    by_iter: BTreeMap::new(),
+                }),
+                handles: HashMap::new(),
+                next_id: 1,
+            }),
+        };
+        engine.refresh()?;
+        Ok(engine)
+    }
+
+    /// Output root this engine reads.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The metric registry (cache + lookup counters).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Cache effectiveness numbers.
+    pub fn cache_stats(&self) -> crate::CacheStats {
+        self.cache.stats()
+    }
+
+    /// The current snapshot without touching storage.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&lock_state(&self.state).snapshot)
+    }
+
+    /// Re-reads the manifest and returns a snapshot of it, opening newly
+    /// published files and dropping handles for files the compactor
+    /// superseded. Cheap when the generation has not moved. Readers call
+    /// this at their own cadence; they never block the EPE or compactor
+    /// (the manifest lock is a writer-writer lock only).
+    pub fn refresh(&self) -> Result<Arc<Snapshot>, QueryError> {
+        let manifest = Manifest::load(&self.root)?;
+        let mut state = lock_state(&self.state);
+        if manifest.generation == state.snapshot.generation && manifest.generation != 0 {
+            return Ok(Arc::clone(&state.snapshot));
+        }
+        let mut files = Vec::with_capacity(manifest.entries.len());
+        let mut live: HashMap<String, Arc<FileHandle>> = HashMap::new();
+        for entry in &manifest.entries {
+            let handle = match state.handles.get(&entry.file) {
+                // Published files are immutable: reuse the open handle.
+                Some(h) => Arc::clone(h),
+                None => {
+                    let id = state.next_id;
+                    state.next_id += 1;
+                    let path = self.root.join(&entry.file);
+                    let reader = SdfReader::open(&path)?;
+                    let section = reader.query_section()?;
+                    Arc::new(FileHandle {
+                        id,
+                        rel: entry.file.clone(),
+                        node: entry.node,
+                        range: entry.kind.range(),
+                        reader,
+                        section,
+                    })
+                }
+            };
+            live.insert(entry.file.clone(), Arc::clone(&handle));
+            files.push(handle);
+        }
+        // Deterministic iteration order for range queries: by node, then
+        // by covered range, then by path.
+        files.sort_by(|a, b| {
+            (a.node, a.range, &a.rel).cmp(&(b.node, b.range, &b.rel))
+        });
+        let mut by_iter: BTreeMap<u32, Vec<Arc<FileHandle>>> = BTreeMap::new();
+        for handle in &files {
+            let (lo, hi) = handle.range;
+            for iteration in lo..=hi {
+                by_iter.entry(iteration).or_default().push(Arc::clone(handle));
+            }
+        }
+        let snapshot = Arc::new(Snapshot {
+            generation: manifest.generation,
+            files,
+            by_iter,
+        });
+        state.handles = live;
+        state.snapshot = Arc::clone(&snapshot);
+        Ok(snapshot)
+    }
+
+    /// Point lookup: the decoded payload of ⟨`variable`, `iteration`,
+    /// `source`⟩ in `snap`, or `None` if no published block matches.
+    ///
+    /// Fast path (bloom reject, or sparse-index hit + cache hit): no
+    /// allocation, no blocking lock, no panic path — verified by the
+    /// hot-path analyzer. A probe for an absent key typically costs two
+    /// hash probes per candidate file and never touches payload bytes.
+    // ANALYZE: hot
+    pub fn lookup(
+        &self,
+        snap: &Snapshot,
+        variable: &str,
+        iteration: u32,
+        source: u32,
+    ) -> Result<Option<Block>, QueryError> {
+        let t = self.rec.begin();
+        let hash = key_hash(variable, iteration, source);
+        let mut found = Ok(None);
+        for handle in snap.files_for(iteration) {
+            match &handle.section {
+                Some(section) => {
+                    if !section.bloom.contains(hash) {
+                        continue;
+                    }
+                    let mut hit = false;
+                    for entry in section.candidates(hash) {
+                        if entry.iteration == iteration
+                            && entry.source == source
+                            && entry.variable.as_str() == variable
+                        {
+                            found = self.fetch(handle, entry.ordinal, iteration);
+                            hit = true;
+                            break;
+                        }
+                    }
+                    if hit {
+                        break;
+                    }
+                }
+                None => {
+                    found = self.lookup_legacy(handle, variable, iteration, source);
+                    if !matches!(found, Ok(None)) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.lookups.inc();
+        self.rec.end(EventKind::QueryLookup, iteration, 0, t);
+        found
+    }
+
+    /// Cache-or-read for one located block. Stays on the hot closure —
+    /// the miss branch immediately enters the `#[cold]` reader.
+    fn fetch(
+        &self,
+        handle: &FileHandle,
+        ordinal: u32,
+        iteration: u32,
+    ) -> Result<Option<Block>, QueryError> {
+        let id = BlockId { file: handle.id, ordinal };
+        if let Some(block) = self.cache.get(id) {
+            self.rec
+                .event(EventKind::CacheHit, iteration, block.len() as u64, 0);
+            return Ok(Some(block));
+        }
+        match self.read_block(handle, ordinal, iteration) {
+            Ok(block) => Ok(Some(block)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The miss path: decode the block from the file and cache it.
+    #[cold]
+    fn read_block(
+        &self,
+        handle: &FileHandle,
+        ordinal: u32,
+        iteration: u32,
+    ) -> Result<Block, QueryError> {
+        let t = self.rec.begin();
+        let bytes = handle.reader.read_bytes_at(ordinal as usize)?;
+        let block: Block = Arc::new(bytes);
+        self.block_reads.inc();
+        self.cache
+            .insert(BlockId { file: handle.id, ordinal }, Arc::clone(&block));
+        self.rec
+            .end(EventKind::BlockRead, iteration, block.len() as u64, t);
+        Ok(block)
+    }
+
+    /// Fallback for files written before the query section existed: a
+    /// linear scan of the main index, deriving each dataset's key the
+    /// same way the writer would have.
+    #[cold]
+    fn lookup_legacy(
+        &self,
+        handle: &FileHandle,
+        variable: &str,
+        iteration: u32,
+        source: u32,
+    ) -> Result<Option<Block>, QueryError> {
+        for ordinal in 0..handle.reader.len() {
+            let Some(info) = handle.reader.info_at(ordinal) else {
+                continue;
+            };
+            let (var, it, src) = derive_info_key(&info);
+            if var == variable && it == iteration && src == source {
+                return self.fetch(handle, ordinal as u32, iteration);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Range query: every block of `variable` within the iteration
+    /// window (optionally restricted to sources / a row range), in
+    /// deterministic ⟨iteration, source⟩ order. Blocks come from the
+    /// same cache the point path uses; row slicing happens on the cached
+    /// decoded bytes, so repeated window scans over hot data do no I/O.
+    pub fn range(&self, snap: &Snapshot, query: &RangeQuery<'_>) -> Result<Vec<RangeHit>, QueryError> {
+        let (lo, hi) = query.iterations;
+        let mut hits = Vec::new();
+        let mut seen: HashMap<(u32, u32), ()> = HashMap::new();
+        for iteration in lo..=hi.max(lo) {
+            for handle in snap.files_for(iteration) {
+                match &handle.section {
+                    Some(section) => {
+                        for entry in &section.entries {
+                            if entry.iteration != iteration
+                                || entry.variable.as_str() != query.variable
+                            {
+                                continue;
+                            }
+                            if !source_selected(query.sources, entry.source) {
+                                continue;
+                            }
+                            if seen.insert((iteration, entry.source), ()).is_some() {
+                                continue;
+                            }
+                            if let Some(block) = self.fetch(handle, entry.ordinal, iteration)? {
+                                hits.push(self.shape_hit(
+                                    iteration,
+                                    entry.source,
+                                    &entry.layout,
+                                    block,
+                                    query.rows,
+                                )?);
+                            }
+                        }
+                    }
+                    None => {
+                        for ordinal in 0..handle.reader.len() {
+                            let Some(info) = handle.reader.info_at(ordinal) else {
+                                continue;
+                            };
+                            let (var, it, src) = derive_info_key(&info);
+                            if it != iteration || var != query.variable {
+                                continue;
+                            }
+                            if !source_selected(query.sources, src) {
+                                continue;
+                            }
+                            if seen.insert((iteration, src), ()).is_some() {
+                                continue;
+                            }
+                            if let Some(block) = self.fetch(handle, ordinal as u32, iteration)? {
+                                hits.push(self.shape_hit(
+                                    iteration,
+                                    src,
+                                    &info.layout,
+                                    block,
+                                    query.rows,
+                                )?);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        hits.sort_by_key(|h| (h.iteration, h.source));
+        Ok(hits)
+    }
+
+    /// Applies the optional row restriction to one decoded block.
+    fn shape_hit(
+        &self,
+        iteration: u32,
+        source: u32,
+        layout: &Layout,
+        block: Block,
+        rows: Option<(u64, u64)>,
+    ) -> Result<RangeHit, QueryError> {
+        let Some((first, count)) = rows else {
+            return Ok(RangeHit {
+                iteration,
+                source,
+                layout: layout.clone(),
+                data: block,
+            });
+        };
+        let dim0 = layout.dims.first().copied().unwrap_or(1).max(1);
+        let row_bytes = (layout.byte_size() / dim0) as usize;
+        let first = first.min(dim0);
+        let count = count.min(dim0 - first);
+        let start = first as usize * row_bytes;
+        let end = start + count as usize * row_bytes;
+        let slice = block.get(start..end).unwrap_or(&[]);
+        let mut dims = layout.dims.clone();
+        if let Some(d0) = dims.first_mut() {
+            *d0 = count;
+        }
+        Ok(RangeHit {
+            iteration,
+            source,
+            layout: Layout { dtype: layout.dtype, dims },
+            data: Arc::new(slice.to_vec()),
+        })
+    }
+}
+
+/// `true` when `source` passes the query's source restriction.
+fn source_selected(sources: Option<&[u32]>, source: u32) -> bool {
+    match sources {
+        None => true,
+        Some(list) => list.contains(&source),
+    }
+}
+
+/// Derives the lookup key from a [`DatasetInfo`] the way
+/// `damaris_format::derive_key` does from a raw index entry: attributes
+/// first, then `iter-N` / `rank-N` path components, then [`NO_COORD`].
+fn derive_info_key(info: &DatasetInfo) -> (String, u32, u32) {
+    let variable = info
+        .path
+        .rsplit('/')
+        .next()
+        .unwrap_or(info.path.as_str())
+        .to_string();
+    let from_attr = |name: &str| -> Option<u32> {
+        match info.attr(name) {
+            Some(AttrValue::I64(v)) if *v >= 0 && *v <= i64::from(u32::MAX) => Some(*v as u32),
+            _ => None,
+        }
+    };
+    let from_path = |prefix: &str| -> Option<u32> {
+        info.path
+            .split('/')
+            .filter_map(|seg| seg.strip_prefix(prefix))
+            .find_map(|digits| digits.parse::<u32>().ok())
+    };
+    let iteration = from_attr("iteration")
+        .or_else(|| from_path("iter-"))
+        .unwrap_or(NO_COORD);
+    let source = from_attr("source")
+        .or_else(|| from_path("rank-"))
+        .unwrap_or(NO_COORD);
+    (variable, iteration, source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use damaris_format::{DataType, DatasetOptions, SdfWriter};
+    use damaris_fs::manifest::publish_iteration;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "damaris-query-engine-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn field(iteration: u32, source: u32, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| f64::from(iteration) * 1000.0 + f64::from(source) * 10.0 + i as f64)
+            .collect()
+    }
+
+    /// Writes `node-<node>/iter-<it>.sdf` with one `field` dataset per
+    /// source and publishes it in the manifest.
+    fn publish_file(root: &Path, node: u32, iteration: u32, sources: u32, n: usize) {
+        let rel = format!("node-{node}/iter-{iteration:06}.sdf");
+        let path = root.join(&rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("node dir");
+        let mut writer = SdfWriter::create(&path).expect("create");
+        for source in 0..sources {
+            let data = field(iteration, source, n);
+            let opts = DatasetOptions::plain()
+                .with_attr("iteration", i64::from(iteration))
+                .with_attr("source", i64::from(source));
+            writer
+                .write_dataset_f64_opts(
+                    &format!("/iter-{iteration}/rank-{source}/field"),
+                    &Layout::new(DataType::F64, &[n as u64]),
+                    &data,
+                    &opts,
+                )
+                .expect("write");
+        }
+        let bytes = writer.finish_synced().expect("finish");
+        publish_iteration(root, node, iteration, &rel, bytes).expect("publish");
+    }
+
+    fn f64s(bytes: &[u8]) -> Vec<f64> {
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect()
+    }
+
+    #[test]
+    fn point_lookup_round_trips() {
+        let root = scratch("point");
+        for it in 0..3 {
+            publish_file(&root, 0, it, 2, 16);
+        }
+        let engine = QueryEngine::open(&root, QueryConfig::default()).expect("open");
+        let snap = engine.snapshot();
+        assert_eq!(snap.max_iteration(), Some(2));
+        for it in 0..3 {
+            for src in 0..2 {
+                let block = engine
+                    .lookup(&snap, "field", it, src)
+                    .expect("lookup")
+                    .expect("present");
+                assert_eq!(f64s(&block), field(it, src, 16));
+            }
+        }
+        assert!(engine.lookup(&snap, "nope", 0, 0).expect("lookup").is_none());
+        assert!(engine.lookup(&snap, "field", 7, 0).expect("lookup").is_none());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn second_lookup_hits_cache_without_block_read() {
+        let root = scratch("cache");
+        publish_file(&root, 0, 0, 1, 32);
+        let engine = QueryEngine::open(&root, QueryConfig::default()).expect("open");
+        let snap = engine.snapshot();
+        let a = engine.lookup(&snap, "field", 0, 0).expect("a").expect("hit");
+        let reads_after_first = engine.registry().counter("query.block_reads").get();
+        let b = engine.lookup(&snap, "field", 0, 0).expect("b").expect("hit");
+        assert_eq!(a, b);
+        assert_eq!(
+            engine.registry().counter("query.block_reads").get(),
+            reads_after_first,
+            "second lookup must be served from cache"
+        );
+        assert!(engine.cache_stats().hits >= 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn refresh_sees_new_iterations_and_reuses_handles() {
+        let root = scratch("refresh");
+        publish_file(&root, 0, 0, 1, 8);
+        let engine = QueryEngine::open(&root, QueryConfig::default()).expect("open");
+        let first = engine.snapshot();
+        assert_eq!(first.max_iteration(), Some(0));
+        // No manifest movement: refresh returns the same snapshot.
+        let same = engine.refresh().expect("refresh");
+        assert!(Arc::ptr_eq(&first, &same));
+        publish_file(&root, 0, 1, 1, 8);
+        let second = engine.refresh().expect("refresh");
+        assert_eq!(second.max_iteration(), Some(1));
+        // The old snapshot still answers for its own files.
+        assert!(engine.lookup(&first, "field", 0, 0).expect("old").is_some());
+        assert!(engine.lookup(&first, "field", 1, 0).expect("old").is_none());
+        assert!(engine.lookup(&second, "field", 1, 0).expect("new").is_some());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn range_query_windows_and_slices() {
+        let root = scratch("range");
+        for it in 0..4 {
+            publish_file(&root, 0, it, 3, 10);
+        }
+        let engine = QueryEngine::open(&root, QueryConfig::default()).expect("open");
+        let snap = engine.snapshot();
+        let hits = engine
+            .range(
+                &snap,
+                &RangeQuery {
+                    variable: "field",
+                    iterations: (1, 2),
+                    sources: Some(&[0, 2]),
+                    rows: None,
+                },
+            )
+            .expect("range");
+        assert_eq!(hits.len(), 4, "2 iterations × 2 sources");
+        assert_eq!(
+            hits.iter().map(|h| (h.iteration, h.source)).collect::<Vec<_>>(),
+            vec![(1, 0), (1, 2), (2, 0), (2, 2)]
+        );
+        for hit in &hits {
+            assert_eq!(f64s(&hit.data), field(hit.iteration, hit.source, 10));
+        }
+        // Row-sliced: rows [2, 2+3) of each block.
+        let sliced = engine
+            .range(
+                &snap,
+                &RangeQuery {
+                    variable: "field",
+                    iterations: (3, 3),
+                    sources: Some(&[1]),
+                    rows: Some((2, 3)),
+                },
+            )
+            .expect("range");
+        assert_eq!(sliced.len(), 1);
+        assert_eq!(sliced[0].layout.dims, vec![3]);
+        assert_eq!(f64s(&sliced[0].data), field(3, 1, 10)[2..5].to_vec());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn legacy_files_without_query_section_fall_back_to_scan() {
+        let root = scratch("legacy");
+        publish_file(&root, 0, 0, 2, 8);
+        // Strip the query section the way the format tests emulate old
+        // files: rewrite the file as [superblock..index] + fresh footer.
+        let rel = "node-0/iter-000000.sdf";
+        let path = root.join(rel);
+        let bytes = std::fs::read(&path).expect("read");
+        let n = bytes.len();
+        let (index_offset, index_len, index_crc) =
+            damaris_format::header::read_footer(&bytes[n - 24..]).expect("footer");
+        let mut stripped = bytes[..(index_offset + index_len) as usize].to_vec();
+        damaris_format::header::write_footer(index_offset, index_len, index_crc, &mut stripped);
+        std::fs::write(&path, &stripped).expect("rewrite");
+        let engine = QueryEngine::open(&root, QueryConfig::default()).expect("open");
+        let snap = engine.snapshot();
+        let block = engine
+            .lookup(&snap, "field", 0, 1)
+            .expect("lookup")
+            .expect("present via scan");
+        assert_eq!(f64s(&block), field(0, 1, 8));
+        let hits = engine
+            .range(
+                &snap,
+                &RangeQuery {
+                    variable: "field",
+                    iterations: (0, 0),
+                    sources: None,
+                    rows: None,
+                },
+            )
+            .expect("range");
+        assert_eq!(hits.len(), 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn empty_directory_is_an_empty_snapshot() {
+        let root = scratch("empty");
+        let engine = QueryEngine::open(&root, QueryConfig::default()).expect("open");
+        let snap = engine.snapshot();
+        assert_eq!(snap.max_iteration(), None);
+        assert!(engine.lookup(&snap, "field", 0, 0).expect("lookup").is_none());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,90 @@
+//! # damaris-query
+//!
+//! The read tier of the Damaris reproduction: an indexed, cache-backed
+//! query engine that serves point and range queries over the EPE's SDF
+//! output **while the EPE is still writing** — the "connecting
+//! visualization and analysis tools to the dedicated cores" direction the
+//! paper sketches in its conclusion (§VI).
+//!
+//! Three pieces:
+//!
+//! * [`QueryEngine`] — loads the output directory's `MANIFEST` (published
+//!   by the EPE through atomic renames, see `damaris_fs::manifest`) into
+//!   an immutable [`Snapshot`], then answers
+//!   ⟨variable, iteration, source⟩ point lookups and
+//!   subdomain × iteration-window [`range`](QueryEngine::range) queries
+//!   from any number of threads. Lookups ride the per-file sparse index +
+//!   bloom filter (`damaris_format::QuerySection`), so a probe for a key
+//!   that is not in a file touches no payload bytes at all.
+//! * [`BlockCache`] — a sharded LRU over decoded blocks with a
+//!   configurable byte budget. The hit path takes a `try_lock` on one
+//!   shard and clones an `Arc` — no allocation, no blocking — and is
+//!   verified by `cargo run -p xtask -- analyze` (`// ANALYZE: hot`).
+//! * [`Compactor`] — a background pass that merges per-iteration SDF
+//!   files into read-optimized, chunked `compact-<lo>-<hi>.sdf` datasets
+//!   and swaps them into the manifest at a single atomic commit point
+//!   ([`damaris_fs::manifest::replace_entries`]). It can be paused under
+//!   write pressure and survives being killed at *any* step: the manifest
+//!   stays readable and no data becomes unreachable (the kill-sweep test
+//!   proves this for every step index).
+//!
+//! Readers never take the manifest lock: they read the `MANIFEST` file
+//! that the last atomic rename published. Writers (EPE publish, compactor
+//! commit) serialize on `MANIFEST.lock`.
+
+mod cache;
+mod compact;
+mod engine;
+
+pub use cache::{Block, BlockCache, BlockId, CacheStats};
+pub use compact::{CompactReport, Compactor, CompactorConfig};
+pub use engine::{QueryConfig, QueryEngine, RangeHit, RangeQuery, Snapshot};
+
+use damaris_format::SdfError;
+use damaris_fs::ManifestError;
+
+/// Typed failure surface of the read tier. Corruption anywhere below
+/// (file payloads, query sections, the manifest) arrives here as a typed
+/// error, never a panic — the proptest corruption suite enforces this.
+#[derive(Debug)]
+pub enum QueryError {
+    /// An SDF file failed to open, validate, or decode.
+    Format(SdfError),
+    /// The `MANIFEST` failed to load, parse, or lock.
+    Manifest(ManifestError),
+    /// An I/O error outside the two layers above (compactor file ops).
+    Io(std::io::Error),
+    /// Injected fault from the compactor's kill-sweep test hook.
+    Injected(u64),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Format(e) => write!(f, "format: {e}"),
+            QueryError::Manifest(e) => write!(f, "manifest: {e}"),
+            QueryError::Io(e) => write!(f, "io: {e}"),
+            QueryError::Injected(step) => write!(f, "injected fault at step {step}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<SdfError> for QueryError {
+    fn from(e: SdfError) -> Self {
+        QueryError::Format(e)
+    }
+}
+
+impl From<ManifestError> for QueryError {
+    fn from(e: ManifestError) -> Self {
+        QueryError::Manifest(e)
+    }
+}
+
+impl From<std::io::Error> for QueryError {
+    fn from(e: std::io::Error) -> Self {
+        QueryError::Io(e)
+    }
+}

@@ -177,13 +177,16 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
     // The untagged-expect gate covers the crates whose panics take down
     // supervised threads: core (the dedicated-core server), mpi (the rank
     // substrate, where an unwrap kills a "rank"), shm (the lease /
-    // allocator layer both sides of the boundary call into), and obs (the
+    // allocator layer both sides of the boundary call into), obs (the
     // recorder rides inside every client write call — a panic there *is*
-    // a client crash).
+    // a client crash), and query (the read tier serves arbitrary reader
+    // threads while the EPE writes — a panic there kills an analysis
+    // consumer mid-run).
     let in_core_src = file.starts_with("crates/core/src")
         || file.starts_with("crates/mpi/src")
         || file.starts_with("crates/shm/src")
-        || file.starts_with("crates/obs/src");
+        || file.starts_with("crates/obs/src")
+        || file.starts_with("crates/query/src");
     let in_check = file.starts_with("crates/check/");
     let in_xtask = file.starts_with("crates/xtask/");
     // Integration tests, benches, and examples are test code wholesale.
@@ -548,6 +551,20 @@ let v = maybe.unwrap();
 ";
         assert!(rules("crates/obs/src/ring.rs", tagged).is_empty());
         assert!(rules("crates/obs/tests/overhead.rs", src).is_empty());
+    }
+
+    #[test]
+    fn untagged_expect_in_query_flagged() {
+        // The read tier serves arbitrary reader threads while the EPE
+        // writes: a panic there kills an analysis consumer mid-run.
+        let src = "let v = maybe.unwrap();\n";
+        assert_eq!(rules("crates/query/src/engine.rs", src), ["untagged-expect"]);
+        let tagged = "\
+// invariant: the snapshot's file table is non-empty by construction.
+let v = maybe.unwrap();
+";
+        assert!(rules("crates/query/src/engine.rs", tagged).is_empty());
+        assert!(rules("crates/query/tests/pruning.rs", src).is_empty());
     }
 
     #[test]

@@ -129,6 +129,18 @@ fn main() {
             human(bytes),
             bytes as f64 / dt.max(1e-9) / 1e6
         );
+        match reader.query_section() {
+            Ok(Some(section)) => println!(
+                "query section: {} sparse entries, {} bloom bits (CRC OK)",
+                section.entries.len(),
+                section.bloom.n_bits()
+            ),
+            Ok(None) => println!("query section: absent (pre-read-tier file)"),
+            Err(e) => {
+                eprintln!("VERIFY FAILED at query section: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     if is_demo {
         std::fs::remove_file(&path).ok();
