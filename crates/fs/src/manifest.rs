@@ -10,9 +10,11 @@
 //! half-written one.
 //!
 //! Writers (EPE persist hooks, the compactor, recovery) serialize through
-//! a `MANIFEST.lock` file created with `O_EXCL`; stale locks (holder died)
-//! are broken by age. Readers never lock: they just read the current
-//! `MANIFEST`, which the atomic rename keeps internally consistent.
+//! a kernel `flock` on `MANIFEST.lock`; the kernel releases the lock when
+//! the holder's fd closes, so a crashed holder cannot wedge anyone and
+//! there is no stale-lock-breaking race. Readers never lock: they just
+//! read the current `MANIFEST`, which the atomic rename keeps internally
+//! consistent.
 //!
 //! Format (text, CRC-guarded, one entry per line):
 //!
@@ -26,8 +28,8 @@
 
 use std::fmt;
 use std::io;
-use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant, SystemTime};
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// Manifest file name at the output root.
 pub const MANIFEST_NAME: &str = "MANIFEST";
@@ -35,11 +37,17 @@ pub const MANIFEST_NAME: &str = "MANIFEST";
 pub const MANIFEST_LOCK: &str = "MANIFEST.lock";
 /// First line of every manifest.
 const HEADER: &str = "damaris-manifest v1";
-/// A lock older than this is considered abandoned (holder crashed
-/// between create and remove) and is broken.
-const LOCK_STALE: Duration = Duration::from_secs(5);
 /// How long a writer waits for the lock before giving up.
 const LOCK_WAIT: Duration = Duration::from_secs(10);
+
+// `flock(2)` operation bits — part of the stable Linux ABI on every
+// architecture we target, same discipline as `damaris_shm::backing`.
+const FLOCK_EX: i32 = 2;
+const FLOCK_NB: i32 = 4;
+
+extern "C" {
+    fn flock(fd: i32, operation: i32) -> i32;
+}
 
 /// Errors from manifest operations.
 #[derive(Debug)]
@@ -291,44 +299,52 @@ impl Manifest {
     }
 }
 
-/// Exclusive writer lock on a root's manifest. Created with `O_EXCL`;
-/// stale locks are broken by mtime age so a crashed holder cannot wedge
-/// the EPE or the compactor forever. Dropped = released.
+/// Exclusive writer lock on a root's manifest: a kernel `flock` on a
+/// permanent `MANIFEST.lock` file. The kernel releases the lock when the
+/// holding fd closes — on drop *or* on any crash, including `kill -9` —
+/// so a dead holder cannot wedge the EPE or the compactor and there is
+/// no stale-lock heuristic to race on.
+///
+/// The lock file is never unlinked: every contender must `flock` the
+/// same inode, and an unlink-on-release scheme would let one waiter hold
+/// an fd to a deleted inode while another locks a fresh file — two
+/// "holders" at once.
 #[derive(Debug)]
 pub struct ManifestLock {
-    path: PathBuf,
+    /// Keeping the fd open holds the flock; dropping releases it.
+    _file: std::fs::File,
 }
 
 impl ManifestLock {
     /// Acquires the lock at `root`, waiting up to ~10 s.
     pub fn acquire(root: &Path) -> Result<ManifestLock> {
+        Self::acquire_wait(root, LOCK_WAIT)
+    }
+
+    /// [`acquire`](Self::acquire) with an explicit patience budget
+    /// (tests use a short one to assert exclusion without a 10 s stall).
+    fn acquire_wait(root: &Path, wait: Duration) -> Result<ManifestLock> {
         std::fs::create_dir_all(root)?;
         let path = root.join(MANIFEST_LOCK);
-        let deadline = Instant::now() + LOCK_WAIT;
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .open(&path)?;
+        let deadline = Instant::now() + wait;
         loop {
-            match std::fs::OpenOptions::new()
-                .write(true)
-                .create_new(true)
-                .open(&path)
-            {
-                Ok(mut f) => {
-                    use std::io::Write;
-                    let _ = writeln!(f, "{}", std::process::id());
-                    return Ok(ManifestLock { path });
-                }
-                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                    // Stale? Break locks whose holder stopped refreshing.
-                    let stale = std::fs::metadata(&path)
-                        .and_then(|m| m.modified())
-                        .ok()
-                        .and_then(|m| SystemTime::now().duration_since(m).ok())
-                        .is_some_and(|age| age > LOCK_STALE);
-                    if stale {
-                        // Racing breakers are fine: remove is idempotent
-                        // and the next create_new decides one winner.
-                        let _ = std::fs::remove_file(&path);
-                        continue;
-                    }
+            use std::os::fd::AsRawFd;
+            // SAFETY: `file` is open for the duration of the call, so the
+            // fd is valid; LOCK_EX|LOCK_NB never blocks and only touches
+            // kernel lock state for that fd.
+            let rc = unsafe { flock(file.as_raw_fd(), FLOCK_EX | FLOCK_NB) };
+            if rc == 0 {
+                return Ok(ManifestLock { _file: file });
+            }
+            let err = io::Error::last_os_error();
+            match err.kind() {
+                io::ErrorKind::Interrupted => continue,
+                io::ErrorKind::WouldBlock => {
                     if Instant::now() >= deadline {
                         return Err(ManifestError::Locked(format!(
                             "timed out waiting for {}",
@@ -337,15 +353,9 @@ impl ManifestLock {
                     }
                     std::thread::sleep(Duration::from_millis(2));
                 }
-                Err(e) => return Err(e.into()),
+                _ => return Err(err.into()),
             }
         }
-    }
-}
-
-impl Drop for ManifestLock {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
     }
 }
 
@@ -394,7 +404,9 @@ pub fn replace_entries(
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use std::path::PathBuf;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     fn temp_root(tag: &str) -> PathBuf {
         static N: AtomicU64 = AtomicU64::new(0);
@@ -495,28 +507,49 @@ mod tests {
     }
 
     #[test]
-    fn lock_excludes_and_breaks_stale() {
+    fn lock_excludes_and_releases_on_drop() {
         let root = temp_root("lock");
         let lock = ManifestLock::acquire(&root).unwrap();
-        // A second writer sees the fresh lock and cannot enter; instead of
-        // waiting out the 10 s deadline, assert the O_EXCL create fails.
-        assert!(std::fs::OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(root.join(MANIFEST_LOCK))
-            .is_err());
+        // A second contender cannot enter while the flock is held; use a
+        // short patience budget instead of the 10 s default.
+        match ManifestLock::acquire_wait(&root, Duration::from_millis(50)) {
+            Err(ManifestError::Locked(_)) => {}
+            other => panic!("expected Locked while held, got {other:?}"),
+        }
         drop(lock);
-        // A stale lock (old mtime) is broken.
-        std::fs::write(root.join(MANIFEST_LOCK), "dead").unwrap();
-        let old = SystemTime::now() - Duration::from_secs(60);
-        let f = std::fs::File::options()
-            .write(true)
-            .open(root.join(MANIFEST_LOCK))
-            .unwrap();
-        f.set_modified(old).unwrap();
-        drop(f);
-        let lock2 = ManifestLock::acquire(&root).unwrap();
+        // Dropping (or crashing — the kernel closes fds either way)
+        // releases the lock: the next acquire is immediate, even though
+        // the lock *file* is still on disk.
+        assert!(root.join(MANIFEST_LOCK).exists());
+        let lock2 = ManifestLock::acquire_wait(&root, Duration::from_millis(50)).unwrap();
         drop(lock2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn lock_waiter_enters_after_release_not_before() {
+        // Regression for the stale-break TOCTOU of the O_EXCL scheme: two
+        // waiters racing a third holder must serialize strictly — at no
+        // point may two threads hold the lock at once.
+        let root = temp_root("lock-race");
+        let holders = Arc::new(AtomicU64::new(0));
+        let mut threads = Vec::new();
+        for _ in 0..4 {
+            let root = root.clone();
+            let holders = Arc::clone(&holders);
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let _lock = ManifestLock::acquire(&root).unwrap();
+                    let inside = holders.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(inside, 0, "two threads inside the lock");
+                    std::thread::yield_now();
+                    holders.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().expect("locker thread");
+        }
         std::fs::remove_dir_all(&root).ok();
     }
 

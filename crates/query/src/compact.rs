@@ -279,8 +279,19 @@ impl Compactor {
 }
 
 /// Per-node batches of iteration files eligible for merging: everything
-/// older than the hot tail, if there are at least `min_batch` of them.
-/// Returned sorted by node, batches sorted by iteration.
+/// older than the hot tail, split into **contiguous** iteration runs of
+/// at least `min_batch` files. Returned sorted by node, batches sorted
+/// by iteration.
+///
+/// Contiguity is a safety invariant, not an optimization: a compacted
+/// span claims coverage of *every* iteration in `[lo, hi]`, and both
+/// [`Compactor::gc`] (delete unreferenced-but-covered files) and
+/// recovery's adoption pass (skip covered files) trust that claim. A
+/// publish gap — `publish_iteration` failures are swallowed on the EPE's
+/// persist path, leaving a sealed file the manifest never saw — must
+/// therefore *split* the batch: a span bridging the gap would cover an
+/// iteration whose data was never merged, gc would delete its file, and
+/// adoption would skip it — permanently losing durable data.
 fn eligible_batches(
     manifest: &Manifest,
     config: &CompactorConfig,
@@ -301,10 +312,22 @@ fn eligible_batches(
             continue;
         };
         let cutoff = max_iter.saturating_sub(config.hot_tail);
-        let batch: Vec<(u32, String)> =
-            files.into_iter().filter(|&(it, _)| it < cutoff).collect();
-        if batch.len() >= config.min_batch {
-            batches.push((node, batch));
+        let mut run: Vec<(u32, String)> = Vec::new();
+        for (it, file) in files.into_iter().filter(|&(it, _)| it < cutoff) {
+            let gap = run
+                .last()
+                .is_some_and(|&(prev, _)| it > prev.saturating_add(1));
+            if gap {
+                if run.len() >= config.min_batch {
+                    batches.push((node, std::mem::take(&mut run)));
+                } else {
+                    run.clear();
+                }
+            }
+            run.push((it, file));
+        }
+        if run.len() >= config.min_batch {
+            batches.push((node, run));
         }
     }
     batches

@@ -239,56 +239,88 @@ impl QueryEngine {
     /// this at their own cadence; they never block the EPE or compactor
     /// (the manifest lock is a writer-writer lock only).
     pub fn refresh(&self) -> Result<Arc<Snapshot>, QueryError> {
-        let manifest = Manifest::load(&self.root)?;
+        self.refresh_with(Manifest::load(&self.root)?)
+    }
+
+    /// [`refresh`](Self::refresh) from an already-loaded manifest.
+    ///
+    /// Opening a listed file can race the compactor: between our manifest
+    /// load and the `open`, a commit can supersede the file and the
+    /// post-commit gc delete it. A `NotFound` there is not an error —
+    /// it is a stale manifest. We reload and rebuild against the newer
+    /// generation (bounded), and only surface the error if the *current*
+    /// manifest still references the missing file.
+    fn refresh_with(&self, mut manifest: Manifest) -> Result<Arc<Snapshot>, QueryError> {
         let mut state = lock_state(&self.state);
-        if manifest.generation == state.snapshot.generation && manifest.generation != 0 {
-            return Ok(Arc::clone(&state.snapshot));
-        }
-        let mut files = Vec::with_capacity(manifest.entries.len());
-        let mut live: HashMap<String, Arc<FileHandle>> = HashMap::new();
-        for entry in &manifest.entries {
-            let handle = match state.handles.get(&entry.file) {
-                // Published files are immutable: reuse the open handle.
-                Some(h) => Arc::clone(h),
-                None => {
-                    let id = state.next_id;
-                    state.next_id += 1;
-                    let path = self.root.join(&entry.file);
-                    let reader = SdfReader::open(&path)?;
-                    let section = reader.query_section()?;
-                    Arc::new(FileHandle {
-                        id,
-                        rel: entry.file.clone(),
-                        node: entry.node,
-                        range: entry.kind.range(),
-                        reader,
-                        section,
-                    })
-                }
-            };
-            live.insert(entry.file.clone(), Arc::clone(&handle));
-            files.push(handle);
-        }
-        // Deterministic iteration order for range queries: by node, then
-        // by covered range, then by path.
-        files.sort_by(|a, b| {
-            (a.node, a.range, &a.rel).cmp(&(b.node, b.range, &b.rel))
-        });
-        let mut by_iter: BTreeMap<u32, Vec<Arc<FileHandle>>> = BTreeMap::new();
-        for handle in &files {
-            let (lo, hi) = handle.range;
-            for iteration in lo..=hi {
-                by_iter.entry(iteration).or_default().push(Arc::clone(handle));
+        // Each retry requires the manifest generation to have actually
+        // moved, so the bound only guards against a pathological storm of
+        // concurrent compactions.
+        let mut reloads = 8u32;
+        'rebuild: loop {
+            if manifest.generation == state.snapshot.generation && manifest.generation != 0 {
+                return Ok(Arc::clone(&state.snapshot));
             }
+            let mut files = Vec::with_capacity(manifest.entries.len());
+            let mut live: HashMap<String, Arc<FileHandle>> = HashMap::new();
+            for entry in &manifest.entries {
+                let handle = match state.handles.get(&entry.file) {
+                    // Published files are immutable: reuse the open handle.
+                    Some(h) => Arc::clone(h),
+                    None => {
+                        let path = self.root.join(&entry.file);
+                        let reader = match SdfReader::open(&path) {
+                            Ok(r) => r,
+                            Err(e) if is_not_found(&e) && reloads > 0 => {
+                                reloads -= 1;
+                                let newer = Manifest::load(&self.root)?;
+                                if newer.generation != manifest.generation
+                                    && !newer.references(&entry.file)
+                                {
+                                    manifest = newer;
+                                    continue 'rebuild;
+                                }
+                                // Still referenced: genuinely missing data.
+                                return Err(e.into());
+                            }
+                            Err(e) => return Err(e.into()),
+                        };
+                        let section = reader.query_section()?;
+                        let id = state.next_id;
+                        state.next_id += 1;
+                        Arc::new(FileHandle {
+                            id,
+                            rel: entry.file.clone(),
+                            node: entry.node,
+                            range: entry.kind.range(),
+                            reader,
+                            section,
+                        })
+                    }
+                };
+                live.insert(entry.file.clone(), Arc::clone(&handle));
+                files.push(handle);
+            }
+            // Deterministic iteration order for range queries: by node,
+            // then by covered range, then by path.
+            files.sort_by(|a, b| {
+                (a.node, a.range, &a.rel).cmp(&(b.node, b.range, &b.rel))
+            });
+            let mut by_iter: BTreeMap<u32, Vec<Arc<FileHandle>>> = BTreeMap::new();
+            for handle in &files {
+                let (lo, hi) = handle.range;
+                for iteration in lo..=hi {
+                    by_iter.entry(iteration).or_default().push(Arc::clone(handle));
+                }
+            }
+            let snapshot = Arc::new(Snapshot {
+                generation: manifest.generation,
+                files,
+                by_iter,
+            });
+            state.handles = live;
+            state.snapshot = Arc::clone(&snapshot);
+            return Ok(snapshot);
         }
-        let snapshot = Arc::new(Snapshot {
-            generation: manifest.generation,
-            files,
-            by_iter,
-        });
-        state.handles = live;
-        state.snapshot = Arc::clone(&snapshot);
-        Ok(snapshot)
     }
 
     /// Point lookup: the decoded payload of ⟨`variable`, `iteration`,
@@ -412,9 +444,14 @@ impl QueryEngine {
     /// decoded bytes, so repeated window scans over hot data do no I/O.
     pub fn range(&self, snap: &Snapshot, query: &RangeQuery<'_>) -> Result<Vec<RangeHit>, QueryError> {
         let (lo, hi) = query.iterations;
+        if hi < lo {
+            // An inverted window matches nothing; rewriting it to a
+            // single-iteration window would fabricate results.
+            return Ok(Vec::new());
+        }
         let mut hits = Vec::new();
         let mut seen: HashMap<(u32, u32), ()> = HashMap::new();
-        for iteration in lo..=hi.max(lo) {
+        for iteration in lo..=hi {
             for handle in snap.files_for(iteration) {
                 match &handle.section {
                     Some(section) => {
@@ -493,8 +530,16 @@ impl QueryEngine {
         };
         let dim0 = layout.dims.first().copied().unwrap_or(1).max(1);
         let row_bytes = (layout.byte_size() / dim0) as usize;
-        let first = first.min(dim0);
-        let count = count.min(dim0 - first);
+        // Clamp to the rows the block actually holds: if the payload is
+        // shorter than the layout advertises, the returned layout must
+        // describe the data slice, not the claim.
+        let present = if row_bytes == 0 {
+            dim0
+        } else {
+            dim0.min((block.len() / row_bytes) as u64)
+        };
+        let first = first.min(present);
+        let count = count.min(present - first);
         let start = first as usize * row_bytes;
         let end = start + count as usize * row_bytes;
         let slice = block.get(start..end).unwrap_or(&[]);
@@ -509,6 +554,12 @@ impl QueryEngine {
             data: Arc::new(slice.to_vec()),
         })
     }
+}
+
+/// `true` when the open failed because the file is gone — the signature
+/// of the compactor's post-commit gc racing a stale manifest load.
+fn is_not_found(e: &damaris_format::SdfError) -> bool {
+    matches!(e, damaris_format::SdfError::Io(io) if io.kind() == std::io::ErrorKind::NotFound)
 }
 
 /// `true` when `source` passes the query's source restriction.
@@ -746,6 +797,103 @@ mod tests {
             )
             .expect("range");
         assert_eq!(hits.len(), 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn inverted_window_is_empty_not_rewritten() {
+        let root = scratch("inverted");
+        publish_file(&root, 0, 0, 1, 8);
+        publish_file(&root, 0, 1, 1, 8);
+        let engine = QueryEngine::open(&root, QueryConfig::default()).expect("open");
+        let snap = engine.snapshot();
+        let hits = engine
+            .range(
+                &snap,
+                &RangeQuery {
+                    variable: "field",
+                    iterations: (1, 0),
+                    sources: None,
+                    rows: None,
+                },
+            )
+            .expect("range");
+        assert!(hits.is_empty(), "hi < lo matches nothing, got {}", hits.len());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn shape_hit_clamps_layout_to_short_blocks() {
+        let root = scratch("shortblock");
+        let engine = QueryEngine::open(&root, QueryConfig::default()).expect("open");
+        // Layout claims 10 f64 rows; the block only holds 5.
+        let layout = Layout::new(DataType::F64, &[10]);
+        let block: Block = Arc::new(
+            field(0, 0, 5).iter().flat_map(|v| v.to_le_bytes()).collect(),
+        );
+        let hit = engine
+            .shape_hit(0, 0, &layout, Arc::clone(&block), Some((2, 6)))
+            .expect("shape");
+        // Rows 2..8 requested, but only rows 2..5 exist: the layout must
+        // describe exactly the bytes returned.
+        assert_eq!(hit.layout.dims, vec![3]);
+        assert_eq!(hit.data.len() as u64, hit.layout.byte_size());
+        assert_eq!(f64s(&hit.data), field(0, 0, 5)[2..5].to_vec());
+        // A window entirely past the real data is empty, not fabricated.
+        let past = engine
+            .shape_hit(0, 0, &layout, block, Some((7, 2)))
+            .expect("shape");
+        assert_eq!(past.layout.dims, vec![0]);
+        assert!(past.data.is_empty());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// The refresh/gc race, driven deterministically: a reader loads
+    /// manifest generation N, the compactor commits N+1 and deletes a
+    /// superseded input, and only then does the reader open files. The
+    /// stale build must fall through to the newer manifest instead of
+    /// surfacing `NotFound`.
+    #[test]
+    fn refresh_retries_when_gc_deletes_a_stale_manifest_entry() {
+        let root = scratch("gc-race");
+        for it in 0..6 {
+            publish_file(&root, 0, it, 1, 16);
+        }
+        // The "slow reader" captures the manifest before compaction.
+        let stale = Manifest::load(&root).expect("stale load");
+        let compactor = crate::Compactor::new(
+            &root,
+            crate::CompactorConfig { min_batch: 2, hot_tail: 1, chunk_rows: 0 },
+        );
+        let report = compactor.run_once().expect("compact");
+        assert!(!report.batches.is_empty() && report.deleted > 0, "{report:?}");
+        let engine = QueryEngine::open(&root, QueryConfig::default()).expect("open");
+        let snap = engine.refresh_with(stale).expect("stale refresh must retry");
+        assert_eq!(
+            snap.generation(),
+            Manifest::load(&root).expect("current").generation
+        );
+        for it in 0..6 {
+            assert!(
+                engine.lookup(&snap, "field", it, 0).expect("lookup").is_some(),
+                "iteration {it} reachable after retry"
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn refresh_fails_typed_when_a_referenced_file_is_truly_missing() {
+        let root = scratch("truly-missing");
+        publish_file(&root, 0, 0, 1, 8);
+        std::fs::remove_file(root.join("node-0/iter-000000.sdf")).expect("delete");
+        // The manifest still references the file and no newer generation
+        // exists: the engine must surface the error, not spin or panic.
+        match QueryEngine::open(&root, QueryConfig::default()) {
+            Err(QueryError::Format(_)) => {}
+            Ok(_) => panic!("open must fail for missing referenced file"),
+            Err(e) => panic!("expected Format(NotFound), got {e}"),
+        }
         std::fs::remove_dir_all(&root).ok();
     }
 

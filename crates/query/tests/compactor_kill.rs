@@ -136,6 +136,76 @@ fn killing_the_compactor_at_any_step_loses_nothing() {
     }
 }
 
+/// Regression: a publish gap (a sealed iteration file whose
+/// `publish_iteration` never ran — the EPE persist path swallows that
+/// failure) must *split* the compaction batch. A span bridging the gap
+/// would claim coverage of an iteration it never merged; gc would then
+/// delete the sealed-but-unpublished file (unreferenced + covered) and
+/// recovery's adoption pass would skip it (covered) — losing durable
+/// data permanently.
+#[test]
+fn publish_gap_splits_batches_and_preserves_the_unpublished_file() {
+    let root = scratch("gap");
+    const GAP: u32 = 4;
+    for iteration in 0..ITERS {
+        let rel = format!("node-0/iter-{iteration:06}.sdf");
+        let path = root.join(&rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("node dir");
+        let mut writer = SdfWriter::create(&path).expect("create");
+        for source in 0..SOURCES {
+            writer
+                .write_dataset_f64_opts(
+                    &format!("/iter-{iteration}/rank-{source}/field"),
+                    &Layout::new(DataType::F64, &[POINTS as u64]),
+                    &payload(iteration, source),
+                    &DatasetOptions::plain()
+                        .with_attr("iteration", i64::from(iteration))
+                        .with_attr("source", i64::from(source)),
+                )
+                .expect("write");
+        }
+        let bytes = writer.finish_synced().expect("finish");
+        if iteration != GAP {
+            publish_iteration(&root, 0, iteration, &rel, bytes).expect("publish");
+        }
+    }
+
+    let compactor = Compactor::new(
+        &root,
+        CompactorConfig { min_batch: 2, hot_tail: 2, chunk_rows: 64 },
+    );
+    let report = compactor.run_once().expect("run");
+    // cutoff = 9 - 2 = 7; eligible published iterations {0,1,2,3,5,6}
+    // split at the gap into two contiguous spans.
+    assert_eq!(
+        report.batches,
+        vec![(0, 0, GAP - 1), (0, GAP + 1, 6)],
+        "batches must split at the unpublished iteration"
+    );
+    let manifest = Manifest::load(&root).expect("manifest");
+    assert!(
+        !manifest.covers(0, GAP),
+        "no span may claim the unpublished iteration"
+    );
+    let gap_rel = format!("node-0/iter-{GAP:06}.sdf");
+    assert!(
+        root.join(&gap_rel).exists(),
+        "gc must not delete the sealed-but-unpublished file"
+    );
+
+    // Recovery adopts the orphan, after which everything is reachable.
+    let recovered = damaris_fs::recover_dir(&root).expect("recover");
+    assert!(
+        recovered
+            .manifest_adopted
+            .iter()
+            .any(|p| p == Path::new(&gap_rel)),
+        "recovery must adopt the unpublished file: {recovered:?}"
+    );
+    assert_all_reachable(&root, "gap after recovery");
+    std::fs::remove_dir_all(&root).ok();
+}
+
 #[test]
 fn paused_compactor_is_a_no_op() {
     let root = scratch("paused");
