@@ -3,12 +3,12 @@
 //! this binary measures what that discipline buys, and pins the numbers
 //! where a reviewer can see them.
 //!
-//! Writes `BENCH_9.json` at the repository root with schema
-//! `damaris-bench/v3`:
+//! Writes `BENCH_10.json` at the repository root with schema
+//! `damaris-bench/v4`:
 //!
 //! ```json
 //! {
-//!   "schema": "damaris-bench/v3",
+//!   "schema": "damaris-bench/v4",
 //!   "write_latency_ns": { "p50": ..., "p99": ..., "samples": ... },
 //!   "allocator": { "ops_per_sec": ..., "bytes_per_sec": ... },
 //!   "queue": { "ops_per_sec": ... },
@@ -19,6 +19,10 @@
 //!   "query": {
 //!     "qps": ..., "p99_latency_ns": ..., "cache_hit_rate": ...,
 //!     "pruned_fraction": ..., "readers": ..., "queries": ...
+//!   },
+//!   "degraded": {
+//!     "normal_iters_per_sec": ..., "degraded_iters_per_sec": ...,
+//!     "throughput_ratio": ..., "iterations": ..., "quota_used_pct": 95
 //!   },
 //!   "config": { "clients": ..., "payload_bytes": ..., "iterations": ... }
 //! }
@@ -44,6 +48,13 @@
 //!   sustained queries/s and p99 query latency *during the write phase*,
 //!   the block-cache hit rate, and the fraction of absent-key probes the
 //!   bloom + sparse index answered without a payload read.
+//! * `degraded` — the same append loop under storage pressure (ISSUE 10):
+//!   a baseline pass at unlimited quota, then the sentinel squeezed to
+//!   95 % usage so the node runs `Degraded` (compactor paused, persist
+//!   errors classified) while usage is held at the squeeze point by an
+//!   external drain. The ratio pins the overhead of the pressure
+//!   machinery itself: its poll is two atomic loads on the write path,
+//!   so the ratio should sit near 1.0 until the quota actually exhausts.
 //!
 //! CI runs this advisory (never a hard gate): absolute numbers depend on
 //! the runner; the JSON exists so regressions show up in review diffs.
@@ -314,6 +325,116 @@ fn query_mixed_load() -> QueryPhase {
     }
 }
 
+/// What the storage-pressure phase measured.
+struct DegradedPhase {
+    normal_iters_per_sec: f64,
+    degraded_iters_per_sec: f64,
+    iterations: u32,
+}
+
+/// End-to-end iteration throughput (client write → shm → EPE → committed
+/// file) in `Normal` vs `Degraded`. Each iteration is paced to its commit
+/// so the comparison measures the persist round trip, not pipelining —
+/// and so the held-at-95 % phase can never overshoot into `ReadOnly`.
+fn degraded_mode() -> DegradedPhase {
+    use damaris_core::PressureState;
+    use damaris_fs::{DiskSentinel, LocalDirBackend, StorageBackend};
+    const ITERS: u32 = 30;
+
+    let dir = std::env::temp_dir().join(format!("damaris-bench10-d-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sentinel = std::sync::Arc::new(DiskSentinel::unlimited());
+    let backend = std::sync::Arc::new(
+        LocalDirBackend::new(&dir)
+            .expect("backend")
+            .with_sentinel(std::sync::Arc::clone(&sentinel)),
+    );
+    let cfg = Config::from_xml(
+        r#"<damaris>
+             <buffer size="67108864" allocator="partition" queue="1024"/>
+             <layout name="block" type="double" dimensions="4096"/>
+             <variable name="field" layout="block"/>
+             <resilience on_disk_full="drop-iteration"/>
+           </damaris>"#,
+    )
+    .expect("valid config");
+    let runtime = NodeRuntime::start_with_backend(
+        cfg,
+        CLIENTS,
+        std::sync::Arc::clone(&backend) as std::sync::Arc<dyn StorageBackend>,
+        0,
+        Vec::new(),
+    )
+    .expect("start node");
+    let clients = runtime.clients();
+    let data = vec![2.5f64; 4096];
+    let paced_iteration = |it: u32| {
+        for client in &clients {
+            client.write_f64("field", it, &data).expect("write");
+        }
+        for client in &clients {
+            client.end_iteration(it).expect("end iteration");
+        }
+        while backend.list_sdf_files().expect("list").len() < (it + 1) as usize {
+            std::thread::yield_now();
+        }
+    };
+
+    // Baseline: quota effectively infinite, node stays Normal.
+    let t = Instant::now();
+    for it in 0..ITERS {
+        paced_iteration(it);
+    }
+    let normal_secs = t.elapsed().as_secs_f64();
+
+    // A commit's rename is visible before its sentinel charge; the
+    // manifest entry is published strictly after both. Wait for it so
+    // `used` below includes every baseline charge — measuring one file
+    // short would squeeze the quota low enough to ENOSPC the next commit.
+    while !damaris_fs::Manifest::load(&dir)
+        .map(|m| m.covers(0, ITERS - 1))
+        .unwrap_or(false)
+    {
+        std::thread::yield_now();
+    }
+
+    // Squeeze to 95 % usage; the idle EPE loop polls the machine into
+    // Degraded (compactor flags raised, gc pass run, fail-fast armed).
+    let target = sentinel.used();
+    sentinel.set_quota(target.saturating_mul(100) / 95);
+    while runtime.pressure_state() != PressureState::Degraded {
+        std::thread::yield_now();
+    }
+
+    // Same load while Degraded. An external drain (this thread) releases
+    // whatever each commit charged, holding usage at the squeeze point —
+    // the paced loop means at most one iteration is ever in flight, so
+    // the headroom above 95 % is never overrun and nothing is shed.
+    let t = Instant::now();
+    for it in ITERS..2 * ITERS {
+        paced_iteration(it);
+        // The commit's rename is visible before its sentinel charge —
+        // wait for the charge too, or the drain misses it and the leaked
+        // bytes eat the headroom a few iterations later.
+        while sentinel.used() <= target {
+            std::thread::yield_now();
+        }
+        sentinel.release(sentinel.used() - target);
+    }
+    let degraded_secs = t.elapsed().as_secs_f64();
+    assert_eq!(runtime.pressure_state(), PressureState::Degraded);
+
+    let report = runtime.finish().expect("clean shutdown");
+    assert_eq!(report.iterations_persisted, u64::from(2 * ITERS));
+    assert_eq!(report.storage_pressure_sheds, 0, "phase must not shed");
+    std::fs::remove_dir_all(&dir).ok();
+    DegradedPhase {
+        normal_iters_per_sec: f64::from(ITERS) / normal_secs,
+        degraded_iters_per_sec: f64::from(ITERS) / degraded_secs,
+        iterations: ITERS,
+    }
+}
+
 const BACKING_SEG: usize = 65_536;
 const BACKING_CAP: usize = 1 << 20;
 const BACKING_ROUNDS: u32 = 50_000;
@@ -386,6 +507,7 @@ fn main() {
     let (heap_ops, heap_bytes) = backing_heap();
     let (file_ops, file_bytes) = backing_file();
     let query = query_mixed_load();
+    let degraded = degraded_mode();
 
     println!(
         "write latency: p50 {p50} ns, p99 {p99} ns ({} samples, {CLIENTS} clients x \
@@ -409,9 +531,17 @@ fn main() {
         query.pruned_fraction,
         query.queries
     );
+    println!(
+        "degraded (95% quota, compactor paused): {:.1} iters/s vs {:.1} normal \
+         (ratio {:.3}, {} iterations each)",
+        degraded.degraded_iters_per_sec,
+        degraded.normal_iters_per_sec,
+        degraded.degraded_iters_per_sec / degraded.normal_iters_per_sec,
+        degraded.iterations
+    );
 
     let record = json!({
-        "schema": "damaris-bench/v3",
+        "schema": "damaris-bench/v4",
         "write_latency_ns": { "p50": p50, "p99": p99, "samples": lat.len() },
         "allocator": { "ops_per_sec": alloc_ops, "bytes_per_sec": alloc_bytes },
         "queue": { "ops_per_sec": queue_ops },
@@ -427,17 +557,24 @@ fn main() {
             "readers": query.readers,
             "queries": query.queries,
         },
+        "degraded": {
+            "normal_iters_per_sec": degraded.normal_iters_per_sec,
+            "degraded_iters_per_sec": degraded.degraded_iters_per_sec,
+            "throughput_ratio": degraded.degraded_iters_per_sec / degraded.normal_iters_per_sec,
+            "iterations": degraded.iterations,
+            "quota_used_pct": 95,
+        },
         "config": {
             "clients": CLIENTS,
             "payload_bytes": PAYLOAD_F64 * 8,
             "iterations": ITERATIONS,
         },
     });
-    let path = repo_root().join("BENCH_9.json");
+    let path = repo_root().join("BENCH_10.json");
     std::fs::write(
         &path,
         serde_json::to_string_pretty(&record).expect("serialize") + "\n",
     )
-    .expect("write BENCH_9.json");
+    .expect("write BENCH_10.json");
     println!("(saved {})", path.display());
 }

@@ -1,0 +1,46 @@
+//! # damaris-chaos
+//!
+//! A seeded, composed-fault harness for the Damaris reproduction: the
+//! answer to "we tested each failure mode in isolation — what happens
+//! when they *compose*?".
+//!
+//! The repo already owns a toolbox of deterministic injectors: scripted
+//! storage faults ([`damaris_fs::FaultPlan`] — transient errors, stalls,
+//! torn writes), sustained disk pressure (sentinel quota squeezes and
+//! brownouts), client death fenced by liveness leases, and virtual-clock
+//! time control. Each is exercised by its own test suite. This crate
+//! composes them: a single `u64` seed deterministically generates a
+//! [`Scenario`] — node shape, disk-full policy, a timeline of injections
+//! — **plus the exact model of what a correct node must do under it**
+//! ([`scenario::Expectation`]). The [`runner`] executes the scenario
+//! against a live multi-client node and verifies the global invariants
+//! no single-fault test can see:
+//!
+//! * zero leaked shared-memory bytes,
+//! * a readable manifest whose referenced files all validate,
+//! * no acknowledged write lost (byte-identical read-back),
+//! * counters balancing the fault plan to the digit,
+//! * convergence back to `Normal` once every fault lifts,
+//! * and the query tier answering throughout.
+//!
+//! ## Reproducing a failure
+//!
+//! Every run prints its seed. To replay a failing scenario exactly:
+//!
+//! ```text
+//! CHAOS_SEED=<seed> cargo test -p damaris-chaos
+//! ```
+//!
+//! The same seed regenerates the same scenario and — because the runner
+//! is phase-synchronous — the same [`runner::Transcript`] of transitions
+//! and counters, byte for byte. The nightly sweep binary
+//! (`cargo run -p damaris-chaos --bin chaos_sweep`) runs many seeds and
+//! archives the scenario JSON of any failure.
+
+pub mod rng;
+pub mod runner;
+pub mod scenario;
+
+pub use rng::{seed_from_env, ChaosRng};
+pub use runner::{payload, run_scenario, Transcript};
+pub use scenario::{Action, ActionKind, DiskFullPolicy, Expectation, IterationOutcome, Scenario};

@@ -1,0 +1,221 @@
+//! The chaos harness's own acceptance suite.
+//!
+//! * A fixed-seed smoke set runs on every push: a handful of seeds chosen
+//!   to cover all three `on_disk_full` policies and every injector kind.
+//!   `CHAOS_SEED=<n>` overrides the set with a single seed — the
+//!   reproduction workflow for a failure found by the nightly sweep.
+//! * A determinism test proves the acceptance property that the same
+//!   seed reproduces the identical transition/counter transcript.
+//! * A hand-built (non-random) scenario pins the headline E2E: a
+//!   4-client node driven to `ENOSPC`, degrading, shedding, serving
+//!   queries throughout, and re-ascending — with the compactor paused
+//!   while degraded and superseded garbage collected.
+
+use damaris_chaos::{run_scenario, seed_from_env, Scenario};
+use damaris_core::{Config, NodeRuntime, PressureState};
+use damaris_fs::{DiskSentinel, LocalDirBackend, StorageBackend};
+use damaris_query::{Compactor, CompactorConfig, QueryConfig, QueryEngine};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Seeds for the push-time smoke set. Spot-checked to jointly cover the
+/// three disk-full policies and all injector kinds (the generator's own
+/// coverage test sweeps wider); small enough to stay a smoke test.
+const SMOKE_SEEDS: [u64; 5] = [2, 3, 5, 8, 11];
+
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The push-time smoke set — or, with `CHAOS_SEED` set, exactly that
+/// seed (the reproduction path for sweep failures).
+#[test]
+fn fixed_seed_smoke_set() {
+    let seeds: Vec<u64> = if std::env::var("CHAOS_SEED").is_ok() {
+        vec![seed_from_env()]
+    } else {
+        SMOKE_SEEDS.to_vec()
+    };
+    for seed in seeds {
+        let scenario = Scenario::generate(seed);
+        eprintln!(
+            "CHAOS_SEED={seed} ({} iterations, policy {}, {} actions)",
+            scenario.iterations,
+            scenario.policy.as_xml(),
+            scenario.actions.len()
+        );
+        match run_scenario(&scenario) {
+            Ok(t) => eprintln!("{}", t.text()),
+            Err(e) => panic!("CHAOS_SEED={seed} failed:\n{e}"),
+        }
+    }
+}
+
+/// The smoke seeds must jointly exercise every policy — otherwise a
+/// policy regression could slip through push CI untested.
+#[test]
+fn smoke_seeds_cover_every_policy() {
+    let covered: std::collections::BTreeSet<&str> = SMOKE_SEEDS
+        .iter()
+        .map(|&s| Scenario::generate(s).policy.as_xml())
+        .collect();
+    assert_eq!(covered.len(), 3, "smoke seeds cover only {covered:?}");
+}
+
+/// Acceptance: the same seed reproduces the identical transcript —
+/// every transition, every iteration fate, every final counter.
+#[test]
+fn same_seed_reproduces_identical_transcript() {
+    let seed = 12_345;
+    let scenario = Scenario::generate(seed);
+    let first = run_scenario(&scenario).expect("first run");
+    let second = run_scenario(&scenario).expect("second run");
+    assert_eq!(
+        first.text(),
+        second.text(),
+        "CHAOS_SEED={seed} diverged between runs"
+    );
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("damaris-chaos-it-{tag}-{}-{n}", std::process::id()))
+}
+
+/// The headline composed E2E, hand-built so its phases are explicit: a
+/// 4-client node with a live compactor and query engine is driven to
+/// `ENOSPC`. While degraded/read-only the compactor reports itself
+/// paused, superseded garbage (an orphan merge tmp) is collected, ready
+/// iterations are shed to the digit, and the query tier keeps answering
+/// — both raw and compacted keys. When the quota lifts, the node
+/// re-ascends and the compactor resumes.
+#[test]
+fn pressure_pauses_compactor_gc_runs_and_queries_survive() {
+    let dir = scratch("compactor");
+    let sentinel = Arc::new(DiskSentinel::unlimited());
+    let backend = Arc::new(
+        LocalDirBackend::new(&dir)
+            .unwrap()
+            .with_sentinel(Arc::clone(&sentinel)),
+    );
+    let config = Config::from_xml(
+        r#"<damaris>
+             <buffer size="8388608" allocator="partition" queue="128"/>
+             <layout name="grid" type="real" dimensions="256"/>
+             <variable name="theta" layout="grid"/>
+             <resilience on_disk_full="drop-iteration"/>
+           </damaris>"#,
+    )
+    .unwrap();
+    let runtime = NodeRuntime::start_with_backend(
+        config,
+        4,
+        Arc::clone(&backend) as Arc<dyn StorageBackend>,
+        0,
+        Vec::new(),
+    )
+    .unwrap();
+    let clients = runtime.clients();
+    let write_iteration = |it: u32| {
+        for c in &clients {
+            c.write_f32("theta", it, &damaris_chaos::payload(it, c.id()))
+                .unwrap();
+            c.end_iteration(it).unwrap();
+        }
+    };
+
+    // Phase 1: eight clean iterations, then one compaction pass merges
+    // the cold ones — iterations 0..=5 (the hot tail of 2 stays raw).
+    for it in 0..8 {
+        write_iteration(it);
+    }
+    wait_for("phase-1 files", || {
+        backend.list_sdf_files().unwrap().len() == 8
+    });
+    let compactor = Compactor::new(&dir, CompactorConfig::default())
+        .with_sentinel(Arc::clone(&sentinel));
+    runtime.register_compactor_pause(compactor.pause_flag());
+    let merged = compactor.run_once().unwrap();
+    assert!(!merged.paused);
+    assert!(!merged.batches.is_empty(), "nothing compacted: {merged:?}");
+
+    let engine = QueryEngine::open(&dir, QueryConfig::default()).unwrap();
+    let probe = |what: &str| {
+        let snap = engine.refresh().unwrap();
+        for (it, rank) in [(1u32, 2u32), (7, 0)] {
+            let block = engine
+                .lookup(&snap, "theta", it, rank)
+                .unwrap()
+                .unwrap_or_else(|| panic!("{what}: ({it},{rank}) unanswered"));
+            let expected: Vec<u8> = damaris_chaos::payload(it, rank)
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect();
+            assert_eq!(block[..], expected[..], "{what}: ({it},{rank})");
+        }
+    };
+    probe("after compaction");
+
+    // Phase 2: plant superseded garbage (an orphan merge tmp, as left by
+    // a compactor killed mid-commit), then fill the disk. Entering
+    // Degraded must gc the orphan; the compactor must report paused; the
+    // next iteration is shed whole; queries still answer.
+    let orphan = dir.join("node-0/compact-000100-000101.sdf.tmp");
+    std::fs::write(&orphan, vec![0u8; 4096]).unwrap();
+    sentinel.charge(4096);
+    // Quota such that the disk is full even after gc reclaims the orphan
+    // — reclaiming must not bounce the node out of the outage by itself.
+    sentinel.set_quota(sentinel.used() - 4096);
+    wait_for("read-only", || {
+        runtime.pressure_state() == PressureState::ReadOnly
+    });
+    assert!(!orphan.exists(), "gc must collect the orphan merge tmp");
+    assert!(
+        runtime.metrics_snapshot().counter("node.storage_pressure_gc_bytes") >= 4096,
+        "gc bytes unaccounted"
+    );
+    let paused = compactor.run_once().unwrap();
+    assert!(paused.paused, "compactor must pause under pressure");
+    assert!(paused.batches.is_empty());
+    write_iteration(8);
+    wait_for("shed", || {
+        runtime.metrics_snapshot().counter("node.storage_pressure_sheds") == 1
+    });
+    probe("while read-only");
+
+    // Phase 3: space returns; the node re-ascends, the compactor
+    // resumes, and writes land again.
+    sentinel.set_quota(u64::MAX);
+    wait_for("recovery", || {
+        runtime.pressure_state() == PressureState::Normal
+    });
+    let resumed = compactor.run_once().unwrap();
+    assert!(!resumed.paused, "compactor must resume after recovery");
+    write_iteration(9);
+    wait_for("post-recovery file", || {
+        backend
+            .list_sdf_files()
+            .unwrap()
+            .iter()
+            .any(|p| p.ends_with("iter-000009.sdf"))
+    });
+    probe("after recovery");
+
+    wait_for("shm drained", || runtime.buffer_in_use() == 0);
+    let report = runtime.finish().unwrap();
+    assert_eq!(report.iterations_persisted, 9);
+    assert_eq!(report.iterations_degraded, 1);
+    assert_eq!(report.storage_pressure_sheds, 1);
+    assert_eq!(report.storage_pressure_degraded, 2);
+    assert_eq!(report.storage_pressure_readonly, 1);
+    assert_eq!(report.storage_pressure_recovered, 1);
+    assert!(report.storage_pressure_gc_bytes >= 4096);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -229,6 +229,49 @@ pub mod atomic {
     atomic_int!(AtomicUsize, usize);
     atomic_int!(AtomicU64, u64);
     atomic_int!(AtomicU32, u32);
+    atomic_int!(AtomicU8, u8);
+
+    /// Model atomic bool, layered on [`AtomicU8`] (`false` = 0, `true` = 1)
+    /// so it inherits the modeled ordering semantics.
+    pub struct AtomicBool(AtomicU8);
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            AtomicBool(AtomicU8::new(v as u8))
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            self.0.load(order) != 0
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            self.0.store(v as u8, order)
+        }
+
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            // A CAS loop rather than a primitive RMW: the model's CAS only
+            // fails when the value changed underneath, so the loop is
+            // bounded by the explorer's interleavings of the two values.
+            loop {
+                let cur = self.0.load(Ordering::Relaxed);
+                if let Ok(prev) = self.0.compare_exchange(cur, v as u8, order, Ordering::Relaxed) {
+                    return prev != 0;
+                }
+            }
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            AtomicBool::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "AtomicBool({})", self.load(Ordering::Relaxed))
+        }
+    }
 }
 
 /// Model mutex: `lock` is a schedule point; contention parks the virtual

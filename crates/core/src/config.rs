@@ -107,6 +107,29 @@ pub enum OnClientFailure {
     DropIteration,
 }
 
+/// What the dedicated core does with iterations that become ready while
+/// the storage-pressure machine is in `ReadOnly` (disk quota exhausted;
+/// see [`crate::pressure::PressureMachine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnDiskFull {
+    /// Hold ready iterations resident (data stays in shared memory, the
+    /// buffer fills, clients block per `backpressure`) until space
+    /// returns, then fire them — no data loss, at the cost of stalling
+    /// the pipeline. The default.
+    #[default]
+    Block,
+    /// Discard ready iterations whole while read-only (all ranks' data
+    /// released, nothing persisted). Counted in both
+    /// `NodeReport::iterations_degraded` and
+    /// `NodeReport::storage_pressure_sheds`.
+    DropIteration,
+    /// Fire iterations normally and let persist fail fast: the `ENOSPC`
+    /// is classified permanent, so the iteration degrades immediately
+    /// without burning the retry deadline. Data that happens to fit
+    /// (space freed between poll and commit) still lands.
+    Partial,
+}
+
 /// Degradation policies for the whole I/O path, set by the `<resilience>`
 /// configuration element:
 ///
@@ -116,7 +139,9 @@ pub enum OnClientFailure {
 ///             persist_deadline_ms="2000"
 ///             plugin_quarantine="3" recovery_scan="true"
 ///             epe_respawn="1" heartbeat_timeout_ms="1000"
-///             on_client_failure="partial" client_lease_timeout_ms="500"/>
+///             on_client_failure="partial" client_lease_timeout_ms="500"
+///             disk_quota_bytes="1073741824" disk_high_pct="85"
+///             disk_low_pct="70" on_disk_full="drop-iteration"/>
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResilienceConfig {
@@ -157,6 +182,20 @@ pub struct ResilienceConfig {
     /// `renew_lease`). Runs on the backend's `IoClock`, so chaos tests can
     /// drive it on virtual time.
     pub client_lease_timeout: Duration,
+    /// Disk quota in bytes for the node's output directory. `None` (the
+    /// default) means unlimited: no sentinel is attached and the pressure
+    /// state machine stays dormant. Only applies to backends the runtime
+    /// constructs itself ([`crate::NodeRuntime::start`]); an explicit
+    /// backend brings its own sentinel.
+    pub disk_quota: Option<u64>,
+    /// Percent of the quota at which the node enters `Degraded`
+    /// (compactor paused, superseded files gc'd).
+    pub disk_high_pct: u8,
+    /// Percent of the quota usage must fall below before a degraded node
+    /// returns to `Normal` (hysteresis; must be below `disk_high_pct`).
+    pub disk_low_pct: u8,
+    /// How ready iterations are shed while the quota is exhausted.
+    pub on_disk_full: OnDiskFull,
 }
 
 impl Default for ResilienceConfig {
@@ -172,6 +211,10 @@ impl Default for ResilienceConfig {
             heartbeat_timeout: Duration::from_secs(1),
             on_client_failure: OnClientFailure::Wait,
             client_lease_timeout: Duration::from_secs(5),
+            disk_quota: None,
+            disk_high_pct: damaris_fs::DiskSentinel::DEFAULT_HIGH_PCT as u8,
+            disk_low_pct: damaris_fs::DiskSentinel::DEFAULT_LOW_PCT as u8,
+            on_disk_full: OnDiskFull::Block,
         }
     }
 }
@@ -491,6 +534,49 @@ impl Config {
                             )))
                         }
                     }
+                    if let Some(q) = e
+                        .attr_parse::<u64>("disk_quota_bytes")
+                        .map_err(DamarisError::Config)?
+                    {
+                        if q == 0 {
+                            return Err(DamarisError::Config(
+                                "disk_quota_bytes must be positive".into(),
+                            ));
+                        }
+                        r.disk_quota = Some(q);
+                    }
+                    if let Some(p) = e
+                        .attr_parse::<u8>("disk_high_pct")
+                        .map_err(DamarisError::Config)?
+                    {
+                        r.disk_high_pct = p;
+                    }
+                    if let Some(p) = e
+                        .attr_parse::<u8>("disk_low_pct")
+                        .map_err(DamarisError::Config)?
+                    {
+                        r.disk_low_pct = p;
+                    }
+                    if !(r.disk_low_pct < r.disk_high_pct && r.disk_high_pct <= 100) {
+                        return Err(DamarisError::Config(format!(
+                            "disk watermarks must satisfy low < high <= 100, got \
+                             disk_low_pct={} disk_high_pct={}",
+                            r.disk_low_pct, r.disk_high_pct
+                        )));
+                    }
+                    match e.attr("on_disk_full") {
+                        None | Some("block") => r.on_disk_full = OnDiskFull::Block,
+                        Some("drop-iteration") | Some("drop_iteration") => {
+                            r.on_disk_full = OnDiskFull::DropIteration
+                        }
+                        Some("partial") => r.on_disk_full = OnDiskFull::Partial,
+                        Some(other) => {
+                            return Err(DamarisError::Config(format!(
+                                "unknown on_disk_full policy '{other}' \
+                                 (expected block, drop-iteration, or partial)"
+                            )))
+                        }
+                    }
                 }
                 "observability" => {
                     let o = &mut config.observability;
@@ -710,6 +796,19 @@ impl Config {
         res.set_attr(
             "client_lease_timeout_ms",
             r.client_lease_timeout.as_millis().to_string(),
+        );
+        if let Some(q) = r.disk_quota {
+            res.set_attr("disk_quota_bytes", q.to_string());
+        }
+        res.set_attr("disk_high_pct", r.disk_high_pct.to_string());
+        res.set_attr("disk_low_pct", r.disk_low_pct.to_string());
+        res.set_attr(
+            "on_disk_full",
+            match r.on_disk_full {
+                OnDiskFull::Block => "block",
+                OnDiskFull::DropIteration => "drop-iteration",
+                OnDiskFull::Partial => "partial",
+            },
         );
         root.children.push(damaris_xml::Node::Element(res));
         let o = &self.observability;
@@ -1030,9 +1129,45 @@ mod tests {
             r#"<damaris><resilience heartbeat_timeout_ms="0"/></damaris>"#,
             r#"<damaris><resilience on_client_failure="shrug"/></damaris>"#,
             r#"<damaris><resilience client_lease_timeout_ms="0"/></damaris>"#,
+            r#"<damaris><resilience disk_quota_bytes="0"/></damaris>"#,
+            r#"<damaris><resilience on_disk_full="panic"/></damaris>"#,
+            // Watermarks must satisfy low < high <= 100.
+            r#"<damaris><resilience disk_high_pct="101"/></damaris>"#,
+            r#"<damaris><resilience disk_high_pct="50" disk_low_pct="60"/></damaris>"#,
+            r#"<damaris><resilience disk_high_pct="70" disk_low_pct="70"/></damaris>"#,
         ] {
             assert!(Config::from_xml(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn disk_pressure_defaults_and_overrides() {
+        let c = Config::from_xml("<damaris/>").unwrap();
+        assert_eq!(c.resilience.disk_quota, None);
+        assert_eq!(c.resilience.disk_high_pct, 85);
+        assert_eq!(c.resilience.disk_low_pct, 70);
+        assert_eq!(c.resilience.on_disk_full, OnDiskFull::Block);
+
+        let c = Config::from_xml(
+            r#"<damaris>
+                 <resilience disk_quota_bytes="65536" disk_high_pct="90"
+                             disk_low_pct="50" on_disk_full="drop-iteration"/>
+               </damaris>"#,
+        )
+        .unwrap();
+        assert_eq!(c.resilience.disk_quota, Some(65536));
+        assert_eq!(c.resilience.disk_high_pct, 90);
+        assert_eq!(c.resilience.disk_low_pct, 50);
+        assert_eq!(c.resilience.on_disk_full, OnDiskFull::DropIteration);
+
+        let c = Config::from_xml(
+            r#"<damaris><resilience on_disk_full="partial"/></damaris>"#,
+        )
+        .unwrap();
+        assert_eq!(c.resilience.on_disk_full, OnDiskFull::Partial);
+
+        let c2 = Config::from_xml(&c.to_xml()).unwrap();
+        assert_eq!(c2.resilience, c.resilience);
     }
 
     #[test]

@@ -45,6 +45,17 @@ pub enum DamarisError {
 /// behind a `#[cold]` boundary, so `write()`'s fast path stays free of
 /// heap operations (enforced by `cargo run -p xtask -- analyze`).
 impl DamarisError {
+    /// Classifies the error as *permanent storage exhaustion*
+    /// (`ENOSPC`/`EDQUOT`/`EROFS`): retrying with backoff cannot fix it —
+    /// the persist path escalates to the pressure state machine instead
+    /// of spinning out its retry deadline.
+    pub fn is_no_space(&self) -> bool {
+        match self {
+            DamarisError::Storage(e) => damaris_fs::sentinel::is_no_space(e),
+            _ => false,
+        }
+    }
+
     // ANALYZE: cold — error construction; the call has already failed
     #[cold]
     pub(crate) fn unknown_variable(name: &str) -> Self {
@@ -167,6 +178,17 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("theta") && s.contains("64") && s.contains("32"));
+    }
+
+    #[test]
+    fn no_space_classification() {
+        let permanent: DamarisError =
+            damaris_format::SdfError::Io(damaris_fs::no_space_error()).into();
+        assert!(permanent.is_no_space());
+        let transient: DamarisError =
+            damaris_format::SdfError::Io(std::io::Error::other("flaky nic")).into();
+        assert!(!transient.is_no_space());
+        assert!(!DamarisError::Terminated.is_no_space());
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod multinode;
 pub mod node;
 pub mod plugin;
 pub mod plugins;
+pub mod pressure;
 #[cfg(unix)]
 pub mod proc;
 pub(crate) mod retry;
@@ -72,7 +73,7 @@ pub mod server;
 pub use client::{AllocatedRegion, DamarisClient};
 pub use config::{
     ActionBinding, AllocatorKind, BackpressurePolicy, Config, ObservabilityConfig,
-    OnClientFailure, ResilienceConfig, VariableDef,
+    OnClientFailure, OnDiskFull, ResilienceConfig, VariableDef,
 };
 pub use error::DamarisError;
 pub use event::Event;
@@ -82,3 +83,4 @@ pub use metadata::{MetadataStore, StoredVariable, VariableKey};
 pub use multinode::{AnalysisReport, SmpNode, SmpNodeReport, Topology};
 pub use node::{NodeReport, NodeRuntime};
 pub use plugin::{ActionContext, EventInfo, Plugin, PluginFactory};
+pub use pressure::{PressureMachine, PressureState};

@@ -122,6 +122,11 @@ pub(crate) struct FaultStats {
     pub partial_iterations: Counter,
     pub shm_orphans_removed: Counter,
     pub shm_orphans_quarantined: Counter,
+    pub storage_pressure_degraded: Counter,
+    pub storage_pressure_readonly: Counter,
+    pub storage_pressure_recovered: Counter,
+    pub storage_pressure_sheds: Counter,
+    pub storage_pressure_gc_bytes: Counter,
 }
 
 impl FaultStats {
@@ -144,6 +149,11 @@ impl FaultStats {
             partial_iterations: metrics.counter("node.partial_iterations"),
             shm_orphans_removed: metrics.counter("node.shm_orphans_removed"),
             shm_orphans_quarantined: metrics.counter("node.shm_orphans_quarantined"),
+            storage_pressure_degraded: metrics.counter("node.storage_pressure_degraded"),
+            storage_pressure_readonly: metrics.counter("node.storage_pressure_readonly"),
+            storage_pressure_recovered: metrics.counter("node.storage_pressure_recovered"),
+            storage_pressure_sheds: metrics.counter("node.storage_pressure_sheds"),
+            storage_pressure_gc_bytes: metrics.counter("node.storage_pressure_gc_bytes"),
         }
     }
 
@@ -246,6 +256,10 @@ pub(crate) struct NodeShared {
     /// API call; the dedicated core's sweeper revokes leases that stall
     /// past `client_lease_timeout` and reclaims the client's resources.
     pub leases: LeaseTable,
+    /// The storage-pressure state machine (dormant unless the backend has
+    /// a [`damaris_fs::DiskSentinel`]); polled by the dedicated core,
+    /// observed by embedders via [`NodeRuntime::pressure_state`].
+    pub pressure: crate::pressure::PressureMachine,
 }
 
 /// Final accounting returned by [`NodeRuntime::finish`].
@@ -337,6 +351,29 @@ pub struct NodeReport {
     /// never silently deleted) by the startup sweep.
     /// metric: node.shm_orphans_quarantined
     pub shm_orphans_quarantined: u64,
+    /// Storage-pressure transitions into `Degraded` (high watermark
+    /// crossed or a permanent persist error seen; compactor paused,
+    /// superseded files gc'd).
+    /// metric: node.storage_pressure_degraded
+    pub storage_pressure_degraded: u64,
+    /// Storage-pressure transitions into `ReadOnly` (quota exhausted; new
+    /// iterations shed per `on_disk_full`).
+    /// metric: node.storage_pressure_readonly
+    pub storage_pressure_readonly: u64,
+    /// Storage-pressure recoveries back to `Normal` (usage fell below the
+    /// low watermark; compactor resumed).
+    /// metric: node.storage_pressure_recovered
+    pub storage_pressure_recovered: u64,
+    /// Iterations lost to disk exhaustion: dropped whole while read-only
+    /// under `on_disk_full="drop-iteration"`, or degraded at persist time
+    /// by a permanent out-of-space error. Each is also counted in
+    /// `iterations_degraded`.
+    /// metric: node.storage_pressure_sheds
+    pub storage_pressure_sheds: u64,
+    /// Bytes reclaimed by the aggressive gc of superseded files run on
+    /// entry into `Degraded`.
+    /// metric: node.storage_pressure_gc_bytes
+    pub storage_pressure_gc_bytes: u64,
 }
 
 /// One running Damaris node: a supervised dedicated-core server thread
@@ -368,11 +405,17 @@ impl NodeRuntime {
         node_id: u32,
         extra_plugins: Vec<(String, PluginFactory)>,
     ) -> Result<NodeRuntime, DamarisError> {
-        let backend = Arc::new(
-            LocalDirBackend::new(output_dir)
-                .map_err(|e| DamarisError::Storage(damaris_format::SdfError::Io(e)))?,
-        );
-        Self::start_with_backend(config, n_clients, backend, node_id, extra_plugins)
+        let mut backend = LocalDirBackend::new(output_dir)
+            .map_err(|e| DamarisError::Storage(damaris_format::SdfError::Io(e)))?;
+        if let Some(quota) = config.resilience.disk_quota {
+            // `<resilience disk_quota_bytes=…>`: attach the quota sentinel
+            // so the pressure state machine has a signal to run on.
+            let r = &config.resilience;
+            let sentinel = damaris_fs::DiskSentinel::with_quota(quota)
+                .with_watermarks(u64::from(r.disk_high_pct), u64::from(r.disk_low_pct));
+            backend = backend.with_sentinel(Arc::new(sentinel));
+        }
+        Self::start_with_backend(config, n_clients, Arc::new(backend), node_id, extra_plugins)
     }
 
     /// Starts a node persisting through an explicit [`StorageBackend`] —
@@ -433,6 +476,7 @@ impl NodeRuntime {
             journal: EventJournal::new(),
             heartbeat: HeartbeatWord::new(),
             leases: LeaseTable::new(n_clients),
+            pressure: crate::pressure::PressureMachine::new(),
         });
 
         let clients = (0..n_clients as u32)
@@ -491,6 +535,21 @@ impl NodeRuntime {
     /// The current heartbeat epoch (0 until the first respawn).
     pub fn heartbeat_epoch(&self) -> u32 {
         self.shared.heartbeat.epoch()
+    }
+
+    /// The node's current storage-pressure state (always `Normal` when
+    /// the backend has no [`damaris_fs::DiskSentinel`]).
+    pub fn pressure_state(&self) -> crate::pressure::PressureState {
+        self.shared.pressure.state()
+    }
+
+    /// Registers a pause flag the pressure machine raises while degraded
+    /// and clears on recovery. Embedders running a `damaris-query`
+    /// compactor against this node's output pass `Compactor::pause_flag()`
+    /// here, so disk pressure stops space-amplifying compaction without a
+    /// core → query dependency.
+    pub fn register_compactor_pause(&self, flag: Arc<damaris_shm::sync::AtomicBool>) {
+        self.shared.pressure.register_pause_flag(flag);
     }
 
     /// Live snapshot of the node's metrics registry: every `node.*`

@@ -46,6 +46,10 @@ pub struct ActionContext<'a> {
     pub(crate) stats: &'a FaultStats,
     /// Write-ahead journal; releases retire the matching records.
     pub(crate) journal: &'a EventJournal,
+    /// The node's storage-pressure machine: persisting plugins flag
+    /// permanent out-of-space errors here so the next loop pass escalates
+    /// instead of the retry loop spinning on `ENOSPC`.
+    pub(crate) pressure: &'a crate::pressure::PressureMachine,
     /// Monotonically increasing per-source sequence of pending releases;
     /// flushed by the server after the action completes, in FIFO order per
     /// source (required by the partitioned allocator).

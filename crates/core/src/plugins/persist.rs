@@ -17,6 +17,14 @@
 //! released (so clients never deadlock on a sick file system), the event
 //! is counted in `NodeReport::iterations_degraded`, and the server loop
 //! keeps running.
+//!
+//! Errors are *classified* before retrying: a permanent out-of-space
+//! failure (`ENOSPC`/`EDQUOT`/`EROFS`) is not transient — backing off and
+//! trying again just burns the deadline against a disk that will not
+//! drain itself. Those degrade the iteration immediately and escalate to
+//! the storage-pressure state machine
+//! ([`crate::pressure::PressureMachine`]), which pauses compaction and
+//! gc's superseded files so space can actually return.
 
 use crate::error::DamarisError;
 use crate::node::FaultStats;
@@ -169,18 +177,30 @@ impl Plugin for PersistPlugin {
                     break;
                 }
                 Err(error) => {
+                    let permanent = error.is_no_space();
+                    if permanent {
+                        // Out of space: escalate so the next loop pass
+                        // degrades the node (compactor pause + gc) — and
+                        // skip the backoff below, which cannot help.
+                        ctx.pressure.note_no_space();
+                    }
                     let delay = backoff.delay();
-                    let budget_left =
-                        attempt < policy.persist_retries && clock.now() + delay < deadline;
+                    let budget_left = !permanent
+                        && attempt < policy.persist_retries
+                        && clock.now() + delay < deadline;
                     if !budget_left {
                         // Degrade rather than abort: the iteration's data
                         // is lost, but the run — and every later
                         // iteration — continues.
                         FaultStats::bump(&ctx.stats.iterations_degraded);
+                        if permanent {
+                            FaultStats::bump(&ctx.stats.storage_pressure_sheds);
+                        }
                         eprintln!(
-                            "[damaris node {}] iteration {iteration} degraded: persist \
-                             failed after {} attempt(s): {error}",
+                            "[damaris node {}] iteration {iteration} degraded: {} persist \
+                             failure after {} attempt(s): {error}",
                             ctx.node_id,
+                            if permanent { "permanent" } else { "transient" },
                             attempt + 1
                         );
                         break;

@@ -21,7 +21,7 @@
 //! number, and only the first claim wins — a replayed event's stale queue
 //! copy is counted in `stale_events_rejected` and dropped.
 
-use crate::config::OnClientFailure;
+use crate::config::{OnClientFailure, OnDiskFull};
 use crate::epe::{EventProcessingEngine, END_OF_ITERATION};
 use crate::error::DamarisError;
 use crate::event::Event;
@@ -88,6 +88,13 @@ pub(crate) fn run(
     let mut last_fire_end = rec.begin();
     let mut last_fired: u32 = 0;
 
+    // === Storage-pressure state ===
+    // The machine only has a signal to run on when the backend reports
+    // disk usage; without a sentinel it stays dormant and the loop below
+    // is byte-for-byte the pre-pressure behavior.
+    let pressure_on = backend.sentinel().is_some();
+    let disk_policy = shared.config.resilience.on_disk_full;
+
     // === Client-failure containment state ===
     let policy = shared.config.resilience.on_client_failure;
     // Under the default `wait` policy the sweeper never runs and the loop
@@ -121,6 +128,7 @@ pub(crate) fn run(
                 buffer: &shared.buffer,
                 stats: &shared.stats,
                 journal: &shared.journal,
+                pressure: &shared.pressure,
                 pending_release: &mut pending_release,
                 rec: rec.clone(),
                 presence: None,
@@ -208,11 +216,55 @@ pub(crate) fn run(
         }};
     }
 
+    // Advances the storage-pressure machine against the backend's
+    // sentinel. Runs on every loop pass (and while idle) so transitions —
+    // including the re-ascent to Normal when a chaos scenario lifts the
+    // quota — are observed even when no events flow.
+    macro_rules! poll_pressure {
+        () => {
+            if pressure_on {
+                shared
+                    .pressure
+                    .poll(node_id, backend.as_ref(), &shared.stats, &rec, last_fired);
+            }
+        };
+    }
+
+    // Under `on_disk_full="drop-iteration"`, an iteration that becomes
+    // ready while the node is read-only is discarded whole — same release
+    // mechanics as `drop_iteration!`, its own cause and counter.
+    macro_rules! shed_iteration {
+        ($iteration:expr, $counted:expr) => {{
+            for (_, seq) in $counted {
+                shared.journal.mark_applied(seq);
+            }
+            let mut ctx = ctx!();
+            let drained = ctx.store.drain_iteration($iteration);
+            ctx.release_all(drained);
+            for (source, seq, segment) in
+                held_rewrites.remove(&$iteration).unwrap_or_default()
+            {
+                ctx.release_segment(source, seq, segment);
+            }
+            ctx.flush_releases();
+            FaultStats::bump(&shared.stats.iterations_degraded);
+            FaultStats::bump(&shared.stats.storage_pressure_sheds);
+            eprintln!(
+                "[damaris node {node_id}] iteration {} shed: storage read-only \
+                 under on_disk_full=\"drop-iteration\"",
+                $iteration
+            );
+        }};
+    }
+
     // Fires (or drops) every iteration whose clients are all counted or
     // fenced, in ascending order. Complete iterations fire exactly as
     // before; incomplete ones only become eligible through fencing, and
     // the policy decides between a partial fire (presence-stamped) and a
-    // drop.
+    // drop. While the storage-pressure machine is read-only, ready
+    // iterations are shed per `on_disk_full` instead: `block` holds them
+    // resident until space returns, `drop-iteration` discards them,
+    // `partial` falls through and lets persist fail fast.
     macro_rules! fire_ready {
         () => {{
             let mut ready: Vec<u32> = end_counts
@@ -221,8 +273,25 @@ pub(crate) fn run(
                 .map(|(it, _)| *it)
                 .collect();
             ready.sort_unstable();
+            let read_only = pressure_on && shared.pressure.is_read_only();
             for iteration in ready {
                 let counted = end_counts.remove(&iteration).unwrap_or_default();
+                if read_only {
+                    match disk_policy {
+                        OnDiskFull::Block => {
+                            // Keep the iteration pending (data resident,
+                            // notifications counted); re-examined on every
+                            // pass until the quota relieves.
+                            end_counts.insert(iteration, counted);
+                            continue;
+                        }
+                        OnDiskFull::DropIteration => {
+                            shed_iteration!(iteration, counted);
+                            continue;
+                        }
+                        OnDiskFull::Partial => {}
+                    }
+                }
                 if counted.len() == shared.clients {
                     fire_iteration!(iteration, counted, None);
                 } else if policy == OnClientFailure::DropIteration {
@@ -513,18 +582,23 @@ pub(crate) fn run(
     // makes everything above visible to their Acquire observe).
     shared.heartbeat.begin_epoch(epoch);
 
+    poll_pressure!();
+
     loop {
         let t_idle = rec.begin();
-        let event = if sweeper_on {
+        let event = if sweeper_on || pressure_on {
             // Manual poll instead of `pop_wait_with`: the sweeper must run
             // precisely when the queue goes quiet — a dead client stops
             // producing events, which is exactly what starves a blocking
-            // pop.
+            // pop. The pressure machine polls here for the same reason: a
+            // quota lift (space returning) produces no event, yet held
+            // iterations must fire and the node must re-ascend to Normal.
             loop {
                 match shared.queue.pop() {
                     Some(event) => break event,
                     None => {
                         shared.heartbeat.beat();
+                        poll_pressure!();
                         sweep_leases!();
                         fire_ready!();
                         reclaim_fenced!();
@@ -689,6 +763,7 @@ pub(crate) fn run(
                 break;
             }
         }
+        poll_pressure!();
         sweep_leases!();
         fire_ready!();
         reclaim_fenced!();
@@ -720,6 +795,11 @@ pub(crate) fn run(
     report.partial_iterations = FaultStats::get(&stats.partial_iterations);
     report.shm_orphans_removed = FaultStats::get(&stats.shm_orphans_removed);
     report.shm_orphans_quarantined = FaultStats::get(&stats.shm_orphans_quarantined);
+    report.storage_pressure_degraded = FaultStats::get(&stats.storage_pressure_degraded);
+    report.storage_pressure_readonly = FaultStats::get(&stats.storage_pressure_readonly);
+    report.storage_pressure_recovered = FaultStats::get(&stats.storage_pressure_recovered);
+    report.storage_pressure_sheds = FaultStats::get(&stats.storage_pressure_sheds);
+    report.storage_pressure_gc_bytes = FaultStats::get(&stats.storage_pressure_gc_bytes);
     Ok(report)
 }
 

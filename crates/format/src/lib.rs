@@ -72,7 +72,7 @@ pub use header::{FOOTER_LEN, MAGIC, SUPERBLOCK_LEN, VERSION};
 pub use query::{key_hash, BloomFilter, QueryIndexEntry, QuerySection, NO_COORD};
 pub use reader::{DatasetInfo, SdfReader};
 pub use types::{AttrValue, DataType, Layout};
-pub use writer::{DatasetOptions, SdfWriter};
+pub use writer::{DatasetOptions, SdfWriter, WriteFault, WriteFaultHook};
 
 use std::fmt;
 use std::io;

@@ -88,11 +88,15 @@ pub enum EventKind {
     BlockRead = 18,
     /// A query served straight from the block cache.
     CacheHit = 19,
+    /// A storage-pressure state change on the dedicated core
+    /// (Normal → Degraded → ReadOnly and back). `bytes` encodes the new
+    /// state's discriminant.
+    PressureTransition = 20,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order (for analyzer iteration).
-    pub const ALL: [EventKind; 20] = [
+    pub const ALL: [EventKind; 21] = [
         EventKind::Iteration,
         EventKind::WriteCall,
         EventKind::AllocWait,
@@ -113,6 +117,7 @@ impl EventKind {
         EventKind::QueryLookup,
         EventKind::BlockRead,
         EventKind::CacheHit,
+        EventKind::PressureTransition,
     ];
 
     /// Short stable label used in analyzer output.
@@ -138,6 +143,7 @@ impl EventKind {
             EventKind::QueryLookup => "query_lookup",
             EventKind::BlockRead => "block_read",
             EventKind::CacheHit => "cache_hit",
+            EventKind::PressureTransition => "pressure_transition",
         }
     }
 }

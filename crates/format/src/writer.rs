@@ -55,6 +55,27 @@ impl DatasetOptions {
     }
 }
 
+/// What an injected dataset-write fault does. Installed by storage-side
+/// fault harnesses (see `damaris-fs`' `FaultyBackend`) via
+/// [`SdfWriter::set_fault_hook`] so faults can fire *mid-payload*, between
+/// datasets of one file, not just at begin/commit boundaries.
+#[derive(Debug)]
+pub enum WriteFault {
+    /// The dataset write fails with this error; the file is left partial
+    /// on its temporary name (recovery or a retry deals with it).
+    Fail(SdfError),
+    /// The dataset write "succeeds" but the payload bytes on disk are
+    /// corrupted while the index records the checksum of the *intended*
+    /// bytes — the storage-side analogue of a torn copy. Readers see a
+    /// CRC mismatch and the recovery scan quarantines the file.
+    Corrupt,
+}
+
+/// Per-dataset-write fault callback: called once per
+/// [`SdfWriter::write_dataset_bytes`], returns what (if anything) to
+/// inject. May sleep internally to model a stall.
+pub type WriteFaultHook = Box<dyn FnMut() -> Option<WriteFault> + Send>;
+
 /// Streaming writer for a new SDF file.
 pub struct SdfWriter {
     file: BufWriter<File>,
@@ -63,6 +84,7 @@ pub struct SdfWriter {
     index: Vec<IndexEntry>,
     seen_paths: HashSet<String>,
     finished: bool,
+    fault_hook: Option<WriteFaultHook>,
 }
 
 impl SdfWriter {
@@ -77,11 +99,17 @@ impl SdfWriter {
             index: Vec::new(),
             seen_paths: HashSet::new(),
             finished: false,
+            fault_hook: None,
         };
         let mut sb = Vec::new();
         header::write_superblock(&mut sb);
         w.raw_write(&sb)?;
         Ok(w)
+    }
+
+    /// Installs a per-dataset-write fault hook (test harnesses only).
+    pub fn set_fault_hook(&mut self, hook: WriteFaultHook) {
+        self.fault_hook = Some(hook);
     }
 
     fn raw_write(&mut self, bytes: &[u8]) -> Result<()> {
@@ -113,6 +141,11 @@ impl SdfWriter {
         if self.finished {
             return Err(SdfError::Usage("writer already finished".into()));
         }
+        let fault = self.fault_hook.as_mut().and_then(|hook| hook());
+        if let Some(WriteFault::Fail(err)) = fault {
+            return Err(err);
+        }
+        let corrupt = matches!(fault, Some(WriteFault::Corrupt));
         layout.check_bytes(data.len())?;
         self.validate_path(path)?;
 
@@ -179,6 +212,13 @@ impl SdfWriter {
             chunk_dim0: chunk_rows,
             attrs: options.attrs.clone(),
         };
+        let mut payload = payload;
+        if corrupt && !payload.is_empty() {
+            // Torn-copy injection: the index keeps the checksum of the
+            // intended bytes while the stored payload differs, so readers
+            // hit a CRC mismatch exactly as after a real torn write.
+            payload[0] ^= 0xFF;
+        }
         self.raw_write(&payload)?;
         self.index.push(entry);
         Ok(())

@@ -71,6 +71,13 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
         static WALL: WallClock = WallClock;
         &WALL
     }
+
+    /// Disk-space accounting, when the backend is quota-aware (see
+    /// [`crate::sentinel::DiskSentinel`]). `None` (the default) means
+    /// unlimited space: the pressure state machine stays dormant.
+    fn sentinel(&self) -> Option<&crate::sentinel::DiskSentinel> {
+        None
+    }
 }
 
 /// Maps a final SDF path to its in-flight temporary path.

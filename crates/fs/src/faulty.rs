@@ -1,17 +1,27 @@
 //! Deterministic fault injection for the storage path.
 //!
 //! [`FaultyBackend`] decorates any [`StorageBackend`] with a scripted
-//! [`FaultPlan`]: rules keyed by *operation* (begin/commit) and *call
+//! [`FaultPlan`]: rules keyed by *operation* (begin/write/commit) and *call
 //! ordinal* fire exactly once each, so a chaos test can say "the 2nd commit
 //! returns a transient error, the 4th commit tears" and then assert the
 //! runtime's counters match the plan to the digit. No randomness is
 //! involved — reproducibility is the whole point of the harness.
+//!
+//! Two fault kinds are *sustained* rather than one-shot: once their rule
+//! fires they stay in force until explicitly lifted —
+//! [`FaultKind::NoSpace`] squeezes the inner backend's [`DiskSentinel`]
+//! quota (every commit past the allowance fails `ENOSPC`, like a filling
+//! disk), and [`FaultKind::Brownout`] multiplies every commit's latency
+//! (a degraded storage tier that still completes writes). Chaos scenarios
+//! lift them with [`FaultyBackend::lift_no_space`] /
+//! [`FaultyBackend::lift_brownout`] to verify the node re-ascends.
 
 use crate::backend::StorageBackend;
 use crate::clock::{IoClock, WallClock};
-use damaris_format::{Result, SdfError, SdfWriter};
+use crate::sentinel::DiskSentinel;
+use damaris_format::{Result, SdfError, SdfWriter, WriteFault};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -20,6 +30,11 @@ use std::time::Duration;
 pub enum FaultOp {
     /// [`StorageBackend::begin_sdf`] (file creation).
     Begin,
+    /// An individual dataset write on a writer handed out by
+    /// [`StorageBackend::begin_sdf`] — faults here fire *mid-payload*,
+    /// between datasets of one file. Ordinals count dataset writes
+    /// globally across all writers of this backend.
+    Write,
     /// [`StorageBackend::commit_sdf`] (finish + fsync + rename).
     Commit,
 }
@@ -37,6 +52,20 @@ pub enum FaultKind {
     /// node died after the rename but before data hit the platters. The
     /// call still reports success; only a later recovery scan can tell.
     TornWrite { keep_num: u64, keep_den: u64 },
+    /// Write only: the dataset's payload bytes are corrupted on disk while
+    /// the index keeps the intended checksum — a torn copy injected from
+    /// the storage side. Readers hit a CRC mismatch; recovery quarantines.
+    CorruptPayload,
+    /// Sustained (until [`FaultyBackend::lift_no_space`]): the disk "fills"
+    /// — the inner backend's [`DiskSentinel`] quota drops to current usage
+    /// plus `after_bytes`, so commits keep succeeding for that allowance
+    /// and then fail with a real `ENOSPC`. Requires a sentinel-backed
+    /// inner backend.
+    NoSpace { after_bytes: u64 },
+    /// Sustained (until [`FaultyBackend::lift_brownout`]): every commit
+    /// becomes `factor`× slower — the extra latency is slept on the
+    /// backend clock, so a virtual clock absorbs it without wall time.
+    Brownout { factor: u32 },
 }
 
 /// One scripted fault: fires on the `nth` call (0-based) of `op`.
@@ -103,6 +132,40 @@ impl FaultPlan {
         self
     }
 
+    /// The `nth` dataset write stores corrupted payload bytes under the
+    /// intended checksum (storage-side torn copy).
+    pub fn corrupt_nth_write(mut self, nth: u64) -> Self {
+        self.rules.push(FaultRule {
+            op: FaultOp::Write,
+            nth,
+            kind: FaultKind::CorruptPayload,
+        });
+        self
+    }
+
+    /// At the `nth` commit the disk starts filling: `after_bytes` more
+    /// bytes fit, then every commit fails `ENOSPC` until lifted.
+    pub fn no_space_after_commit(mut self, nth: u64, after_bytes: u64) -> Self {
+        self.rules.push(FaultRule {
+            op: FaultOp::Commit,
+            nth,
+            kind: FaultKind::NoSpace { after_bytes },
+        });
+        self
+    }
+
+    /// From the `nth` commit on, commits run `factor`× slower until
+    /// lifted.
+    pub fn brownout_from_commit(mut self, nth: u64, factor: u32) -> Self {
+        assert!(factor >= 2, "a brownout factor below 2 changes nothing");
+        self.rules.push(FaultRule {
+            op: FaultOp::Commit,
+            nth,
+            kind: FaultKind::Brownout { factor },
+        });
+        self
+    }
+
     fn take_matching(&mut self, op: FaultOp, nth: u64) -> Option<FaultKind> {
         let i = self.rules.iter().position(|r| r.op == op && r.nth == nth)?;
         Some(self.rules.remove(i).kind)
@@ -115,28 +178,45 @@ pub struct InjectedCounts {
     pub transient_errors: AtomicU64,
     pub stalls: AtomicU64,
     pub torn_writes: AtomicU64,
+    pub corrupt_payloads: AtomicU64,
+    /// `ENOSPC` squeezes activated (rule firings, not failed commits —
+    /// the failures surface in the runtime's own counters).
+    pub no_space_activations: AtomicU64,
+    /// Brownout activations (rule firings).
+    pub brownout_activations: AtomicU64,
+    /// Commits slowed while a brownout was in force.
+    pub brownout_commits: AtomicU64,
 }
 
 /// A [`StorageBackend`] decorator that executes a [`FaultPlan`].
 #[derive(Debug)]
 pub struct FaultyBackend<B> {
     inner: B,
-    plan: Mutex<FaultPlan>,
+    plan: Arc<Mutex<FaultPlan>>,
     begin_calls: AtomicU64,
+    write_calls: Arc<AtomicU64>,
     commit_calls: AtomicU64,
-    injected: InjectedCounts,
+    injected: Arc<InjectedCounts>,
     clock: Arc<dyn IoClock>,
+    /// Active brownout factor; 0 = none.
+    brownout: AtomicU32,
+    /// The sentinel quota as it was before a `NoSpace` squeeze, so
+    /// [`FaultyBackend::lift_no_space`] can restore it.
+    quota_before_squeeze: Mutex<Option<u64>>,
 }
 
 impl<B: StorageBackend> FaultyBackend<B> {
     pub fn new(inner: B, plan: FaultPlan) -> Self {
         FaultyBackend {
             inner,
-            plan: Mutex::new(plan),
+            plan: Arc::new(Mutex::new(plan)),
             begin_calls: AtomicU64::new(0),
+            write_calls: Arc::new(AtomicU64::new(0)),
             commit_calls: AtomicU64::new(0),
-            injected: InjectedCounts::default(),
+            injected: Arc::new(InjectedCounts::default()),
             clock: Arc::new(WallClock),
+            brownout: AtomicU32::new(0),
+            quota_before_squeeze: Mutex::new(None),
         }
     }
 
@@ -159,6 +239,53 @@ impl<B: StorageBackend> FaultyBackend<B> {
         &self.injected
     }
 
+    /// Squeezes the inner sentinel's quota to current usage plus
+    /// `after_bytes` — what a [`FaultKind::NoSpace`] rule does, callable
+    /// directly by orchestrators. Idempotent while a squeeze is active
+    /// (the pre-squeeze quota is remembered once).
+    pub fn squeeze_no_space(&self, after_bytes: u64) {
+        let sentinel = self
+            .inner
+            .sentinel()
+            .expect("NoSpace fault requires a sentinel-backed inner backend");
+        let mut saved = self
+            .quota_before_squeeze
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if saved.is_none() {
+            *saved = Some(sentinel.quota());
+        }
+        sentinel.set_quota(sentinel.used().saturating_add(after_bytes));
+        self.injected
+            .no_space_activations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifts an active `NoSpace` squeeze, restoring the pre-squeeze quota.
+    /// No-op if none is active.
+    pub fn lift_no_space(&self) {
+        let mut saved = self
+            .quota_before_squeeze
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let (Some(quota), Some(sentinel)) = (saved.take(), self.inner.sentinel()) {
+            sentinel.set_quota(quota);
+        }
+    }
+
+    /// Starts a sustained brownout (callable directly by orchestrators).
+    pub fn start_brownout(&self, factor: u32) {
+        self.brownout.store(factor, Ordering::Relaxed);
+        self.injected
+            .brownout_activations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ends an active brownout. No-op if none is active.
+    pub fn lift_brownout(&self) {
+        self.brownout.store(0, Ordering::Relaxed);
+    }
+
     fn next_fault(&self, op: FaultOp, counter: &AtomicU64) -> Option<FaultKind> {
         // Relaxed: the RMW's atomicity alone guarantees unique tickets;
         // no other memory is published under this counter.
@@ -168,28 +295,88 @@ impl<B: StorageBackend> FaultyBackend<B> {
             .unwrap_or_else(|e| e.into_inner())
             .take_matching(op, nth)
     }
+
+    /// Runs the inner commit, stretched by the active brownout factor:
+    /// the commit's own duration is measured and `(factor - 1)×` more is
+    /// slept on the backend clock.
+    fn commit_with_brownout(&self, writer: SdfWriter) -> Result<u64> {
+        let factor = self.brownout.load(Ordering::Relaxed);
+        if factor < 2 {
+            return self.inner.commit_sdf(writer);
+        }
+        self.injected
+            .brownout_commits
+            .fetch_add(1, Ordering::Relaxed);
+        let t = std::time::Instant::now();
+        let out = self.inner.commit_sdf(writer);
+        self.clock
+            .sleep(t.elapsed().saturating_mul(factor - 1));
+        out
+    }
 }
 
 impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
     fn begin_sdf(&self, name: &str) -> Result<SdfWriter> {
-        match self.next_fault(FaultOp::Begin, &self.begin_calls) {
+        let mut writer = match self.next_fault(FaultOp::Begin, &self.begin_calls) {
             Some(FaultKind::TransientError) => {
                 // Relaxed (here and below): pure test-assertion counters,
                 // read after the exercised threads are joined.
                 self.injected.transient_errors.fetch_add(1, Ordering::Relaxed);
-                Err(injected_io_error("begin_sdf", name))
+                return Err(injected_io_error("begin_sdf", name));
             }
             Some(FaultKind::Stall(d)) => {
                 self.injected.stalls.fetch_add(1, Ordering::Relaxed);
                 self.clock.sleep(d);
-                self.inner.begin_sdf(name)
+                self.inner.begin_sdf(name)?
             }
-            Some(FaultKind::TornWrite { .. }) => {
-                // Tearing is a commit-time concept; treat as a plan bug.
-                panic!("FaultPlan: TornWrite rule attached to Begin")
+            Some(FaultKind::NoSpace { after_bytes }) => {
+                self.squeeze_no_space(after_bytes);
+                self.inner.begin_sdf(name)?
             }
-            None => self.inner.begin_sdf(name),
-        }
+            Some(FaultKind::Brownout { factor }) => {
+                self.start_brownout(factor);
+                self.inner.begin_sdf(name)?
+            }
+            Some(kind @ (FaultKind::TornWrite { .. } | FaultKind::CorruptPayload)) => {
+                // Tearing/corruption happen at commit/write time; a Begin
+                // attachment is a plan bug.
+                panic!("FaultPlan: {kind:?} rule attached to Begin")
+            }
+            None => self.inner.begin_sdf(name)?,
+        };
+        // Every writer carries the Write-op hook so mid-payload rules can
+        // fire; the ordinal counter is shared across writers.
+        let plan = Arc::clone(&self.plan);
+        let counter = Arc::clone(&self.write_calls);
+        let injected = Arc::clone(&self.injected);
+        let clock = Arc::clone(&self.clock);
+        writer.set_fault_hook(Box::new(move || {
+            let nth = counter.fetch_add(1, Ordering::Relaxed);
+            let kind = plan
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take_matching(FaultOp::Write, nth)?;
+            match kind {
+                FaultKind::TransientError => {
+                    injected.transient_errors.fetch_add(1, Ordering::Relaxed);
+                    Some(WriteFault::Fail(injected_io_error(
+                        "write_dataset",
+                        "mid-payload",
+                    )))
+                }
+                FaultKind::Stall(d) => {
+                    injected.stalls.fetch_add(1, Ordering::Relaxed);
+                    clock.sleep(d);
+                    None
+                }
+                FaultKind::CorruptPayload => {
+                    injected.corrupt_payloads.fetch_add(1, Ordering::Relaxed);
+                    Some(WriteFault::Corrupt)
+                }
+                other => panic!("FaultPlan: {other:?} rule attached to Write"),
+            }
+        }));
+        Ok(writer)
     }
 
     fn commit_sdf(&self, writer: SdfWriter) -> Result<u64> {
@@ -203,12 +390,12 @@ impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
             Some(FaultKind::Stall(d)) => {
                 self.injected.stalls.fetch_add(1, Ordering::Relaxed);
                 self.clock.sleep(d);
-                self.inner.commit_sdf(writer)
+                self.commit_with_brownout(writer)
             }
             Some(FaultKind::TornWrite { keep_num, keep_den }) => {
                 self.injected.torn_writes.fetch_add(1, Ordering::Relaxed);
                 let tmp = writer.path().to_path_buf();
-                let total = self.inner.commit_sdf(writer)?;
+                let total = self.commit_with_brownout(writer)?;
                 // The commit published the file; now tear it behind the
                 // runtime's back, as a dying node would.
                 let final_path = crate::backend::final_path_of(&tmp)
@@ -221,7 +408,18 @@ impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
                 f.set_len(keep).map_err(SdfError::Io)?;
                 Ok(total)
             }
-            None => self.inner.commit_sdf(writer),
+            Some(FaultKind::NoSpace { after_bytes }) => {
+                self.squeeze_no_space(after_bytes);
+                self.commit_with_brownout(writer)
+            }
+            Some(FaultKind::Brownout { factor }) => {
+                self.start_brownout(factor);
+                self.commit_with_brownout(writer)
+            }
+            Some(FaultKind::CorruptPayload) => {
+                panic!("FaultPlan: CorruptPayload rule attached to Commit")
+            }
+            None => self.commit_with_brownout(writer),
         }
     }
 
@@ -260,6 +458,10 @@ impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
     fn clock(&self) -> &dyn IoClock {
         self.clock.as_ref()
     }
+
+    fn sentinel(&self) -> Option<&DiskSentinel> {
+        self.inner.sentinel()
+    }
 }
 
 fn injected_io_error(op: &str, target: &str) -> SdfError {
@@ -271,6 +473,7 @@ fn injected_io_error(op: &str, target: &str) -> SdfError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sentinel::{is_no_space, PressureLevel};
     use crate::LocalDirBackend;
     use damaris_format::{DataType, Layout, SdfReader};
 
@@ -344,5 +547,76 @@ mod tests {
         // The trait surface hands the same clock to upstream retry loops.
         assert_eq!(b.clock().now(), Duration::from_secs(30));
         assert!(SdfReader::open(b.path_of("virtslow.sdf")).is_ok());
+    }
+
+    #[test]
+    fn write_fault_fires_mid_payload() {
+        let inner = LocalDirBackend::scratch("faulty-midwrite").unwrap();
+        // The 3rd dataset write overall fails: first file carries two
+        // datasets cleanly, the second file dies on its first dataset.
+        let plan = FaultPlan::new().fail_nth(FaultOp::Write, 2);
+        let b = FaultyBackend::new(inner, plan);
+        let layout = Layout::new(DataType::F32, &[4]);
+        let mut w = b.begin_sdf("ok.sdf").unwrap();
+        w.write_dataset_f32("/a", &layout, &[1.0; 4]).unwrap();
+        w.write_dataset_f32("/b", &layout, &[2.0; 4]).unwrap();
+        b.commit_sdf(w).unwrap();
+        let mut w = b.begin_sdf("dead.sdf").unwrap();
+        let err = w.write_dataset_f32("/a", &layout, &[3.0; 4]).unwrap_err();
+        assert!(!is_no_space(&err), "injected write fault is transient");
+        assert_eq!(b.injected().transient_errors.load(Ordering::SeqCst), 1);
+        // The partial file never reached its final name.
+        drop(w);
+        assert_eq!(b.list_sdf_files().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn corrupt_payload_keeps_commit_green_but_fails_read() {
+        let inner = LocalDirBackend::scratch("faulty-corrupt").unwrap();
+        let plan = FaultPlan::new().corrupt_nth_write(0);
+        let b = FaultyBackend::new(inner, plan);
+        // Begin, write (corrupted behind our back), commit — all "succeed".
+        write_one(&b, "lying.sdf").unwrap();
+        assert_eq!(b.injected().corrupt_payloads.load(Ordering::SeqCst), 1);
+        // The file opens (index is intact) but the payload CRC is wrong.
+        let r = SdfReader::open(b.path_of("lying.sdf")).unwrap();
+        let err = r.read_f32("/v").unwrap_err();
+        assert!(matches!(err, SdfError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn no_space_squeezes_then_lifts() {
+        let sentinel = Arc::new(DiskSentinel::unlimited());
+        let inner = LocalDirBackend::scratch("faulty-nospace")
+            .unwrap()
+            .with_sentinel(Arc::clone(&sentinel));
+        // The second commit squeezes the quota down to current usage:
+        // it (and everything after) fails ENOSPC until lifted.
+        let plan = FaultPlan::new().no_space_after_commit(1, 0);
+        let b = FaultyBackend::new(inner, plan);
+        write_one(&b, "a.sdf").unwrap();
+        let err = write_one(&b, "b.sdf").unwrap_err();
+        assert!(is_no_space(&err), "expected ENOSPC, got: {err}");
+        assert_eq!(b.sentinel().unwrap().level(), PressureLevel::Full);
+        assert_eq!(b.injected().no_space_activations.load(Ordering::SeqCst), 1);
+        b.lift_no_space();
+        write_one(&b, "c.sdf").unwrap();
+        assert_eq!(b.list_sdf_files().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn brownout_slows_commits_until_lifted() {
+        use crate::clock::VirtualClock;
+        let inner = LocalDirBackend::scratch("faulty-brownout").unwrap();
+        let plan = FaultPlan::new().brownout_from_commit(0, 50);
+        let clock = Arc::new(VirtualClock::new());
+        let b = FaultyBackend::new(inner, plan).with_clock(clock.clone());
+        write_one(&b, "slow1.sdf").unwrap();
+        write_one(&b, "slow2.sdf").unwrap();
+        assert_eq!(b.injected().brownout_commits.load(Ordering::SeqCst), 2);
+        assert!(clock.slept() > Duration::ZERO, "brownout slept nothing");
+        b.lift_brownout();
+        write_one(&b, "fast.sdf").unwrap();
+        assert_eq!(b.injected().brownout_commits.load(Ordering::SeqCst), 2);
     }
 }

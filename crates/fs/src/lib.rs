@@ -47,6 +47,7 @@ pub mod local;
 pub mod manifest;
 pub mod model;
 pub mod recovery;
+pub mod sentinel;
 pub mod striping;
 
 pub use backend::StorageBackend;
@@ -56,4 +57,5 @@ pub use local::LocalDirBackend;
 pub use manifest::{EntryKind, Manifest, ManifestEntry, ManifestError, ManifestLock};
 pub use model::{FsSpec, LockMode};
 pub use recovery::{recover, recover_dir, RecoveryReport};
+pub use sentinel::{is_no_space, is_no_space_io, no_space_error, DiskSentinel, PressureLevel};
 pub use striping::{stripes_for, StripeSlice};

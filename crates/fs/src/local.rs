@@ -6,9 +6,11 @@
 //! can report achieved throughput.
 
 use crate::backend::{publish, tmp_path_of, StorageBackend};
+use crate::sentinel::{no_space_error, DiskSentinel, PressureLevel};
 use damaris_format::{Result, SdfWriter};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A directory acting as the "file system" plus byte/file accounting.
@@ -18,6 +20,9 @@ pub struct LocalDirBackend {
     files_created: AtomicU64,
     bytes_written: AtomicU64,
     created_at: Instant,
+    /// Optional quota accounting; commits are refused with a real
+    /// `ENOSPC` once the quota is exhausted.
+    sentinel: Option<Arc<DiskSentinel>>,
 }
 
 impl LocalDirBackend {
@@ -30,7 +35,18 @@ impl LocalDirBackend {
             files_created: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             created_at: Instant::now(),
+            sentinel: None,
         })
+    }
+
+    /// Attaches a [`DiskSentinel`]: every commit reserves its bytes
+    /// against the quota first and fails with `ENOSPC` (leaving its tmp
+    /// file behind, exactly like a real full disk) when it doesn't fit;
+    /// [`StorageBackend::begin_sdf`] refuses outright while the quota is
+    /// fully exhausted so no payload bytes are wasted on a doomed file.
+    pub fn with_sentinel(mut self, sentinel: Arc<DiskSentinel>) -> Self {
+        self.sentinel = Some(sentinel);
+        self
     }
 
     /// Creates a unique scratch backend under the system temp dir.
@@ -68,6 +84,11 @@ impl LocalDirBackend {
     /// Opens a writer on the temporary name for `name` (crash-consistent
     /// path; pair with [`LocalDirBackend::commit_sdf`]).
     pub fn begin_sdf(&self, name: &str) -> Result<SdfWriter> {
+        if let Some(sentinel) = &self.sentinel {
+            if sentinel.level() == PressureLevel::Full {
+                return Err(damaris_format::SdfError::Io(no_space_error()));
+            }
+        }
         let final_path = self.root.join(name);
         if let Some(parent) = final_path.parent() {
             std::fs::create_dir_all(parent).map_err(damaris_format::SdfError::Io)?;
@@ -77,11 +98,34 @@ impl LocalDirBackend {
 
     /// Finishes + fsyncs `writer` and atomically renames it into place.
     pub fn commit_sdf(&self, writer: SdfWriter) -> Result<u64> {
+        if let Some(sentinel) = &self.sentinel {
+            // Reserve against what has streamed out so far (index/footer
+            // add a little more; close enough — the charge below records
+            // the exact total). Failing here models fsync hitting ENOSPC:
+            // the tmp file stays behind for recovery to sweep.
+            if !sentinel.try_reserve(writer.bytes_written()) {
+                return Err(damaris_format::SdfError::Io(no_space_error()));
+            }
+        }
         let tmp = writer.path().to_path_buf();
         let total = writer.finish_synced()?;
         publish(&tmp)?;
         self.files_created.fetch_add(1, Ordering::Relaxed);
+        if let Some(sentinel) = &self.sentinel {
+            sentinel.charge(total);
+        }
         Ok(total)
+    }
+
+    /// Deletes a published file and returns its space to the sentinel.
+    /// Used by gc paths so reclaimed bytes actually relieve pressure.
+    pub fn delete_file(&self, path: &Path) -> std::io::Result<u64> {
+        let bytes = std::fs::metadata(path)?.len();
+        std::fs::remove_file(path)?;
+        if let Some(sentinel) = &self.sentinel {
+            sentinel.release(bytes);
+        }
+        Ok(bytes)
     }
 
     /// Records that `bytes` were persisted (writers call this on finish).
@@ -177,6 +221,10 @@ impl StorageBackend for LocalDirBackend {
 
     fn path_of(&self, name: &str) -> PathBuf {
         LocalDirBackend::path_of(self, name)
+    }
+
+    fn sentinel(&self) -> Option<&DiskSentinel> {
+        self.sentinel.as_deref()
     }
 }
 

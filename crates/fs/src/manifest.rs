@@ -330,6 +330,7 @@ impl ManifestLock {
             .read(true)
             .write(true)
             .create(true)
+            .truncate(false)
             .open(&path)?;
         let deadline = Instant::now() + wait;
         loop {
@@ -398,6 +399,81 @@ pub fn replace_entries(
     m.generation += 1;
     m.store(root)?;
     Ok(m.generation)
+}
+
+/// Storage-pressure garbage collection: deletes on-disk files that are
+/// *superseded* — iteration files the manifest no longer references and
+/// whose iteration a compacted span of the same node covers (a finished
+/// merge replaced them; the post-commit cleanup never ran, usually
+/// because the compactor was paused or crashed) — plus orphan
+/// `compact-*.tmp` merges. Reclaimed bytes are returned to `sentinel`
+/// so the pressure actually drops. Returns `(files_deleted,
+/// bytes_reclaimed)`.
+///
+/// Unreferenced files *not* covered by a span are left alone: they may
+/// be sealed-but-unpublished iterations recovery's adoption pass will
+/// re-publish.
+pub fn gc_superseded(
+    root: &Path,
+    sentinel: Option<&crate::sentinel::DiskSentinel>,
+) -> Result<(usize, u64)> {
+    let manifest = Manifest::load(root)?;
+    let mut deleted = 0usize;
+    let mut reclaimed = 0u64;
+    let node_dirs = match std::fs::read_dir(root) {
+        Ok(rd) => rd,
+        Err(_) => return Ok((0, 0)),
+    };
+    let mut remove = |path: &Path| -> io::Result<()> {
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        std::fs::remove_file(path)?;
+        if let Some(s) = sentinel {
+            s.release(bytes);
+        }
+        deleted += 1;
+        reclaimed += bytes;
+        Ok(())
+    };
+    for dir_entry in node_dirs.flatten() {
+        let dir_name = dir_entry.file_name().to_string_lossy().into_owned();
+        let Some(node) = dir_name
+            .strip_prefix("node-")
+            .and_then(|d| d.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        let files = match std::fs::read_dir(dir_entry.path()) {
+            Ok(rd) => rd,
+            Err(_) => continue,
+        };
+        for file_entry in files.flatten() {
+            let name = file_entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("compact-") && name.ends_with(".tmp") {
+                remove(&file_entry.path())?;
+                continue;
+            }
+            let Some(iteration) = name
+                .strip_prefix("iter-")
+                .and_then(|rest| rest.strip_suffix(".sdf"))
+                .and_then(|digits| digits.parse::<u32>().ok())
+            else {
+                continue;
+            };
+            let rel = format!("{dir_name}/{name}");
+            if manifest.references(&rel) {
+                continue;
+            }
+            let covered = manifest.entries.iter().any(|e| {
+                e.node == node
+                    && matches!(e.kind, EntryKind::Compacted { .. })
+                    && e.kind.covers(iteration)
+            });
+            if covered {
+                remove(&file_entry.path())?;
+            }
+        }
+    }
+    Ok((deleted, reclaimed))
 }
 
 #[cfg(test)]
@@ -550,6 +626,86 @@ mod tests {
         for t in threads {
             t.join().expect("locker thread");
         }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn publish_fails_midway_under_enospc_then_recovers() {
+        // Satellite: a full disk must not corrupt the manifest protocol.
+        // Simulate the tmp-file write failing mid-publish by planting a
+        // directory where `MANIFEST.tmp` goes — `File::create` fails just
+        // like it would on a full file system, after the lock is taken
+        // but before anything replaced the published manifest.
+        let root = temp_root("publish-enospc");
+        publish_iteration(&root, 0, 0, "node-0/iter-000000.sdf", 100).unwrap();
+        let before = Manifest::load(&root).unwrap();
+        assert_eq!(before.generation, 1);
+
+        let tmp_blocker = root.join(format!("{MANIFEST_NAME}.tmp"));
+        std::fs::create_dir(&tmp_blocker).unwrap();
+        let err = publish_iteration(&root, 0, 1, "node-0/iter-000001.sdf", 100).unwrap_err();
+        assert!(matches!(err, ManifestError::Io(_)), "{err}");
+
+        // The manifest is still readable at the old generation — readers
+        // never saw the failed publish.
+        assert_eq!(Manifest::load(&root).unwrap(), before);
+        // The lock was not leaked by the failed writer: a fresh acquire
+        // succeeds immediately.
+        drop(ManifestLock::acquire_wait(&root, Duration::from_millis(100)).unwrap());
+
+        // "Space returns": the next publish succeeds and lands exactly
+        // one generation later.
+        std::fs::remove_dir(&tmp_blocker).unwrap();
+        publish_iteration(&root, 0, 1, "node-0/iter-000001.sdf", 100).unwrap();
+        let after = Manifest::load(&root).unwrap();
+        assert_eq!(after.generation, 2);
+        assert_eq!(after.entries.len(), 2);
+        assert!(after.covers(0, 1));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn gc_superseded_reclaims_covered_files_only() {
+        use crate::sentinel::DiskSentinel;
+        let root = temp_root("gc-superseded");
+        std::fs::create_dir_all(root.join("node-0")).unwrap();
+        // Three on-disk files: one superseded by a span (compaction ran,
+        // cleanup didn't), one still referenced, one unpublished (must
+        // survive for recovery's adoption pass), plus an orphan merge tmp.
+        for name in [
+            "iter-000000.sdf",
+            "iter-000005.sdf",
+            "iter-000009.sdf",
+            "compact-000000-000003.sdf.tmp",
+        ] {
+            std::fs::write(root.join("node-0").join(name), vec![0u8; 64]).unwrap();
+        }
+        let mut m = Manifest::default();
+        m.upsert(ManifestEntry {
+            file: "node-0/compact-000000-000003.sdf".into(),
+            node: 0,
+            kind: EntryKind::Compacted { lo: 0, hi: 3 },
+            bytes: 64,
+        });
+        m.upsert(ManifestEntry {
+            file: "node-0/iter-000005.sdf".into(),
+            node: 0,
+            kind: EntryKind::Iteration(5),
+            bytes: 64,
+        });
+        m.store(&root).unwrap();
+
+        let sentinel = DiskSentinel::with_quota(1000);
+        sentinel.charge(500);
+        let (deleted, reclaimed) = gc_superseded(&root, Some(&sentinel)).unwrap();
+        assert_eq!(deleted, 2, "superseded iter + orphan tmp");
+        assert_eq!(reclaimed, 128);
+        assert_eq!(sentinel.used(), 500 - 128);
+        assert!(!root.join("node-0/iter-000000.sdf").exists());
+        assert!(root.join("node-0/iter-000005.sdf").exists());
+        assert!(root.join("node-0/iter-000009.sdf").exists(), "unpublished file kept");
+        // Idempotent: nothing left to collect.
+        assert_eq!(gc_superseded(&root, None).unwrap(), (0, 0));
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -35,7 +35,7 @@
 use crate::QueryError;
 use damaris_format::{DatasetOptions, SdfReader, SdfWriter};
 use damaris_fs::manifest::replace_entries;
-use damaris_fs::{EntryKind, Manifest, ManifestEntry};
+use damaris_fs::{DiskSentinel, EntryKind, Manifest, ManifestEntry};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -88,6 +88,10 @@ pub struct Compactor {
     /// counter reaches this value (`u64::MAX` = never).
     abort_at: AtomicU64,
     steps: AtomicU64,
+    /// Optional disk-space accounting shared with the writing backend:
+    /// merges charge it, gc deletions release it, so compaction's
+    /// transient space amplification is visible to the pressure machine.
+    sentinel: Option<Arc<DiskSentinel>>,
 }
 
 impl Compactor {
@@ -99,7 +103,15 @@ impl Compactor {
             paused: Arc::new(AtomicBool::new(false)),
             abort_at: AtomicU64::new(u64::MAX),
             steps: AtomicU64::new(0),
+            sentinel: None,
         }
+    }
+
+    /// Shares the backend's [`DiskSentinel`] so merged files count
+    /// against (and reclaimed inputs return to) the same quota.
+    pub fn with_sentinel(mut self, sentinel: Arc<DiskSentinel>) -> Compactor {
+        self.sentinel = Some(sentinel);
+        self
     }
 
     /// The shared pause flag: raise it during write bursts and the next
@@ -215,6 +227,9 @@ impl Compactor {
         self.step()?;
         std::fs::rename(&tmp_path, &final_path)?;
         sync_dir(final_path.parent().unwrap_or(&self.root))?;
+        if let Some(sentinel) = &self.sentinel {
+            sentinel.charge(bytes);
+        }
         Ok(bytes)
     }
 
@@ -247,7 +262,7 @@ impl Compactor {
                 let name = file_entry.file_name().to_string_lossy().into_owned();
                 if name.starts_with("compact-") && name.ends_with(".tmp") {
                     self.step()?;
-                    std::fs::remove_file(file_entry.path())?;
+                    self.remove_and_release(&file_entry.path())?;
                     deleted += 1;
                     continue;
                 }
@@ -269,12 +284,23 @@ impl Compactor {
                 });
                 if covered {
                     self.step()?;
-                    std::fs::remove_file(file_entry.path())?;
+                    self.remove_and_release(&file_entry.path())?;
                     deleted += 1;
                 }
             }
         }
         Ok(deleted)
+    }
+
+    /// Deletes a file and returns its bytes to the shared sentinel (if
+    /// any) so reclaimed space actually relieves storage pressure.
+    fn remove_and_release(&self, path: &Path) -> std::io::Result<()> {
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        std::fs::remove_file(path)?;
+        if let Some(sentinel) = &self.sentinel {
+            sentinel.release(bytes);
+        }
+        Ok(())
     }
 }
 

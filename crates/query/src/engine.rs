@@ -533,10 +533,9 @@ impl QueryEngine {
         // Clamp to the rows the block actually holds: if the payload is
         // shorter than the layout advertises, the returned layout must
         // describe the data slice, not the claim.
-        let present = if row_bytes == 0 {
-            dim0
-        } else {
-            dim0.min((block.len() / row_bytes) as u64)
+        let present = match block.len().checked_div(row_bytes) {
+            None => dim0,
+            Some(rows) => dim0.min(rows as u64),
         };
         let first = first.min(present);
         let count = count.min(present - first);

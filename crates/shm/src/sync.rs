@@ -17,7 +17,7 @@ pub use damaris_check::{
     cell::RangeTracker,
     hint::spin_loop,
     sync::{
-        atomic::{AtomicU64, AtomicUsize, Ordering},
+        atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering},
         Arc, Mutex,
     },
     thread::yield_now,
@@ -27,7 +27,7 @@ pub use damaris_check::{
 pub use std::{
     hint::spin_loop,
     sync::{
-        atomic::{AtomicU64, AtomicUsize, Ordering},
+        atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering},
         Arc,
     },
     thread::yield_now,

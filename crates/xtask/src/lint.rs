@@ -179,14 +179,17 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
     // substrate, where an unwrap kills a "rank"), shm (the lease /
     // allocator layer both sides of the boundary call into), obs (the
     // recorder rides inside every client write call — a panic there *is*
-    // a client crash), and query (the read tier serves arbitrary reader
+    // a client crash), query (the read tier serves arbitrary reader
     // threads while the EPE writes — a panic there kills an analysis
-    // consumer mid-run).
+    // consumer mid-run), and chaos (the harness adjudicates node
+    // correctness — a panic in the runner reads as a node failure and
+    // poisons every seed's verdict).
     let in_core_src = file.starts_with("crates/core/src")
         || file.starts_with("crates/mpi/src")
         || file.starts_with("crates/shm/src")
         || file.starts_with("crates/obs/src")
-        || file.starts_with("crates/query/src");
+        || file.starts_with("crates/query/src")
+        || file.starts_with("crates/chaos/src");
     let in_check = file.starts_with("crates/check/");
     let in_xtask = file.starts_with("crates/xtask/");
     // Integration tests, benches, and examples are test code wholesale.
@@ -565,6 +568,20 @@ let v = maybe.unwrap();
 ";
         assert!(rules("crates/query/src/engine.rs", tagged).is_empty());
         assert!(rules("crates/query/tests/pruning.rs", src).is_empty());
+    }
+
+    #[test]
+    fn untagged_expect_in_chaos_flagged() {
+        // The chaos harness adjudicates node correctness: a panic in the
+        // runner reads as a node failure and poisons every seed's verdict.
+        let src = "let v = maybe.unwrap();\n";
+        assert_eq!(rules("crates/chaos/src/runner.rs", src), ["untagged-expect"]);
+        let tagged = "\
+// invariant: the scenario generator emits at least one iteration.
+let v = maybe.unwrap();
+";
+        assert!(rules("crates/chaos/src/runner.rs", tagged).is_empty());
+        assert!(rules("crates/chaos/tests/scenarios.rs", src).is_empty());
     }
 
     #[test]
